@@ -1,0 +1,104 @@
+// Command privagic-bench regenerates the paper's evaluation (§9): every
+// table and figure, at full scale.
+//
+// Usage:
+//
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privagic/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
+	flag.Parse()
+
+	runOne := func(name string) int {
+		switch name {
+		case "fig3":
+			rep, err := bench.Fig3()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(rep.String())
+		case "fig8":
+			cfg := bench.DefaultFig8()
+			if *quick {
+				cfg.Ops = 8000
+			}
+			rep := bench.Fig8(cfg)
+			if *csv {
+				if err := rep.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				return 0
+			}
+			fmt.Println(rep.String())
+		case "fig9":
+			cfg := bench.DefaultFig9()
+			if *quick {
+				cfg.Ops = 4000
+				cfg.ListOps = 100
+			}
+			rep := bench.Fig9(cfg)
+			if *csv {
+				if err := rep.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				return 0
+			}
+			fmt.Println(rep.String())
+		case "fig10":
+			cfg := bench.DefaultFig10()
+			if *quick {
+				cfg.Ops = 4000
+			}
+			rep := bench.Fig10(cfg)
+			if *csv {
+				if err := rep.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				return 0
+			}
+			fmt.Println(rep.String())
+		case "table4":
+			rep, err := bench.Table4()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(rep.String())
+		case "effort":
+			fmt.Println(bench.Effort().String())
+		default:
+			fmt.Fprintf(os.Stderr, "privagic-bench: unknown experiment %q\n", name)
+			return 2
+		}
+		return 0
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8"} {
+			if rc := runOne(name); rc != 0 {
+				return rc
+			}
+		}
+		return 0
+	}
+	return runOne(*exp)
+}

@@ -1,0 +1,91 @@
+// Command privagic-explain shows what the secure type system deduced about
+// a program: the colors of every specialized function's instructions, the
+// color sets, the call plans, and any diagnostics — the view a developer
+// uses to understand why a line was placed in (or rejected from) an
+// enclave.
+//
+// Usage:
+//
+//	privagic-explain [-mode hardened|relaxed] [-entries main] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"privagic"
+	"privagic/internal/ir"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	mode := flag.String("mode", "hardened", "compiler mode")
+	entries := flag.String("entries", "", "comma-separated entry points")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: privagic-explain [flags] file.c")
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	opts := privagic.Options{Mode: privagic.Hardened}
+	if *mode == "relaxed" {
+		opts.Mode = privagic.Relaxed
+	}
+	if *entries != "" {
+		opts.Entries = strings.Split(*entries, ",")
+	}
+	an, err := privagic.Check(flag.Arg(0), string(src), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	fmt.Printf("mode: %s   enclave colors: %v   stabilizing passes: %d\n\n",
+		an.Mode, an.Colors, an.Passes())
+
+	keys := make([]string, 0, len(an.Specs))
+	for k := range an.Specs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		spec := an.Specs[k]
+		fmt.Printf("function %s   color set %v   returns %s\n", k, spec.ColorSet(), spec.RetColor)
+		for _, b := range spec.Fn.Blocks {
+			bc := ""
+			if c, ok := spec.BlockColor[b]; ok && !c.IsFree() {
+				bc = fmt.Sprintf("   ; block colored %s (Rule 4)", c)
+			}
+			fmt.Printf("  %s:%s\n", b.BName, bc)
+			for _, in := range b.Instrs {
+				c := spec.InstrColor[in]
+				label := c.String()
+				if c.IsFree() || c == ir.None {
+					label = "F (replicated)"
+				}
+				fmt.Printf("    [%-14s] %s\n", label, in)
+			}
+		}
+		fmt.Println()
+	}
+
+	if err := an.Err(); err != nil {
+		fmt.Println("diagnostics:")
+		for _, e := range an.Errors {
+			fmt.Printf("  %s\n", e)
+		}
+		return 1
+	}
+	fmt.Println("no secure-typing violations")
+	return 0
+}

@@ -1,0 +1,40 @@
+package privagic_test
+
+import (
+	"fmt"
+	"log"
+
+	"privagic"
+)
+
+// Example compiles a secure-typed MiniC program in hardened mode and runs
+// it on the simulated SGX machine: the counter lives in the "vault"
+// enclave, and only the ignore-annotated reveal declassifies it.
+func Example() {
+	src := `
+ignore long reveal(long color(vault) v);
+long color(vault) hits = 0;
+entry void visit() { hits = hits + 1; }
+entry long total() { return reveal(hits); }
+`
+	prog, err := privagic.Compile("counter.c", src, privagic.Options{Mode: privagic.Hardened})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := inst.Call("visit"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err := inst.Call("total")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("enclaves:", prog.Colors())
+	fmt.Println("total:", n)
+	// Output:
+	// enclaves: [vault]
+	// total: 3
+}

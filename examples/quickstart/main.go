@@ -1,0 +1,58 @@
+// Quickstart: compile a secure-typed program, run it on the simulated SGX
+// machine, and observe that the secret physically lives inside an enclave.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privagic"
+)
+
+// src is a minimal Privagic program: the balance is colored, so every
+// instruction touching it is compiled into the "vault" enclave; deposits
+// flow in through the annotated entry parameter, and reads come out only
+// through the ignore-annotated declassification (paper §6.4).
+const src = `
+ignore long reveal(long color(vault) v);
+
+long color(vault) balance = 0;
+
+entry void deposit(long color(vault) cents) {
+	balance = balance + cents;
+}
+
+entry long audit() {
+	return reveal(balance);
+}
+`
+
+func main() {
+	prog, err := privagic.Compile("wallet.c", src, privagic.Options{Mode: privagic.Hardened})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enclaves: %v\n", prog.Colors())
+
+	inst := prog.Instantiate(privagic.MachineB())
+	defer inst.Close()
+
+	for _, cents := range []int64{500, 125, 75} {
+		if _, err := inst.Call("deposit", cents); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total, err := inst.Call("audit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit() = %d cents\n", total)
+
+	transitions, messages, _, _ := inst.Meter().Counts()
+	fmt.Printf("simulated SGX: %d enclave transitions at startup, %d queue messages for %d calls\n",
+		transitions, messages, 4)
+	fmt.Println("the balance never left the vault enclave: only the ignore-annotated")
+	fmt.Println("reveal() declassified the audited total (paper §6.4)")
+}

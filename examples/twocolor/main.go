@@ -1,0 +1,44 @@
+// Two-color partitioning (the Privagic-2 configuration of §9.3): keys live
+// in the red enclave, values in the blue enclave, the struct body is split
+// through unsafe memory (§7.2), and the red key-comparison result is
+// declassified before it gates blue code.
+//
+//	go run ./examples/twocolor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privagic"
+	"privagic/internal/sources"
+)
+
+func main() {
+	prog, err := privagic.Compile("hashmap2.c", sources.HashmapColored2, privagic.Options{
+		Mode:    privagic.Relaxed,
+		Entries: []string{"run_ycsb"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enclaves: %v\n", prog.Colors())
+	for name, sp := range prog.Partitioned.Splits {
+		fmt.Printf("split structure %s (paper §7.2): colored fields become pointers\n", name)
+		for idx, c := range sp.FieldColors {
+			fmt.Printf("  field %-8s -> out-of-line allocation in enclave %s\n",
+				sp.Struct.Fields[idx].Name, c)
+		}
+	}
+
+	inst := prog.Instantiate(privagic.MachineA())
+	defer inst.Close()
+	hits, err := inst.Call("run_ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrun_ycsb() = %d hits under the embedded YCSB driver\n", hits)
+	_, messages, _, _ := inst.Meter().Counts()
+	fmt.Printf("queue messages: %d — two colors pay heavily in cross-enclave traffic,\n", messages)
+	fmt.Println("which is exactly the Figure 10 story (Privagic-2 still beats Intel-sdk-2 by 6.4x-9.2x)")
+}

@@ -1,0 +1,3 @@
+module privagic
+
+go 1.22

@@ -1,0 +1,224 @@
+// Package dataflow implements a Glamdring-style automatic partitioning
+// analysis (paper Table 1): the developer annotates sensitive roots, and a
+// flow-sensitive data-flow analysis with points-to tracking computes which
+// memory locations the sensitive values flow into. The partition then
+// protects exactly those locations.
+//
+// The analysis is deliberately sequential — it interprets each function's
+// body in program order with strong updates on pointer variables, exactly
+// like the abstract-interpretation engines the paper cites (Frama-C's Eva
+// for Glamdring [10, 23]). That is its documented soundness hole with
+// threads (paper §3, Figure 3): a pointer retargeted concurrently by
+// another thread is invisible to a sequential analysis, so a sensitive
+// store through the pointer can land in an unprotected location. The
+// tests and the fig3 experiment demonstrate precisely this failure, which
+// motivates Privagic's explicit secure typing.
+package dataflow
+
+import (
+	"sort"
+
+	"privagic/internal/ir"
+)
+
+// Result is the outcome of the analysis.
+type Result struct {
+	// Sensitive is the set of global variables classified as holding
+	// sensitive data; the partition places exactly these in the
+	// enclave.
+	Sensitive map[string]bool
+	// SensitiveParams records (function name -> parameter indices)
+	// carrying sensitive values.
+	SensitiveParams map[string]map[int]bool
+}
+
+// IsSensitive reports whether the analysis protects the named global.
+func (r *Result) IsSensitive(global string) bool { return r.Sensitive[global] }
+
+// SensitiveList returns the sorted protected-global names.
+func (r *Result) SensitiveList() []string {
+	out := make([]string, 0, len(r.Sensitive))
+	for g := range r.Sensitive {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// absVal is the abstract value of a register: a taint bit plus a points-to
+// set over globals.
+type absVal struct {
+	tainted bool
+	ptsTo   map[string]bool
+}
+
+func (v absVal) clone() absVal {
+	out := absVal{tainted: v.tainted}
+	if v.ptsTo != nil {
+		out.ptsTo = make(map[string]bool, len(v.ptsTo))
+		for k := range v.ptsTo {
+			out.ptsTo[k] = true
+		}
+	}
+	return out
+}
+
+func taintJoin(a, b absVal) absVal {
+	out := absVal{tainted: a.tainted || b.tainted}
+	if a.ptsTo != nil || b.ptsTo != nil {
+		out.ptsTo = map[string]bool{}
+		for g := range a.ptsTo {
+			out.ptsTo[g] = true
+		}
+		for g := range b.ptsTo {
+			out.ptsTo[g] = true
+		}
+	}
+	return out
+}
+
+// analyzer carries the whole-program state of one run.
+type analyzer struct {
+	res *Result
+	// globalPts is the sequential abstraction of pointer-typed globals:
+	// "the last store wins" — true in a single thread, false under
+	// concurrency. This field is the soundness hole.
+	globalPts map[string]absVal
+}
+
+// Analyze runs the sequential data-flow analysis over the module, starting
+// from the named sensitive global roots (the "developer annotates some
+// sensitive values" workflow of §1).
+func Analyze(mod *ir.Module, roots []string) *Result {
+	return AnalyzeWithParams(mod, roots, nil)
+}
+
+// AnalyzeWithParams additionally seeds sensitive function parameters
+// (function name -> parameter indices), the annotation style of Glamdring
+// ("Starting point: function arguments", Table 1).
+func AnalyzeWithParams(mod *ir.Module, roots []string, params map[string]map[int]bool) *Result {
+	a := &analyzer{
+		res: &Result{
+			Sensitive:       map[string]bool{},
+			SensitiveParams: map[string]map[int]bool{},
+		},
+		globalPts: map[string]absVal{},
+	}
+	for _, r := range roots {
+		a.res.Sensitive[r] = true
+	}
+	for fn, idxs := range params {
+		a.res.SensitiveParams[fn] = map[int]bool{}
+		for i := range idxs {
+			a.res.SensitiveParams[fn][i] = true
+		}
+	}
+	// Whole-program fixpoint: re-analyze every function until the
+	// sensitive set stops growing. Each function body is interpreted
+	// sequentially — the fatal assumption with threads.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range mod.SortedFuncs() {
+			if fn.External {
+				continue
+			}
+			if a.analyzeFunc(fn) {
+				changed = true
+			}
+		}
+	}
+	return a.res
+}
+
+// analyzeFunc interprets one function in program order with strong updates,
+// returning true when it enlarged the sensitive set.
+func (a *analyzer) analyzeFunc(fn *ir.Function) bool {
+	grew := false
+	vals := map[ir.Value]absVal{}
+	if tp := a.res.SensitiveParams[fn.FName]; tp != nil {
+		for i, p := range fn.Params {
+			if tp[i] {
+				vals[p] = absVal{tainted: true}
+			}
+		}
+	}
+	markSensitive := func(g string) {
+		if !a.res.Sensitive[g] {
+			a.res.Sensitive[g] = true
+			grew = true
+		}
+	}
+	eval := func(v ir.Value) absVal {
+		if g, ok := v.(*ir.Global); ok {
+			return absVal{ptsTo: map[string]bool{g.GName: true}}
+		}
+		return vals[v]
+	}
+
+	fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		switch t := in.(type) {
+		case *ir.Load:
+			p := eval(t.Ptr)
+			out := absVal{tainted: p.tainted}
+			for g := range p.ptsTo {
+				if a.res.Sensitive[g] {
+					out.tainted = true
+				}
+			}
+			// A load of a pointer-typed global sees the last
+			// points-to set stored there — sequentially.
+			if g, isG := t.Ptr.(*ir.Global); isG {
+				if pv, ok := a.globalPts[g.GName]; ok {
+					out.ptsTo = pv.clone().ptsTo
+				}
+			}
+			vals[t] = out
+		case *ir.Store:
+			val := eval(t.Val)
+			ptr := eval(t.Ptr)
+			if val.tainted {
+				for g := range ptr.ptsTo {
+					markSensitive(g)
+				}
+			}
+			if g, ok := t.Ptr.(*ir.Global); ok && val.ptsTo != nil {
+				// Strong update on the pointer variable.
+				a.globalPts[g.GName] = val.clone()
+			}
+		case *ir.BinOp:
+			vals[t] = taintJoin(eval(t.X), eval(t.Y))
+		case *ir.Cmp:
+			vals[t] = taintJoin(eval(t.X), eval(t.Y))
+		case *ir.Cast:
+			vals[t] = eval(t.Val).clone()
+		case *ir.FieldAddr:
+			vals[t] = eval(t.X).clone()
+		case *ir.IndexAddr:
+			vals[t] = taintJoin(eval(t.X), eval(t.Index))
+		case *ir.Phi:
+			out := absVal{}
+			for _, e := range t.Edges {
+				out = taintJoin(out, eval(e.Val))
+			}
+			vals[t] = out
+		case *ir.Call:
+			callee, ok := t.Callee.(*ir.Function)
+			if !ok || callee.External {
+				return
+			}
+			for i, arg := range t.Args {
+				if !eval(arg).tainted {
+					continue
+				}
+				if a.res.SensitiveParams[callee.FName] == nil {
+					a.res.SensitiveParams[callee.FName] = map[int]bool{}
+				}
+				if !a.res.SensitiveParams[callee.FName][i] {
+					a.res.SensitiveParams[callee.FName][i] = true
+					grew = true
+				}
+			}
+		}
+	})
+	return grew
+}

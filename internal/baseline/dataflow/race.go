@@ -1,0 +1,148 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"privagic/internal/ir"
+)
+
+// This file provides a concrete two-thread executor used to demonstrate
+// the Figure 3 failure: the data-flow partition protects the locations the
+// sequential analysis found, then an adversarial interleaving runs and we
+// check whether the secret escaped into an unprotected location.
+
+// concrete is a concrete value in the race simulation: possibly the secret,
+// possibly a pointer to a global.
+type concrete struct {
+	secret bool
+	ptr    string // global name when this value is an address
+	i      int64
+}
+
+// Step is one scheduling quantum: run n instructions of thread tid.
+type Step struct {
+	Thread int
+	N      int
+}
+
+// RaceOutcome reports where the secret ended up.
+type RaceOutcome struct {
+	// SecretIn lists the globals holding the secret after execution.
+	SecretIn []string
+	// Leaked lists globals holding the secret that the analysis left
+	// unprotected — a confidentiality violation.
+	Leaked []string
+}
+
+// SimulateRace executes two straight-line functions under the given
+// interleaving, with the named parameter of thread 0's function bound to
+// the secret. It then compares the secret's resting places against the
+// analysis result. Control flow must be straight-line (the Figure 3
+// functions are).
+func SimulateRace(mod *ir.Module, res *Result, fn0, fn1 string, schedule []Step) (*RaceOutcome, error) {
+	f0 := mod.Func(fn0)
+	f1 := mod.Func(fn1)
+	if f0 == nil || f1 == nil {
+		return nil, fmt.Errorf("dataflow: functions %s/%s not found", fn0, fn1)
+	}
+	threads := []*raceThread{newRaceThread(f0, true), newRaceThread(f1, false)}
+	globals := map[string]concrete{}
+
+	for _, st := range schedule {
+		if st.Thread < 0 || st.Thread >= len(threads) {
+			return nil, fmt.Errorf("dataflow: bad thread %d", st.Thread)
+		}
+		t := threads[st.Thread]
+		for i := 0; i < st.N && !t.done(); i++ {
+			if err := t.step(globals); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Run both to completion.
+	for _, t := range threads {
+		for !t.done() {
+			if err := t.step(globals); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := &RaceOutcome{}
+	for g, v := range globals {
+		if v.secret {
+			out.SecretIn = append(out.SecretIn, g)
+			if !res.IsSensitive(g) {
+				out.Leaked = append(out.Leaked, g)
+			}
+		}
+	}
+	return out, nil
+}
+
+type raceThread struct {
+	instrs []ir.Instr
+	pc     int
+	regs   map[ir.Value]concrete
+}
+
+func newRaceThread(fn *ir.Function, secretParam bool) *raceThread {
+	t := &raceThread{regs: map[ir.Value]concrete{}}
+	fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		t.instrs = append(t.instrs, in)
+	})
+	if secretParam && len(fn.Params) > 0 {
+		t.regs[fn.Params[0]] = concrete{secret: true}
+	}
+	return t
+}
+
+func (t *raceThread) done() bool { return t.pc >= len(t.instrs) }
+
+func (t *raceThread) eval(globals map[string]concrete, v ir.Value) concrete {
+	switch x := v.(type) {
+	case *ir.Global:
+		return concrete{ptr: x.GName}
+	case *ir.ConstInt:
+		return concrete{i: x.V}
+	}
+	return t.regs[v]
+}
+
+// step executes one instruction (loads/stores on globals; everything else
+// propagates taint).
+func (t *raceThread) step(globals map[string]concrete) error {
+	in := t.instrs[t.pc]
+	t.pc++
+	switch x := in.(type) {
+	case *ir.Load:
+		p := t.eval(globals, x.Ptr)
+		if p.ptr == "" {
+			return fmt.Errorf("dataflow: race sim: load through non-global pointer")
+		}
+		t.regs[x] = globals[p.ptr]
+	case *ir.Store:
+		p := t.eval(globals, x.Ptr)
+		if p.ptr == "" {
+			return fmt.Errorf("dataflow: race sim: store through non-global pointer")
+		}
+		globals[p.ptr] = t.eval(globals, x.Val)
+	case *ir.Ret, *ir.Br, *ir.CondBr:
+		t.pc = len(t.instrs) // straight-line only
+	default:
+		if v, ok := in.(ir.Value); ok {
+			var merged concrete
+			for _, op := range in.Ops() {
+				o := t.eval(globals, *op)
+				if o.secret {
+					merged.secret = true
+				}
+				if o.ptr != "" {
+					merged.ptr = o.ptr
+				}
+			}
+			t.regs[v] = merged
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"privagic/internal/datastructs"
+	"privagic/internal/ycsb"
+)
+
+// TestCalibrationSweep grid-searches the two free parameters against the
+// paper's Figure 9 bands (a development aid, skipped in -short runs).
+func TestCalibrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	cfg := DefaultFig9()
+	cfg.Ops = 4000
+	cfg.ListOps = 100
+	type meas struct {
+		tr measured
+	}
+	structs := map[string]meas{}
+	mk := map[string]func(datastructs.Tracer) datastructs.Map{
+		"treemap": func(tr datastructs.Tracer) datastructs.Map { return datastructs.NewRBTree(tr) },
+		"hashmap": func(tr datastructs.Tracer) datastructs.Map { return datastructs.NewHashMap(cfg.Records/4, tr) },
+		"list":    func(tr datastructs.Tracer) datastructs.Map { return datastructs.NewList(tr) },
+	}
+	dist := map[string]ycsb.Distribution{"treemap": ycsb.Uniform, "hashmap": ycsb.Zipfian, "list": ycsb.Zipfian}
+	ops := map[string]int{"treemap": 4000, "hashmap": 4000, "list": 100}
+	for name, f := range mk {
+		c := cfg
+		c.Distribution = dist[name]
+		structs[name] = meas{tr: measureStructure(c, f, ops[name], ycsb.WorkloadC)}
+		t.Logf("%s trace %+v foot %d MiB", name, structs[name].tr.avg, structs[name].tr.footprint>>20)
+	}
+	type band struct{ lo, hi float64 }
+	paperUP := map[string]band{"treemap": {19.5, 26.7}, "hashmap": {3.6, 6.1}, "list": {1.2, 1.7}}
+	paperPI := map[string]band{"treemap": {2.2, 2.7}, "hashmap": {1.6, 2.7}, "list": {1.1, 1.2}}
+	best := 1e18
+	var bestF, bestT, bestM int64
+	for _, fault := range []int64{40000, 60000, 90000, 130000, 180000, 240000} {
+		for _, tlb := range []int64{4000, 6000, 8000, 12000, 16000} {
+			for _, msg := range []int64{800, 1000, 1200} {
+				m := *cfg.Machine
+				m.Cost.EPCPageFault = fault
+				m.Cost.TLBRefill = tlb
+				m.Cost.QueueMessage = msg
+				score := 0.0
+				for name, ms := range structs {
+					u := DataStructureRequest(&m, Unprotected, ms.tr.avg, ms.tr.footprint)
+					p := DataStructureRequest(&m, Privagic1, ms.tr.avg, ms.tr.footprint)
+					i := DataStructureRequest(&m, IntelSDK1, ms.tr.avg, ms.tr.footprint)
+					up := float64(p) / float64(u)
+					pi := float64(i) / float64(p)
+					score += bandErr(up, paperUP[name]) + bandErr(pi, paperPI[name])
+				}
+				if score < best {
+					best, bestF, bestT, bestM = score, fault, tlb, msg
+				}
+			}
+		}
+	}
+	t.Logf("best score %.3f fault=%d tlb=%d msg=%d", best, bestF, bestT, bestM)
+	m := *cfg.Machine
+	m.Cost.EPCPageFault = bestF
+	m.Cost.TLBRefill = bestT
+	m.Cost.QueueMessage = bestM
+	for name, ms := range structs {
+		u := DataStructureRequest(&m, Unprotected, ms.tr.avg, ms.tr.footprint)
+		p := DataStructureRequest(&m, Privagic1, ms.tr.avg, ms.tr.footprint)
+		i := DataStructureRequest(&m, IntelSDK1, ms.tr.avg, ms.tr.footprint)
+		t.Logf("%-8s u/p=%.1f (want %v)  p/i... i/p=%.1f (want %v)  [u=%d p=%d i=%d]",
+			name, float64(p)/float64(u), paperUP[name], float64(i)/float64(p), paperPI[name], u, p, i)
+	}
+}
+
+func bandErr(x float64, b struct{ lo, hi float64 }) float64 {
+	mid := (b.lo + b.hi) / 2
+	switch {
+	case x >= b.lo && x <= b.hi:
+		return 0
+	case x < b.lo:
+		return (b.lo - x) / mid
+	default:
+		return (x - b.hi) / mid
+	}
+}

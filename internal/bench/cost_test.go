@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"testing"
+
+	"privagic/internal/sgx"
+)
+
+func TestWorkCyclesModes(t *testing.T) {
+	m := sgx.MachineA()
+	tr := RequestTrace{Hits: 10, RandMisses: 5, SeqMisses: 20, Pages: 6, ColdPagesRand: 2, MissRatio: 0.5}
+	normal := workCycles(m, tr, false, 0, 0)
+	enclave := workCycles(m, tr, true, 0, 0) // no EPC pressure
+	if enclave <= normal {
+		t.Errorf("enclave work (%d) not dearer than normal (%d)", enclave, normal)
+	}
+	// The dominant delta is the random-miss factor.
+	wantMin := tr.RandMisses * (m.Cost.EnclaveMiss() - m.Cost.LLCMiss)
+	if enclave-normal < wantMin {
+		t.Errorf("enclave delta %d below the miss-factor floor %d", enclave-normal, wantMin)
+	}
+}
+
+func TestEPCPressureOnlyBeyondCapacity(t *testing.T) {
+	m := sgx.MachineA()
+	tr := RequestTrace{RandMisses: 2, Pages: 8, ColdPagesRand: 4, MissRatio: 1}
+	fits := workCycles(m, tr, true, m.EPCBytes/2, m.EPCBytes)
+	over := workCycles(m, tr, true, m.EPCBytes*2, m.EPCBytes)
+	if fits >= over {
+		t.Errorf("EPC paging missing: fits=%d over=%d", fits, over)
+	}
+	if over-fits < m.Cost.EPCPageFault {
+		t.Errorf("paging delta %d below one fault", over-fits)
+	}
+}
+
+func TestMissRatioGatesPaging(t *testing.T) {
+	m := sgx.MachineA()
+	hot := RequestTrace{RandMisses: 1, Pages: 8, ColdPagesRand: 4, MissRatio: 0.05}
+	cold := RequestTrace{RandMisses: 1, Pages: 8, ColdPagesRand: 4, MissRatio: 0.9}
+	h := workCycles(m, hot, true, m.EPCBytes*2, m.EPCBytes)
+	c := workCycles(m, cold, true, m.EPCBytes*2, m.EPCBytes)
+	if h >= c {
+		t.Errorf("zipfian-hot request (%d) should page less than uniform-cold (%d)", h, c)
+	}
+}
+
+func TestSystemOrderings(t *testing.T) {
+	m := sgx.MachineA()
+	tr := RequestTrace{Hits: 10, RandMisses: 3, SeqMisses: 16, Pages: 4, ColdPagesRand: 1, MissRatio: 0.4}
+	foot := int64(1 << 20) // fits the EPC
+	u := DataStructureRequest(m, Unprotected, tr, foot)
+	p1 := DataStructureRequest(m, Privagic1, tr, foot)
+	i1 := DataStructureRequest(m, IntelSDK1, tr, foot)
+	p2 := DataStructureRequest(m, Privagic2, tr, foot)
+	i2 := DataStructureRequest(m, IntelSDK2, tr, foot)
+	if !(u < p1 && p1 < i1) {
+		t.Errorf("ordering u < privagic-1 < intel-1 violated: %d %d %d", u, p1, i1)
+	}
+	if !(p1 < p2 && p2 < i2) {
+		t.Errorf("two colors must cost more: p1=%d p2=%d i2=%d", p1, p2, i2)
+	}
+}
+
+func TestMemcachedOrderings(t *testing.T) {
+	m := sgx.MachineB()
+	tr := RequestTrace{Hits: 20, RandMisses: 2, SeqMisses: 16, Pages: 3, ColdPagesRand: 1, MissRatio: 0.3}
+	u := MemcachedRequest(m, Unprotected, tr, 1<<20)
+	p := MemcachedRequest(m, PrivagicMemcached, tr, 1<<20)
+	s := MemcachedRequest(m, Scone, tr, 1<<20)
+	if !(u < p && p < s) {
+		t.Errorf("ordering unprotected < privagic < scone violated: %d %d %d", u, p, s)
+	}
+	// Scone's penalty is dominated by in-enclave syscalls.
+	if s-p < 5*m.Cost.SyscallFromEnclave {
+		t.Errorf("scone delta %d too small", s-p)
+	}
+}
+
+func TestThroughputCaps(t *testing.T) {
+	m := sgx.MachineB()
+	one := ThroughputOpsPerSec(m, 1000, 1)
+	many := ThroughputOpsPerSec(m, 1000, 6)
+	tooMany := ThroughputOpsPerSec(m, 1000, 1000)
+	if many <= one {
+		t.Error("parallel clients add no throughput")
+	}
+	if tooMany != ThroughputOpsPerSec(m, 1000, m.Cores) {
+		t.Error("parallelism not capped at core count")
+	}
+	if ThroughputOpsPerSec(m, 0, 1) != 0 {
+		t.Error("zero-cost op should yield zero, not infinity")
+	}
+}
+
+func TestCollectorColdPages(t *testing.T) {
+	col := NewCollector(sgx.MachineA(), 1)
+	// Touch the same line repeatedly: all hits after the first, so the
+	// request is hot and ColdPages ~ 0.
+	for i := 0; i < 100; i++ {
+		col.Touch(0x5000, 8)
+	}
+	tr := col.EndRequest()
+	if tr.MissRatio > 0.05 {
+		t.Errorf("hot request miss ratio = %.2f", tr.MissRatio)
+	}
+	if tr.Pages != 1 {
+		t.Errorf("pages = %d, want 1", tr.Pages)
+	}
+	// A cold scatter: every touch a distinct page.
+	for i := 0; i < 64; i++ {
+		col.Touch(uint64(0x100000+i*8192), 8)
+	}
+	tr = col.EndRequest()
+	if tr.MissRatio < 0.9 {
+		t.Errorf("cold request miss ratio = %.2f", tr.MissRatio)
+	}
+	if tr.Pages != 64 || tr.ColdPagesRand < 50 {
+		t.Errorf("cold pages: pages=%d coldRand=%.0f", tr.Pages, tr.ColdPagesRand)
+	}
+}
+
+func TestCollectorStrideDetection(t *testing.T) {
+	col := NewCollector(sgx.MachineA(), 1)
+	// Descending constant stride (the linked-list walk).
+	base := uint64(64 << 20)
+	for i := 0; i < 10000; i++ {
+		col.Touch(base-uint64(i)*1088, 24)
+	}
+	tr := col.EndRequest()
+	if tr.RandMisses > tr.SeqMisses/10+2 {
+		t.Errorf("descending stride classified random: rand=%d seq=%d", tr.RandMisses, tr.SeqMisses)
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	plain := "a\nb\nc\n"
+	colored := "a\nB\nc\nd\n"
+	if got := DiffLines(plain, colored); got != 2 {
+		t.Errorf("DiffLines = %d, want 2 (changed b, added d)", got)
+	}
+	if got := DiffLines(plain, plain); got != 0 {
+		t.Errorf("identical diff = %d", got)
+	}
+}

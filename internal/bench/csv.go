@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCSV emitters let the figures be re-plotted outside Go (gnuplot,
+// matplotlib); cmd/privagic-bench -csv uses them.
+
+// WriteCSV renders Figure 8 as dataset_bytes,system,cycles_per_op,
+// throughput_ops,latency_us,llc_miss_ratio rows.
+func (r *Fig8Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "dataset_bytes,system,cycles_per_op,throughput_ops,latency_us,llc_miss_ratio"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%.1f,%.3f,%.4f\n",
+			row.SizeBytes, row.System, row.CyclesPerOp,
+			row.ThroughputOps, row.LatencyMicros, row.LLCMissRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders Figure 9 as structure,workload,system,cycles_per_op,
+// throughput_ops rows.
+func (r *Fig9Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "structure,workload,system,cycles_per_op,throughput_ops"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%.1f\n",
+			row.Structure, row.Workload, row.System,
+			row.CyclesPerOp, row.ThroughputOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders Figure 10 as system,cycles_per_op,latency_us rows.
+func (r *Fig10Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "system,cycles_per_op,latency_us"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f\n",
+			row.System, row.CyclesPerOp, row.LatencyMicros); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"privagic/internal/sources"
+)
+
+// EffortRow is one ported program's engineering-effort measurement
+// (§9.2.1, §9.3.1: "modified lines of code").
+type EffortRow struct {
+	Program       string
+	ModifiedLines int
+	PaperLines    string // the count the paper reports
+}
+
+// EffortReport collects the engineering-effort comparison.
+type EffortReport struct {
+	Rows []EffortRow
+}
+
+// Effort measures the modified-lines metric on the MiniC corpus: the diff
+// between each unprotected program and its colored port.
+func Effort() *EffortReport {
+	rep := &EffortReport{}
+	cases := []struct {
+		name         string
+		plain, color string
+		paper        string
+	}{
+		{"linked-list (1 color)", sources.ListPlain, sources.ListColored, "<=5"},
+		{"treemap (1 color)", sources.TreemapPlain, sources.TreemapColored, "<=5"},
+		{"hashmap (1 color)", sources.HashmapPlain, sources.HashmapColored1, "5"},
+		{"hashmap (2 colors)", sources.HashmapPlain, sources.HashmapColored2, "6"},
+		{"memcached core", sources.MemcachedCorePlain, sources.MemcachedCoreColored, "9"},
+	}
+	for _, c := range cases {
+		rep.Rows = append(rep.Rows, EffortRow{
+			Program:       c.name,
+			ModifiedLines: DiffLines(c.plain, c.color),
+			PaperLines:    c.paper,
+		})
+	}
+	return rep
+}
+
+// DiffLines counts the lines of the colored version that do not appear in
+// the unprotected version (modifications and additions), the paper's
+// "modified lines of code" metric.
+func DiffLines(plain, colored string) int {
+	have := map[string]int{}
+	for _, l := range strings.Split(plain, "\n") {
+		have[strings.TrimSpace(l)]++
+	}
+	n := 0
+	for _, l := range strings.Split(colored, "\n") {
+		t := strings.TrimSpace(l)
+		if t == "" {
+			continue
+		}
+		if have[t] > 0 {
+			have[t]--
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the table.
+func (r *EffortReport) String() string {
+	var b strings.Builder
+	b.WriteString("Engineering effort — modified lines of code (§9.2.1, §9.3.1)\n")
+	fmt.Fprintf(&b, "%-24s %10s %10s\n", "program", "measured", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %10d %10s\n", row.Program, row.ModifiedLines, row.PaperLines)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"privagic/internal/datastructs"
+	"privagic/internal/sgx"
+	"privagic/internal/ycsb"
+)
+
+// Fig10Config parameterizes the two-color hashmap experiment of §9.3 and
+// Figure 10: keys in one enclave, values in another, relaxed mode, 20 000
+// keys ("for the experiments with two colors, we pre-initialize the map
+// with only 20 000 keys because the runs are much longer").
+type Fig10Config struct {
+	Records   int
+	Ops       int
+	ValueSize int
+	Machine   *sgx.Machine
+}
+
+// DefaultFig10 returns the paper's setup on machine A.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{Records: 20_000, Ops: 20_000, ValueSize: 1024, Machine: sgx.MachineA()}
+}
+
+// Fig10Row is one (system) latency point.
+type Fig10Row struct {
+	System        System
+	CyclesPerOp   int64
+	LatencyMicros float64
+}
+
+// Fig10Report holds the figure.
+type Fig10Report struct {
+	Config Fig10Config
+	Rows   []Fig10Row
+}
+
+// Fig10 reproduces Figure 10: the hashmap with keys and values in two
+// different enclaves, comparing Privagic-2 (relaxed mode, split structure)
+// against Intel-sdk-2 (two EDL enclaves exchanging data through unsafe
+// memory) and Unprotected.
+func Fig10(cfg Fig10Config) *Fig10Report {
+	rep := &Fig10Report{Config: cfg}
+	f9 := Fig9Config{
+		Records: cfg.Records, Ops: cfg.Ops, ValueSize: cfg.ValueSize,
+		Distribution: ycsb.Zipfian, Machine: cfg.Machine,
+	}
+	tr := measureStructure(f9, func(t datastructs.Tracer) datastructs.Map {
+		return datastructs.NewHashMap(cfg.Records/4, t)
+	}, cfg.Ops, ycsb.WorkloadB)
+	for _, sys := range []System{Unprotected, Privagic2, IntelSDK2} {
+		cycles := DataStructureRequest(cfg.Machine, sys, tr.avg, tr.footprint)
+		rep.Rows = append(rep.Rows, Fig10Row{
+			System:        sys,
+			CyclesPerOp:   cycles,
+			LatencyMicros: LatencyMicros(cfg.Machine, cycles),
+		})
+	}
+	return rep
+}
+
+// LatencyRatio returns latency(a)/latency(b).
+func (r *Fig10Report) LatencyRatio(a, b System) float64 {
+	var la, lb float64
+	for _, row := range r.Rows {
+		if row.System == a {
+			la = row.LatencyMicros
+		}
+		if row.System == b {
+			lb = row.LatencyMicros
+		}
+	}
+	if lb == 0 {
+		return 0
+	}
+	return la / lb
+}
+
+// String renders the figure.
+func (r *Fig10Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — hashmap with YCSB (2 colors), %s\n", r.Config.Machine.Name)
+	fmt.Fprintf(&b, "%-12s %12s %10s\n", "system", "cycles/op", "lat(us)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12d %10.2f\n", row.System, row.CyclesPerOp, row.LatencyMicros)
+	}
+	fmt.Fprintf(&b, "intel-sdk-2/privagic-2 latency: %.1fx (paper: 6.4x-9.2x)\n",
+		r.LatencyRatio(IntelSDK2, Privagic2))
+	fmt.Fprintf(&b, "privagic-2/unprotected latency: %.1fx (paper: significant degradation)\n",
+		r.LatencyRatio(Privagic2, Unprotected))
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"privagic/internal/sgx"
+	"privagic/internal/ycsb"
+)
+
+// Fig8Config parameterizes the §9.2 memcached experiment on machine B.
+type Fig8Config struct {
+	Machine *sgx.Machine
+	// Sizes are the dataset sizes in bytes (1 MiB – 32 GiB in Figure 8).
+	Sizes []int64
+	// RecordSize is 1024 B in the paper (§9.2: "a record size of 1024 B").
+	RecordSize int
+	Ops        int
+	// SimRecordCap bounds the simulated record count; larger datasets
+	// are scaled down with the LLC and EPC (working-set self-similarity).
+	SimRecordCap int
+	// Clients models the 6 YCSB clients saturating the worker threads.
+	Clients int
+}
+
+// DefaultFig8 returns the paper's Figure 8 setup.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		Machine:    sgx.MachineB(),
+		RecordSize: 1024,
+		Sizes: []int64{
+			1 << 20, 8 << 20, 64 << 20, 236 << 20,
+			1 << 30, 4 << 30, 16 << 30, 32 << 30,
+		},
+		Ops:          30_000,
+		SimRecordCap: 250_000,
+		Clients:      6,
+	}
+}
+
+// Fig8Row is one (dataset size, system) point of the figure.
+type Fig8Row struct {
+	SizeBytes     int64
+	System        System
+	CyclesPerOp   int64
+	ThroughputOps float64
+	LatencyMicros float64
+	LLCMissRatio  float64
+}
+
+// Fig8Report holds the whole figure.
+type Fig8Report struct {
+	Config Fig8Config
+	Rows   []Fig8Row
+}
+
+// Fig8 reproduces Figure 8: memcached under YCSB over loopback, comparing
+// Unprotected, Scone (full embedding) and Privagic (colored central map),
+// as the dataset grows from 1 MiB to 32 GiB. The central map's access
+// trace comes from a ghost store (the real chained-hash layout with
+// synthetic addresses) replayed through the scaled LLC simulator.
+func Fig8(cfg Fig8Config) *Fig8Report {
+	rep := &Fig8Report{Config: cfg}
+	for _, size := range cfg.Sizes {
+		records := int(size / int64(cfg.RecordSize+48))
+		if records < 64 {
+			records = 64
+		}
+		shrink := int64(1)
+		simRecords := records
+		if records > cfg.SimRecordCap {
+			shrink = int64((records + cfg.SimRecordCap - 1) / cfg.SimRecordCap)
+			simRecords = records / int(shrink)
+		}
+		col := NewCollector(cfg.Machine, shrink)
+		gs := newGhostStore(simRecords/4, col)
+		for i := 0; i < simRecords; i++ {
+			gs.set(uint64(i), int64(cfg.RecordSize))
+			col.EndRequest()
+		}
+		gen, err := ycsb.New(ycsb.Config{
+			Records: simRecords, Mix: ycsb.WorkloadB,
+			Distribution: ycsb.Zipfian, RecordSize: cfg.RecordSize, Seed: 8,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < cfg.Ops/4; i++ {
+			gs.run(gen.Next(), int64(cfg.RecordSize))
+			col.EndRequest()
+		}
+		col.ResetStats()
+		var sum RequestTrace
+		for i := 0; i < cfg.Ops; i++ {
+			gs.run(gen.Next(), int64(cfg.RecordSize))
+			sum.Add(col.EndRequest())
+		}
+		avg := sum.Scale(int64(cfg.Ops))
+
+		scaled := *cfg.Machine
+		scaled.EPCBytes = cfg.Machine.EPCBytes / shrink
+		foot := gs.footprint()
+		for _, sys := range []System{Unprotected, PrivagicMemcached, Scone} {
+			cycles := MemcachedRequest(&scaled, sys, avg, foot)
+			rep.Rows = append(rep.Rows, Fig8Row{
+				SizeBytes:     size,
+				System:        sys,
+				CyclesPerOp:   cycles,
+				ThroughputOps: ThroughputOpsPerSec(cfg.Machine, cycles, cfg.Clients),
+				LatencyMicros: LatencyMicros(cfg.Machine, cycles),
+				LLCMissRatio:  col.MissRatio(),
+			})
+		}
+	}
+	return rep
+}
+
+// ghostStore is the memcached central map with synthetic addresses and no
+// value payloads — the same chained-hash layout the TCP server uses, sized
+// for datasets too large to materialize.
+type ghostStore struct {
+	buckets   []int32 // index into nodes, -1 = empty
+	nodeKey   []uint64
+	nodeNext  []int32
+	nodeAddr  []uint64
+	bucketsAt uint64
+	next      uint64
+	col       *Collector
+	bytes     int64
+}
+
+func newGhostStore(buckets int, col *Collector) *ghostStore {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	g := &ghostStore{
+		buckets:   make([]int32, n),
+		col:       col,
+		bucketsAt: 1 << 20,
+		next:      1<<20 + uint64(n)*8,
+	}
+	for i := range g.buckets {
+		g.buckets[i] = -1
+	}
+	g.bytes = int64(n) * 8
+	return g
+}
+
+func (g *ghostStore) hash(k uint64) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (k >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	return int(h & uint64(len(g.buckets)-1))
+}
+
+func (g *ghostStore) alloc(size int64) uint64 {
+	addr := (g.next + 63) &^ 63
+	g.next = addr + uint64(size)
+	g.bytes += size
+	return addr
+}
+
+func (g *ghostStore) footprint() int64 { return g.bytes }
+
+// set inserts or updates a key, touching the same memory a real store
+// would: bucket slot, chain headers, value bytes.
+func (g *ghostStore) set(k uint64, valSize int64) {
+	b := g.hash(k)
+	g.col.Touch(g.bucketsAt+uint64(b)*8, 8)
+	for idx := g.buckets[b]; idx >= 0; idx = g.nodeNext[idx] {
+		g.col.Touch(g.nodeAddr[idx], 24)
+		if g.nodeKey[idx] == k {
+			g.col.Touch(g.nodeAddr[idx]+24, valSize)
+			return
+		}
+	}
+	addr := g.alloc(24 + valSize)
+	g.nodeKey = append(g.nodeKey, k)
+	g.nodeNext = append(g.nodeNext, g.buckets[b])
+	g.nodeAddr = append(g.nodeAddr, addr)
+	g.buckets[b] = int32(len(g.nodeKey) - 1)
+	g.col.Touch(addr, 24+valSize)
+}
+
+// get probes for a key.
+func (g *ghostStore) get(k uint64, valSize int64) bool {
+	b := g.hash(k)
+	g.col.Touch(g.bucketsAt+uint64(b)*8, 8)
+	for idx := g.buckets[b]; idx >= 0; idx = g.nodeNext[idx] {
+		g.col.Touch(g.nodeAddr[idx], 24)
+		if g.nodeKey[idx] == k {
+			g.col.Touch(g.nodeAddr[idx]+24, valSize)
+			return true
+		}
+	}
+	return false
+}
+
+func (g *ghostStore) run(op ycsb.Op, valSize int64) {
+	switch op.Kind {
+	case ycsb.OpRead:
+		g.get(op.Key, valSize)
+	default:
+		g.set(op.Key, valSize)
+	}
+}
+
+// Ratio returns throughput(a)/throughput(b) at the given dataset size.
+func (r *Fig8Report) Ratio(size int64, a, b System) float64 {
+	var ta, tb float64
+	for _, row := range r.Rows {
+		if row.SizeBytes != size {
+			continue
+		}
+		if row.System == a {
+			ta = row.ThroughputOps
+		}
+		if row.System == b {
+			tb = row.ThroughputOps
+		}
+	}
+	if tb == 0 {
+		return 0
+	}
+	return ta / tb
+}
+
+// String renders the figure.
+func (r *Fig8Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 — memcached with YCSB, %s\n", r.Config.Machine.Name)
+	fmt.Fprintf(&b, "%10s %-12s %12s %14s %10s %9s\n", "dataset", "system", "cycles/op", "kops/s", "lat(us)", "LLCmiss")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10s %-12s %12d %14.1f %10.2f %8.1f%%\n",
+			humanBytes(row.SizeBytes), row.System, row.CyclesPerOp,
+			row.ThroughputOps/1000, row.LatencyMicros, row.LLCMissRatio*100)
+	}
+	small := r.Config.Sizes[0]
+	big := r.Config.Sizes[len(r.Config.Sizes)-1]
+	fmt.Fprintf(&b, "privagic/scone: %.1fx at %s, %.1fx at %s\n",
+		r.Ratio(small, PrivagicMemcached, Scone), humanBytes(small),
+		r.Ratio(big, PrivagicMemcached, Scone), humanBytes(big))
+	fmt.Fprintf(&b, "unprotected/privagic: %.2fx at %s, %.2fx at %s\n",
+		r.Ratio(small, Unprotected, PrivagicMemcached), humanBytes(small),
+		r.Ratio(big, Unprotected, PrivagicMemcached), humanBytes(big))
+	return b.String()
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	default:
+		return fmt.Sprintf("%dMiB", n>>20)
+	}
+}

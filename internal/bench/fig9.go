@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"privagic/internal/datastructs"
+	"privagic/internal/sgx"
+	"privagic/internal/ycsb"
+)
+
+// Fig9Config parameterizes the §9.3 data-structure experiment.
+type Fig9Config struct {
+	Records   int // 100 000 in the paper
+	Ops       int
+	ValueSize int // 1024 B in the paper
+	// Distribution is the key distribution; the paper's analysis
+	// describes a uniform pattern over the treemap (§9.3.2).
+	Distribution ycsb.Distribution
+	Machine      *sgx.Machine
+	// ListOps caps the linked-list run (each op walks ~Records/2 nodes).
+	ListOps int
+}
+
+// DefaultFig9 returns the paper's §9.3 single-color setup on machine A.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Records:      100_000,
+		Ops:          20_000,
+		ValueSize:    1024,
+		Distribution: ycsb.Zipfian,
+		Machine:      sgx.MachineA(),
+		ListOps:      300,
+	}
+}
+
+// Fig9Row is one (structure, workload, system) measurement.
+type Fig9Row struct {
+	Structure     string
+	Workload      string
+	System        System
+	CyclesPerOp   int64
+	ThroughputOps float64
+}
+
+// Fig9Report holds the whole figure.
+type Fig9Report struct {
+	Config Fig9Config
+	Rows   []Fig9Row
+}
+
+// Fig9 reproduces Figure 9: the three data structures under YCSB with one
+// color, comparing Unprotected, Privagic-1 and Intel-sdk-1. Each
+// structure's real implementation is driven with the real workload; its
+// address trace runs through the LLC simulator; the per-system costs come
+// from the calibrated model.
+func Fig9(cfg Fig9Config) *Fig9Report {
+	rep := &Fig9Report{Config: cfg}
+	type mkMap struct {
+		name string
+		make func(tr datastructs.Tracer) datastructs.Map
+		ops  int
+		dist ycsb.Distribution
+	}
+	// Distributions follow the paper's own description of the access
+	// patterns (§9.3.2): uniform over the treemap, zipfian over the
+	// hashmap and the list.
+	structures := []mkMap{
+		{"treemap", func(tr datastructs.Tracer) datastructs.Map { return datastructs.NewRBTree(tr) }, cfg.Ops, ycsb.Uniform},
+		{"hashmap", func(tr datastructs.Tracer) datastructs.Map { return datastructs.NewHashMap(cfg.Records/4, tr) }, cfg.Ops, ycsb.Zipfian},
+		{"list", func(tr datastructs.Tracer) datastructs.Map { return datastructs.NewList(tr) }, cfg.ListOps, ycsb.Zipfian},
+	}
+	workloads := []struct {
+		name string
+		mix  ycsb.Mix
+	}{
+		{"A", ycsb.WorkloadA},
+		{"B", ycsb.WorkloadB},
+		{"C", ycsb.WorkloadC},
+	}
+	for _, st := range structures {
+		for _, wl := range workloads {
+			c := cfg
+			c.Distribution = st.dist
+			tr := measureStructure(c, st.make, st.ops, wl.mix)
+			foot := tr.footprint
+			for _, sys := range []System{Unprotected, Privagic1, IntelSDK1} {
+				cycles := DataStructureRequest(cfg.Machine, sys, tr.avg, foot)
+				rep.Rows = append(rep.Rows, Fig9Row{
+					Structure: st.name, Workload: wl.name, System: sys,
+					CyclesPerOp:   cycles,
+					ThroughputOps: ThroughputOpsPerSec(cfg.Machine, cycles, 1),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+type measured struct {
+	avg       RequestTrace
+	footprint int64
+}
+
+// measureStructure preloads the structure, warms the cache, and replays the
+// workload, returning the average per-request trace.
+func measureStructure(cfg Fig9Config, mk func(datastructs.Tracer) datastructs.Map, ops int, mix ycsb.Mix) measured {
+	col := NewCollector(cfg.Machine, 1)
+	m := mk(col.Touch)
+	val := make([]byte, cfg.ValueSize)
+	if l, isList := m.(*datastructs.List); isList {
+		for i := 0; i < cfg.Records; i++ {
+			l.PushFront(uint64(i), val)
+		}
+	} else {
+		for i := 0; i < cfg.Records; i++ {
+			m.Put(uint64(i), val)
+			col.EndRequest()
+		}
+	}
+	gen, err := ycsb.New(ycsb.Config{
+		Records: cfg.Records, Mix: mix, Distribution: cfg.Distribution,
+		RecordSize: cfg.ValueSize, Seed: 1,
+	})
+	if err != nil {
+		panic(err) // static configs are valid by construction
+	}
+	// Warmup pass so the LLC reaches steady state.
+	warm := ops / 4
+	if warm > 2000 {
+		warm = 2000
+	}
+	for i := 0; i < warm; i++ {
+		runOp(m, gen.Next(), val)
+		col.EndRequest()
+	}
+	col.ResetStats()
+	var sum RequestTrace
+	for i := 0; i < ops; i++ {
+		runOp(m, gen.Next(), val)
+		sum.Add(col.EndRequest())
+	}
+	return measured{avg: sum.Scale(int64(ops)), footprint: m.Footprint()}
+}
+
+func runOp(m datastructs.Map, op ycsb.Op, val []byte) {
+	switch op.Kind {
+	case ycsb.OpRead:
+		m.Get(op.Key)
+	case ycsb.OpUpdate, ycsb.OpInsert:
+		m.Put(op.Key, val)
+	case ycsb.OpReadModifyWrite:
+		m.Get(op.Key)
+		m.Put(op.Key, val)
+	case ycsb.OpScan:
+		for k := op.Key; k < op.Key+uint64(op.ScanLen); k++ {
+			m.Get(k)
+		}
+	}
+}
+
+// Ratio returns throughput(a)/throughput(b) for a structure, aggregated
+// over workloads as a [min,max] band — the form the paper reports ("by 2.2
+// to 2.7 for the treemap").
+func (r *Fig9Report) Ratio(structure string, a, b System) (lo, hi float64) {
+	lo, hi = 1e18, 0
+	by := map[string]map[System]float64{}
+	for _, row := range r.Rows {
+		if row.Structure != structure {
+			continue
+		}
+		if by[row.Workload] == nil {
+			by[row.Workload] = map[System]float64{}
+		}
+		by[row.Workload][row.System] = row.ThroughputOps
+	}
+	for _, m := range by {
+		if m[b] == 0 {
+			continue
+		}
+		ratio := m[a] / m[b]
+		if ratio < lo {
+			lo = ratio
+		}
+		if ratio > hi {
+			hi = ratio
+		}
+	}
+	return lo, hi
+}
+
+// String renders the figure as a table.
+func (r *Fig9Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — data structures with YCSB (1 color), %s\n", r.Config.Machine.Name)
+	fmt.Fprintf(&b, "%-8s %-3s %-12s %14s %14s\n", "struct", "wl", "system", "cycles/op", "ops/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-3s %-12s %14d %14.0f\n",
+			row.Structure, row.Workload, row.System, row.CyclesPerOp, row.ThroughputOps)
+	}
+	for _, st := range []string{"treemap", "hashmap", "list"} {
+		plo, phi := r.Ratio(st, Privagic1, IntelSDK1)
+		ulo, uhi := r.Ratio(st, Unprotected, Privagic1)
+		fmt.Fprintf(&b, "%-8s privagic/intel-sdk: %.1fx-%.1fx   unprotected/privagic: %.1fx-%.1fx\n",
+			st, plo, phi, ulo, uhi)
+	}
+	return b.String()
+}

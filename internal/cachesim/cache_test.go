@@ -1,0 +1,90 @@
+package cachesim
+
+import "testing"
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(1<<20, 8, 64)
+	if m := c.Access(0x1000, 8); m != 1 {
+		t.Fatalf("first access misses = %d, want 1", m)
+	}
+	if m := c.Access(0x1000, 8); m != 0 {
+		t.Fatalf("second access misses = %d, want 0", m)
+	}
+	// Same line, different offset.
+	if m := c.Access(0x1020, 8); m != 0 {
+		t.Fatalf("same-line access misses = %d, want 0", m)
+	}
+	// Next line.
+	if m := c.Access(0x1040, 8); m != 1 {
+		t.Fatalf("next-line access misses = %d, want 1", m)
+	}
+}
+
+func TestSpanningAccess(t *testing.T) {
+	c := New(1<<20, 8, 64)
+	// 1024-byte value spans 16 lines (the paper's record size).
+	if m := c.Access(0x10000, 1024); m != 16 {
+		t.Fatalf("1024B access misses = %d, want 16", m)
+	}
+	if m := c.Access(0x10000, 1024); m != 0 {
+		t.Fatalf("repeat misses = %d, want 0", m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 2-set cache: 4 lines of 64B = 256B total.
+	c := New(256, 2, 64)
+	// Three distinct lines mapping to the same set (stride = 128 = 2
+	// sets * 64).
+	c.Access(0, 1)   // set 0, miss
+	c.Access(128, 1) // set 0, miss
+	c.Access(0, 1)   // hit, refreshes line 0
+	c.Access(256, 1) // set 0, miss, evicts line 128 (LRU)
+	if m := c.Access(0, 1); m != 0 {
+		t.Error("recently used line evicted")
+	}
+	if m := c.Access(128, 1); m != 1 {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestWorkingSetBehaviour(t *testing.T) {
+	// The Figure 8 mechanism: a working set within the LLC barely
+	// misses; one 4x the LLC misses on most accesses.
+	llc := int64(1 << 20)
+	small := New(llc, 16, 64)
+	big := New(llc, 16, 64)
+	// Warm both.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < uint64(llc/2); a += 64 {
+			small.Access(a, 8)
+		}
+		for a := uint64(0); a < uint64(llc*4); a += 64 {
+			big.Access(a, 8)
+		}
+	}
+	small.ResetStats()
+	big.ResetStats()
+	for a := uint64(0); a < uint64(llc/2); a += 64 {
+		small.Access(a, 8)
+	}
+	for a := uint64(0); a < uint64(llc*4); a += 64 {
+		big.Access(a, 8)
+	}
+	if r := small.MissRatio(); r > 0.01 {
+		t.Errorf("in-LLC working set miss ratio = %.3f, want ~0", r)
+	}
+	if r := big.MissRatio(); r < 0.9 {
+		t.Errorf("4x-LLC streaming miss ratio = %.3f, want ~1", r)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(1<<16, 4, 64)
+	c.Access(0, 64)
+	c.Access(0, 64)
+	acc, miss := c.Stats()
+	if acc != 2 || miss != 1 {
+		t.Errorf("Stats = (%d,%d), want (2,1)", acc, miss)
+	}
+}

@@ -1,0 +1,51 @@
+// Package datastructs implements the three classical data structures of
+// the paper's §9.3 evaluation — a linked list, a red-black tree, and a
+// separate-chaining hashmap — used as maps from 8-byte keys to 1024-byte
+// values. Every node carries a synthetic address from a bump allocator and
+// every traversal step reports its memory touches to a Tracer, which is how
+// the cache simulator observes the access patterns that produce Figure 9's
+// ordering (uniform tree walks miss the LLC, zipfian hash probes mostly
+// hit, list scans amortize everything).
+package datastructs
+
+// Tracer observes simulated memory accesses. Nil tracers are allowed.
+type Tracer func(addr uint64, size int64)
+
+// Map is the common key-value interface of the three structures.
+type Map interface {
+	// Get returns the value stored under k.
+	Get(k uint64) ([]byte, bool)
+	// Put inserts or updates k.
+	Put(k uint64, v []byte)
+	// Delete removes k, reporting whether it was present.
+	Delete(k uint64) bool
+	// Len returns the number of entries.
+	Len() int
+	// Footprint returns the allocated bytes (the EPC pressure input).
+	Footprint() int64
+}
+
+// allocator hands out synthetic addresses for the tracer.
+type allocator struct {
+	next  uint64
+	total int64
+}
+
+func newAllocator() *allocator {
+	return &allocator{next: 1 << 20} // leave page zero unmapped
+}
+
+func (a *allocator) alloc(size int64) uint64 {
+	addr := (a.next + 63) &^ 63 // cache-line aligned nodes
+	a.next = addr + uint64(size)
+	a.total += size
+	return addr
+}
+
+func (a *allocator) footprint() int64 { return a.total }
+
+func traceNil(t Tracer, addr uint64, size int64) {
+	if t != nil {
+		t(addr, size)
+	}
+}

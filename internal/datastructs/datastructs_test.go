@@ -1,0 +1,203 @@
+package datastructs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// maps returns one fresh instance of each structure.
+func maps(trace Tracer) map[string]Map {
+	return map[string]Map{
+		"list":    NewList(trace),
+		"rbtree":  NewRBTree(trace),
+		"hashmap": NewHashMap(1024, trace),
+	}
+}
+
+func TestBasicPutGet(t *testing.T) {
+	for name, m := range maps(nil) {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(0); i < 100; i++ {
+				m.Put(i, []byte(fmt.Sprintf("v%d", i)))
+			}
+			if m.Len() != 100 {
+				t.Fatalf("Len = %d, want 100", m.Len())
+			}
+			for i := uint64(0); i < 100; i++ {
+				v, ok := m.Get(i)
+				if !ok || string(v) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("Get(%d) = (%q,%v)", i, v, ok)
+				}
+			}
+			if _, ok := m.Get(1000); ok {
+				t.Error("Get(1000) found a missing key")
+			}
+		})
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	for name, m := range maps(nil) {
+		t.Run(name, func(t *testing.T) {
+			m.Put(7, []byte("a"))
+			m.Put(7, []byte("b"))
+			if m.Len() != 1 {
+				t.Fatalf("Len = %d, want 1 after update", m.Len())
+			}
+			v, _ := m.Get(7)
+			if string(v) != "b" {
+				t.Fatalf("Get = %q, want b", v)
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, m := range maps(nil) {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(0); i < 50; i++ {
+				m.Put(i, []byte{byte(i)})
+			}
+			for i := uint64(0); i < 50; i += 2 {
+				if !m.Delete(i) {
+					t.Fatalf("Delete(%d) = false", i)
+				}
+			}
+			if m.Delete(0) {
+				t.Error("double delete succeeded")
+			}
+			if m.Len() != 25 {
+				t.Fatalf("Len = %d, want 25", m.Len())
+			}
+			for i := uint64(0); i < 50; i++ {
+				_, ok := m.Get(i)
+				if want := i%2 == 1; ok != want {
+					t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAgainstModel is a property test: each structure must behave exactly
+// like Go's built-in map under a random operation sequence.
+func TestAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint8
+	}
+	for name := range maps(nil) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				m := maps(nil)[name]
+				model := map[uint64][]byte{}
+				for _, o := range ops {
+					k := uint64(o.Key % 32)
+					switch o.Kind % 3 {
+					case 0:
+						v := []byte{o.Val}
+						m.Put(k, v)
+						model[k] = v
+					case 1:
+						got, ok := m.Get(k)
+						want, wok := model[k]
+						if ok != wok {
+							return false
+						}
+						if ok && string(got) != string(want) {
+							return false
+						}
+					case 2:
+						_, wok := model[k]
+						if m.Delete(k) != wok {
+							return false
+						}
+						delete(model, k)
+					}
+					if m.Len() != len(model) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRBTreeInvariants checks BST order and the no-red-red property under
+// heavy random insertion, plus logarithmic depth.
+func TestRBTreeInvariants(t *testing.T) {
+	tr := NewRBTree(nil)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		tr.Put(uint64(rng.Int63()), []byte{1})
+		if i%1000 == 0 {
+			if err := tr.validate(); err != nil {
+				t.Fatalf("after %d inserts: %v", i, err)
+			}
+		}
+	}
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A red-black tree of n nodes has depth <= 2*log2(n+1): for 20000
+	// nodes that bound is ~29.
+	if d := tr.Depth(); d > 32 {
+		t.Errorf("depth = %d for 20000 keys; tree unbalanced", d)
+	}
+}
+
+// TestTraceObservesAccessPatterns checks the instrumentation produces the
+// access-count ordering the paper's Figure 9 analysis rests on: list
+// traversals touch far more nodes than tree descents, which touch more
+// than hash probes.
+func TestTraceObservesAccessPatterns(t *testing.T) {
+	counts := map[string]int{}
+	const n = 4096
+	for name := range maps(nil) {
+		var touches int
+		m := maps(func(addr uint64, size int64) { touches++ })[name]
+		for i := uint64(0); i < n; i++ {
+			m.Put(i, make([]byte, 64))
+		}
+		touches = 0
+		for i := uint64(0); i < 200; i++ {
+			m.Get((i * 37) % n)
+		}
+		counts[name] = touches
+	}
+	if !(counts["list"] > counts["rbtree"] && counts["rbtree"] > counts["hashmap"]) {
+		t.Errorf("touch ordering list(%d) > rbtree(%d) > hashmap(%d) violated",
+			counts["list"], counts["rbtree"], counts["hashmap"])
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	for name, m := range maps(nil) {
+		before := m.Footprint()
+		m.Put(1, make([]byte, 1024))
+		if m.Footprint() <= before {
+			t.Errorf("%s: footprint did not grow", name)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	for name, m := range maps(nil) {
+		for i := uint64(0); i < 100_000; i++ {
+			m.Put(i, make([]byte, 8))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Get(uint64(i) % 100_000)
+			}
+		})
+	}
+}

@@ -1,0 +1,255 @@
+package datastructs
+
+// RBTree is the balanced-tree map of §9.3 (the paper's "treemap"). Its
+// uniform pointer-chasing access pattern produces the most LLC misses of
+// the three structures, which is why Figure 9 shows the largest
+// enclave-mode degradation for it.
+type RBTree struct {
+	root  *rbNode
+	size  int
+	alloc *allocator
+	trace Tracer
+}
+
+type rbColor bool
+
+const (
+	rbRed   rbColor = false
+	rbBlack rbColor = true
+)
+
+type rbNode struct {
+	key                 uint64
+	value               []byte
+	left, right, parent *rbNode
+	color               rbColor
+	addr                uint64
+}
+
+// rbNodeHeader is the traced size of a node's control data.
+const rbNodeHeader = 48
+
+// NewRBTree creates an empty tree with an optional access tracer.
+func NewRBTree(trace Tracer) *RBTree {
+	return &RBTree{alloc: newAllocator(), trace: trace}
+}
+
+var _ Map = (*RBTree)(nil)
+
+func (t *RBTree) touch(n *rbNode) {
+	if n != nil {
+		traceNil(t.trace, n.addr, rbNodeHeader)
+	}
+}
+
+// Get descends the tree.
+func (t *RBTree) Get(k uint64) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		t.touch(n)
+		switch {
+		case k < n.key:
+			n = n.left
+		case k > n.key:
+			n = n.right
+		default:
+			traceNil(t.trace, n.addr+rbNodeHeader, int64(len(n.value)))
+			return n.value, true
+		}
+	}
+	return nil, false
+}
+
+// Put inserts or updates, rebalancing per the classic red-black rules.
+func (t *RBTree) Put(k uint64, v []byte) {
+	var parent *rbNode
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		t.touch(parent)
+		switch {
+		case k < parent.key:
+			link = &parent.left
+		case k > parent.key:
+			link = &parent.right
+		default:
+			parent.value = v
+			traceNil(t.trace, parent.addr+rbNodeHeader, int64(len(v)))
+			return
+		}
+	}
+	n := &rbNode{key: k, value: v, parent: parent, color: rbRed,
+		addr: t.alloc.alloc(rbNodeHeader + int64(len(v)))}
+	*link = n
+	t.size++
+	traceNil(t.trace, n.addr, rbNodeHeader+int64(len(v)))
+	t.insertFixup(n)
+}
+
+func (t *RBTree) insertFixup(n *rbNode) {
+	for n.parent != nil && n.parent.color == rbRed {
+		g := n.parent.parent
+		if g == nil {
+			break
+		}
+		if n.parent == g.left {
+			u := g.right
+			if u != nil && u.color == rbRed {
+				n.parent.color, u.color, g.color = rbBlack, rbBlack, rbRed
+				n = g
+				continue
+			}
+			if n == n.parent.right {
+				n = n.parent
+				t.rotateLeft(n)
+			}
+			n.parent.color, g.color = rbBlack, rbRed
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.color == rbRed {
+				n.parent.color, u.color, g.color = rbBlack, rbBlack, rbRed
+				n = g
+				continue
+			}
+			if n == n.parent.left {
+				n = n.parent
+				t.rotateRight(n)
+			}
+			n.parent.color, g.color = rbBlack, rbRed
+			t.rotateLeft(g)
+		}
+	}
+	t.root.color = rbBlack
+}
+
+func (t *RBTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	t.replaceChild(x, y)
+	y.left = x
+	x.parent = y
+}
+
+func (t *RBTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	t.replaceChild(x, y)
+	y.right = x
+	x.parent = y
+}
+
+func (t *RBTree) replaceChild(x, y *rbNode) {
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+}
+
+// Delete removes k using the standard BST delete followed by a
+// simplified rebalance (recoloring walk). The tree stays a valid BST and
+// stays approximately balanced under the YCSB mixes; exact black-height
+// restoration is deliberately traded for clarity, as deletions are <5% of
+// every workload the paper runs.
+func (t *RBTree) Delete(k uint64) bool {
+	n := t.root
+	for n != nil && n.key != k {
+		t.touch(n)
+		if k < n.key {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return false
+	}
+	t.size--
+	// Two children: swap with in-order successor.
+	if n.left != nil && n.right != nil {
+		s := n.right
+		for s.left != nil {
+			t.touch(s)
+			s = s.left
+		}
+		n.key, n.value = s.key, s.value
+		n = s
+	}
+	child := n.left
+	if child == nil {
+		child = n.right
+	}
+	if child != nil {
+		child.parent = n.parent
+		child.color = rbBlack
+	}
+	t.replaceChild(n, child)
+	return true
+}
+
+// Len returns the entry count.
+func (t *RBTree) Len() int { return t.size }
+
+// Footprint returns allocated bytes.
+func (t *RBTree) Footprint() int64 { return t.alloc.footprint() }
+
+// Depth returns the maximum depth (test support).
+func (t *RBTree) Depth() int {
+	var rec func(n *rbNode) int
+	rec = func(n *rbNode) int {
+		if n == nil {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.root)
+}
+
+// validate checks BST order and red-red violations (test support).
+func (t *RBTree) validate() error {
+	return rbValidate(t.root, 0, ^uint64(0), true)
+}
+
+func rbValidate(n *rbNode, lo, hi uint64, loOpen bool) error {
+	if n == nil {
+		return nil
+	}
+	if !loOpen && n.key <= lo {
+		return errOrder
+	}
+	if n.key > hi {
+		return errOrder
+	}
+	if n.color == rbRed && n.parent != nil && n.parent.color == rbRed {
+		return errRedRed
+	}
+	if err := rbValidate(n.left, lo, n.key-1, loOpen); err != nil {
+		return err
+	}
+	return rbValidate(n.right, n.key, hi, false)
+}
+
+var (
+	errOrder  = rbErr("rbtree: BST order violated")
+	errRedRed = rbErr("rbtree: red node with red parent")
+)
+
+type rbErr string
+
+func (e rbErr) Error() string { return string(e) }

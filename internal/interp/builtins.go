@@ -1,0 +1,286 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"privagic/internal/ir"
+	"privagic/internal/partition"
+	"privagic/internal/prt"
+)
+
+// call dispatches a call instruction: runtime intrinsics, direct chunk
+// calls, builtins (the mini-libc of §6.3 plus host I/O), and indirect calls
+// through the interface versions (§6.3).
+func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
+	args := make([]val, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = ip.eval(frame, a)
+	}
+	fn, direct := t.Callee.(*ir.Function)
+	if !direct {
+		// Indirect call: resolve the function-pointer value to an
+		// interface version, conservatively in the untrusted part.
+		idx := ip.eval(frame, t.Callee).i
+		if idx <= 0 || int(idx) > len(ip.ifaceTable) {
+			errf("interp: indirect call through invalid function pointer %d", idx)
+		}
+		return ip.invokeInterface(w, ip.ifaceTable[idx-1], args)
+	}
+	switch fn.FName {
+	case partition.IntrSpawn:
+		chunkID := int(args[0].i)
+		needReply := args[1].i != 0
+		payload := make([]any, 0, 8)
+		ch := ip.Prog.ChunkByID[chunkID]
+		// Rebuild the callee's argument vector: Free args are carried
+		// by the spawn message in parameter order (§7.3.2).
+		fargs := args[2:]
+		fi := 0
+		for range ch.Fn.Params {
+			if fi < len(fargs) {
+				payload = append(payload, fargs[fi])
+				fi++
+			} else {
+				payload = append(payload, val{})
+			}
+		}
+		w.Spawn(ip.Prog.ColorIndex(ch.Color), chunkID, payload, needReply)
+		return val{}
+	case partition.IntrWait:
+		if v, ok := w.Wait(int(args[0].i)).(val); ok {
+			return v
+		}
+		return val{}
+	case partition.IntrJoin:
+		if v, ok := w.Join(int(args[0].i)).(val); ok {
+			return v
+		}
+		return val{}
+	case partition.IntrSend:
+		w.SendCont(int(args[0].i), int(args[1].i), args[2])
+		return val{}
+	}
+	if !fn.External {
+		// Direct call to another chunk on the same worker.
+		return ip.runFn(w, fn, args)
+	}
+	return ip.builtin(w, fn, t, args)
+}
+
+// spawn payload note: the partitioner forwards F args in the order given by
+// CallPlan.FArgIdx; since non-F parameters are never consumed by a spawned
+// chunk, positional padding with zero values is sound. The FArgIdx order is
+// ascending, matching the reconstruction above when all leading params are
+// free; for mixed layouts the values land in the first slots, which is
+// still correct because a spawned chunk's colored params are unused.
+
+// builtin executes an external function natively.
+func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val) val {
+	cost := &ip.RT.Machine.Cost
+	switch fn.FName {
+	case "printf":
+		ip.RT.Meter.ChargeSyscall(cost, w.Mode)
+		ip.print(ip.format(w, args))
+		return iv(0)
+	case "puts":
+		ip.RT.Meter.ChargeSyscall(cost, w.Mode)
+		ip.print(ip.readString(w, uint64(args[0].i)) + "\n")
+		return iv(0)
+	case "exit":
+		panic(runtimeErr{fmt.Errorf("%w: code %d", ErrExit, args[0].i)})
+	case "abort":
+		panic(runtimeErr{fmt.Errorf("program aborted")})
+	case "reveal":
+		// Scalar declassification (§6.4): the identity function,
+		// annotated ignore by the program, whose call site moves the
+		// value out of its enclave under developer responsibility.
+		if len(args) > 0 {
+			return args[0]
+		}
+		return val{}
+	case "classify_key":
+		// Scalar classification of an 8-byte key into the enclave.
+		dst, src := uint64(args[0].i), uint64(args[1].i)
+		var buf [8]byte
+		if err := ip.RT.Space.CheckedLoad(w.Mode, src, buf[:]); err != nil {
+			panic(runtimeErr{err})
+		}
+		if err := ip.RT.Space.CheckedStore(w.Mode, dst, buf[:]); err != nil {
+			panic(runtimeErr{err})
+		}
+		return val{}
+	case "classify", "declassify":
+		// The paper's §6.4 communication idiom: an ignore-annotated
+		// copy across the enclave boundary (classify moves untrusted
+		// bytes in, declassify moves sanctioned results out). The
+		// worker executing it is inside the enclave, so both sides
+		// are accessible; in a real deployment this is where
+		// encryption/attestation would sit.
+		fallthrough
+	case "memcpy", "strncpy":
+		dst, src, n := uint64(args[0].i), uint64(args[1].i), args[2].i
+		buf := make([]byte, n)
+		if err := ip.RT.Space.CheckedLoad(w.Mode, src, buf); err != nil {
+			panic(runtimeErr{err})
+		}
+		if fn.FName == "strncpy" {
+			if i := indexByte(buf, 0); i >= 0 {
+				for j := i; j < len(buf); j++ {
+					buf[j] = 0
+				}
+			}
+		}
+		if err := ip.RT.Space.CheckedStore(w.Mode, dst, buf); err != nil {
+			panic(runtimeErr{err})
+		}
+		if ip.OnAccess != nil {
+			ip.OnAccess(src, n, false, w.Mode)
+			ip.OnAccess(dst, n, true, w.Mode)
+		}
+		return args[0]
+	case "memset":
+		dst, c, n := uint64(args[0].i), byte(args[1].i), args[2].i
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = c
+		}
+		if err := ip.RT.Space.CheckedStore(w.Mode, dst, buf); err != nil {
+			panic(runtimeErr{err})
+		}
+		return args[0]
+	case "strlen":
+		return iv(int64(len(ip.readString(w, uint64(args[0].i)))))
+	case "strcmp", "strncmp":
+		a := ip.readString(w, uint64(args[0].i))
+		b := ip.readString(w, uint64(args[1].i))
+		if fn.FName == "strncmp" {
+			n := int(args[2].i)
+			if len(a) > n {
+				a = a[:n]
+			}
+			if len(b) > n {
+				b = b[:n]
+			}
+		}
+		return iv(int64(strings.Compare(a, b)))
+	case "hash64":
+		// FNV-1a, the classic in-enclave hash helper.
+		p, n := uint64(args[0].i), args[1].i
+		buf := make([]byte, n)
+		if err := ip.RT.Space.CheckedLoad(w.Mode, p, buf); err != nil {
+			panic(runtimeErr{err})
+		}
+		var h uint64 = 14695981039346656037
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+		return iv(int64(h))
+	case "thread_create":
+		idx := args[0].i
+		if idx <= 0 || int(idx) > len(ip.ifaceTable) {
+			errf("interp: thread_create with invalid function pointer %d", idx)
+		}
+		pf := ip.ifaceTable[idx-1]
+		arg := args[1]
+		th := ip.RT.NewThread()
+		ip.threads.Add(1)
+		go func() {
+			defer ip.threads.Done()
+			defer th.Close()
+			defer func() {
+				// A crashed thread must not kill the process;
+				// the error surfaces as missing output.
+				recover() //nolint:errcheck
+			}()
+			ip.invokeInterface(th.Normal(), pf, []val{arg})
+		}()
+		return iv(0)
+	case "thread_join":
+		ip.threads.Wait()
+		return val{}
+	}
+	errf("interp: call to unimplemented external @%s", fn.FName)
+	return val{}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// readString loads a NUL-terminated string (capped at 1 MiB).
+func (ip *Interp) readString(w *prt.Worker, addr uint64) string {
+	if addr == 0 {
+		return ""
+	}
+	var out []byte
+	buf := make([]byte, 64)
+	for len(out) < 1<<20 {
+		if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf); err != nil {
+			panic(runtimeErr{err})
+		}
+		if i := indexByte(buf, 0); i >= 0 {
+			return string(append(out, buf[:i]...))
+		}
+		out = append(out, buf...)
+		addr += uint64(len(buf))
+	}
+	return string(out)
+}
+
+// format implements the printf subset the examples use.
+func (ip *Interp) format(w *prt.Worker, args []val) string {
+	f := ip.readString(w, uint64(args[0].i))
+	var b strings.Builder
+	ai := 1
+	next := func() val {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return val{}
+	}
+	for i := 0; i < len(f); i++ {
+		c := f[i]
+		if c != '%' || i+1 >= len(f) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		// Skip width/length modifiers.
+		for i < len(f) && (f[i] == 'l' || f[i] == '0' || (f[i] >= '1' && f[i] <= '9') || f[i] == '.') {
+			i++
+		}
+		if i >= len(f) {
+			break
+		}
+		switch f[i] {
+		case 'd', 'i', 'u':
+			b.WriteString(strconv.FormatInt(next().i, 10))
+		case 'x':
+			b.WriteString(strconv.FormatInt(next().i, 16))
+		case 'c':
+			b.WriteByte(byte(next().i))
+		case 's':
+			b.WriteString(ip.readString(w, uint64(next().i)))
+		case 'f', 'g', 'e':
+			b.WriteString(strconv.FormatFloat(toF(next()), 'g', -1, 64))
+		case 'p':
+			fmt.Fprintf(&b, "%#x", uint64(next().i))
+		case '%':
+			b.WriteByte('%')
+		default:
+			b.WriteByte('%')
+			b.WriteByte(f[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,464 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"privagic/internal/ir"
+	"privagic/internal/partition"
+	"privagic/internal/prt"
+	"privagic/internal/sgx"
+)
+
+// execChunk is the prt.ChunkExec callback: it runs a chunk body on the
+// worker's goroutine, inside the worker's enclave. Runtime errors in a
+// spawned chunk are recorded and surfaced by the next Call; the worker
+// itself survives (a crashed enclave must not take the process down).
+func (ip *Interp) execChunk(w *prt.Worker, chunkID int, args []any) (result any) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		re, ok := r.(runtimeErr)
+		if !ok {
+			re = runtimeErr{fmt.Errorf("interp: chunk %d panicked: %v", chunkID, r)}
+		}
+		ip.recordErr(re.err)
+		result = val{}
+	}()
+	ch := ip.Prog.ChunkByID[chunkID]
+	vargs := make([]val, len(args))
+	for i, a := range args {
+		if v, ok := a.(val); ok {
+			vargs[i] = v
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(runtimeErr); ok {
+				panic(runtimeErr{fmt.Errorf("in chunk %s: %w", ch.Fn.FName, re.err)})
+			}
+			panic(r)
+		}
+	}()
+	return ip.runFn(w, ch.Fn, vargs)
+}
+
+// runFn interprets one function (a chunk or a helper) with the worker's
+// mode governing every memory access.
+func (ip *Interp) runFn(w *prt.Worker, fn *ir.Function, args []val) val {
+	frame := make(map[ir.Value]val, 16)
+	for i, p := range fn.Params {
+		if i < len(args) {
+			frame[p] = args[i]
+		}
+	}
+	if len(fn.Blocks) == 0 {
+		return val{}
+	}
+	blk := fn.Blocks[0]
+	var prev *ir.Block
+	steps := 0
+	for {
+		steps++
+		if steps > 100_000_000 {
+			errf("interp: instruction budget exceeded in @%s (livelock?)", fn.FName)
+		}
+		// Phase 1: φ-nodes read their inputs simultaneously.
+		var phiVals []val
+		var phis []*ir.Phi
+		for _, in := range blk.Instrs {
+			phi, ok := in.(*ir.Phi)
+			if !ok {
+				break
+			}
+			phis = append(phis, phi)
+			got := false
+			for _, e := range phi.Edges {
+				if e.Pred == prev {
+					phiVals = append(phiVals, ip.eval(frame, e.Val))
+					got = true
+					break
+				}
+			}
+			if !got {
+				phiVals = append(phiVals, val{})
+			}
+		}
+		for i, phi := range phis {
+			frame[phi] = phiVals[i]
+		}
+		// Phase 2: straight-line execution.
+		for _, in := range blk.Instrs[len(phis):] {
+			switch t := in.(type) {
+			case *ir.Ret:
+				if t.Val == nil {
+					return val{}
+				}
+				return ip.eval(frame, t.Val)
+			case *ir.Br:
+				prev, blk = blk, t.Target
+			case *ir.CondBr:
+				c := ip.eval(frame, t.Cond)
+				prev = blk
+				if c.i != 0 {
+					blk = t.Then
+				} else {
+					blk = t.Else
+				}
+			default:
+				ip.step(w, fn, frame, in)
+			}
+		}
+		if term := blk.Terminator(); term == nil {
+			errf("interp: block %%%s of @%s falls through", blk.BName, fn.FName)
+		}
+	}
+}
+
+// eval resolves an operand to a value.
+func (ip *Interp) eval(frame map[ir.Value]val, v ir.Value) val {
+	switch t := v.(type) {
+	case *ir.ConstInt:
+		return iv(t.V)
+	case *ir.ConstFloat:
+		return fv(t.V)
+	case *ir.Null:
+		return iv(0)
+	case *ir.Global:
+		addr, ok := ip.globals[t]
+		if !ok {
+			errf("interp: global %s not allocated", t.Name())
+		}
+		return iv(int64(addr))
+	case *ir.Function:
+		return iv(int64(ip.internFunc(t.FName)))
+	}
+	if x, ok := frame[v]; ok {
+		return x
+	}
+	return val{}
+}
+
+// step executes one non-terminator instruction.
+func (ip *Interp) step(w *prt.Worker, fn *ir.Function, frame map[ir.Value]val, in ir.Instr) {
+	switch t := in.(type) {
+	case *ir.Alloca:
+		region := ip.regionOfColor(resolveAllocColor(t.Color))
+		size := t.Elem.Size()
+		if ly := ip.layoutOf(t.Elem); ly != nil {
+			size = ly.size
+		}
+		off := ip.RT.Space.Region(region).Alloc(size)
+		frame[t] = iv(int64(sgx.EncodePtr(region, off)))
+
+	case *ir.Malloc:
+		frame[t] = ip.doMalloc(w, frame, t)
+
+	case *ir.Free:
+		// The bump allocator does not reclaim; free is a no-op.
+
+	case *ir.Load:
+		addr := uint64(ip.eval(frame, t.Ptr).i)
+		if addr == 0 {
+			errf("interp: nil dereference: %q in @%s", t.String(), fn.FName)
+		}
+		frame[t] = ip.memLoad(w, addr, t.Type())
+
+	case *ir.Store:
+		addr := uint64(ip.eval(frame, t.Ptr).i)
+		if addr == 0 {
+			errf("interp: nil dereference: %q in @%s", t.String(), fn.FName)
+		}
+		ip.memStore(w, addr, ip.eval(frame, t.Val), t.Val.Type())
+
+	case *ir.BinOp:
+		frame[t] = ip.binop(t, ip.eval(frame, t.X), ip.eval(frame, t.Y))
+
+	case *ir.Cmp:
+		frame[t] = ip.cmp(t, ip.eval(frame, t.X), ip.eval(frame, t.Y))
+
+	case *ir.Cast:
+		frame[t] = castVal(ip.eval(frame, t.Val), t.Type())
+
+	case *ir.FieldAddr:
+		frame[t] = ip.fieldAddr(w, frame, t)
+
+	case *ir.IndexAddr:
+		base := ip.eval(frame, t.X).i
+		idx := ip.eval(frame, t.Index).i
+		elem := t.Type().(ir.PointerType).Elem
+		size := elem.Size()
+		if ly := ip.layoutOf(elem); ly != nil {
+			size = ly.size
+		}
+		frame[t] = iv(base + idx*size)
+
+	case *ir.Phi:
+		// Handled at block entry; reaching one here means a malformed
+		// block.
+		errf("interp: φ in straight-line position in @%s", fn.FName)
+
+	case *ir.Call:
+		frame[t] = ip.call(w, frame, t)
+
+	default:
+		errf("interp: unknown instruction %T", in)
+	}
+}
+
+// resolveAllocColor maps an allocation annotation to the region color.
+func resolveAllocColor(c ir.Color) ir.Color {
+	if c.IsEnclave() {
+		return c
+	}
+	return ir.U
+}
+
+// doMalloc allocates heap memory. Multi-color structures get the §7.2
+// treatment: the body goes to unsafe memory and every colored field is
+// allocated out-of-line in its enclave, with the pointer written into the
+// body's slot. Each out-of-line allocation is a runtime service call into
+// the enclave (one message each way).
+func (ip *Interp) doMalloc(w *prt.Worker, frame map[ir.Value]val, t *ir.Malloc) val {
+	count := int64(1)
+	if t.Count != nil {
+		count = ip.eval(frame, t.Count).i
+		if count < 1 {
+			count = 1
+		}
+	}
+	if ly := ip.layoutOf(t.Elem); ly != nil {
+		region := ip.regionOfColor(resolveAllocColor(t.Color))
+		r := ip.RT.Space.Region(region)
+		base := r.Alloc(ly.size * count)
+		for n := int64(0); n < count; n++ {
+			for i, fc := range sortedFieldColors(ly.split) {
+				_ = i
+				fieldIdx, color := fc.idx, fc.color
+				fr := ip.RT.Space.Region(ip.regionOfColor(color))
+				fldOff := fr.Alloc(ly.split.Struct.Fields[fieldIdx].Type.Size())
+				ptr := sgx.EncodePtr(ip.regionOfColor(color), fldOff)
+				var buf [8]byte
+				putInt(buf[:], int64(ptr))
+				r.Store(base+uint64(n*ly.size+ly.offsets[fieldIdx]), buf[:])
+				// Allocation request + reply to the field's enclave.
+				ip.RT.Meter.ChargeMessage(&ip.RT.Machine.Cost)
+				ip.RT.Meter.ChargeMessage(&ip.RT.Machine.Cost)
+			}
+		}
+		return iv(int64(sgx.EncodePtr(region, base)))
+	}
+	region := ip.regionOfColor(resolveAllocColor(t.Color))
+	size := t.Elem.Size() * count
+	off := ip.RT.Space.Region(region).Alloc(size)
+	return iv(int64(sgx.EncodePtr(region, off)))
+}
+
+type fieldColor struct {
+	idx   int
+	color ir.Color
+}
+
+func sortedFieldColors(sp *partition.SplitStruct) []fieldColor {
+	out := make([]fieldColor, 0, len(sp.FieldColors))
+	for i := range sp.Struct.Fields {
+		if c, ok := sp.FieldColors[i]; ok {
+			out = append(out, fieldColor{i, c})
+		}
+	}
+	return out
+}
+
+// fieldAddr computes a field address, following the §7.2 indirection for
+// colored fields of split structures (s->f becomes *(s->ind) style).
+func (ip *Interp) fieldAddr(w *prt.Worker, frame map[ir.Value]val, t *ir.FieldAddr) val {
+	base := uint64(ip.eval(frame, t.X).i)
+	st := t.Struct()
+	if ly := ip.layouts[st.Name]; ly != nil {
+		off := ly.offsets[t.Index]
+		if _, colored := ly.split.FieldColors[t.Index]; colored {
+			if base == 0 {
+				errf("interp: nil dereference: %q (split-field slot load)", t.String())
+			}
+			// Load the out-of-line pointer from the slot.
+			slot := ip.memLoad(w, base+uint64(off), ir.PtrTo(ir.I8))
+			return slot
+		}
+		return iv(int64(base + uint64(off)))
+	}
+	return iv(int64(base + uint64(st.Fields[t.Index].Offset)))
+}
+
+// memLoad performs a mode-checked load.
+func (ip *Interp) memLoad(w *prt.Worker, addr uint64, typ ir.Type) val {
+	size := typ.Size()
+	if size > 8 {
+		errf("interp: aggregate load of %s", typ)
+	}
+	if addr == 0 {
+		errf("interp: nil dereference (load)")
+	}
+	var buf [8]byte
+	if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf[:size]); err != nil {
+		panic(runtimeErr{err})
+	}
+	if ip.OnAccess != nil {
+		ip.OnAccess(addr, size, false, w.Mode)
+	}
+	if ft, ok := typ.(ir.FloatType); ok {
+		_ = ft
+		return fv(math.Float64frombits(uint64(getInt(buf[:8]))))
+	}
+	return iv(getInt(buf[:size]))
+}
+
+// memStore performs a mode-checked store.
+func (ip *Interp) memStore(w *prt.Worker, addr uint64, v val, typ ir.Type) {
+	size := typ.Size()
+	if size > 8 {
+		errf("interp: aggregate store of %s", typ)
+	}
+	if addr == 0 {
+		errf("interp: nil dereference (store)")
+	}
+	var buf [8]byte
+	if _, ok := typ.(ir.FloatType); ok {
+		putInt(buf[:8], int64(math.Float64bits(v.f)))
+		size = 8
+	} else {
+		putInt(buf[:size], v.i)
+	}
+	if err := ip.RT.Space.CheckedStore(w.Mode, addr, buf[:size]); err != nil {
+		panic(runtimeErr{err})
+	}
+	if ip.OnAccess != nil {
+		ip.OnAccess(addr, size, true, w.Mode)
+	}
+}
+
+func (ip *Interp) binop(t *ir.BinOp, x, y val) val {
+	if x.fl || y.fl {
+		a, b := toF(x), toF(y)
+		switch t.Op {
+		case ir.OpAdd:
+			return fv(a + b)
+		case ir.OpSub:
+			return fv(a - b)
+		case ir.OpMul:
+			return fv(a * b)
+		case ir.OpDiv:
+			return fv(a / b)
+		}
+		errf("interp: float %s unsupported", t.Op)
+	}
+	a, b := x.i, y.i
+	switch t.Op {
+	case ir.OpAdd:
+		return iv(a + b)
+	case ir.OpSub:
+		return iv(a - b)
+	case ir.OpMul:
+		return iv(a * b)
+	case ir.OpDiv:
+		if b == 0 {
+			errf("interp: integer division by zero")
+		}
+		return iv(a / b)
+	case ir.OpRem:
+		if b == 0 {
+			errf("interp: integer remainder by zero")
+		}
+		return iv(a % b)
+	case ir.OpAnd:
+		return iv(a & b)
+	case ir.OpOr:
+		return iv(a | b)
+	case ir.OpXor:
+		return iv(a ^ b)
+	case ir.OpShl:
+		return iv(a << uint64(b&63))
+	case ir.OpShr:
+		return iv(a >> uint64(b&63))
+	}
+	errf("interp: unknown binop %v", t.Op)
+	return val{}
+}
+
+func (ip *Interp) cmp(t *ir.Cmp, x, y val) val {
+	var r bool
+	if x.fl || y.fl {
+		a, b := toF(x), toF(y)
+		switch t.Pred {
+		case ir.CmpEq:
+			r = a == b
+		case ir.CmpNe:
+			r = a != b
+		case ir.CmpLt:
+			r = a < b
+		case ir.CmpLe:
+			r = a <= b
+		case ir.CmpGt:
+			r = a > b
+		case ir.CmpGe:
+			r = a >= b
+		}
+	} else {
+		a, b := x.i, y.i
+		switch t.Pred {
+		case ir.CmpEq:
+			r = a == b
+		case ir.CmpNe:
+			r = a != b
+		case ir.CmpLt:
+			r = a < b
+		case ir.CmpLe:
+			r = a <= b
+		case ir.CmpGt:
+			r = a > b
+		case ir.CmpGe:
+			r = a >= b
+		}
+	}
+	if r {
+		return iv(1)
+	}
+	return iv(0)
+}
+
+func toF(v val) float64 {
+	if v.fl {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// castVal converts a value to a target type.
+func castVal(v val, to ir.Type) val {
+	switch tt := to.(type) {
+	case ir.IntType:
+		x := v.i
+		if v.fl {
+			x = int64(v.f)
+		}
+		switch tt.Bits {
+		case 1:
+			return iv(x & 1)
+		case 8:
+			return iv(int64(int8(x)))
+		case 32:
+			return iv(int64(int32(x)))
+		default:
+			return iv(x)
+		}
+	case ir.FloatType:
+		if v.fl {
+			return v
+		}
+		return fv(float64(v.i))
+	default:
+		// Pointer and function casts preserve the word.
+		return iv(v.i)
+	}
+}

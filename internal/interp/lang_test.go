@@ -1,0 +1,152 @@
+package interp
+
+import (
+	"testing"
+
+	"privagic/internal/typing"
+)
+
+// runMain compiles a colorless program and runs main, expecting a value.
+func runMain(t *testing.T, src string, want int64) {
+	t.Helper()
+	ip := build(t, typing.Relaxed, src, "main")
+	got, err := ip.Call("main")
+	if err != nil {
+		t.Fatalf("main: %v", err)
+	}
+	if got != want {
+		t.Errorf("main() = %d, want %d", got, want)
+	}
+}
+
+// TestLanguageSemantics pins down MiniC semantics end to end through the
+// whole pipeline (frontend, SSA, typing, partitioning, execution).
+func TestLanguageSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"arith", `entry long main() { return (7 + 3) * 2 - 6 / 2; }`, 17},
+		{"precedence", `entry long main() { return 2 + 3 * 4; }`, 14},
+		{"rem", `entry long main() { return 17 % 5; }`, 2},
+		{"neg", `entry long main() { return -5 + 3; }`, -2},
+		{"bitops", `entry long main() { return (12 & 10) | (1 << 4) ^ 3; }`, 27},
+		{"shift", `entry long main() { return 1 << 10 >> 2; }`, 256},
+		{"bitnot", `entry long main() { return ~0 + 2; }`, 1},
+		{"cmpchain", `entry long main() { return (3 < 5) + (5 <= 5) + (7 > 9) + (2 != 2); }`, 2},
+		{"logand", `entry long main() { long a = 0; return (a && (1/a)) + 5; }`, 5}, // short circuit avoids div by 0
+		{"logor", `entry long main() { long a = 1; return (a || (1/0*0)) + 5; }`, 6},
+		{"not", `entry long main() { return !0 + !7; }`, 1},
+		{"ternaryless", `entry long main() { long r; if (3 > 2) r = 10; else r = 20; return r; }`, 10},
+		{"whileloop", `entry long main() { long s = 0; long i = 0; while (i < 10) { s += i; i++; } return s; }`, 45},
+		{"forbreak", `entry long main() { long s = 0; for (long i = 0; i < 100; i++) { if (i == 5) break; s += i; } return s; }`, 10},
+		{"forcontinue", `entry long main() { long s = 0; for (long i = 0; i < 6; i++) { if (i % 2) continue; s += i; } return s; }`, 6},
+		{"nestedloop", `entry long main() { long s = 0; for (long i = 0; i < 3; i++) for (long j = 0; j < 3; j++) s += i * j; return s; }`, 9},
+		{"incdec", `entry long main() { long x = 5; long a = x++; long b = ++x; long c = x--; return a * 100 + b * 10 + c - x; }`, 571},
+		{"compound", `entry long main() { long x = 10; x += 5; x -= 3; return x; }`, 12},
+		{"charmath", `entry long main() { char c = 'A'; return c + 2; }`, 67},
+		{"sizeofint", `entry long main() { return sizeof(long) + sizeof(char); }`, 9},
+		{"sizeofptr", `entry long main() { return sizeof(long*); }`, 8},
+		{"cast", `entry long main() { double d = 3.9; return (long)d; }`, 3},
+		{"floatarith", `entry long main() { double d = 1.5; d = d * 4.0; return (long)d; }`, 6},
+		{"ptrarith", `
+long arr[8];
+entry long main() {
+	long* p = arr;
+	for (long i = 0; i < 8; i++) arr[i] = i * i;
+	p = p + 3;
+	return *p + p[1];
+}`, 25},
+		{"addrderef", `
+entry long main() {
+	long x = 41;
+	long* p = &x;
+	*p = *p + 1;
+	return x;
+}`, 42},
+		{"globals", `
+long g1 = 100;
+long g2 = -40;
+entry long main() { return g1 + g2; }`, 60},
+		{"recursion", `
+long gcd(long a, long b) { if (b == 0) return a; return gcd(b, a % b); }
+entry long main() { return gcd(48, 36); }`, 12},
+		{"mutualrec", `
+long is_odd(long n);
+long is_even(long n) { if (n == 0) return 1; return is_odd(n - 1); }
+long is_odd(long n) { if (n == 0) return 0; return is_even(n - 1); }
+entry long main() { return is_even(10) * 10 + is_odd(7); }`, 11},
+		{"structs", `
+struct point { long x; long y; };
+entry long main() {
+	struct point* p = malloc(sizeof(struct point));
+	p->x = 3;
+	p->y = 4;
+	return p->x * p->x + p->y * p->y;
+}`, 25},
+		{"structarray", `
+struct pair { long a; long b; };
+struct pair table[4];
+entry long main() {
+	for (long i = 0; i < 4; i++) { table[i].a = i; table[i].b = i * 10; }
+	return table[2].a + table[3].b;
+}`, 32},
+		{"linkedheap", `
+struct node { long v; struct node* next; };
+entry long main() {
+	struct node* head = 0;
+	for (long i = 1; i <= 4; i++) {
+		struct node* n = malloc(sizeof(struct node));
+		n->v = i;
+		n->next = head;
+		head = n;
+	}
+	long s = 0;
+	while (head != 0) { s = s * 10 + head->v; head = head->next; }
+	return s;
+}`, 4321},
+		{"strings", `
+entry long main() {
+	char buf[16];
+	strncpy(buf, "hola", 16);
+	return strlen(buf) + (strcmp(buf, "hola") == 0) * 10;
+}`, 14},
+		{"memset", `
+entry long main() {
+	char buf[8];
+	memset(buf, 7, 8);
+	long s = 0;
+	for (long i = 0; i < 8; i++) s += buf[i];
+	return s;
+}`, 56},
+		{"hash", `
+entry long main() {
+	char a[4]; char b[4];
+	memset(a, 3, 4); memset(b, 3, 4);
+	return hash64(a, 4) == hash64(b, 4);
+}`, 1},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) { runMain(t, c.src, c.want) })
+	}
+}
+
+// TestDivisionByZeroSurfaces checks runtime errors surface as errors.
+func TestDivisionByZeroSurfaces(t *testing.T) {
+	ip := build(t, typing.Relaxed, `entry long main() { long z = 0; return 5 / z; }`, "main")
+	if _, err := ip.Call("main"); err == nil {
+		t.Error("division by zero did not error")
+	}
+}
+
+// TestNilDerefSurfaces checks nil dereferences surface as errors.
+func TestNilDerefSurfaces(t *testing.T) {
+	ip := build(t, typing.Relaxed, `
+struct node { long v; struct node* next; };
+entry long main() { struct node* n = 0; return n->v; }`, "main")
+	if _, err := ip.Call("main"); err == nil {
+		t.Error("nil dereference did not error")
+	}
+}

@@ -1,0 +1,235 @@
+package ir
+
+import "fmt"
+
+// Builder emits instructions at the end of a current block. It is the
+// construction API used by the MiniC lowering and by tests.
+type Builder struct {
+	Func *Function
+	Cur  *Block
+	pos  Pos
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block of f.
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{Func: f}
+	b.Cur = f.NewBlock("entry")
+	return b
+}
+
+// At moves the builder to the end of block blk.
+func (b *Builder) At(blk *Block) *Builder {
+	b.Cur = blk
+	return b
+}
+
+// SetPos sets the source position attached to subsequently built
+// instructions.
+func (b *Builder) SetPos(p Pos) { b.pos = p }
+
+// Pos returns the current source position.
+func (b *Builder) Pos() Pos { return b.pos }
+
+func (b *Builder) emit(in Instr) {
+	if b.Cur.Terminator() != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in block %s", in, b.Cur.BName))
+	}
+	b.Cur.Append(in)
+}
+
+// Alloca emits a stack allocation of elem with an optional color.
+func (b *Builder) Alloca(elem Type, color Color) *Alloca {
+	in := &Alloca{Elem: elem, Color: color}
+	in.name, in.typ, in.pos = b.Func.regName(), PtrToColored(elem, color), b.pos
+	b.emit(in)
+	return in
+}
+
+// Malloc emits a heap allocation. count may be nil for one element.
+func (b *Builder) Malloc(elem Type, color Color, count Value) *Malloc {
+	in := &Malloc{Elem: elem, Color: color, Count: count}
+	in.name, in.typ, in.pos = b.Func.regName(), PtrToColored(elem, color), b.pos
+	b.emit(in)
+	return in
+}
+
+// Free emits a heap release.
+func (b *Builder) Free(ptr Value) *Free {
+	in := &Free{Ptr: ptr}
+	in.pos = b.pos
+	b.emit(in)
+	return in
+}
+
+// Load emits a read through ptr.
+func (b *Builder) Load(ptr Value) *Load {
+	pt, ok := ptr.Type().(PointerType)
+	if !ok {
+		panic(fmt.Sprintf("ir: load of non-pointer %s: %s", ptr.Name(), ptr.Type()))
+	}
+	in := &Load{Ptr: ptr}
+	in.name, in.typ, in.pos = b.Func.regName(), pt.Elem, b.pos
+	b.emit(in)
+	return in
+}
+
+// Store emits a write of val through ptr.
+func (b *Builder) Store(val, ptr Value) *Store {
+	if _, ok := ptr.Type().(PointerType); !ok {
+		panic(fmt.Sprintf("ir: store to non-pointer %s: %s", ptr.Name(), ptr.Type()))
+	}
+	in := &Store{Val: val, Ptr: ptr}
+	in.pos = b.pos
+	b.emit(in)
+	return in
+}
+
+// BinOp emits x op y.
+func (b *Builder) BinOp(op BinOpKind, x, y Value) *BinOp {
+	in := &BinOp{Op: op, X: x, Y: y}
+	in.name, in.typ, in.pos = b.Func.regName(), x.Type(), b.pos
+	b.emit(in)
+	return in
+}
+
+// Cmp emits a comparison producing an i1.
+func (b *Builder) Cmp(pred CmpPred, x, y Value) *Cmp {
+	in := &Cmp{Pred: pred, X: x, Y: y}
+	in.name, in.typ, in.pos = b.Func.regName(), I1, b.pos
+	b.emit(in)
+	return in
+}
+
+// Cast emits a conversion of val to the given type.
+func (b *Builder) Cast(val Value, to Type) *Cast {
+	in := &Cast{Val: val}
+	in.name, in.typ, in.pos = b.Func.regName(), to, b.pos
+	b.emit(in)
+	return in
+}
+
+// FieldAddr emits the address of struct field index through base x.
+// The result's pointee color is the field's annotation when present,
+// otherwise the color of the enclosing object.
+func (b *Builder) FieldAddr(x Value, index int) *FieldAddr {
+	pt, ok := x.Type().(PointerType)
+	if !ok {
+		panic(fmt.Sprintf("ir: fieldaddr of non-pointer %s", x.Type()))
+	}
+	st, ok := pt.Elem.(*StructType)
+	if !ok {
+		panic(fmt.Sprintf("ir: fieldaddr of non-struct %s", pt.Elem))
+	}
+	if index < 0 || index >= len(st.Fields) {
+		panic(fmt.Sprintf("ir: fieldaddr index %d out of range for %s", index, st.Name))
+	}
+	fld := st.Fields[index]
+	color := fld.Color
+	if color.IsNone() {
+		color = pt.Color
+	}
+	in := &FieldAddr{X: x, Index: index}
+	in.name, in.typ, in.pos = b.Func.regName(), PtrToColored(fld.Type, color), b.pos
+	b.emit(in)
+	return in
+}
+
+// IndexAddr emits the address of element idx of the buffer at x. The base
+// may be a pointer to an array (yielding an element pointer) or a raw
+// element pointer (pointer arithmetic).
+func (b *Builder) IndexAddr(x Value, idx Value) *IndexAddr {
+	pt, ok := x.Type().(PointerType)
+	if !ok {
+		panic(fmt.Sprintf("ir: indexaddr of non-pointer %s", x.Type()))
+	}
+	elem := pt.Elem
+	if arr, ok := elem.(ArrayType); ok {
+		elem = arr.Elem
+	}
+	in := &IndexAddr{X: x, Index: idx}
+	in.name, in.typ, in.pos = b.Func.regName(), PtrToColored(elem, pt.Color), b.pos
+	b.emit(in)
+	return in
+}
+
+// Call emits a direct or indirect call.
+func (b *Builder) Call(callee Value, args ...Value) *Call {
+	var sig FuncType
+	switch c := callee.(type) {
+	case *Function:
+		sig = c.Signature()
+	default:
+		ft, ok := callee.Type().(FuncType)
+		if !ok {
+			pt, okp := callee.Type().(PointerType)
+			if okp {
+				ft, ok = pt.Elem.(FuncType)
+			}
+			if !ok {
+				panic(fmt.Sprintf("ir: call of non-function %s", callee.Type()))
+			}
+		}
+		sig = ft
+	}
+	in := &Call{Callee: callee, Args: args}
+	in.typ, in.pos = sig.Ret, b.pos
+	if _, isVoid := sig.Ret.(VoidType); !isVoid {
+		in.name = b.Func.regName()
+	} else {
+		in.name = "void" + b.Func.regName()
+	}
+	b.emit(in)
+	return in
+}
+
+// Ret emits a return (val may be nil).
+func (b *Builder) Ret(val Value) *Ret {
+	in := &Ret{Val: val}
+	in.pos = b.pos
+	b.emit(in)
+	return in
+}
+
+// Br emits an unconditional jump.
+func (b *Builder) Br(target *Block) *Br {
+	in := &Br{Target: target}
+	in.pos = b.pos
+	b.emit(in)
+	return in
+}
+
+// CondBr emits a conditional jump.
+func (b *Builder) CondBr(cond Value, then, els *Block) *CondBr {
+	in := &CondBr{Cond: cond, Then: then, Else: els}
+	in.pos = b.pos
+	b.emit(in)
+	return in
+}
+
+// NewPhi creates a detached φ-node of the given type with a fresh register
+// name; passes install it with Block.PrependPhis.
+func NewPhi(f *Function, typ Type) *Phi {
+	p := &Phi{}
+	p.name, p.typ = f.regName(), typ
+	return p
+}
+
+// PrependPhis installs φ-nodes at the head of the block.
+func (b *Block) PrependPhis(phis []*Phi) {
+	pre := make([]Instr, 0, len(phis)+len(b.Instrs))
+	for _, p := range phis {
+		p.setParent(b)
+		pre = append(pre, p)
+	}
+	b.Instrs = append(pre, b.Instrs...)
+}
+
+// Phi emits an empty φ-node of the given type at the start of the current
+// block; callers fill Edges afterwards.
+func (b *Builder) Phi(typ Type) *Phi {
+	in := &Phi{}
+	in.name, in.typ, in.pos = b.Func.regName(), typ, b.pos
+	in.setParent(b.Cur)
+	b.Cur.Instrs = append([]Instr{in}, b.Cur.Instrs...)
+	return in
+}

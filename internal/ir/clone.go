@@ -1,0 +1,127 @@
+package ir
+
+import "fmt"
+
+// CloneFunction deep-copies f under a new name, returning the copy and the
+// value mapping from original to clone. The clone shares struct types and
+// references to globals and other functions (which are module-level values)
+// but owns fresh params, blocks and instructions. It is the basis of the
+// per-call-site function specialization of paper §6.2 and of chunk
+// generation in the partitioner (§7.3.1).
+func CloneFunction(f *Function, newName string) (*Function, map[Value]Value) {
+	nf := &Function{
+		FName:    newName,
+		RetTyp:   f.RetTyp,
+		Module:   f.Module,
+		Pos:      f.Pos,
+		External: f.External,
+		Within:   f.Within,
+		Ignore:   f.Ignore,
+		Entry:    f.Entry,
+		Static:   f.Static,
+		RetColor: f.RetColor,
+		Variadic: f.Variadic,
+		nextReg:  f.nextReg,
+	}
+	vmap := make(map[Value]Value)
+	for _, p := range f.Params {
+		np := &Param{PName: p.PName, Typ: p.Typ, Color: p.Color, Index: p.Index, Pos: p.Pos}
+		nf.Params = append(nf.Params, np)
+		vmap[p] = np
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{BName: b.BName, Func: nf}
+		nf.Blocks = append(nf.Blocks, nb)
+		bmap[b] = nb
+	}
+	// First pass: clone instructions so result registers exist in vmap.
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := cloneInstr(in)
+			nb.Append(ni)
+			if v, ok := in.(Value); ok {
+				vmap[v] = ni.(Value)
+			}
+		}
+	}
+	// Second pass: rewrite operands and block references.
+	for _, nb := range nf.Blocks {
+		for _, in := range nb.Instrs {
+			for _, op := range in.Ops() {
+				if nv, ok := vmap[*op]; ok {
+					*op = nv
+				}
+			}
+			switch t := in.(type) {
+			case *Br:
+				t.Target = bmap[t.Target]
+			case *CondBr:
+				t.Then = bmap[t.Then]
+				t.Else = bmap[t.Else]
+			case *Phi:
+				for i := range t.Edges {
+					t.Edges[i].Pred = bmap[t.Edges[i].Pred]
+				}
+			}
+		}
+	}
+	nf.ComputeCFG()
+	return nf, vmap
+}
+
+// cloneInstr shallow-copies a single instruction (operands still point at
+// the original values; CloneFunction's second pass rewrites them).
+func cloneInstr(in Instr) Instr {
+	switch t := in.(type) {
+	case *Alloca:
+		c := *t
+		return &c
+	case *Malloc:
+		c := *t
+		return &c
+	case *Free:
+		c := *t
+		return &c
+	case *Load:
+		c := *t
+		return &c
+	case *Store:
+		c := *t
+		return &c
+	case *BinOp:
+		c := *t
+		return &c
+	case *Cmp:
+		c := *t
+		return &c
+	case *Cast:
+		c := *t
+		return &c
+	case *FieldAddr:
+		c := *t
+		return &c
+	case *IndexAddr:
+		c := *t
+		return &c
+	case *Call:
+		c := *t
+		c.Args = append([]Value(nil), t.Args...)
+		return &c
+	case *Ret:
+		c := *t
+		return &c
+	case *Br:
+		c := *t
+		return &c
+	case *CondBr:
+		c := *t
+		return &c
+	case *Phi:
+		c := *t
+		c.Edges = append([]PhiEdge(nil), t.Edges...)
+		return &c
+	}
+	panic(fmt.Sprintf("ir: cloneInstr: unknown instruction %T", in))
+}

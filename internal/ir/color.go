@@ -1,0 +1,91 @@
+// Package ir defines the SSA intermediate representation that Privagic
+// analyzes and partitions.
+//
+// The IR is modeled on the subset of LLVM IR that the paper manipulates: an
+// abstract machine with memory and an infinite number of typed virtual
+// registers in single-static-assignment form. Instructions consume registers
+// and produce at most one new register, so "an instruction and its output
+// register are equivalent" (paper §2.2). Memory is reached only through
+// load and store; locals are created with alloca, heap objects with malloc,
+// and globals with module-level definitions.
+//
+// The one extension over plain LLVM IR is the secure-typing metadata: every
+// memory location (global, alloca, malloc site, struct field) and every
+// function parameter may carry a Color, the enclave identifier introduced in
+// paper §1.
+package ir
+
+// ColorKind discriminates the four classes of colors in the secure type
+// system (paper Table 2).
+type ColorKind int
+
+// Color kinds. Free is given to uncolored registers and instructions and is
+// compatible with everything; Untrusted and Shared are the two colors of
+// unsafe memory (hardened and relaxed mode respectively); Named colors are
+// developer-chosen enclave identifiers such as "blue".
+const (
+	KindFree ColorKind = iota + 1
+	KindUntrusted
+	KindShared
+	KindNamed
+)
+
+// Color identifies the enclave a value or memory location belongs to.
+// The zero value is "no color annotation", which the analysis resolves to an
+// initial color according to Table 2 of the paper.
+type Color struct {
+	Kind ColorKind
+	Name string // set only for KindNamed
+}
+
+// Predefined colors.
+var (
+	// None is the absence of an annotation; the analysis assigns an
+	// initial color per Table 2.
+	None = Color{}
+	// F (free) is the color of uncolored registers and instructions; it
+	// is compatible with any other color and is resolved by inference.
+	F = Color{Kind: KindFree}
+	// U (untrusted) is the color of unsafe memory in hardened mode.
+	U = Color{Kind: KindUntrusted}
+	// S (shared) is the color of unsafe memory in relaxed mode. Loading
+	// from S produces an F register.
+	S = Color{Kind: KindShared}
+)
+
+// Named returns the developer-visible enclave color with the given
+// identifier, e.g. Named("blue").
+func Named(name string) Color { return Color{Kind: KindNamed, Name: name} }
+
+// IsNone reports whether the color is the absence of an annotation.
+func (c Color) IsNone() bool { return c.Kind == 0 }
+
+// IsFree reports whether the color is F.
+func (c Color) IsFree() bool { return c.Kind == KindFree }
+
+// IsEnclave reports whether the color names a real enclave (a named color).
+// U and S denote unsafe memory and F denotes "not yet bound".
+func (c Color) IsEnclave() bool { return c.Kind == KindNamed }
+
+// String returns the display form of the color.
+func (c Color) String() string {
+	switch c.Kind {
+	case 0:
+		return "<none>"
+	case KindFree:
+		return "F"
+	case KindUntrusted:
+		return "U"
+	case KindShared:
+		return "S"
+	default:
+		return c.Name
+	}
+}
+
+// Compatible reports whether two colors are compatible per paper §6.1:
+// colors are compatible when they are equal or when either is F.
+// (S's special load behaviour is handled by the typing rules, not here.)
+func Compatible(a, b Color) bool {
+	return a == b || a.IsFree() || b.IsFree()
+}

@@ -1,0 +1,104 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleIR = `
+; module sample
+%node = { color(blue) i64 key, color(blue) [64 x i8] value, color(blue) %node color(blue)* next }
+@head = global %node color(blue)* color(blue)
+@counter = global i64
+@.str1 = global [6 x i8] "hello\x00"
+declare i64 @printf(i8* %a0) within variadic
+define i64 @sum(i64 %n) entry {
+entry1:
+  br %head2
+head2:
+  %acc = phi [0, %entry1], [%acc2, %body3]
+  %i = phi [0, %entry1], [%i2, %body3]
+  %c = cmp lt %i, %n
+  condbr %c, %body3, %exit4
+body3:
+  %acc2 = add %acc, %i
+  %i2 = add %i, 1
+  br %head2
+exit4:
+  ret %acc
+}
+`
+
+func TestParseModule(t *testing.T) {
+	mod, err := ParseModule("sample", sampleIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mod.Struct("node")
+	if st == nil || len(st.Fields) != 3 {
+		t.Fatal("struct node not parsed")
+	}
+	if st.Fields[0].Color != Named("blue") {
+		t.Errorf("key color = %v", st.Fields[0].Color)
+	}
+	// Self-referential pointer field.
+	pt, ok := st.Fields[2].Type.(PointerType)
+	if !ok || pt.Elem != Type(st) || pt.Color != Named("blue") {
+		t.Errorf("next field type = %v", st.Fields[2].Type)
+	}
+	g := mod.Global("head")
+	if g == nil || g.Color != Named("blue") {
+		t.Fatalf("head global wrong: %+v", g)
+	}
+	if s := mod.Global(".str1"); s == nil || string(s.InitBytes) != "hello\x00" {
+		t.Errorf("string global wrong")
+	}
+	pf := mod.Func("printf")
+	if pf == nil || !pf.External || !pf.Within || !pf.Variadic {
+		t.Errorf("printf attrs wrong: %+v", pf)
+	}
+	fn := mod.Func("sum")
+	if fn == nil || !fn.Entry || len(fn.Blocks) != 4 {
+		t.Fatalf("sum wrong")
+	}
+	if err := VerifyFunc(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParsePrintRoundTrip checks print -> parse -> print is a fixpoint.
+func TestParsePrintRoundTrip(t *testing.T) {
+	mod, err := ParseModule("sample", sampleIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := mod.String()
+	mod2, err := ParseModule("sample", printed)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n--- printed ---\n%s", err, printed)
+	}
+	printed2 := mod2.String()
+	if printed != printed2 {
+		t.Errorf("round trip not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"badtype", "@g = global wible\n", "unknown type"},
+		{"badinstr", "define void @f() {\nentry:\n  frobnicate %x\n}\n", "unknown instruction"},
+		{"undefreg", "define void @f() {\nentry:\n  store %nope, @g\n}\n", "undefined"},
+		{"nolabel", "define void @f() {\n  ret void\n}\n", "before first block"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseModule("e", c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q missing %q", err, c.frag)
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String prints the whole module in a readable LLVM-like syntax.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	for _, s := range m.Structs {
+		b.WriteString(s.Describe())
+		b.WriteString("\n")
+	}
+	for _, g := range m.Globals {
+		c := ""
+		if !g.Color.IsNone() {
+			c = fmt.Sprintf(" color(%s)", g.Color)
+		}
+		if g.InitBytes != nil {
+			fmt.Fprintf(&b, "%s = global %s%s %q\n", g.Name(), g.Elem, c, string(g.InitBytes))
+		} else {
+			fmt.Fprintf(&b, "%s = global %s%s\n", g.Name(), g.Elem, c)
+		}
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String2())
+	}
+	return b.String()
+}
+
+// String2 prints a function definition or declaration. (The name String is
+// taken by the Value interface, which prints "@name".)
+func (f *Function) String2() string {
+	var b strings.Builder
+	attrs := ""
+	if f.Within {
+		attrs += " within"
+	}
+	if f.Ignore {
+		attrs += " ignore"
+	}
+	if f.Entry {
+		attrs += " entry"
+	}
+	if f.Variadic {
+		attrs += " variadic"
+	}
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		c := ""
+		if !p.Color.IsNone() {
+			c = fmt.Sprintf(" color(%s)", p.Color)
+		}
+		params[i] = fmt.Sprintf("%s%s %s", p.Typ, c, p.Name())
+	}
+	if f.External {
+		fmt.Fprintf(&b, "declare %s @%s(%s)%s\n", f.RetTyp, f.FName, strings.Join(params, ", "), attrs)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "define %s @%s(%s)%s {\n", f.RetTyp, f.FName, strings.Join(params, ", "), attrs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.BName)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

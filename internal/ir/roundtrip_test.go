@@ -1,0 +1,73 @@
+package ir_test
+
+import (
+	"testing"
+
+	"privagic/internal/ir"
+	"privagic/internal/minic"
+	"privagic/internal/passes"
+	"privagic/internal/sources"
+	"privagic/internal/typing"
+)
+
+// TestCorpusRoundTrip compiles every MiniC corpus program, prints its IR,
+// re-parses it, and checks the secure type system reaches the same verdict
+// and enclave colors on the re-parsed module — the print/parse path is a
+// faithful serialization of everything the analysis consumes.
+func TestCorpusRoundTrip(t *testing.T) {
+	programs := map[string]string{
+		"list-plain":       sources.ListPlain,
+		"list-colored":     sources.ListColored,
+		"treemap-colored":  sources.TreemapColored,
+		"hashmap-colored1": sources.HashmapColored1,
+		"hashmap-colored2": sources.HashmapColored2,
+		"memcached":        sources.MemcachedCoreColored,
+	}
+	for name, src := range programs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			mod, err := minic.Compile(name+".c", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			passes.RunAll(mod)
+			printed := mod.String()
+			mod2, err := ir.ParseModule(name, printed)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			mode := typing.Hardened
+			if name == "hashmap-colored2" {
+				mode = typing.Relaxed
+			}
+			a1 := typing.Analyze(mod, typing.Options{Mode: mode, Entries: []string{"run_ycsb"}})
+			a2 := typing.Analyze(mod2, typing.Options{Mode: mode, Entries: []string{"run_ycsb"}})
+			if (a1.Err() == nil) != (a2.Err() == nil) {
+				t.Fatalf("verdicts differ: original %v, reparsed %v", a1.Err(), a2.Err())
+			}
+			if len(a1.Colors) != len(a2.Colors) {
+				t.Fatalf("colors differ: %v vs %v", a1.Colors, a2.Colors)
+			}
+			for i := range a1.Colors {
+				if a1.Colors[i] != a2.Colors[i] {
+					t.Errorf("color %d differs: %v vs %v", i, a1.Colors[i], a2.Colors[i])
+				}
+			}
+			// Same specialization structure.
+			if len(a1.Specs) != len(a2.Specs) {
+				t.Errorf("spec counts differ: %d vs %d", len(a1.Specs), len(a2.Specs))
+			}
+			for k, s1 := range a1.Specs {
+				s2 := a2.Specs[k]
+				if s2 == nil {
+					t.Errorf("spec %s missing after round trip", k)
+					continue
+				}
+				c1, c2 := s1.ColorSet(), s2.ColorSet()
+				if len(c1) != len(c2) {
+					t.Errorf("%s color sets differ: %v vs %v", k, c1, c2)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package memcached
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client is a minimal text-protocol client, enough for the YCSB load
+// injector of §9.2 (6 clients × 6 threads over loopback).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("memcached: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close quits and closes the connection.
+func (c *Client) Close() {
+	fmt.Fprint(c.w, "quit\r\n")
+	_ = c.w.Flush()
+	_ = c.conn.Close()
+}
+
+// Set stores a value.
+func (c *Client) Set(key string, value []byte, flags uint32) error {
+	fmt.Fprintf(c.w, "set %s %d 0 %d\r\n", key, flags, len(value))
+	_, _ = c.w.Write(value)
+	fmt.Fprint(c.w, "\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "STORED") {
+		return fmt.Errorf("memcached: set: %s", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// Get fetches a value; ok is false on miss.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	fmt.Fprintf(c.w, "get %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "END" {
+		return nil, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "VALUE" {
+		return nil, false, fmt.Errorf("memcached: get: unexpected %q", line)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, n+2)
+	if _, err := readFull(c.r, buf); err != nil {
+		return nil, false, err
+	}
+	end, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	if !strings.HasPrefix(end, "END") {
+		return nil, false, fmt.Errorf("memcached: get: missing END, got %q", end)
+	}
+	return buf[:n], true, nil
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key string) (bool, error) {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	return strings.HasPrefix(line, "DELETED"), nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (map[string]int64, error) {
+	fmt.Fprint(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "STAT" {
+			v, _ := strconv.ParseInt(fields[2], 10, 64)
+			out[fields[1]] = v
+		}
+	}
+}

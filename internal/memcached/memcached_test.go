@@ -1,0 +1,194 @@
+package memcached
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStoreBasic(t *testing.T) {
+	s := NewStore(1024, 0)
+	s.Set("k", []byte("v"), 7)
+	v, flags, ok := s.Get("k")
+	if !ok || string(v) != "v" || flags != 7 {
+		t.Fatalf("Get = (%q,%d,%v)", v, flags, ok)
+	}
+	if _, _, ok := s.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if !s.Delete("k") || s.Delete("k") {
+		t.Error("delete semantics wrong")
+	}
+}
+
+func TestStoreReplace(t *testing.T) {
+	s := NewStore(16, 0)
+	s.Set("k", []byte("aaaa"), 0)
+	s.Set("k", []byte("bb"), 0)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if s.Bytes() != int64(len("k")+len("bb")) {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity for ~3 items of 10 bytes (key 2 + value 8).
+	s := NewStore(16, 30)
+	for i := 0; i < 5; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte("12345678"), 0)
+	}
+	if s.Bytes() > 30 {
+		t.Errorf("Bytes = %d exceeds capacity", s.Bytes())
+	}
+	// The oldest keys must be gone, the newest present.
+	if _, _, ok := s.Get("k0"); ok {
+		t.Error("k0 survived eviction")
+	}
+	if _, _, ok := s.Get("k4"); !ok {
+		t.Error("k4 evicted despite being newest")
+	}
+	_, _, ev := s.Stats()
+	if ev == 0 {
+		t.Error("no evictions counted")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s := NewStore(16, 30)
+	s.Set("a1", []byte("12345678"), 0)
+	s.Set("b1", []byte("12345678"), 0)
+	s.Set("c1", []byte("12345678"), 0)
+	s.Get("a1") // refresh a1
+	s.Set("d1", []byte("12345678"), 0)
+	if _, _, ok := s.Get("a1"); !ok {
+		t.Error("recently used a1 evicted")
+	}
+	if _, _, ok := s.Get("b1"); ok {
+		t.Error("LRU b1 not evicted")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(4096, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				s.Set(key, []byte{byte(w)}, 0)
+				s.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Errorf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestServerProtocol(t *testing.T) {
+	store := NewStore(1024, 0)
+	srv, err := NewServer("127.0.0.1:0", store, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Set("user:1", []byte("alice"), 42); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, ok, err := c.Get("user:1")
+	if err != nil || !ok || string(v) != "alice" {
+		t.Fatalf("Get = (%q,%v,%v)", v, ok, err)
+	}
+	if _, ok, _ := c.Get("nope"); ok {
+		t.Error("missing key returned a value")
+	}
+	del, err := c.Delete("user:1")
+	if err != nil || !del {
+		t.Fatalf("Delete = (%v,%v)", del, err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["get_hits"] != 1 || stats["get_misses"] != 1 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	store := NewStore(4096, 0)
+	srv, err := NewServer("127.0.0.1:0", store, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients, opsEach = 6, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cid := 0; cid < clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("c%d-k%d", cid, i)
+				if err := c.Set(key, []byte("payload"), 0); err != nil {
+					errs <- err
+					return
+				}
+				if v, ok, err := c.Get(key); err != nil || !ok || string(v) != "payload" {
+					errs <- fmt.Errorf("get %s = (%q,%v,%v)", key, v, ok, err)
+					return
+				}
+			}
+		}(cid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if store.Len() != clients*opsEach {
+		t.Errorf("Len = %d, want %d", store.Len(), clients*opsEach)
+	}
+}
+
+func TestBinarySafeValues(t *testing.T) {
+	store := NewStore(64, 0)
+	srv, err := NewServer("127.0.0.1:0", store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := []byte("line1\r\nline2\x00\xffend")
+	if err := c.Set("bin", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("bin")
+	if err != nil || !ok || string(v) != string(data) {
+		t.Fatalf("binary roundtrip failed: %q vs %q", v, data)
+	}
+}

@@ -1,0 +1,136 @@
+package memcached
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// rawClient sends raw protocol lines for robustness testing.
+type rawClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return &rawClient{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *rawClient) send(t *testing.T, s string) string {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(s)); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", NewStore(256, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProtocolUnknownCommand(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "frobnicate\r\n"); got != "ERROR" {
+		t.Errorf("unknown command -> %q, want ERROR", got)
+	}
+	// The connection survives.
+	if got := c.send(t, "version\r\n"); !strings.HasPrefix(got, "VERSION") {
+		t.Errorf("version after error -> %q", got)
+	}
+}
+
+func TestProtocolMalformedSet(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "set onlykey\r\n"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("short set -> %q", got)
+	}
+	if got := c.send(t, "set k 0 0 notanumber\r\n"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("bad byte count -> %q", got)
+	}
+	if got := c.send(t, "set k 0 0 -5\r\n"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("negative byte count -> %q", got)
+	}
+	// Oversized values are rejected before reading the body.
+	if got := c.send(t, fmt.Sprintf("set k 0 0 %d\r\n", 1<<30)); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("giant value -> %q", got)
+	}
+}
+
+func TestProtocolMultiGet(t *testing.T) {
+	srv := newTestServer(t)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if err := cl.Set(fmt.Sprintf("k%d", i), []byte{byte('a' + i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dialRaw(t, srv.Addr())
+	if _, err := c.conn.Write([]byte("get k0 k1 missing k2\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	var values int
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			break
+		}
+		if strings.HasPrefix(line, "VALUE ") {
+			values++
+			// Consume the data block.
+			if _, err := c.r.ReadString('\n'); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if values != 3 {
+		t.Errorf("multi-get returned %d values, want 3", values)
+	}
+}
+
+func TestProtocolEmptyAndWhitespaceLines(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	// Empty lines are ignored; the next real command answers.
+	if got := c.send(t, "\r\n\r\nversion\r\n"); !strings.HasPrefix(got, "VERSION") {
+		t.Errorf("after empty lines -> %q", got)
+	}
+}
+
+func TestProtocolQuitClosesCleanly(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	if _, err := c.conn.Write([]byte("quit\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Error("connection still open after quit")
+	}
+}

@@ -1,0 +1,178 @@
+package memcached
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server speaks the memcached text protocol over TCP. Connections are
+// dispatched to a fixed pool of worker goroutines, mirroring the paper's
+// configuration ("a worker thread, a network listener thread, and some
+// miscellaneous background threads", §9.2).
+type Server struct {
+	store    *Store
+	listener net.Listener
+	workers  int
+
+	conns chan net.Conn
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
+func NewServer(addr string, store *Store, workers int) (*Server, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("memcached: listen: %w", err)
+	}
+	s := &Server{store: store, listener: ln, workers: workers, conns: make(chan net.Conn)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and waits for workers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.listener.Close()
+	close(s.conns)
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			_ = conn.Close()
+			return
+		}
+		s.conns <- conn
+	}
+}
+
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for conn := range s.conns {
+		s.serve(conn)
+	}
+}
+
+// serve handles one connection until quit or EOF.
+func (s *Server) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "get", "gets":
+			s.handleGet(w, fields[1:])
+		case "set":
+			if !s.handleSet(r, w, fields[1:]) {
+				return
+			}
+		case "delete":
+			if len(fields) >= 2 && s.store.Delete(fields[1]) {
+				fmt.Fprint(w, "DELETED\r\n")
+			} else {
+				fmt.Fprint(w, "NOT_FOUND\r\n")
+			}
+		case "stats":
+			hits, misses, evictions := s.store.Stats()
+			fmt.Fprintf(w, "STAT get_hits %d\r\nSTAT get_misses %d\r\nSTAT evictions %d\r\nSTAT curr_items %d\r\nEND\r\n",
+				hits, misses, evictions, s.store.Len())
+		case "version":
+			fmt.Fprint(w, "VERSION privagic-mini-1.6.12\r\n")
+		case "quit":
+			_ = w.Flush()
+			return
+		default:
+			fmt.Fprint(w, "ERROR\r\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleGet(w *bufio.Writer, keys []string) {
+	for _, key := range keys {
+		if v, flags, ok := s.store.Get(key); ok {
+			fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(v))
+			_, _ = w.Write(v)
+			fmt.Fprint(w, "\r\n")
+		}
+	}
+	fmt.Fprint(w, "END\r\n")
+}
+
+// handleSet parses "set <key> <flags> <exptime> <bytes>" plus the data
+// block; returns false on a connection-fatal error.
+func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args []string) bool {
+	if len(args) < 4 {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return true
+	}
+	flags, _ := strconv.ParseUint(args[1], 10, 32)
+	n, err := strconv.Atoi(args[3])
+	if err != nil || n < 0 || n > 8<<20 {
+		fmt.Fprint(w, "CLIENT_ERROR bad data chunk\r\n")
+		return true
+	}
+	data := make([]byte, n+2)
+	if _, err := readFull(r, data); err != nil {
+		return false
+	}
+	s.store.Set(args[0], data[:n], uint32(flags))
+	fmt.Fprint(w, "STORED\r\n")
+	return true
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

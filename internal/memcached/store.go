@@ -1,0 +1,216 @@
+// Package memcached is a miniature memcached (§9.2's macro-application):
+// an in-memory key-value cache with the text protocol over TCP, multiple
+// worker threads, a central chained hash table, and LRU eviction. It is
+// the workload substrate of the Figure 8 experiment and of the
+// memcachedkv example; the cost models of internal/bench replay its
+// access patterns on the simulated SGX machine.
+package memcached
+
+import (
+	"sync"
+)
+
+// Item is one cache entry.
+type Item struct {
+	Key   string
+	Value []byte
+	Flags uint32
+
+	next       *Item // hash chain
+	lruPrev    *Item
+	lruNext    *Item
+	bucketHint uint64
+}
+
+// Store is the central map of memcached: a chained hash table guarded by a
+// lock, plus an LRU list bounded by a byte capacity — the data structure
+// Privagic colors in the paper ("coloring the central map of memcached",
+// §9.2).
+type Store struct {
+	mu       sync.Mutex
+	buckets  []*Item
+	mask     uint64
+	size     int
+	bytes    int64
+	capacity int64
+	lruHead  *Item // most recently used
+	lruTail  *Item // least recently used
+
+	hits, misses, evictions uint64
+	// OnAccess observes the simulated memory footprint of each
+	// operation (fed to the cache model by the benchmarks); may be nil.
+	OnAccess func(chainLen int, valueBytes int)
+}
+
+// NewStore creates a store with the given bucket count (power of two) and
+// byte capacity (0 = unbounded).
+func NewStore(buckets int, capacity int64) *Store {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	return &Store{buckets: make([]*Item, n), mask: uint64(n - 1), capacity: capacity}
+}
+
+func hashKey(k string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, uint32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	chain := 0
+	for it := s.buckets[b]; it != nil; it = it.next {
+		chain++
+		if it.Key == key {
+			s.hits++
+			s.lruTouch(it)
+			if s.OnAccess != nil {
+				s.OnAccess(chain, len(it.Value))
+			}
+			out := make([]byte, len(it.Value))
+			copy(out, it.Value)
+			return out, it.Flags, true
+		}
+	}
+	s.misses++
+	if s.OnAccess != nil {
+		s.OnAccess(chain, 0)
+	}
+	return nil, 0, false
+}
+
+// Set inserts or replaces key.
+func (s *Store) Set(key string, value []byte, flags uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	chain := 0
+	for it := s.buckets[b]; it != nil; it = it.next {
+		chain++
+		if it.Key == key {
+			s.bytes += int64(len(value)) - int64(len(it.Value))
+			it.Value = value
+			it.Flags = flags
+			s.lruTouch(it)
+			s.evictIfNeeded()
+			if s.OnAccess != nil {
+				s.OnAccess(chain, len(value))
+			}
+			return
+		}
+	}
+	it := &Item{Key: key, Value: value, Flags: flags, bucketHint: b}
+	it.next = s.buckets[b]
+	s.buckets[b] = it
+	s.size++
+	s.bytes += int64(len(key) + len(value))
+	s.lruPush(it)
+	s.evictIfNeeded()
+	if s.OnAccess != nil {
+		s.OnAccess(chain+1, len(value))
+	}
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	for p := &s.buckets[b]; *p != nil; p = &(*p).next {
+		if (*p).Key == key {
+			it := *p
+			*p = it.next
+			s.size--
+			s.bytes -= int64(len(it.Key) + len(it.Value))
+			s.lruRemove(it)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the item count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Bytes returns the stored payload bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats returns hit/miss/eviction counters.
+func (s *Store) Stats() (hits, misses, evictions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions
+}
+
+// lruPush inserts at the head (most recent).
+func (s *Store) lruPush(it *Item) {
+	it.lruPrev = nil
+	it.lruNext = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.lruPrev = it
+	}
+	s.lruHead = it
+	if s.lruTail == nil {
+		s.lruTail = it
+	}
+}
+
+func (s *Store) lruRemove(it *Item) {
+	if it.lruPrev != nil {
+		it.lruPrev.lruNext = it.lruNext
+	} else {
+		s.lruHead = it.lruNext
+	}
+	if it.lruNext != nil {
+		it.lruNext.lruPrev = it.lruPrev
+	} else {
+		s.lruTail = it.lruPrev
+	}
+	it.lruPrev, it.lruNext = nil, nil
+}
+
+func (s *Store) lruTouch(it *Item) {
+	if s.lruHead == it {
+		return
+	}
+	s.lruRemove(it)
+	s.lruPush(it)
+}
+
+// evictIfNeeded drops least-recently-used items until under capacity (the
+// background LRU maintenance of memcached's threads, folded in-line).
+func (s *Store) evictIfNeeded() {
+	if s.capacity <= 0 {
+		return
+	}
+	for s.bytes > s.capacity && s.lruTail != nil {
+		victim := s.lruTail
+		s.evictions++
+		b := victim.bucketHint
+		for p := &s.buckets[b]; *p != nil; p = &(*p).next {
+			if *p == victim {
+				*p = victim.next
+				break
+			}
+		}
+		s.size--
+		s.bytes -= int64(len(victim.Key) + len(victim.Value))
+		s.lruRemove(victim)
+	}
+}

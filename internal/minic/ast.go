@@ -1,0 +1,301 @@
+package minic
+
+import "privagic/internal/ir"
+
+// Node is the base of all AST nodes.
+type Node interface {
+	NodePos() Pos
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// NodePos returns p itself so embedding Pos satisfies Node.
+func (p Pos) NodePos() Pos { return p }
+
+// IR converts the position to an IR position.
+func (p Pos) IR() ir.Pos { return ir.Pos{File: p.File, Line: p.Line, Col: p.Col} }
+
+// BaseKind enumerates primitive base types.
+type BaseKind int
+
+// Base type kinds.
+const (
+	BaseInt BaseKind = iota + 1 // 64-bit int
+	BaseLong
+	BaseChar
+	BaseDouble
+	BaseVoid
+	BaseStruct
+)
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface{ Node }
+
+// BaseType is a primitive or struct type, optionally colored: the paper's
+// "char color(blue)" in Figure 1.
+type BaseType struct {
+	Pos
+	Kind       BaseKind
+	StructName string
+	Color      ir.Color
+}
+
+// PtrType is a pointer declarator; Color is a qualifier placed after the
+// '*', coloring the pointer variable's own memory location.
+type PtrType struct {
+	Pos
+	Elem  TypeExpr
+	Color ir.Color
+}
+
+// ArrType is an array declarator.
+type ArrType struct {
+	Pos
+	Elem TypeExpr
+	Len  int64
+}
+
+// FuncPtrType is a function-pointer declarator "ret (*name)(params)".
+type FuncPtrType struct {
+	Pos
+	Ret    TypeExpr
+	Params []TypeExpr
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ Node }
+
+// StructDecl declares a named struct with (possibly colored) fields.
+type StructDecl struct {
+	Pos
+	Name   string
+	Fields []*VarDecl
+}
+
+// VarDecl declares a variable (global, local, field, or parameter).
+type VarDecl struct {
+	Pos
+	Name string
+	Type TypeExpr
+	Init Expr // optional initializer
+}
+
+// FuncAttr carries the paper's function annotations.
+type FuncAttr struct {
+	Entry  bool // explicit entry point (§6.2)
+	Within bool // callable inside enclaves, mini-libc style (§6.3)
+	Ignore bool // communication function for classify/declassify (§6.4)
+	Extern bool // declaration only
+	Static bool // not an entry point candidate
+}
+
+// FuncDecl declares or defines a function.
+type FuncDecl struct {
+	Pos
+	Attr     FuncAttr
+	Ret      TypeExpr
+	Name     string
+	Params   []*VarDecl
+	Variadic bool
+	Body     *BlockStmt // nil for declarations
+}
+
+// Stmt is a statement.
+type Stmt interface{ Node }
+
+// BlockStmt is "{ ... }".
+type BlockStmt struct {
+	Pos
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	Pos
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Pos
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // optional
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos
+	Val Expr // optional
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos }
+
+// Expr is an expression.
+type Expr interface{ Node }
+
+// Ident names a variable or function.
+type Ident struct {
+	Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos
+	V int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Pos
+	V float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos
+	V string
+}
+
+// NullLit is the NULL constant.
+type NullLit struct{ Pos }
+
+// UnaryOp enumerates prefix operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnNeg    UnaryOp = iota + 1 // -x
+	UnNot                       // !x
+	UnBitNot                    // ~x
+	UnDeref                     // *x
+	UnAddr                      // &x
+)
+
+// Unary is a prefix operation.
+type Unary struct {
+	Pos
+	Op UnaryOp
+	X  Expr
+}
+
+// BinOp enumerates infix operators.
+type BinOp int
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota + 1
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinLAnd
+	BinLOr
+)
+
+// Binary is an infix operation.
+type Binary struct {
+	Pos
+	Op   BinOp
+	X, Y Expr
+}
+
+// Assign is "lhs = rhs" (Op 0) or a compound assignment (Op BinAdd/BinSub).
+type Assign struct {
+	Pos
+	Op  BinOp // 0 for plain '='
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++x, --x, x++, or x--.
+type IncDec struct {
+	Pos
+	X    Expr
+	Dec  bool
+	Post bool
+}
+
+// CallExpr invokes a function or function pointer.
+type CallExpr struct {
+	Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// IndexExpr is "x[i]".
+type IndexExpr struct {
+	Pos
+	X Expr
+	I Expr
+}
+
+// FieldExpr is "x.f" or "x->f".
+type FieldExpr struct {
+	Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is "(type)x".
+type CastExpr struct {
+	Pos
+	Type TypeExpr
+	X    Expr
+}
+
+// SizeofExpr is "sizeof(type)".
+type SizeofExpr struct {
+	Pos
+	Type TypeExpr
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}

@@ -1,0 +1,339 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer for the given file name and source.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	tok := func(k TokKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return tok(TokEOF, ""), nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentStart(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return tok(k, text), nil
+		}
+		return tok(TokIdent, text), nil
+
+	case isDigit(c):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) && (isDigit(l.peek()) || l.peek() == '.' || l.peek() == 'x' ||
+			(l.peek() >= 'a' && l.peek() <= 'f') || (l.peek() >= 'A' && l.peek() <= 'F')) {
+			if l.peek() == '.' {
+				isFloat = true
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Token{}, l.errf(line, col, "bad float literal %q", text)
+			}
+			t := tok(TokFloat, text)
+			t.Flt = v
+			return t, nil
+		}
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			uv, uerr := strconv.ParseUint(text, 0, 64)
+			if uerr != nil {
+				return Token{}, l.errf(line, col, "bad integer literal %q", text)
+			}
+			v = int64(uv)
+		}
+		t := tok(TokInt, text)
+		t.Int = v
+		return t, nil
+
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf(line, col, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				e, err := l.escape(line, col)
+				if err != nil {
+					return Token{}, err
+				}
+				b.WriteByte(e)
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return tok(TokString, b.String()), nil
+
+	case c == '\'':
+		l.advance()
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf(line, col, "unterminated char literal")
+		}
+		var v byte
+		ch := l.advance()
+		if ch == '\\' {
+			e, err := l.escape(line, col)
+			if err != nil {
+				return Token{}, err
+			}
+			v = e
+		} else {
+			v = ch
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return Token{}, l.errf(line, col, "unterminated char literal")
+		}
+		t := tok(TokChar, string(v))
+		t.Int = int64(v)
+		return t, nil
+	}
+
+	two := func(k TokKind) (Token, error) {
+		s := string(l.advance()) + string(l.advance())
+		return tok(k, s), nil
+	}
+	one := func(k TokKind) (Token, error) {
+		return tok(k, string(l.advance())), nil
+	}
+
+	d := l.peek2()
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '.':
+		if d == '.' && l.pos+2 < len(l.src) && l.src[l.pos+2] == '.' {
+			l.advance()
+			l.advance()
+			l.advance()
+			return tok(TokEllipsis, "..."), nil
+		}
+		return one(TokDot)
+	case '~':
+		return one(TokTilde)
+	case '^':
+		return one(TokCaret)
+	case '%':
+		return one(TokPercent)
+	case '/':
+		return one(TokSlash)
+	case '*':
+		return one(TokStar)
+	case '+':
+		if d == '+' {
+			return two(TokPlusPlus)
+		}
+		if d == '=' {
+			return two(TokPlusAssign)
+		}
+		return one(TokPlus)
+	case '-':
+		if d == '>' {
+			return two(TokArrow)
+		}
+		if d == '-' {
+			return two(TokMinusMinus)
+		}
+		if d == '=' {
+			return two(TokMinusAssign)
+		}
+		return one(TokMinus)
+	case '=':
+		if d == '=' {
+			return two(TokEqEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if d == '=' {
+			return two(TokNe)
+		}
+		return one(TokBang)
+	case '<':
+		if d == '=' {
+			return two(TokLe)
+		}
+		if d == '<' {
+			return two(TokShl)
+		}
+		return one(TokLt)
+	case '>':
+		if d == '=' {
+			return two(TokGe)
+		}
+		if d == '>' {
+			return two(TokShr)
+		}
+		return one(TokGt)
+	case '&':
+		if d == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if d == '|' {
+			return two(TokOrOr)
+		}
+		return one(TokPipe)
+	}
+	return Token{}, l.errf(line, col, "unexpected character %q", string(c))
+}
+
+func (l *Lexer) escape(line, col int) (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, l.errf(line, col, "unterminated escape")
+	}
+	switch e := l.advance(); e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	default:
+		return 0, l.errf(line, col, "unknown escape \\%c", e)
+	}
+}
+
+// LexAll tokenizes the whole input (used by tests and the parser).
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+
+	"privagic/internal/ir"
+)
+
+// Compile parses and lowers MiniC source text to an IR module, the
+// front-half of the paper's toolchain (Figure 5: clang emitting LLVM
+// bitcode with color annotations).
+func Compile(filename, src string) (*ir.Module, error) {
+	f, err := Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+// Lower converts a parsed file to an IR module.
+func Lower(f *File) (*ir.Module, error) {
+	c := &compiler{
+		mod:     ir.NewModule(f.Name),
+		structs: map[string]*ir.StructType{},
+		funcs:   map[string]*ir.Function{},
+		globals: map[string]*ir.Global{},
+	}
+	c.declareBuiltins()
+	// Pass 1: struct shells.
+	for _, d := range f.Decls {
+		if sd, ok := d.(*StructDecl); ok {
+			if c.structs[sd.Name] != nil {
+				c.errf(sd.Pos, "struct %s redeclared", sd.Name)
+				continue
+			}
+			sh := &ir.StructType{Name: sd.Name}
+			c.structs[sd.Name] = sh
+			c.mod.AddStruct(sh)
+		}
+	}
+	// Pass 2: struct bodies, globals, function signatures.
+	for _, d := range f.Decls {
+		switch dd := d.(type) {
+		case *StructDecl:
+			c.lowerStructBody(dd)
+		case *VarDecl:
+			c.lowerGlobal(dd)
+		case *FuncDecl:
+			c.declareFunc(dd)
+		}
+	}
+	// Pass 3: function bodies.
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+			c.lowerFuncBody(fd)
+		}
+	}
+	if len(c.errs) > 0 {
+		return nil, errors.Join(c.errs...)
+	}
+	if err := ir.Verify(c.mod); err != nil {
+		return nil, fmt.Errorf("minic: internal error: generated invalid IR: %w", err)
+	}
+	return c.mod, nil
+}
+
+type compiler struct {
+	mod     *ir.Module
+	structs map[string]*ir.StructType
+	funcs   map[string]*ir.Function
+	globals map[string]*ir.Global
+	errs    []error
+}
+
+func (c *compiler) errf(p Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{File: p.File, Line: p.Line, Col: p.Col, Msg: fmt.Sprintf(format, args...)})
+}
+
+// declareBuiltins registers the functions every MiniC program may call
+// without declaring: the mini-libc that the Privagic runtime embeds in each
+// enclave (paper §6.3) plus the host-only I/O functions.
+func (c *compiler) declareBuiltins() {
+	decl := func(name string, ret ir.Type, variadic, within bool, params ...ir.Type) {
+		ps := make([]*ir.Param, len(params))
+		for i, t := range params {
+			ps[i] = &ir.Param{PName: fmt.Sprintf("a%d", i), Typ: t}
+		}
+		fn := ir.NewFunction(name, ret, ps)
+		fn.External = true
+		fn.Variadic = variadic
+		fn.Within = within
+		c.funcs[name] = fn
+		c.mod.AddFunc(fn)
+	}
+	i8p := ir.PtrTo(ir.I8)
+	decl("printf", ir.I64, true, false, i8p)
+	decl("puts", ir.I64, false, false, i8p)
+	decl("exit", ir.Void, false, false, ir.I64)
+	decl("thread_create", ir.I64, false, false, ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.Void}, ir.I64)
+	decl("thread_join", ir.Void, false, false)
+	// mini-libc: available within enclaves.
+	decl("memcpy", i8p, false, true, i8p, i8p, ir.I64)
+	decl("memset", i8p, false, true, i8p, ir.I64, ir.I64)
+	decl("strncpy", i8p, false, true, i8p, i8p, ir.I64)
+	decl("strlen", ir.I64, false, true, i8p)
+	decl("strcmp", ir.I64, false, true, i8p, i8p)
+	decl("strncmp", ir.I64, false, true, i8p, i8p, ir.I64)
+	decl("hash64", ir.I64, false, true, i8p, ir.I64)
+	decl("abort", ir.Void, false, true)
+}
+
+// resolveType converts a syntactic type to an IR type plus the color of a
+// memory location declared with it ("int color(blue) a" puts a in blue).
+func (c *compiler) resolveType(te TypeExpr) (ir.Type, ir.Color) {
+	switch t := te.(type) {
+	case *BaseType:
+		switch t.Kind {
+		case BaseInt, BaseLong:
+			return ir.I64, t.Color
+		case BaseChar:
+			return ir.I8, t.Color
+		case BaseDouble:
+			return ir.F64, t.Color
+		case BaseVoid:
+			return ir.Void, t.Color
+		case BaseStruct:
+			st := c.structs[t.StructName]
+			if st == nil {
+				c.errf(t.Pos, "unknown struct %s", t.StructName)
+				return ir.I64, t.Color
+			}
+			return st, t.Color
+		}
+	case *PtrType:
+		elem, elemColor := c.resolveType(t.Elem)
+		if _, isVoid := elem.(ir.VoidType); isVoid {
+			elem = ir.I8 // void* is byte pointer
+		}
+		return ir.PtrToColored(elem, elemColor), t.Color
+	case *ArrType:
+		elem, elemColor := c.resolveType(t.Elem)
+		return ir.ArrayType{Elem: elem, Len: t.Len}, elemColor
+	case *FuncPtrType:
+		ret, _ := c.resolveType(t.Ret)
+		ps := make([]ir.Type, len(t.Params))
+		for i, pt := range t.Params {
+			ps[i], _ = c.resolveType(pt)
+		}
+		return ir.FuncType{Params: ps, Ret: ret}, ir.None
+	}
+	c.errf(te.NodePos(), "unsupported type")
+	return ir.I64, ir.None
+}
+
+// lowerStructBody fills a struct shell with its fields.
+func (c *compiler) lowerStructBody(sd *StructDecl) {
+	st := c.structs[sd.Name]
+	fields := make([]ir.Field, 0, len(sd.Fields))
+	for _, fd := range sd.Fields {
+		ft, color := c.resolveType(fd.Type)
+		fields = append(fields, ir.Field{Name: fd.Name, Type: ft, Color: color})
+	}
+	st.SetFields(fields)
+}
+
+// lowerGlobal lowers a global variable definition.
+func (c *compiler) lowerGlobal(vd *VarDecl) {
+	typ, color := c.resolveType(vd.Type)
+	g := &ir.Global{GName: vd.Name, Elem: typ, Color: color, Pos: vd.Pos.IR()}
+	switch init := vd.Init.(type) {
+	case nil:
+	case *IntLit:
+		g.InitInt = init.V
+	case *FloatLit:
+		g.InitFloat = init.V
+	case *Unary:
+		if lit, ok := init.X.(*IntLit); ok && init.Op == UnNeg {
+			g.InitInt = -lit.V
+		} else {
+			c.errf(vd.Pos, "global initializer must be a constant")
+		}
+	case *StrLit:
+		if at, ok := typ.(ir.ArrayType); ok && ir.TypesEqual(at.Elem, ir.I8) {
+			b := append([]byte(init.V), 0)
+			for int64(len(b)) < at.Len {
+				b = append(b, 0)
+			}
+			g.InitBytes = b
+		} else {
+			c.errf(vd.Pos, "string initializer requires a char array")
+		}
+	default:
+		c.errf(vd.Pos, "global initializer must be a constant")
+	}
+	if c.globals[vd.Name] != nil {
+		c.errf(vd.Pos, "global %s redeclared", vd.Name)
+		return
+	}
+	c.globals[vd.Name] = g
+	c.mod.AddGlobal(g)
+}
+
+// declareFunc registers a function signature (definition or declaration).
+func (c *compiler) declareFunc(fd *FuncDecl) {
+	params := make([]*ir.Param, len(fd.Params))
+	for i, pd := range fd.Params {
+		pt, color := c.resolveType(pd.Type)
+		if at, ok := pt.(ir.ArrayType); ok {
+			// Arrays decay to pointers in parameters.
+			pt = ir.PtrToColored(at.Elem, color)
+			color = ir.None
+		}
+		params[i] = &ir.Param{PName: pd.Name, Typ: pt, Color: color, Pos: pd.Pos.IR()}
+	}
+	ret, retColor := c.resolveType(fd.Ret)
+	if prev := c.funcs[fd.Name]; prev != nil {
+		if prev.External && fd.Body != nil {
+			// A builtin or earlier declaration being defined now.
+			prev.External = false
+			prev.Params = params
+			prev.RetTyp = ret
+			prev.RetColor = retColor
+			prev.Entry = prev.Entry || fd.Attr.Entry
+			prev.Within = prev.Within || fd.Attr.Within
+			prev.Ignore = prev.Ignore || fd.Attr.Ignore
+			return
+		}
+		if fd.Body != nil {
+			c.errf(fd.Pos, "function %s redefined", fd.Name)
+		}
+		return
+	}
+	fn := ir.NewFunction(fd.Name, ret, params)
+	fn.Pos = fd.Pos.IR()
+	fn.RetColor = retColor
+	fn.External = fd.Body == nil
+	fn.Within = fd.Attr.Within
+	fn.Ignore = fd.Attr.Ignore
+	fn.Entry = fd.Attr.Entry
+	fn.Static = fd.Attr.Static
+	fn.Variadic = fd.Variadic
+	if fn.Ignore {
+		fn.Within = true
+	}
+	c.funcs[fd.Name] = fn
+	c.mod.AddFunc(fn)
+}
+
+// local is a stack slot for a named variable.
+type local struct {
+	addr ir.Value // pointer to the slot
+}
+
+type loopCtx struct {
+	brk  *ir.Block
+	cont *ir.Block
+}
+
+// funcLower lowers one function body.
+type funcLower struct {
+	c      *compiler
+	fn     *ir.Function
+	b      *ir.Builder
+	scopes []map[string]*local
+	loops  []loopCtx
+}
+
+func (c *compiler) lowerFuncBody(fd *FuncDecl) {
+	fn := c.funcs[fd.Name]
+	fl := &funcLower{c: c, fn: fn, b: ir.NewBuilder(fn)}
+	fl.pushScope()
+	defer fl.popScope()
+	// Spill parameters to stack slots so address-of works; mem2reg
+	// removes the slots whose address is never taken.
+	for _, p := range fn.Params {
+		fl.b.SetPos(p.Pos)
+		slot := fl.b.Alloca(p.Typ, p.Color)
+		fl.b.Store(p, slot)
+		fl.define(p.PName, &local{addr: slot})
+	}
+	fl.stmt(fd.Body)
+	// Implicit return.
+	if fl.b.Cur.Terminator() == nil {
+		fl.b.SetPos(fd.Pos.IR())
+		switch rt := fn.RetTyp.(type) {
+		case ir.VoidType:
+			fl.b.Ret(nil)
+		case ir.FloatType:
+			fl.b.Ret(&ir.ConstFloat{Typ: rt, V: 0})
+		case ir.PointerType:
+			fl.b.Ret(&ir.Null{Typ: rt})
+		case ir.IntType:
+			fl.b.Ret(ir.NewConstInt(rt, 0))
+		default:
+			fl.b.Ret(ir.I64Const(0))
+		}
+	}
+	fn.RemoveUnreachable()
+}
+
+func (fl *funcLower) pushScope() { fl.scopes = append(fl.scopes, map[string]*local{}) }
+func (fl *funcLower) popScope()  { fl.scopes = fl.scopes[:len(fl.scopes)-1] }
+
+func (fl *funcLower) define(name string, l *local) {
+	fl.scopes[len(fl.scopes)-1][name] = l
+}
+
+func (fl *funcLower) lookup(name string) *local {
+	for i := len(fl.scopes) - 1; i >= 0; i-- {
+		if l, ok := fl.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+// ensureBlock guarantees the builder is positioned at an unterminated
+// block; statements after return/break land in an unreachable block that
+// RemoveUnreachable deletes.
+func (fl *funcLower) ensureBlock() {
+	if fl.b.Cur.Terminator() != nil {
+		fl.b.At(fl.fn.NewBlock("dead"))
+	}
+}
+
+func (fl *funcLower) stmt(s Stmt) {
+	if s == nil {
+		return
+	}
+	fl.ensureBlock()
+	fl.b.SetPos(s.NodePos().IR())
+	switch st := s.(type) {
+	case *BlockStmt:
+		fl.pushScope()
+		for _, sub := range st.Stmts {
+			fl.stmt(sub)
+		}
+		fl.popScope()
+	case *DeclStmt:
+		fl.declStmt(st.Decl)
+	case *ExprStmt:
+		fl.expr(st.X)
+	case *IfStmt:
+		fl.ifStmt(st)
+	case *WhileStmt:
+		fl.whileStmt(st)
+	case *ForStmt:
+		fl.forStmt(st)
+	case *ReturnStmt:
+		fl.returnStmt(st)
+	case *BreakStmt:
+		if len(fl.loops) == 0 {
+			fl.c.errf(st.Pos, "break outside loop")
+			return
+		}
+		fl.b.Br(fl.loops[len(fl.loops)-1].brk)
+	case *ContinueStmt:
+		if len(fl.loops) == 0 {
+			fl.c.errf(st.Pos, "continue outside loop")
+			return
+		}
+		fl.b.Br(fl.loops[len(fl.loops)-1].cont)
+	default:
+		fl.c.errf(s.NodePos(), "unsupported statement")
+	}
+}
+
+func (fl *funcLower) declStmt(vd *VarDecl) {
+	typ, color := fl.c.resolveType(vd.Type)
+	fl.b.SetPos(vd.Pos.IR())
+	slot := fl.b.Alloca(typ, color)
+	fl.define(vd.Name, &local{addr: slot})
+	if vd.Init != nil {
+		v := fl.exprConv(vd.Init, typ)
+		if v != nil {
+			fl.b.Store(v, slot)
+		}
+	}
+}
+
+func (fl *funcLower) ifStmt(st *IfStmt) {
+	cond := fl.truthy(fl.expr(st.Cond))
+	if cond == nil {
+		return
+	}
+	then := fl.fn.NewBlock("then")
+	join := fl.fn.NewBlock("join")
+	els := join
+	if st.Else != nil {
+		els = fl.fn.NewBlock("else")
+	}
+	fl.b.CondBr(cond, then, els)
+	fl.b.At(then)
+	fl.stmt(st.Then)
+	if fl.b.Cur.Terminator() == nil {
+		fl.b.Br(join)
+	}
+	if st.Else != nil {
+		fl.b.At(els)
+		fl.stmt(st.Else)
+		if fl.b.Cur.Terminator() == nil {
+			fl.b.Br(join)
+		}
+	}
+	fl.b.At(join)
+}
+
+func (fl *funcLower) whileStmt(st *WhileStmt) {
+	head := fl.fn.NewBlock("while.head")
+	body := fl.fn.NewBlock("while.body")
+	exit := fl.fn.NewBlock("while.exit")
+	fl.b.Br(head)
+	fl.b.At(head)
+	cond := fl.truthy(fl.expr(st.Cond))
+	if cond == nil {
+		return
+	}
+	fl.b.CondBr(cond, body, exit)
+	fl.b.At(body)
+	fl.loops = append(fl.loops, loopCtx{brk: exit, cont: head})
+	fl.stmt(st.Body)
+	fl.loops = fl.loops[:len(fl.loops)-1]
+	if fl.b.Cur.Terminator() == nil {
+		fl.b.Br(head)
+	}
+	fl.b.At(exit)
+}
+
+func (fl *funcLower) forStmt(st *ForStmt) {
+	fl.pushScope()
+	defer fl.popScope()
+	if st.Init != nil {
+		fl.stmt(st.Init)
+	}
+	head := fl.fn.NewBlock("for.head")
+	body := fl.fn.NewBlock("for.body")
+	post := fl.fn.NewBlock("for.post")
+	exit := fl.fn.NewBlock("for.exit")
+	fl.b.Br(head)
+	fl.b.At(head)
+	if st.Cond != nil {
+		cond := fl.truthy(fl.expr(st.Cond))
+		if cond == nil {
+			return
+		}
+		fl.b.CondBr(cond, body, exit)
+	} else {
+		fl.b.Br(body)
+	}
+	fl.b.At(body)
+	fl.loops = append(fl.loops, loopCtx{brk: exit, cont: post})
+	fl.stmt(st.Body)
+	fl.loops = fl.loops[:len(fl.loops)-1]
+	if fl.b.Cur.Terminator() == nil {
+		fl.b.Br(post)
+	}
+	fl.b.At(post)
+	if st.Post != nil {
+		fl.expr(st.Post)
+	}
+	fl.b.Br(head)
+	fl.b.At(exit)
+}
+
+func (fl *funcLower) returnStmt(st *ReturnStmt) {
+	if st.Val == nil {
+		fl.b.Ret(nil)
+		return
+	}
+	v := fl.exprConv(st.Val, fl.fn.RetTyp)
+	if v == nil {
+		return
+	}
+	fl.b.Ret(v)
+}

@@ -1,0 +1,159 @@
+package minic
+
+import (
+	"privagic/internal/ir"
+)
+
+// call lowers a function call, handling the malloc/free allocation builtins
+// specially: malloc(sizeof(T)) and malloc(n * sizeof(T)) become typed
+// Malloc instructions so the partitioner can associate each allocation site
+// with its data structure (paper §7.2). The want type colors the site when
+// the destination is a pointer to colored memory.
+func (fl *funcLower) call(ex *CallExpr, want ir.Type) ir.Value {
+	if id, ok := ex.Fun.(*Ident); ok {
+		switch id.Name {
+		case "malloc":
+			return fl.mallocCall(ex, want)
+		case "free":
+			if len(ex.Args) != 1 {
+				fl.c.errf(ex.Pos, "free takes one argument")
+				return nil
+			}
+			p := fl.expr(ex.Args[0])
+			if p == nil {
+				return nil
+			}
+			fl.b.Free(p)
+			return ir.I64Const(0)
+		}
+		// Direct call to a known function, unless shadowed by a local
+		// function-pointer variable.
+		if fl.lookup(id.Name) == nil && fl.c.globals[id.Name] == nil {
+			if fn := fl.c.funcs[id.Name]; fn != nil {
+				return fl.directCall(ex, fn)
+			}
+			fl.c.errf(ex.Pos, "call to undeclared function %s", id.Name)
+			return nil
+		}
+	}
+	// Indirect call through a function-pointer value.
+	callee := fl.expr(ex.Fun)
+	if callee == nil {
+		return nil
+	}
+	ft, ok := callee.Type().(ir.FuncType)
+	if !ok {
+		fl.c.errf(ex.Pos, "call of non-function value of type %s", callee.Type())
+		return nil
+	}
+	if len(ex.Args) != len(ft.Params) {
+		fl.c.errf(ex.Pos, "indirect call has %d arguments, want %d", len(ex.Args), len(ft.Params))
+		return nil
+	}
+	args := make([]ir.Value, 0, len(ex.Args))
+	for i, a := range ex.Args {
+		v := fl.exprConv(a, ft.Params[i])
+		if v == nil {
+			return nil
+		}
+		args = append(args, v)
+	}
+	return fl.b.Call(callee, args...)
+}
+
+func (fl *funcLower) directCall(ex *CallExpr, fn *ir.Function) ir.Value {
+	min := len(fn.Params)
+	if len(ex.Args) < min || (len(ex.Args) > min && !fn.Variadic) {
+		fl.c.errf(ex.Pos, "call to %s has %d arguments, want %d", fn.FName, len(ex.Args), min)
+		return nil
+	}
+	args := make([]ir.Value, 0, len(ex.Args))
+	for i, a := range ex.Args {
+		var v ir.Value
+		if i < min {
+			v = fl.argConv(a, fn.Params[i].Typ, fn.Ignore)
+		} else {
+			v = fl.expr(a) // variadic tail: pass as-is
+			if v != nil {
+				if it, isInt := v.Type().(ir.IntType); isInt && it.Bits < 64 {
+					v = fl.convert(v, ir.I64, a.NodePos())
+				}
+			}
+		}
+		if v == nil {
+			return nil
+		}
+		args = append(args, v)
+	}
+	return fl.b.Call(fn, args...)
+}
+
+// argConv converts a call argument to a parameter type. For ignore
+// functions (paper §6.4) pointer arguments keep their own pointee color:
+// conversion only reconciles the value shape, since the whole point of
+// ignore is passing pointers of mismatched colors (classify/declassify).
+func (fl *funcLower) argConv(a Expr, pt ir.Type, ignore bool) ir.Value {
+	v := fl.exprWant(a, pt)
+	if v == nil {
+		return nil
+	}
+	vt := v.Type()
+	if ir.TypesEqual(vt, pt) {
+		return v
+	}
+	vp, vIsPtr := vt.(ir.PointerType)
+	pp, pIsPtr := pt.(ir.PointerType)
+	if vIsPtr && pIsPtr {
+		// Keep the argument's color: a blue char* passed to a char*
+		// parameter stays a blue pointer; the secure type system
+		// decides whether that is legal at the call site.
+		if ir.TypesEqual(vp.Elem, pp.Elem) || ignore {
+			return v
+		}
+		// Shape cast (e.g. struct* to char*): preserve the color.
+		return fl.b.Cast(v, ir.PtrToColored(pp.Elem, vp.Color))
+	}
+	return fl.convert(v, pt, a.NodePos())
+}
+
+// mallocCall recognizes the C allocation idioms.
+func (fl *funcLower) mallocCall(ex *CallExpr, want ir.Type) ir.Value {
+	if len(ex.Args) != 1 {
+		fl.c.errf(ex.Pos, "malloc takes one argument")
+		return nil
+	}
+	var elem ir.Type
+	var count ir.Value
+	color := ir.None
+	if pw, ok := want.(ir.PointerType); ok {
+		color = pw.Color
+	}
+	switch arg := ex.Args[0].(type) {
+	case *SizeofExpr:
+		elem, _ = fl.c.resolveType(arg.Type)
+	case *Binary:
+		if arg.Op == BinMul {
+			if sz, ok := arg.X.(*SizeofExpr); ok {
+				elem, _ = fl.c.resolveType(sz.Type)
+				count = fl.exprConv(arg.Y, ir.I64)
+			} else if sz, ok := arg.Y.(*SizeofExpr); ok {
+				elem, _ = fl.c.resolveType(sz.Type)
+				count = fl.exprConv(arg.X, ir.I64)
+			}
+		}
+	}
+	if elem == nil {
+		// Raw byte allocation: malloc(n).
+		elem = ir.I8
+		count = fl.exprConv(ex.Args[0], ir.I64)
+	}
+	if count == nil && elem == ir.Type(ir.I8) {
+		return nil
+	}
+	// The destination type may refine both the element type and color
+	// ("struct node color(blue)* n = malloc(sizeof(struct node))").
+	if pw, ok := want.(ir.PointerType); ok && ir.TypesEqual(pw.Elem, elem) {
+		color = pw.Color
+	}
+	return fl.b.Malloc(elem, color, count)
+}

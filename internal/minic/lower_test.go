@@ -1,0 +1,176 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"privagic/internal/ir"
+)
+
+const figure1Src = `
+struct account {
+	char color(blue) name[256];
+	double color(red) balance;
+};
+
+struct account* create(char* name) {
+	struct account* res = malloc(sizeof(struct account));
+	strncpy(res->name, name, 256);
+	res->balance = 0.0;
+	return res;
+}
+`
+
+func TestLowerFigure1(t *testing.T) {
+	mod, err := Compile("figure1.c", figure1Src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	st := mod.Struct("account")
+	if st == nil {
+		t.Fatal("struct account not lowered")
+	}
+	if got := len(st.Fields); got != 2 {
+		t.Fatalf("account has %d fields, want 2", got)
+	}
+	if st.Fields[0].Color != ir.Named("blue") {
+		t.Errorf("name color = %v, want blue", st.Fields[0].Color)
+	}
+	if st.Fields[1].Color != ir.Named("red") {
+		t.Errorf("balance color = %v, want red", st.Fields[1].Color)
+	}
+	if len(st.Colors()) != 2 {
+		t.Errorf("Colors() = %v, want two colors", st.Colors())
+	}
+	fn := mod.Func("create")
+	if fn == nil || fn.External {
+		t.Fatal("create not defined")
+	}
+	if err := ir.VerifyFunc(fn); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int sum(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	while (s > 100) { s = s - 100; }
+	return s;
+}
+int logic(int a, int b) {
+	if (a && !b) return 1;
+	if (a || b) return 2;
+	return 0;
+}
+`
+	mod, err := Compile("cf.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for _, name := range []string{"fib", "sum", "logic"} {
+		if mod.Func(name) == nil {
+			t.Errorf("function %s missing", name)
+		}
+	}
+}
+
+func TestLowerPointersAndArrays(t *testing.T) {
+	src := `
+int color(blue) g;
+int color(blue)* take_addr() { return &g; }
+long len_of(char* s) { return strlen(s); }
+char buf[64];
+void fill() {
+	for (int i = 0; i < 63; i++) buf[i] = 'a';
+	buf[63] = 0;
+}
+`
+	mod, err := Compile("ptr.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	fn := mod.Func("take_addr")
+	pt, ok := fn.RetTyp.(ir.PointerType)
+	if !ok || pt.Color != ir.Named("blue") {
+		t.Errorf("take_addr returns %v, want pointer to blue int", fn.RetTyp)
+	}
+}
+
+func TestLowerFuncPointer(t *testing.T) {
+	src := `
+int twice(int x) { return x + x; }
+int apply(int (*f)(int), int v) { return f(v); }
+int use() { return apply(twice, 21); }
+`
+	mod, err := Compile("fp.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	apply := mod.Func("apply")
+	if apply == nil {
+		t.Fatal("apply missing")
+	}
+	if _, ok := apply.Params[0].Typ.(ir.FuncType); !ok {
+		t.Errorf("apply param type = %v, want function type", apply.Params[0].Typ)
+	}
+	var sawIndirect bool
+	apply.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if c, ok := in.(*ir.Call); ok && c.IsIndirect() {
+			sawIndirect = true
+		}
+	})
+	if !sawIndirect {
+		t.Error("apply contains no indirect call")
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined", `int f() { return x; }`, "undefined identifier"},
+		{"badfield", `struct s { int a; }; int f(struct s* p) { return p->b; }`, "no field"},
+		{"badcall", `int f() { return g(); }`, "undeclared function"},
+		{"arity", `int g(int a) { return a; } int f() { return g(); }`, "1"},
+		{"breakless", `int f() { break; return 0; }`, "break outside loop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("e.c", tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAttributesParsed(t *testing.T) {
+	src := `
+entry int main() { return 0; }
+within void* my_memcpy(void* d, void* s, long n);
+ignore void encrypt(char* plain, long len, char* cipher);
+`
+	mod, err := Compile("attr.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !mod.Func("main").Entry {
+		t.Error("main not marked entry")
+	}
+	if !mod.Func("my_memcpy").Within {
+		t.Error("my_memcpy not marked within")
+	}
+	enc := mod.Func("encrypt")
+	if !enc.Ignore || !enc.Within {
+		t.Error("encrypt not marked ignore (ignore implies within)")
+	}
+}

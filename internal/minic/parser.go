@@ -1,0 +1,854 @@
+package minic
+
+import (
+	"fmt"
+
+	"privagic/internal/ir"
+)
+
+// Parser builds an AST from tokens.
+type Parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse parses a whole translation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := LexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks}
+	f := &File{Name: file}
+	for p.peek().Kind != TokEOF {
+		d, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			f.Decls = append(f.Decls, d)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k TokKind) bool { return p.peek().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind, what string) (Token, error) {
+	if !p.at(k) {
+		t := p.peek()
+		return t, p.errAt(t, "expected %s, found %s", what, t)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errAt(t Token, format string, args ...any) error {
+	return &Error{File: p.file, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) posOf(t Token) Pos { return Pos{File: p.file, Line: t.Line, Col: t.Col} }
+
+// isTypeStart reports whether the token begins a type.
+func (p *Parser) isTypeStart(t Token) bool {
+	switch t.Kind {
+	case TokKwInt, TokKwLong, TokKwChar, TokKwDouble, TokKwVoid, TokKwStruct,
+		TokKwConst, TokKwUnsigned:
+		return true
+	}
+	return false
+}
+
+// parseColor parses "color(IDENT)" and returns the named color.
+func (p *Parser) parseColor() (ir.Color, error) {
+	if _, err := p.expect(TokKwColor, "'color'"); err != nil {
+		return ir.None, err
+	}
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return ir.None, err
+	}
+	id, err := p.expect(TokIdent, "color name")
+	if err != nil {
+		return ir.None, err
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return ir.None, err
+	}
+	switch id.Text {
+	case "U":
+		return ir.U, nil
+	case "S":
+		return ir.S, nil
+	default:
+		return ir.Named(id.Text), nil
+	}
+}
+
+// parseBaseType parses a base type with optional const/unsigned noise words
+// and an optional trailing color qualifier.
+func (p *Parser) parseBaseType() (TypeExpr, error) {
+	for p.at(TokKwConst) || p.at(TokKwUnsigned) {
+		p.next()
+	}
+	t := p.peek()
+	bt := &BaseType{Pos: p.posOf(t)}
+	switch t.Kind {
+	case TokKwInt:
+		bt.Kind = BaseInt
+		p.next()
+	case TokKwLong:
+		bt.Kind = BaseLong
+		p.next()
+		p.accept(TokKwLong) // "long long"
+		p.accept(TokKwInt)  // "long int"
+	case TokKwChar:
+		bt.Kind = BaseChar
+		p.next()
+	case TokKwDouble:
+		bt.Kind = BaseDouble
+		p.next()
+	case TokKwVoid:
+		bt.Kind = BaseVoid
+		p.next()
+	case TokKwStruct:
+		p.next()
+		id, err := p.expect(TokIdent, "struct name")
+		if err != nil {
+			return nil, err
+		}
+		bt.Kind = BaseStruct
+		bt.StructName = id.Text
+	default:
+		return nil, p.errAt(t, "expected type, found %s", t)
+	}
+	if p.at(TokKwColor) {
+		c, err := p.parseColor()
+		if err != nil {
+			return nil, err
+		}
+		bt.Color = c
+	}
+	return bt, nil
+}
+
+// parsePointers wraps typ in pointer declarators, each with an optional
+// trailing color qualifier.
+func (p *Parser) parsePointers(typ TypeExpr) (TypeExpr, error) {
+	for p.at(TokStar) {
+		t := p.next()
+		pt := &PtrType{Pos: p.posOf(t), Elem: typ}
+		if p.at(TokKwColor) {
+			c, err := p.parseColor()
+			if err != nil {
+				return nil, err
+			}
+			pt.Color = c
+		}
+		typ = pt
+	}
+	return typ, nil
+}
+
+// parseType parses a full type (base + pointers), as used in casts and
+// sizeof.
+func (p *Parser) parseType() (TypeExpr, error) {
+	bt, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePointers(bt)
+}
+
+// parseTopDecl parses a struct declaration, a global variable, or a
+// function declaration/definition.
+func (p *Parser) parseTopDecl() (Decl, error) {
+	if p.accept(TokSemi) {
+		return nil, nil
+	}
+	attr := FuncAttr{}
+	for {
+		switch p.peek().Kind {
+		case TokKwEntry:
+			attr.Entry = true
+			p.next()
+			continue
+		case TokKwWithin:
+			attr.Within = true
+			p.next()
+			continue
+		case TokKwIgnore:
+			attr.Ignore = true
+			p.next()
+			continue
+		case TokKwExtern:
+			attr.Extern = true
+			p.next()
+			continue
+		case TokKwStatic:
+			attr.Static = true
+			p.next()
+			continue
+		}
+		break
+	}
+
+	// struct S { ... };
+	if p.at(TokKwStruct) && p.peekN(1).Kind == TokIdent && p.peekN(2).Kind == TokLBrace {
+		return p.parseStructDecl()
+	}
+
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	typ, nameTok, err := p.parseDeclarator(typ)
+	if err != nil {
+		return nil, err
+	}
+
+	if _, isFP := typ.(*FuncPtrType); !isFP && p.at(TokLParen) {
+		return p.parseFuncRest(attr, typ, nameTok)
+	}
+
+	// Global variable.
+	vd, err := p.finishVarDecl(typ, nameTok)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+// finishVarDecl parses array suffixes and an optional initializer.
+func (p *Parser) finishVarDecl(typ TypeExpr, nameTok Token) (*VarDecl, error) {
+	for p.at(TokLBracket) {
+		t := p.next()
+		lenTok, err := p.expect(TokInt, "array length")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		typ = &ArrType{Pos: p.posOf(t), Elem: typ, Len: lenTok.Int}
+	}
+	vd := &VarDecl{Pos: p.posOf(nameTok), Name: nameTok.Text, Type: typ}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	return vd, nil
+}
+
+// parseDeclarator parses either a plain name or a function-pointer
+// declarator "(*name)(param-types)" wrapping base.
+func (p *Parser) parseDeclarator(base TypeExpr) (TypeExpr, Token, error) {
+	if p.at(TokLParen) && p.peekN(1).Kind == TokStar {
+		lp := p.next() // (
+		p.next()       // *
+		nameTok, err := p.expect(TokIdent, "function pointer name")
+		if err != nil {
+			return nil, nameTok, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, nameTok, err
+		}
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, nameTok, err
+		}
+		fp := &FuncPtrType{Pos: p.posOf(lp), Ret: base}
+		if !p.at(TokRParen) {
+			if p.at(TokKwVoid) && p.peekN(1).Kind == TokRParen {
+				p.next()
+			} else {
+				for {
+					pt, err := p.parseType()
+					if err != nil {
+						return nil, nameTok, err
+					}
+					p.accept(TokIdent) // optional parameter name
+					fp.Params = append(fp.Params, pt)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, nameTok, err
+		}
+		return fp, nameTok, nil
+	}
+	nameTok, err := p.expect(TokIdent, "declarator name")
+	return base, nameTok, err
+}
+
+// parseStructDecl parses "struct S { fields };".
+func (p *Parser) parseStructDecl() (Decl, error) {
+	p.next() // struct
+	nameTok := p.next()
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Pos: p.posOf(nameTok), Name: nameTok.Text}
+	for !p.at(TokRBrace) {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.expect(TokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		fd, err := p.finishVarDecl(ft, fn)
+		if err != nil {
+			return nil, err
+		}
+		if fd.Init != nil {
+			return nil, p.errAt(fn, "struct field cannot have an initializer")
+		}
+		sd.Fields = append(sd.Fields, fd)
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	if _, err := p.expect(TokSemi, "';' after struct"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// parseFuncRest parses the parameter list and optional body.
+func (p *Parser) parseFuncRest(attr FuncAttr, ret TypeExpr, nameTok Token) (Decl, error) {
+	p.next() // (
+	fd := &FuncDecl{Pos: p.posOf(nameTok), Attr: attr, Ret: ret, Name: nameTok.Text}
+	if !p.at(TokRParen) {
+		if p.at(TokKwVoid) && p.peekN(1).Kind == TokRParen {
+			p.next() // f(void)
+		} else {
+			for {
+				if p.accept(TokEllipsis) {
+					fd.Variadic = true
+					break
+				}
+				pt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				var pd *VarDecl
+				if p.at(TokLParen) {
+					dt, nameTok, derr := p.parseDeclarator(pt)
+					if derr != nil {
+						return nil, derr
+					}
+					pd = &VarDecl{Pos: p.posOf(nameTok), Name: nameTok.Text, Type: dt}
+				} else {
+					pname := Token{Text: fmt.Sprintf("arg%d", len(fd.Params)), Line: p.peek().Line, Col: p.peek().Col}
+					if p.at(TokIdent) {
+						pname = p.next()
+					}
+					var perr error
+					pd, perr = p.finishVarDecl(pt, pname)
+					if perr != nil {
+						return nil, perr
+					}
+				}
+				fd.Params = append(fd.Params, pd)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if p.accept(TokSemi) {
+		return fd, nil // declaration
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// parseBlock parses "{ stmts }".
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace, "'{'")
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: p.posOf(lb)}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errAt(p.peek(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+// parseStmt parses one statement.
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwIf:
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Pos: p.posOf(t), Cond: cond, Then: then}
+		if p.accept(TokKwElse) {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case TokKwWhile:
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: p.posOf(t), Cond: cond, Body: body}, nil
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		p.next()
+		st := &ReturnStmt{Pos: p.posOf(t)}
+		if !p.at(TokSemi) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Val = v
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case TokKwBreak:
+		p.next()
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: p.posOf(t)}, nil
+	case TokKwContinue:
+		p.next()
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: p.posOf(t)}, nil
+	case TokSemi:
+		p.next()
+		return &BlockStmt{Pos: p.posOf(t)}, nil
+	}
+	if p.isTypeStart(t) {
+		return p.parseDeclStmt()
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: p.posOf(t), X: x}, nil
+}
+
+// parseDeclStmt parses a local variable declaration.
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	typ, nameTok, err := p.parseDeclarator(typ)
+	if err != nil {
+		return nil, err
+	}
+	var vd *VarDecl
+	if _, isFP := typ.(*FuncPtrType); isFP {
+		vd = &VarDecl{Pos: p.posOf(nameTok), Name: nameTok.Text, Type: typ}
+		if p.accept(TokAssign) {
+			init, ierr := p.parseExpr()
+			if ierr != nil {
+				return nil, ierr
+			}
+			vd.Init = init
+		}
+	} else {
+		vd, err = p.finishVarDecl(typ, nameTok)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Pos: vd.Pos, Decl: vd}, nil
+}
+
+// parseFor parses a C for statement.
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: p.posOf(t)}
+	if !p.at(TokSemi) {
+		if p.isTypeStart(p.peek()) {
+			s, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{Pos: p.posOf(t), X: x}
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(TokSemi) {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = c
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = x
+	}
+	if _, err := p.expect(TokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseExpr parses an assignment-level expression.
+func (p *Parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch t.Kind {
+	case TokAssign, TokPlusAssign, TokMinusAssign:
+		p.next()
+		rhs, err := p.parseExpr() // right associative
+		if err != nil {
+			return nil, err
+		}
+		op := BinOp(0)
+		if t.Kind == TokPlusAssign {
+			op = BinAdd
+		} else if t.Kind == TokMinusAssign {
+			op = BinSub
+		}
+		return &Assign{Pos: p.posOf(t), Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// binPrec returns the precedence of the binary operator at tok, or -1.
+func binPrec(k TokKind) (BinOp, int) {
+	switch k {
+	case TokOrOr:
+		return BinLOr, 1
+	case TokAndAnd:
+		return BinLAnd, 2
+	case TokPipe:
+		return BinOr, 3
+	case TokCaret:
+		return BinXor, 4
+	case TokAmp:
+		return BinAnd, 5
+	case TokEqEq:
+		return BinEq, 6
+	case TokNe:
+		return BinNe, 6
+	case TokLt:
+		return BinLt, 7
+	case TokLe:
+		return BinLe, 7
+	case TokGt:
+		return BinGt, 7
+	case TokGe:
+		return BinGe, 7
+	case TokShl:
+		return BinShl, 8
+	case TokShr:
+		return BinShr, 8
+	case TokPlus:
+		return BinAdd, 9
+	case TokMinus:
+		return BinSub, 9
+	case TokStar:
+		return BinMul, 10
+	case TokSlash:
+		return BinDiv, 10
+	case TokPercent:
+		return BinRem, 10
+	}
+	return 0, -1
+}
+
+// parseBinary is a precedence climber.
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		op, prec := binPrec(t.Kind)
+		if prec < 0 || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: p.posOf(t), Op: op, X: lhs, Y: rhs}
+	}
+}
+
+// parseUnary parses prefix operators, casts and sizeof.
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: p.posOf(t), Op: UnNeg, X: x}, nil
+	case TokBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: p.posOf(t), Op: UnNot, X: x}, nil
+	case TokTilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: p.posOf(t), Op: UnBitNot, X: x}, nil
+	case TokStar:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: p.posOf(t), Op: UnDeref, X: x}, nil
+	case TokAmp:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: p.posOf(t), Op: UnAddr, X: x}, nil
+	case TokPlusPlus, TokMinusMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{Pos: p.posOf(t), X: x, Dec: t.Kind == TokMinusMinus}, nil
+	case TokKwSizeof:
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{Pos: p.posOf(t), Type: typ}, nil
+	case TokLParen:
+		// Cast if '(' is followed by a type.
+		if p.isTypeStart(p.peekN(1)) {
+			p.next()
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: p.posOf(t), Type: typ, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses primary expressions and postfix operators.
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TokLParen:
+			p.next()
+			call := &CallExpr{Pos: p.posOf(t), Fun: x}
+			for !p.at(TokRParen) {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			x = call
+		case TokLBracket:
+			p.next()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: p.posOf(t), X: x, I: i}
+		case TokDot, TokArrow:
+			p.next()
+			id, err := p.expect(TokIdent, "field name")
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldExpr{Pos: p.posOf(t), X: x, Name: id.Text, Arrow: t.Kind == TokArrow}
+		case TokPlusPlus, TokMinusMinus:
+			p.next()
+			x = &IncDec{Pos: p.posOf(t), X: x, Dec: t.Kind == TokMinusMinus, Post: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parsePrimary parses literals, identifiers and parenthesized expressions.
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt, TokChar:
+		return &IntLit{Pos: p.posOf(t), V: t.Int}, nil
+	case TokFloat:
+		return &FloatLit{Pos: p.posOf(t), V: t.Flt}, nil
+	case TokString:
+		return &StrLit{Pos: p.posOf(t), V: t.Text}, nil
+	case TokKwNull:
+		return &NullLit{Pos: p.posOf(t)}, nil
+	case TokIdent:
+		return &Ident{Pos: p.posOf(t), Name: t.Text}, nil
+	case TokLParen:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errAt(t, "unexpected token %s in expression", t)
+}

@@ -1,0 +1,170 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("p.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseStructWithColors(t *testing.T) {
+	f := parseOK(t, `struct s { int color(blue) a; char b[4]; struct s* next; };`)
+	sd, ok := f.Decls[0].(*StructDecl)
+	if !ok || sd.Name != "s" || len(sd.Fields) != 3 {
+		t.Fatalf("struct decl wrong: %+v", f.Decls[0])
+	}
+	bt := sd.Fields[0].Type.(*BaseType)
+	if bt.Color.Name != "blue" {
+		t.Errorf("field color = %v", bt.Color)
+	}
+	if _, isArr := sd.Fields[1].Type.(*ArrType); !isArr {
+		t.Error("array field not parsed")
+	}
+	if _, isPtr := sd.Fields[2].Type.(*PtrType); !isPtr {
+		t.Error("pointer field not parsed")
+	}
+}
+
+func TestParsePointerColorPositions(t *testing.T) {
+	// int color(blue)* color(red) p: pointer to blue int, stored in red.
+	f := parseOK(t, `int color(blue)* color(red) p;`)
+	vd := f.Decls[0].(*VarDecl)
+	pt := vd.Type.(*PtrType)
+	if pt.Color.Name != "red" {
+		t.Errorf("pointer location color = %v, want red", pt.Color)
+	}
+	if pt.Elem.(*BaseType).Color.Name != "blue" {
+		t.Errorf("pointee color = %v, want blue", pt.Elem.(*BaseType).Color)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	f := parseOK(t, `
+entry int main() { return 0; }
+within static long helper(long a);
+ignore void leak(char* d, char color(b)* s, long n);
+`)
+	main := f.Decls[0].(*FuncDecl)
+	if !main.Attr.Entry {
+		t.Error("entry attr lost")
+	}
+	helper := f.Decls[1].(*FuncDecl)
+	if !helper.Attr.Within || !helper.Attr.Static || helper.Body != nil {
+		t.Error("within static declaration wrong")
+	}
+	leak := f.Decls[2].(*FuncDecl)
+	if !leak.Attr.Ignore {
+		t.Error("ignore attr lost")
+	}
+}
+
+func TestParseFuncPointerDeclarators(t *testing.T) {
+	f := parseOK(t, `
+long apply(long (*fn)(long, long), long a, long b) { return fn(a, b); }
+long (*handler)(long);
+`)
+	apply := f.Decls[0].(*FuncDecl)
+	fp, ok := apply.Params[0].Type.(*FuncPtrType)
+	if !ok || len(fp.Params) != 2 {
+		t.Fatalf("funcptr param wrong: %+v", apply.Params[0].Type)
+	}
+	global := f.Decls[1].(*VarDecl)
+	if _, ok := global.Type.(*FuncPtrType); !ok {
+		t.Error("global funcptr wrong")
+	}
+}
+
+func TestParseVariadicDecl(t *testing.T) {
+	f := parseOK(t, `extern long printf2(char* fmt, ...);`)
+	fd := f.Decls[0].(*FuncDecl)
+	if !fd.Variadic || len(fd.Params) != 1 {
+		t.Errorf("variadic decl wrong: %+v", fd)
+	}
+}
+
+func TestParseExpressionShapes(t *testing.T) {
+	f := parseOK(t, `
+int g() {
+	int a = 1 + 2 * 3;
+	a = (1 + 2) * 3;
+	a = -a + !a - ~a;
+	a = a << 2 | a >> 1 & 3 ^ 4;
+	a = a && 1 || 0;
+	a = a == 1 != 0;
+	int* p = &a;
+	a = *p + p[0];
+	a += sizeof(int);
+	a++;
+	--a;
+	return a;
+}`)
+	if len(f.Decls) != 1 {
+		t.Fatal("decl count wrong")
+	}
+}
+
+func TestParseCommentsAndLiterals(t *testing.T) {
+	f := parseOK(t, `
+// line comment
+/* block
+   comment */
+char c = 'x';
+char nl = '\n';
+int hex = 0xFF;
+`)
+	if len(f.Decls) != 3 {
+		t.Fatalf("decls = %d", len(f.Decls))
+	}
+	if f.Decls[2].(*VarDecl).Init.(*IntLit).V != 255 {
+		t.Error("hex literal wrong")
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`int f( { }`, "expected"},
+		{`struct s { int a }`, "';'"},
+		{`int f() { if a) {} }`, "'('"},
+		{`int f() { return 1 }`, "';'"},
+		{`int x = "str`, "unterminated string"},
+		{`/* never closed`, "unterminated block comment"},
+		{`int f() { int 5; }`, "declarator name"},
+	}
+	for _, c := range cases {
+		_, err := Parse("e.c", c.src)
+		if err == nil {
+			t.Errorf("%q accepted", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "e.c:") {
+			t.Errorf("error lacks position: %v", err)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error %q missing %q", err, c.frag)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := LexAll("t.c", `a += b -> c ... << >= && ++`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokIdent, TokPlusAssign, TokIdent, TokArrow, TokIdent,
+		TokEllipsis, TokShl, TokGe, TokAndAnd, TokPlusPlus, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package minic implements the Privagic source language: a C subset
+// extended with the explicit secure-typing annotations of the paper —
+// color(...) type qualifiers (Figure 1), and the entry, within and ignore
+// function attributes (§6.2–§6.4). It compiles source text to the SSA IR
+// of internal/ir, playing the role clang + LLVM bitcode emission plays in
+// the paper's toolchain (Figure 5).
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokInt
+	TokFloat
+	TokChar
+	TokString
+
+	// Keywords.
+	TokKwInt
+	TokKwLong
+	TokKwChar
+	TokKwDouble
+	TokKwVoid
+	TokKwStruct
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwSizeof
+	TokKwColor
+	TokKwEntry
+	TokKwWithin
+	TokKwIgnore
+	TokKwExtern
+	TokKwStatic
+	TokKwConst
+	TokKwUnsigned
+	TokKwNull
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokArrow
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokLt
+	TokGt
+	TokLe
+	TokGe
+	TokEqEq
+	TokNe
+	TokAndAnd
+	TokOrOr
+	TokShl
+	TokShr
+	TokPlusPlus
+	TokMinusMinus
+	TokPlusAssign
+	TokMinusAssign
+	TokEllipsis
+)
+
+var keywords = map[string]TokKind{
+	"int": TokKwInt, "long": TokKwLong, "char": TokKwChar,
+	"double": TokKwDouble, "void": TokKwVoid, "struct": TokKwStruct,
+	"if": TokKwIf, "else": TokKwElse, "while": TokKwWhile, "for": TokKwFor,
+	"return": TokKwReturn, "break": TokKwBreak, "continue": TokKwContinue,
+	"sizeof": TokKwSizeof, "color": TokKwColor, "entry": TokKwEntry,
+	"within": TokKwWithin, "ignore": TokKwIgnore, "extern": TokKwExtern,
+	"static": TokKwStatic, "const": TokKwConst, "unsigned": TokKwUnsigned,
+	"NULL": TokKwNull,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+	Col  int
+}
+
+// String returns a diagnostic form of the token.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokIdent, TokInt, TokFloat, TokString, TokChar:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a frontend diagnostic with a source position.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,347 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"privagic/internal/ir"
+	"privagic/internal/minic"
+	"privagic/internal/passes"
+	"privagic/internal/typing"
+)
+
+const figure6Src = `
+int color(U) unsafe = 0;
+int color(blue) blue = 10;
+int color(red) red = 0;
+
+void g(int n) {
+	blue = n;
+	red = n;
+	printf("Hello\n");
+}
+int f(int y) {
+	g(21);
+	return 42;
+}
+entry int main() {
+	unsafe = 1;
+	int x = f(blue);
+	return x;
+}
+`
+
+func partitionSrc(t *testing.T, mode typing.Mode, src string, entries ...string) *Program {
+	t.Helper()
+	mod, err := minic.Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	passes.RunAll(mod)
+	an := typing.Analyze(mod, typing.Options{Mode: mode, Entries: entries})
+	if err := an.Err(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	prog, err := Partition(an)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	return prog
+}
+
+func chunkOf(t *testing.T, p *Program, fnKeyPrefix string, c ir.Color) *Chunk {
+	t.Helper()
+	for _, pf := range p.Funcs {
+		if strings.HasPrefix(pf.Spec.Key, fnKeyPrefix) {
+			if ch := pf.Chunks[c]; ch != nil {
+				return ch
+			}
+		}
+	}
+	t.Fatalf("no chunk %s for %s", c, fnKeyPrefix)
+	return nil
+}
+
+func countCallsTo(fn *ir.Function, name string) int {
+	n := 0
+	fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		call, ok := in.(*ir.Call)
+		if !ok {
+			return
+		}
+		if f, ok := call.Callee.(*ir.Function); ok && f.FName == name {
+			n++
+		}
+	})
+	return n
+}
+
+// TestFigure6Chunks reproduces Figure 7's partitioning of the Figure 6
+// program: g gets three chunks (red, blue, U), f one chunk (blue) that
+// spawns g.red and g.U and directly calls g.blue, and main gets blue and U
+// chunks with an interface.
+func TestFigure6Chunks(t *testing.T) {
+	p := partitionSrc(t, typing.Relaxed, figure6Src, "main")
+
+	// g: three chunks.
+	for _, c := range []ir.Color{ir.Named("red"), ir.Named("blue"), ir.U} {
+		ch := chunkOf(t, p, "g(", c)
+		if ch.Fn == nil || len(ch.Fn.Blocks) == 0 {
+			t.Errorf("g chunk %s has no body", c)
+		}
+	}
+	// g.blue stores to @blue but not @red, and vice versa.
+	gBlue := chunkOf(t, p, "g(", ir.Named("blue"))
+	gRed := chunkOf(t, p, "g(", ir.Named("red"))
+	gU := chunkOf(t, p, "g(", ir.U)
+	if n := countStoresTo(gBlue.Fn, "blue"); n != 1 {
+		t.Errorf("g.blue stores to @blue %d times, want 1\n%s", n, gBlue.Fn.String2())
+	}
+	if n := countStoresTo(gBlue.Fn, "red"); n != 0 {
+		t.Errorf("g.blue stores to @red %d times, want 0", n)
+	}
+	if n := countStoresTo(gRed.Fn, "red"); n != 1 {
+		t.Errorf("g.red stores to @red %d times, want 1", n)
+	}
+	// printf only in g.U.
+	if n := countCallsTo(gU.Fn, "printf"); n != 1 {
+		t.Errorf("g.U calls printf %d times, want 1\n%s", n, gU.Fn.String2())
+	}
+	if n := countCallsTo(gBlue.Fn, "printf"); n != 0 {
+		t.Errorf("g.blue calls printf %d times, want 0", n)
+	}
+
+	// f.blue: direct call to g.blue, two spawns (g.red, g.U), a join.
+	fBlue := chunkOf(t, p, "f(", ir.Named("blue"))
+	if n := countCallsTo(fBlue.Fn, gBlue.Fn.FName); n != 1 {
+		t.Errorf("f.blue directly calls g.blue %d times, want 1\n%s", n, fBlue.Fn.String2())
+	}
+	if n := countCallsTo(fBlue.Fn, IntrSpawn); n != 2 {
+		t.Errorf("f.blue spawns %d chunks, want 2 (g.red, g.U)\n%s", n, fBlue.Fn.String2())
+	}
+	if n := countCallsTo(fBlue.Fn, IntrJoin); n != 1 {
+		t.Errorf("f.blue joins %d times, want 1", n)
+	}
+
+	// main: interface with a blue spawn; main.U stores to @unsafe and
+	// waits for f's Free result (Figure 7's c5).
+	mainPf := p.Entries["main"]
+	if mainPf == nil {
+		t.Fatal("main has no interface version")
+	}
+	if len(mainPf.Interface.Spawns) != 1 || mainPf.Interface.Spawns[0] != ir.Named("blue") {
+		t.Errorf("main interface spawns %v, want [blue]", mainPf.Interface.Spawns)
+	}
+	mainU := mainPf.Chunks[ir.U]
+	if mainU == nil {
+		t.Fatal("main has no U chunk")
+	}
+	if n := countStoresTo(mainU.Fn, "unsafe"); n != 1 {
+		t.Errorf("main.U stores to @unsafe %d times, want 1", n)
+	}
+	if n := countCallsTo(mainU.Fn, IntrWait); n != 1 {
+		t.Errorf("main.U waits %d times, want 1 (receiving f's result)\n%s", n, mainU.Fn.String2())
+	}
+	// main.blue sends the result to main.U.
+	mainBlue := mainPf.Chunks[ir.Named("blue")]
+	if n := countCallsTo(mainBlue.Fn, IntrSend); n != 1 {
+		t.Errorf("main.blue sends %d results, want 1\n%s", n, mainBlue.Fn.String2())
+	}
+}
+
+func countStoresTo(fn *ir.Function, global string) int {
+	n := 0
+	fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		st, ok := in.(*ir.Store)
+		if !ok {
+			return
+		}
+		if g, ok := st.Ptr.(*ir.Global); ok && g.GName == global {
+			n++
+		}
+	})
+	return n
+}
+
+// TestHardenedRejectsFreeCrossings checks §7.3.2: in hardened mode a
+// spawned chunk cannot receive Free arguments computed by the caller.
+func TestHardenedRejectsFreeCrossings(t *testing.T) {
+	// The caller's color set {red} does not contain blue, so g.blue is
+	// spawned and needs the Free argument 42 computed by the caller —
+	// exactly the case §7.3.2 rejects in hardened mode.
+	src2 := `
+int color(blue) b;
+int color(red) r;
+void g(int n) { b = n; }
+entry void main() {
+	r = 7;
+	g(41 + 1);
+}
+`
+	mod2, err := minic.Compile("test.c", src2)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	passes.RunAll(mod2)
+	an := typing.Analyze(mod2, typing.Options{Mode: typing.Hardened, Entries: []string{"main"}})
+	if err := an.Err(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	_, err = Partition(an)
+	if err == nil {
+		t.Fatal("expected a hardened-mode partition error for Free argument crossing")
+	}
+	if !strings.Contains(err.Error(), "hardened mode") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestRelaxedAllowsFreeCrossings: the same program partitions fine in
+// relaxed mode (the cont message carries the Free value, Figure 7).
+func TestRelaxedAllowsFreeCrossings(t *testing.T) {
+	src := `
+int color(blue) b;
+void g(int n) { b = n; }
+entry void main() {
+	g(41 + 1);
+}
+`
+	p := partitionSrc(t, typing.Relaxed, src, "main")
+	gBlue := chunkOf(t, p, "g(", ir.Named("blue"))
+	if n := countStoresTo(gBlue.Fn, "b"); n != 1 {
+		t.Errorf("g.blue stores to @b %d times, want 1", n)
+	}
+}
+
+// TestSingleColorDirectCalls: with a single color and matching color sets
+// there are no spawns at all — everything is direct chunk-to-chunk calls.
+func TestSingleColorDirectCalls(t *testing.T) {
+	src := `
+long color(blue) total;
+void add(long color(blue) v) { total = total + v; }
+entry void bump() {
+	add(total);
+}
+`
+	p := partitionSrc(t, typing.Relaxed, src, "bump")
+	bumpBlue := chunkOf(t, p, "bump(", ir.Named("blue"))
+	if n := countCallsTo(bumpBlue.Fn, IntrSpawn); n != 0 {
+		t.Errorf("bump.blue spawns %d, want 0 (common color => direct call)\n%s", n, bumpBlue.Fn.String2())
+	}
+	addKey := typing.SpecKey("add", []ir.Color{ir.Named("blue")})
+	if n := countCallsTo(bumpBlue.Fn, addKey+".blue"); n != 1 {
+		t.Errorf("bump.blue direct-calls add.blue %d times, want 1\n%s", n, bumpBlue.Fn.String2())
+	}
+}
+
+// TestForeignRegionBypassed: a chunk whose color differs from a branch
+// condition jumps straight to the join (Rule 4 regions contain only the
+// condition's color).
+func TestForeignRegionBypassed(t *testing.T) {
+	src := `
+int color(blue) b;
+int color(blue) x;
+int color(red) r;
+entry void f() {
+	r = 1;
+	if (b == 42)
+		x = 1;
+	r = 2;
+}
+`
+	p := partitionSrc(t, typing.Relaxed, src, "f")
+	fRed := chunkOf(t, p, "f(", ir.Named("red"))
+	// The red chunk must not contain the blue comparison or the blue
+	// store, but must keep both red stores.
+	if n := countStoresTo(fRed.Fn, "x"); n != 0 {
+		t.Errorf("f.red contains the blue store\n%s", fRed.Fn.String2())
+	}
+	if n := countStoresTo(fRed.Fn, "r"); n != 2 {
+		t.Errorf("f.red has %d stores to @r, want 2\n%s", n, fRed.Fn.String2())
+	}
+	fBlue := chunkOf(t, p, "f(", ir.Named("blue"))
+	if n := countStoresTo(fBlue.Fn, "x"); n != 1 {
+		t.Errorf("f.blue has %d stores to @x, want 1\n%s", n, fBlue.Fn.String2())
+	}
+}
+
+// TestSharedGlobalsGathered checks §7.1: uncolored globals are gathered in
+// the shared block; colored globals go to their enclave.
+func TestSharedGlobalsGathered(t *testing.T) {
+	src := `
+int plain;
+int color(blue) secret;
+entry void f() { plain = 1; }
+`
+	p := partitionSrc(t, typing.Relaxed, src, "f")
+	foundShared, foundBlue := false, false
+	for _, g := range p.SharedGlobals {
+		if g.GName == "plain" {
+			foundShared = true
+		}
+	}
+	for _, g := range p.EnclaveGlobals[ir.Named("blue")] {
+		if g.GName == "secret" {
+			foundBlue = true
+		}
+	}
+	if !foundShared || !foundBlue {
+		t.Errorf("global placement wrong: shared=%v blue=%v", foundShared, foundBlue)
+	}
+}
+
+// TestSplitStructs checks §7.2: multi-color structs are recorded for the
+// indirection rewrite.
+func TestSplitStructs(t *testing.T) {
+	src := `
+struct account {
+	char color(blue) name[16];
+	double color(red) balance;
+};
+struct account* create() {
+	struct account* a = malloc(sizeof(struct account));
+	a->balance = 1.0;
+	return a;
+}
+`
+	p := partitionSrc(t, typing.Relaxed, src, "create")
+	sp := p.Splits["account"]
+	if sp == nil {
+		t.Fatal("account not recorded as a split struct")
+	}
+	if sp.FieldColors[0] != ir.Named("blue") || sp.FieldColors[1] != ir.Named("red") {
+		t.Errorf("field colors = %v", sp.FieldColors)
+	}
+}
+
+// TestTCBReport checks the Table 4 metric: each enclave holds a fraction of
+// the program, and the reduction factor versus full embedding is large.
+func TestTCBReport(t *testing.T) {
+	p := partitionSrc(t, typing.Relaxed, figure6Src, "main")
+	r := p.Report()
+	if r.TotalUserInstrs == 0 {
+		t.Fatal("no user instructions counted")
+	}
+	blue := r.UserInstrsPerEnclave[ir.Named("blue")]
+	if blue == 0 {
+		t.Error("blue enclave holds no instructions")
+	}
+	if f := r.ReductionFactor(); f < 10 {
+		t.Errorf("TCB reduction factor = %.1f, want a large factor", f)
+	}
+}
+
+// TestChunksVerify runs the IR verifier over every generated chunk.
+func TestChunksVerify(t *testing.T) {
+	p := partitionSrc(t, typing.Relaxed, figure6Src, "main")
+	for _, pf := range p.Funcs {
+		for c, ch := range pf.Chunks {
+			if len(ch.Fn.Blocks) == 0 {
+				continue
+			}
+			if err := ir.VerifyFunc(ch.Fn); err != nil {
+				t.Errorf("chunk %s.%s: %v\n%s", pf.Spec.Key, c, err, ch.Fn.String2())
+			}
+		}
+	}
+}

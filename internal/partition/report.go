@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privagic/internal/ir"
+)
+
+// TCBReport summarizes the trusted computing base of a partitioned program,
+// the metric of paper Table 4 and §9.2.2: how much code ends up inside each
+// enclave versus embedding the whole application.
+type TCBReport struct {
+	// UserInstrsPerEnclave counts the user-code IR instructions loaded
+	// in each enclave (the "User code (LLVM)" column of Table 4).
+	UserInstrsPerEnclave map[ir.Color]int
+	// TotalUserInstrs is the whole application's instruction count (what
+	// a Scone-style full embedding loads).
+	TotalUserInstrs int
+	// RuntimeKiB is the fixed runtime footprint added per enclave (Intel
+	// SDK runtime + Privagic runtime, 268 KiB in the paper).
+	RuntimeKiB int
+	// FullEmbedKiB is the footprint of embedding the application with a
+	// libOS (51271 KiB in the paper, dominated by musl + libOS).
+	FullEmbedKiB int
+}
+
+// Paper-calibrated fixed footprints (§9.2.2).
+const (
+	privagicRuntimeKiB = 268
+	sconeLibOSKiB      = 36200 + 14700 // libOS + musl
+	bytesPerInstr      = 12            // rough x86 encoding of one IR instruction
+)
+
+// Report computes the TCB metrics of the partitioned program.
+func (p *Program) Report() *TCBReport {
+	r := &TCBReport{
+		UserInstrsPerEnclave: map[ir.Color]int{},
+		RuntimeKiB:           privagicRuntimeKiB,
+	}
+	for _, fn := range p.Mod.Funcs {
+		if fn.External {
+			continue
+		}
+		r.TotalUserInstrs += countInstrs(fn)
+	}
+	for _, pf := range p.Funcs {
+		for c, ch := range pf.Chunks {
+			if c == ir.U {
+				continue // normal-mode code is not in any TCB
+			}
+			r.UserInstrsPerEnclave[c] += countInstrs(ch.Fn)
+		}
+	}
+	r.FullEmbedKiB = sconeLibOSKiB + r.TotalUserInstrs*bytesPerInstr/1024
+	return r
+}
+
+func countInstrs(fn *ir.Function) int {
+	n := 0
+	fn.Instrs(func(_ *ir.Block, _ ir.Instr) { n++ })
+	return n
+}
+
+// EnclaveKiB estimates the binary footprint of one enclave: its share of
+// user code plus the fixed runtime.
+func (r *TCBReport) EnclaveKiB(c ir.Color) int {
+	return r.RuntimeKiB + r.UserInstrsPerEnclave[c]*bytesPerInstr/1024
+}
+
+// ReductionFactor returns how many times smaller the largest enclave is
+// than the full embedding (the paper reports >200x for memcached).
+func (r *TCBReport) ReductionFactor() float64 {
+	largest := 0
+	for c := range r.UserInstrsPerEnclave {
+		if k := r.EnclaveKiB(c); k > largest {
+			largest = k
+		}
+	}
+	if largest == 0 {
+		largest = r.RuntimeKiB
+	}
+	return float64(r.FullEmbedKiB) / float64(largest)
+}
+
+// String renders the report as a Table 4-style block.
+func (r *TCBReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12s %18s\n", "", "TCB (KiB)", "User code (IR ins)")
+	fmt.Fprintf(&b, "%-22s %12d %18d\n", "full-embed (scone)", r.FullEmbedKiB, r.TotalUserInstrs)
+	var colors []ir.Color
+	for c := range r.UserInstrsPerEnclave {
+		colors = append(colors, c)
+	}
+	sort.Slice(colors, func(i, j int) bool { return colors[i].String() < colors[j].String() })
+	for _, c := range colors {
+		fmt.Fprintf(&b, "%-22s %12d %18d\n",
+			"privagic enclave "+c.String(), r.EnclaveKiB(c), r.UserInstrsPerEnclave[c])
+	}
+	fmt.Fprintf(&b, "TCB reduction: %.0fx\n", r.ReductionFactor())
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package partition
+
+import (
+	"sort"
+)
+
+// SpawnWhitelist computes, per enclave color index, the set of chunk IDs
+// that legitimate generated code ever spawns there. Paper §8 leaves
+// "identifying the valid sequences of spawn messages" as future work
+// against an attacker who injects spawn messages into the unsafe-memory
+// queues; this is the static half of that defense: a worker configured
+// with the whitelist refuses to start any chunk the compiler never
+// scheduled for it. (Sequencing — *when* a listed chunk may start — would
+// additionally need per-callsite session types; see the runtime's
+// ValidateSpawn hook.)
+func (p *Program) SpawnWhitelist() map[int][]int {
+	set := map[int]map[int]bool{}
+	add := func(colorIdx, chunkID int) {
+		if set[colorIdx] == nil {
+			set[colorIdx] = map[int]bool{}
+		}
+		set[colorIdx][chunkID] = true
+	}
+	// Chunks spawned by call plans (§7.3.2).
+	for _, plan := range p.Plans {
+		for _, d := range plan.Spawns {
+			if ch := plan.Target.Chunks[d]; ch != nil {
+				add(p.ColorIndex(d), ch.ID)
+			}
+		}
+	}
+	// Chunks spawned by interface versions (§7.3.4).
+	for _, pf := range p.Entries {
+		if pf.Interface == nil {
+			continue
+		}
+		for _, c := range pf.Interface.Spawns {
+			if ch := pf.Chunks[c]; ch != nil {
+				add(p.ColorIndex(c), ch.ID)
+			}
+		}
+	}
+	out := map[int][]int{}
+	for colorIdx, ids := range set {
+		for id := range ids {
+			out[colorIdx] = append(out[colorIdx], id)
+		}
+		sort.Ints(out[colorIdx])
+	}
+	return out
+}

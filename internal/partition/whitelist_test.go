@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"testing"
+
+	"privagic/internal/ir"
+	"privagic/internal/typing"
+)
+
+// TestSpawnWhitelist checks the §8 whitelist on the Figure 6 program: the
+// red worker may only ever start g.red; the blue worker starts main.blue,
+// f.blue is never spawned (always reached by direct call), and g.U goes to
+// worker 0.
+func TestSpawnWhitelist(t *testing.T) {
+	p := partitionSrc(t, typing.Relaxed, figure6Src, "main")
+	wl := p.SpawnWhitelist()
+
+	idOf := func(fnPrefix string, c ir.Color) int {
+		ch := chunkOf(t, p, fnPrefix, c)
+		return ch.ID
+	}
+	redIdx := p.ColorIndex(ir.Named("red"))
+	blueIdx := p.ColorIndex(ir.Named("blue"))
+
+	if !containsInt(wl[redIdx], idOf("g(", ir.Named("red"))) {
+		t.Errorf("red whitelist %v missing g.red", wl[redIdx])
+	}
+	if len(wl[redIdx]) != 1 {
+		t.Errorf("red whitelist = %v, want exactly g.red", wl[redIdx])
+	}
+	if !containsInt(wl[blueIdx], idOf("main(", ir.Named("blue"))) {
+		t.Errorf("blue whitelist %v missing main.blue (interface spawn)", wl[blueIdx])
+	}
+	if containsInt(wl[blueIdx], idOf("f(", ir.Named("blue"))) {
+		t.Errorf("f.blue is direct-called, never spawned; whitelist %v", wl[blueIdx])
+	}
+	if !containsInt(wl[0], idOf("g(", ir.U)) {
+		t.Errorf("U whitelist %v missing g.U", wl[0])
+	}
+}
+
+func containsInt(l []int, x int) bool {
+	for _, v := range l {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChunksAreDCEd checks the §7.3.1 cleanup: a chunk must not retain
+// dead replicated computations feeding only foreign-colored instructions.
+func TestChunksAreDCEd(t *testing.T) {
+	src := `
+long color(blue) b;
+long color(red) r;
+entry void f() {
+	long x = 10 * 10;
+	long y = 20 * 20;
+	b = x;
+	r = y;
+}
+`
+	p := partitionSrc(t, typing.Relaxed, src, "f")
+	blue := chunkOf(t, p, "f(", ir.Named("blue"))
+	// The y computation feeds only the red store: DCE must have removed
+	// it from the blue chunk. Count multiplications.
+	muls := 0
+	blue.Fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if op, ok := in.(*ir.BinOp); ok && op.Op == ir.OpMul {
+			muls++
+		}
+	})
+	if muls > 1 {
+		t.Errorf("blue chunk keeps %d multiplications, want <= 1 after DCE\n%s", muls, blue.Fn.String2())
+	}
+}

@@ -1,0 +1,66 @@
+package passes
+
+import "privagic/internal/ir"
+
+// DCE removes value-producing instructions whose results are never used and
+// that have no side effects. The partitioner relies on it to clean up the
+// Free-colored computations it replicates into every chunk (paper §7.3.1:
+// "if the F instruction is uselessly replicated, a dead-code-elimination
+// pass eliminates it after"). Returns the number of instructions removed.
+func DCE(f *ir.Function) int {
+	if f.External {
+		return 0
+	}
+	removed := 0
+	for {
+		used := map[ir.Value]bool{}
+		f.Instrs(func(_ *ir.Block, in ir.Instr) {
+			for _, op := range in.Ops() {
+				used[*op] = true
+			}
+		})
+		changed := false
+		for _, b := range f.Blocks {
+			var kept []ir.Instr
+			for _, in := range b.Instrs {
+				if isPure(in) {
+					if v, ok := in.(ir.Value); ok && !used[v] {
+						changed = true
+						removed++
+						continue
+					}
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// isPure reports whether removing the instruction cannot change observable
+// behaviour. Loads are pure in this IR (no volatile); calls, stores, frees
+// and terminators are not. A dead malloc only leaks, so it may go too.
+func isPure(in ir.Instr) bool {
+	switch in.(type) {
+	case *ir.BinOp, *ir.Cmp, *ir.Cast, *ir.FieldAddr, *ir.IndexAddr,
+		*ir.Load, *ir.Alloca, *ir.Malloc, *ir.Phi:
+		return true
+	}
+	return false
+}
+
+// RunAll applies mem2reg then DCE to every defined function of the module,
+// the standard pre-analysis pipeline of the Privagic compiler.
+func RunAll(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		Mem2Reg(f)
+		DCE(f)
+		f.RemoveUnreachable()
+	}
+}

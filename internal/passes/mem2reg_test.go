@@ -1,0 +1,163 @@
+package passes
+
+import (
+	"testing"
+
+	"privagic/internal/ir"
+	"privagic/internal/minic"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := minic.Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return mod
+}
+
+func countAllocas(f *ir.Function) int {
+	n := 0
+	f.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if _, ok := in.(*ir.Alloca); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func countPhis(f *ir.Function) int {
+	n := 0
+	f.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if _, ok := in.(*ir.Phi); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestMem2RegPromotesSimpleLocals(t *testing.T) {
+	mod := compile(t, `
+int f(int a) {
+	int x;
+	x = a + 42;
+	return x;
+}`)
+	f := mod.Func("f")
+	Mem2Reg(f)
+	if got := countAllocas(f); got != 0 {
+		t.Errorf("allocas after mem2reg = %d, want 0\n%s", got, f.String2())
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMem2RegInsertsPhiAtJoin(t *testing.T) {
+	mod := compile(t, `
+int f(int a) {
+	int x = 0;
+	if (a > 0) x = 1; else x = 2;
+	return x;
+}`)
+	f := mod.Func("f")
+	Mem2Reg(f)
+	if got := countAllocas(f); got != 0 {
+		t.Errorf("allocas = %d, want 0", got)
+	}
+	if got := countPhis(f); got == 0 {
+		t.Errorf("no φ inserted at join\n%s", f.String2())
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMem2RegLoopPhi(t *testing.T) {
+	mod := compile(t, `
+int sum(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	return s;
+}`)
+	f := mod.Func("sum")
+	Mem2Reg(f)
+	if got := countAllocas(f); got != 0 {
+		t.Errorf("allocas = %d, want 0\n%s", got, f.String2())
+	}
+	if got := countPhis(f); got < 2 {
+		t.Errorf("phis = %d, want >= 2 (s and i at loop head)\n%s", got, f.String2())
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMem2RegKeepsAddressTaken(t *testing.T) {
+	mod := compile(t, `
+void g(int* p);
+int f() {
+	int x = 1;
+	int y = 2;
+	g(&x);
+	return x + y;
+}`)
+	f := mod.Func("f")
+	Mem2Reg(f)
+	// x's address escapes into g: it must stay in memory. y promotes.
+	if got := countAllocas(f); got != 1 {
+		t.Errorf("allocas = %d, want 1 (only &x survives)\n%s", got, f.String2())
+	}
+}
+
+func TestMem2RegKeepsColoredLocals(t *testing.T) {
+	mod := compile(t, `
+int f(int a) {
+	int color(blue) x;
+	x = a;
+	return x;
+}`)
+	f := mod.Func("f")
+	Mem2Reg(f)
+	if got := countAllocas(f); got != 1 {
+		t.Errorf("allocas = %d, want 1 (colored local is real enclave memory)", got)
+	}
+}
+
+func TestDCERemovesDeadCode(t *testing.T) {
+	mod := compile(t, `
+int f(int a) {
+	int dead = a * 1000;
+	return a;
+}`)
+	f := mod.Func("f")
+	Mem2Reg(f)
+	n := DCE(f)
+	if n == 0 {
+		t.Errorf("DCE removed nothing\n%s", f.String2())
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestDCEKeepsCalls(t *testing.T) {
+	mod := compile(t, `
+int g(int a) { return a; }
+int f(int a) {
+	g(a);
+	return a;
+}`)
+	f := mod.Func("f")
+	Mem2Reg(f)
+	DCE(f)
+	calls := 0
+	f.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if _, ok := in.(*ir.Call); ok {
+			calls++
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls after DCE = %d, want 1 (calls may have effects)", calls)
+	}
+}

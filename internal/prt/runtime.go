@@ -1,0 +1,326 @@
+// Package prt is the Privagic runtime (paper §5, §7.3): it runs one worker
+// thread per (application thread × enclave), each with a communication
+// channel implemented as a lock-free FIFO queue stored in unsafe memory,
+// and provides the spawn message, the cont message, and the wait function
+// that the partitioned code uses (§7.3.2).
+//
+// Enclave workers live inside their enclave (the FastSGX model [40]): a
+// message hop costs one queue round trip, not an enclave transition —
+// which is precisely why the paper's Figure 9 shows Privagic beating the
+// Intel SDK's lock-based switchless calls.
+package prt
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"privagic/internal/queue"
+	"privagic/internal/sgx"
+)
+
+// traceEnabled turns on message tracing via the PRT_TRACE environment
+// variable (debugging aid for generated-protocol issues).
+var traceEnabled = os.Getenv("PRT_TRACE") != ""
+
+func tracef(format string, args ...any) {
+	if traceEnabled {
+		fmt.Fprintf(os.Stderr, "prt: "+format+"\n", args...)
+	}
+}
+
+// MsgKind discriminates runtime messages.
+type MsgKind int
+
+// Message kinds: Spawn starts a chunk on the receiving worker; Cont carries
+// a Free value to a waiting chunk; Done is a spawn-completion notification
+// carrying the chunk's return value.
+const (
+	MsgSpawn MsgKind = iota + 1
+	MsgCont
+	MsgDone
+	msgStop
+)
+
+// Message is one element of a worker's lock-free channel.
+type Message struct {
+	Kind MsgKind
+	// Spawn fields.
+	ChunkID   int
+	Args      []any
+	NeedReply bool
+	ReplyTo   *Worker
+	// Cont/Done payload.
+	Payload any
+	// From is the color index of the sending worker (set on Done).
+	From int
+	// Tag matches a cont message with its wait point. Two producers
+	// sending to the same consumer are only ordered through causality,
+	// which goroutine scheduling can break; the static tag (assigned
+	// per transport by the partitioner) makes delivery order-free.
+	Tag int
+}
+
+// ChunkExec executes the body of a chunk; the interpreter and the native
+// benchmark harness plug in here. It runs on the worker's goroutine with
+// the worker's enclave as the active mode.
+type ChunkExec func(w *Worker, chunkID int, args []any) any
+
+// Runtime owns the enclaves and cost accounting of one partitioned
+// application execution.
+type Runtime struct {
+	Machine *sgx.Machine
+	Meter   *sgx.Meter
+	Space   *sgx.AddressSpace
+	Colors  []string // enclave names; index i -> region ID i+1
+	Exec    ChunkExec
+
+	// ValidateSpawn, when set, is consulted inside the enclave before a
+	// spawn message is honored (the §8 future-work defense against
+	// attacker-injected spawns): return false to reject. The check runs
+	// in enclave mode, so the whitelist itself is tamper-proof.
+	ValidateSpawn func(workerIdx, chunkID int) bool
+
+	rejectedSpawns atomic.Int64
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// RejectedSpawns reports how many spawn messages validation refused.
+func (rt *Runtime) RejectedSpawns() int64 { return rt.rejectedSpawns.Load() }
+
+// New creates a runtime with one enclave region per color.
+func New(m *sgx.Machine, colors []string, exec ChunkExec) *Runtime {
+	return &Runtime{
+		Machine: m,
+		Meter:   &sgx.Meter{},
+		Space:   sgx.NewAddressSpace(colors...),
+		Colors:  colors,
+		Exec:    exec,
+	}
+}
+
+// RegionOf maps a color index (0 = unsafe) to its region.
+func (rt *Runtime) RegionOf(colorIdx int) sgx.RegionID {
+	return sgx.RegionID(colorIdx)
+}
+
+// Worker is the execution context bound to one enclave (or to normal mode
+// for index 0) within one application thread.
+type Worker struct {
+	Thread *Thread
+	Index  int // 0 = normal mode; i>0 = enclave i
+	Mode   sgx.Mode
+
+	q *queue.Queue[Message]
+	// pending buffers messages received while waiting for a different
+	// kind.
+	pendingCont []Message
+	pendingDone []Message
+	stopped     chan struct{}
+}
+
+// Thread models one application thread: the normal-mode context plus one
+// worker goroutine per enclave ("for each thread of the application,
+// Privagic runs one worker thread per enclave", §8).
+type Thread struct {
+	RT      *Runtime
+	Workers []*Worker // index 0 is the app thread itself (normal mode)
+	wg      sync.WaitGroup
+}
+
+// NewThread creates the workers of one application thread and starts the
+// enclave goroutines.
+func (rt *Runtime) NewThread() *Thread {
+	t := &Thread{RT: rt}
+	for i := 0; i <= len(rt.Colors); i++ {
+		w := &Worker{
+			Thread:  t,
+			Index:   i,
+			Mode:    rt.RegionOf(i),
+			q:       queue.New[Message](),
+			stopped: make(chan struct{}),
+		}
+		t.Workers = append(t.Workers, w)
+	}
+	for _, w := range t.Workers[1:] {
+		t.wg.Add(1)
+		go w.loop(&t.wg)
+		// Starting a worker inside an enclave costs one transition.
+		rt.Meter.ChargeTransition(&rt.Machine.Cost)
+	}
+	rt.mu.Lock()
+	rt.threads = append(rt.threads, t)
+	rt.mu.Unlock()
+	return t
+}
+
+// Close stops the thread's enclave workers and waits for them to exit.
+func (t *Thread) Close() {
+	for _, w := range t.Workers[1:] {
+		w.q.Enqueue(Message{Kind: msgStop})
+	}
+	t.wg.Wait()
+}
+
+// Normal returns the normal-mode context of the thread.
+func (t *Thread) Normal() *Worker { return t.Workers[0] }
+
+// Worker returns the worker bound to colorIdx (0 = normal mode).
+func (t *Thread) Worker(colorIdx int) *Worker { return t.Workers[colorIdx] }
+
+// loop is the top-level scheduler of an enclave worker: it executes spawn
+// messages forever (Figure 7's "wait()" at the top of each enclave column).
+func (w *Worker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer close(w.stopped)
+	for {
+		msg := w.q.DequeueBlock()
+		switch msg.Kind {
+		case msgStop:
+			return
+		case MsgSpawn:
+			w.runSpawn(msg)
+		case MsgCont, MsgDone:
+			// A message for a chunk that is not running. With
+			// correct generated code this cannot happen; after a
+			// chunk crashed mid-protocol (and was recovered by the
+			// executor) its peers' leftover messages land here, so
+			// dropping them keeps the worker alive for the next
+			// request.
+			continue
+		}
+	}
+}
+
+// runSpawn executes a spawned chunk and reports completion.
+func (w *Worker) runSpawn(msg Message) {
+	tracef("w%d run spawn chunk=%d", w.Index, msg.ChunkID)
+	rt := w.Thread.RT
+	if rt.ValidateSpawn != nil && !rt.ValidateSpawn(w.Index, msg.ChunkID) {
+		rt.rejectedSpawns.Add(1)
+		if msg.ReplyTo != nil {
+			// Still complete the join so legitimate peers cannot be
+			// deadlocked by a rejected injection racing a real spawn.
+			rt.send(msg.ReplyTo, Message{Kind: MsgDone, From: w.Index})
+		}
+		return
+	}
+	ret := rt.Exec(w, msg.ChunkID, msg.Args)
+	if msg.ReplyTo != nil {
+		w.Thread.RT.send(msg.ReplyTo, Message{Kind: MsgDone, Payload: ret, From: w.Index})
+	}
+}
+
+// send enqueues a message, charging one queue hop.
+func (rt *Runtime) send(to *Worker, msg Message) {
+	tracef("send -> w%d kind=%d chunk=%d tag=%d", to.Index, msg.Kind, msg.ChunkID, msg.Tag)
+	rt.Meter.ChargeMessage(&rt.Machine.Cost)
+	to.q.Enqueue(msg)
+}
+
+// Spawn sends a spawn message for chunkID to the worker of colorIdx in the
+// same thread (§7.3.2). The completion Done is routed back to the caller.
+func (w *Worker) Spawn(colorIdx int, chunkID int, args []any, needReply bool) {
+	target := w.Thread.Worker(colorIdx)
+	w.Thread.RT.send(target, Message{
+		Kind: MsgSpawn, ChunkID: chunkID, Args: args,
+		NeedReply: needReply, ReplyTo: w,
+	})
+}
+
+// SendCont sends a Free value to the worker of colorIdx in the same thread
+// (the cont message of §7.3.2), tagged with its wait point.
+func (w *Worker) SendCont(colorIdx int, tag int, payload any) {
+	w.Thread.RT.send(w.Thread.Worker(colorIdx), Message{Kind: MsgCont, Payload: payload, Tag: tag})
+}
+
+// Wait blocks until the cont message with the given tag arrives and
+// returns its payload, executing any spawn messages that arrive in the
+// meantime (this is what lets Figure 7's main.U run g.U between its two
+// waits). Conts with other tags are buffered for their own wait points.
+func (w *Worker) Wait(tag int) any {
+	tracef("w%d wait tag=%d", w.Index, tag)
+	for i, msg := range w.pendingCont {
+		if msg.Tag == tag {
+			w.pendingCont = append(w.pendingCont[:i], w.pendingCont[i+1:]...)
+			return msg.Payload
+		}
+	}
+	for {
+		msg := w.q.DequeueBlock()
+		switch msg.Kind {
+		case MsgCont:
+			if msg.Tag == tag {
+				return msg.Payload
+			}
+			w.pendingCont = append(w.pendingCont, msg)
+		case MsgSpawn:
+			w.runSpawn(msg)
+		case MsgDone:
+			w.pendingDone = append(w.pendingDone, msg)
+		case msgStop:
+			panic("prt: worker stopped while waiting for cont")
+		}
+	}
+}
+
+// JoinOne waits for a single spawn completion and returns the whole Done
+// message (the interface versions of §7.3.4 need the sender identity to
+// pick the chunk carrying the return color). Spawns arriving in the
+// meantime are executed; conts are buffered.
+func (w *Worker) JoinOne() Message {
+	if len(w.pendingDone) > 0 {
+		msg := w.pendingDone[0]
+		w.pendingDone = w.pendingDone[1:]
+		return msg
+	}
+	for {
+		msg := w.q.DequeueBlock()
+		switch msg.Kind {
+		case MsgDone:
+			return msg
+		case MsgSpawn:
+			w.runSpawn(msg)
+		case MsgCont:
+			w.pendingCont = append(w.pendingCont, msg)
+		case msgStop:
+			panic("prt: worker stopped while joining")
+		}
+	}
+}
+
+// Join waits for n spawn completions and returns the payload of the last
+// non-nil one (the partitioner arranges for at most one meaningful result).
+// Spawn messages arriving in the meantime are executed.
+func (w *Worker) Join(n int) any {
+	tracef("w%d join n=%d", w.Index, n)
+	var result any
+	take := func(msg Message) {
+		if msg.Payload != nil {
+			result = msg.Payload
+		}
+	}
+	for n > 0 && len(w.pendingDone) > 0 {
+		take(w.pendingDone[0])
+		w.pendingDone = w.pendingDone[1:]
+		n--
+	}
+	for n > 0 {
+		msg := w.q.DequeueBlock()
+		switch msg.Kind {
+		case MsgDone:
+			take(msg)
+			n--
+		case MsgSpawn:
+			w.runSpawn(msg)
+		case MsgCont:
+			w.pendingCont = append(w.pendingCont, msg)
+		case msgStop:
+			panic("prt: worker stopped while joining")
+		}
+	}
+	return result
+}

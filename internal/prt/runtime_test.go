@@ -1,0 +1,210 @@
+package prt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"privagic/internal/sgx"
+)
+
+// testRT builds a runtime whose Exec is a dispatch table of chunk bodies.
+func testRT(t *testing.T, colors []string, chunks map[int]func(w *Worker, args []any) any) *Runtime {
+	t.Helper()
+	rt := New(sgx.MachineB(), colors, func(w *Worker, chunkID int, args []any) any {
+		fn := chunks[chunkID]
+		if fn == nil {
+			t.Errorf("spawned unknown chunk %d", chunkID)
+			return nil
+		}
+		return fn(w, args)
+	})
+	return rt
+}
+
+// TestSpawnJoin checks the basic §7.3.2 protocol: a normal-mode caller
+// spawns a chunk into an enclave worker and joins its completion.
+func TestSpawnJoin(t *testing.T) {
+	var ran atomic.Int32
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			ran.Add(1)
+			return args[0].(int) * 2
+		},
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, []any{21}, true)
+	got := u.Join(1)
+	if got != 42 {
+		t.Errorf("Join = %v, want 42", got)
+	}
+	if ran.Load() != 1 {
+		t.Errorf("chunk ran %d times", ran.Load())
+	}
+	if u.Mode != sgx.Unsafe {
+		t.Error("normal context has wrong mode")
+	}
+	if th.Worker(1).Mode != 1 {
+		t.Error("enclave worker has wrong mode")
+	}
+}
+
+// TestContDelivery checks cont message payload delivery with tags.
+func TestContDelivery(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			// The enclave chunk sends a tagged value back to normal
+			// mode, then returns.
+			w.SendCont(0, 7, "payload")
+			return nil
+		},
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	if got := u.Wait(7); got != "payload" {
+		t.Errorf("Wait(7) = %v", got)
+	}
+	u.Join(1)
+}
+
+// TestTaggedWaitsAreOrderFree reproduces the race the tags exist for: two
+// producers send differently-tagged conts to the same consumer in an
+// arbitrary order; each wait still receives its own value.
+func TestTaggedWaitsAreOrderFree(t *testing.T) {
+	rt := testRT(t, []string{"blue", "red"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { // blue
+			w.SendCont(0, 100, "from-blue")
+			return nil
+		},
+		2: func(w *Worker, args []any) any { // red
+			w.SendCont(0, 200, "from-red")
+			return nil
+		},
+	})
+	for i := 0; i < 50; i++ {
+		th := rt.NewThread()
+		u := th.Normal()
+		u.Spawn(1, 1, nil, true)
+		u.Spawn(2, 2, nil, true)
+		// Consume in the opposite order of a possible arrival order.
+		red := u.Wait(200)
+		blue := u.Wait(100)
+		if red != "from-red" || blue != "from-blue" {
+			t.Fatalf("tag routing failed: %v / %v", red, blue)
+		}
+		u.Join(2)
+		th.Close()
+	}
+}
+
+// TestWaitExecutesSpawns checks the Figure 7 semantics: a worker blocked in
+// wait() runs spawn messages that arrive in the meantime (main.U runs g.U
+// between its two waits).
+func TestWaitExecutesSpawns(t *testing.T) {
+	var nested atomic.Int32
+	var rt *Runtime
+	rt = testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			// Enclave chunk: first make normal mode run a nested
+			// chunk, then unblock it.
+			w.Thread.Normal().enqueueSpawnForTest(2, w)
+			w.SendCont(0, 5, 99)
+			return nil
+		},
+		2: func(w *Worker, args []any) any {
+			nested.Add(1)
+			return nil
+		},
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	if got := u.Wait(5); got != 99 {
+		t.Errorf("Wait = %v", got)
+	}
+	if nested.Load() != 1 {
+		t.Error("nested spawn did not run inside Wait")
+	}
+	u.Join(1)
+}
+
+// enqueueSpawnForTest lets a test route a spawn at a specific worker.
+func (w *Worker) enqueueSpawnForTest(chunkID int, from *Worker) {
+	w.Thread.RT.send(w, Message{Kind: MsgSpawn, ChunkID: chunkID, ReplyTo: nil})
+	_ = from
+}
+
+// TestJoinOneCarriesSender checks the From field the interface versions
+// use to pick the chunk carrying the return color.
+func TestJoinOneCarriesSender(t *testing.T) {
+	rt := testRT(t, []string{"blue", "red"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return "blue-result" },
+		2: func(w *Worker, args []any) any { return "red-result" },
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	u.Spawn(2, 2, nil, true)
+	got := map[int]any{}
+	for i := 0; i < 2; i++ {
+		msg := u.JoinOne()
+		got[msg.From] = msg.Payload
+	}
+	if got[1] != "blue-result" || got[2] != "red-result" {
+		t.Errorf("JoinOne senders wrong: %v", got)
+	}
+}
+
+// TestMessageCostAccounting checks that every hop charges the meter.
+func TestMessageCostAccounting(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return nil },
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	before, _, _, _ := rt.Meter.Counts()
+	_ = before
+	_, msgBefore, _, _ := rt.Meter.Counts()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	u.Join(1)
+	_, msgAfter, _, _ := rt.Meter.Counts()
+	if msgAfter-msgBefore != 2 { // spawn + done
+		t.Errorf("messages charged = %d, want 2", msgAfter-msgBefore)
+	}
+}
+
+// TestParallelThreads checks thread isolation: each application thread has
+// its own workers and queues (paper §8: one worker per thread per enclave).
+func TestParallelThreads(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return args[0] },
+	})
+	done := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			th := rt.NewThread()
+			defer th.Close()
+			u := th.Normal()
+			for j := 0; j < 100; j++ {
+				u.Spawn(1, 1, []any{i*1000 + j}, true)
+				if got := u.Join(1); got != i*1000+j {
+					t.Errorf("thread %d: Join = %v", i, got)
+					done <- false
+					return
+				}
+			}
+			done <- true
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if !<-done {
+			t.Fatal("a thread failed")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package queue provides the lock-free FIFO communication channel of the
+// Privagic runtime (paper §7.3.2: "each worker thread has a communication
+// channel implemented as a lock-free FIFO queue stored in unsafe memory",
+// citing Michael & Scott and Herlihy & Shavit [21, 28]).
+//
+// The implementation is a Michael–Scott queue on atomic pointers. Go's
+// garbage collector plays the role of the hazard-pointer reclamation scheme
+// of [28], which is exactly the simplification those papers anticipate for
+// managed runtimes.
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// node is one queue cell.
+type node[T any] struct {
+	val  T
+	next atomic.Pointer[node[T]]
+}
+
+// Queue is a multi-producer multi-consumer lock-free FIFO.
+// The zero value is not ready; use New.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]] // sentinel; head.next is the front
+	tail atomic.Pointer[node[T]]
+
+	enqueues atomic.Int64
+	dequeues atomic.Int64
+}
+
+// New creates an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v (Michael–Scott two-step publish).
+func (q *Queue[T]) Enqueue(v T) {
+	n := &node[T]{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us
+		}
+		if next != nil {
+			// Help a stalled producer finish swinging the tail.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.enqueues.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the front element, reporting false when the
+// queue is empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return zero, false
+		}
+		if head == tail {
+			// Tail lagging behind: help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(head, next) {
+			q.dequeues.Add(1)
+			next.val = zero // drop the reference for the GC
+			return v, true
+		}
+	}
+}
+
+// DequeueBlock spins (with a scheduler yield) until an element arrives.
+// The Privagic runtime's wait primitive is built on it.
+func (q *Queue[T]) DequeueBlock() T {
+	for i := 0; ; i++ {
+		if v, ok := q.Dequeue(); ok {
+			return v
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Len returns an instantaneous (racy) element count, useful for stats.
+func (q *Queue[T]) Len() int64 {
+	n := q.enqueues.Load() - q.dequeues.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Stats returns total enqueue and dequeue counts (the message-cost input of
+// the SGX cost model).
+func (q *Queue[T]) Stats() (enqueues, dequeues int64) {
+	return q.enqueues.Load(), q.dequeues.Load()
+}

@@ -1,0 +1,20 @@
+package sources
+
+import (
+	"testing"
+
+	"privagic/internal/typing"
+)
+
+// TestMemcachedCoreMatchesPlain checks the §9.2 port end to end in
+// hardened mode, as the paper generated it.
+func TestMemcachedCoreMatchesPlain(t *testing.T) {
+	want := runProgram(t, "mc-plain", MemcachedCorePlain, typing.Hardened)
+	got := runProgram(t, "mc-colored", MemcachedCoreColored, typing.Hardened)
+	if want == 0 {
+		t.Fatal("plain memcached core produced 0 hits")
+	}
+	if got != want {
+		t.Errorf("colored memcached core returns %d, plain returns %d", got, want)
+	}
+}

@@ -1,0 +1,24 @@
+package sources
+
+import (
+	"testing"
+
+	"privagic/internal/minic"
+	"privagic/internal/passes"
+	"privagic/internal/typing"
+)
+
+// TestMemcachedScaffoldTypeChecks analyzes EVERY function of the colored
+// memcached core (including the protocol scaffold) in hardened mode.
+func TestMemcachedScaffoldTypeChecks(t *testing.T) {
+	mod, err := minic.Compile("mc.c", MemcachedCoreColored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.RunAll(mod)
+	entries := []string{"run_ycsb", "dispatch", "stats_total", "checksum", "mc_items"}
+	an := typing.Analyze(mod, typing.Options{Mode: typing.Hardened, Entries: entries})
+	if err := an.Err(); err != nil {
+		t.Fatalf("scaffold does not type-check: %v", err)
+	}
+}

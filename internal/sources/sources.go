@@ -1,0 +1,599 @@
+// Package sources holds the MiniC programs of the evaluation: the three
+// data structures of §9.3 (linked list, treemap, hashmap) and the
+// memcached core of §9.2, each in an unprotected variant and in the
+// colored variant a developer would write for Privagic. The pairs drive
+// three experiments:
+//
+//   - engineering effort (§9.2.1, §9.3.1): the line diff between the two
+//     variants is the paper's "modified lines of code" metric;
+//   - Table 4: the colored memcached core's partition yields the TCB
+//     numbers;
+//   - correctness: every colored variant compiles through the full
+//     pipeline and runs on the simulated SGX machine with the same
+//     results as its unprotected twin.
+//
+// Each program embeds a deterministic YCSB-style driver (an LCG over a
+// small keyspace) because in hardened mode an enclave may not branch on
+// untrusted inputs: like the paper's C reimplementation of YCSB (§9.3),
+// the load generator is part of the program, so keys are Free values that
+// every chunk replicates.
+package sources
+
+// ListPlain is the unprotected linked-list map.
+const ListPlain = `
+ignore void declassify(char* dst, char* src, long n);
+struct node { long key; char value[64]; struct node* next; };
+struct node* head;
+char out[64];
+
+void map_put(long k, char* v) {
+	struct node* n = head;
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->next = head;
+	head = n;
+}
+long map_get(long k) {
+	struct node* n = head;
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 42;
+	long hits = 0;
+	char buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// ListColored is the Privagic port of the list: the paper reports at most
+// 5 modified lines for the single-color structures (§9.3.1).
+const ListColored = `
+ignore void declassify(char* dst, char color(blue)* src, long n);
+struct node { long color(blue) key; char color(blue) value[64]; struct node color(blue)* next; };
+struct node color(blue)* color(blue) head;
+char out[64];
+
+void map_put(long k, char color(blue)* v) {
+	struct node color(blue)* n = head;
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->next = head;
+	head = n;
+}
+long map_get(long k) {
+	struct node color(blue)* n = head;
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 42;
+	long hits = 0;
+	char color(blue) buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// TreemapPlain is the unprotected binary-search-tree map (the paper's
+// balanced treemap stands in for any pointer-chasing tree; balancing does
+// not change the coloring story).
+const TreemapPlain = `
+ignore void declassify(char* dst, char* src, long n);
+struct node { long key; char value[64]; struct node* left; struct node* right; };
+struct node* root;
+char out[64];
+
+void map_put(long k, char* v) {
+	struct node* n = root;
+	struct node* parent = 0;
+	long goleft = 0;
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		parent = n;
+		if (k < n->key) { goleft = 1; n = n->left; }
+		else { goleft = 0; n = n->right; }
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->left = 0;
+	n->right = 0;
+	if (parent == 0) { root = n; return; }
+	if (goleft) { parent->left = n; } else { parent->right = n; }
+}
+long map_get(long k) {
+	struct node* n = root;
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		if (k < n->key) { n = n->left; } else { n = n->right; }
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 7;
+	long hits = 0;
+	char buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// TreemapColored is the Privagic port of the treemap.
+const TreemapColored = `
+ignore void declassify(char* dst, char color(blue)* src, long n);
+struct node { long color(blue) key; char color(blue) value[64]; struct node color(blue)* left; struct node color(blue)* right; };
+struct node color(blue)* color(blue) root;
+char out[64];
+
+void map_put(long k, char color(blue)* v) {
+	struct node color(blue)* n = root;
+	struct node color(blue)* parent = 0;
+	long goleft = 0;
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		parent = n;
+		if (k < n->key) { goleft = 1; n = n->left; }
+		else { goleft = 0; n = n->right; }
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->left = 0;
+	n->right = 0;
+	if (parent == 0) { root = n; return; }
+	if (goleft) { parent->left = n; } else { parent->right = n; }
+}
+long map_get(long k) {
+	struct node color(blue)* n = root;
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		if (k < n->key) { n = n->left; } else { n = n->right; }
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 7;
+	long hits = 0;
+	char color(blue) buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// HashmapPlain is the unprotected separate-chaining hashmap (§9.3: "an
+// array of linked lists, in which each linked list contains the keys that
+// collide").
+const HashmapPlain = `
+ignore void declassify(char* dst, char* src, long n);
+struct node { long key; char value[64]; struct node* next; };
+struct node* buckets[64];
+char out[64];
+
+long bucket_of(long k) {
+	return ((k * 2654435761) >> 4) & 63;
+}
+void map_put(long k, char* v) {
+	long h = bucket_of(k);
+	struct node* n = buckets[h];
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->next = buckets[h];
+	buckets[h] = n;
+}
+long map_get(long k) {
+	long h = bucket_of(k);
+	struct node* n = buckets[h];
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 99;
+	long hits = 0;
+	char buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// HashmapColored1 is the single-color Privagic port of the hashmap.
+const HashmapColored1 = `
+ignore void declassify(char* dst, char color(blue)* src, long n);
+struct node { long color(blue) key; char color(blue) value[64]; struct node color(blue)* next; };
+struct node color(blue)* color(blue) buckets[64];
+char out[64];
+
+long bucket_of(long k) {
+	return ((k * 2654435761) >> 4) & 63;
+}
+void map_put(long k, char color(blue)* v) {
+	long h = bucket_of(k);
+	struct node color(blue)* n = buckets[h];
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->next = buckets[h];
+	buckets[h] = n;
+}
+long map_get(long k) {
+	long h = bucket_of(k);
+	struct node color(blue)* n = buckets[h];
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 99;
+	long hits = 0;
+	char color(blue) buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// HashmapColored2 is the two-color Privagic port of §9.3 (Figure 10): the
+// keys live in the red enclave and the values in the blue enclave, built
+// in relaxed mode on a multi-color structure (§7.2). As in the paper, the
+// red key comparison must be declassified before it may gate blue code
+// ("1 line to declassify the result of a call to a hash function" plus the
+// get declassifications).
+const HashmapColored2 = `
+ignore void declassify(char* dst, char color(blue)* src, long n);
+ignore long reveal(long color(red) v);
+struct node { long color(red) key; char color(blue) value[64]; struct node* next; };
+struct node* buckets[64];
+char out[64];
+
+long bucket_of(long k) {
+	return ((k * 2654435761) >> 4) & 63;
+}
+void map_put(long k, char color(blue)* v) {
+	long h = bucket_of(k);
+	struct node* n = buckets[h];
+	while (n != 0) {
+		if (reveal(n->key == k)) { memcpy(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct node));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->next = buckets[h];
+	buckets[h] = n;
+}
+long map_get(long k) {
+	long h = bucket_of(k);
+	struct node* n = buckets[h];
+	while (n != 0) {
+		if (reveal(n->key == k)) { declassify(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+entry long run_ycsb() {
+	long seed = 99;
+	long hits = 0;
+	char color(blue) buf[64];
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { map_put(key, buf); }
+		else { hits = hits + map_get(key); }
+	}
+	return hits;
+}
+`
+
+// MemcachedCorePlain is the unprotected core of the mini-memcached of
+// §9.2: the central chained hash table with set/get/delete, sized down
+// (64-byte values, 256 buckets) but structurally identical to the store
+// that internal/memcached serves over TCP.
+const MemcachedCorePlain = `
+struct item { long key; char value[64]; struct item* next; };
+struct item* table[256];
+char out[64];
+char inbuf[64];
+long items = 0;
+
+long hash_of(long k) {
+	return (k * 2654435761) & 255;
+}
+void mc_set(long k, char* v) {
+	long h = hash_of(k);
+	struct item* n = table[h];
+	while (n != 0) {
+		if (n->key == k) { memcpy(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct item));
+	n->key = k;
+	memcpy(n->value, v, 64);
+	n->next = table[h];
+	table[h] = n;
+	items = items + 1;
+}
+long mc_get(long k) {
+	long h = hash_of(k);
+	struct item* n = table[h];
+	while (n != 0) {
+		if (n->key == k) { memcpy(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+long mc_items() {
+	return items;
+}
+
+long req_op[1];
+long req_key[1];
+char req_val[64];
+long stat_gets = 0;
+long stat_sets = 0;
+long stat_bad = 0;
+
+long parse_digit(char c) {
+	if (c < '0') { return -1; }
+	if (c > '9') { return -1; }
+	return c - '0';
+}
+long parse_number(char* s, long n) {
+	long v = 0;
+	for (long i = 0; i < n; i++) {
+		long d = parse_digit(s[i]);
+		if (d < 0) { return v; }
+		v = v * 10 + d;
+	}
+	return v;
+}
+long parse_request(char* line, long n) {
+	if (n < 4) { stat_bad = stat_bad + 1; return 0; }
+	if (line[0] == 'g') {
+		req_op[0] = 1;
+		req_key[0] = parse_number(line + 4, n - 4);
+		stat_gets = stat_gets + 1;
+		return 1;
+	}
+	if (line[0] == 's') {
+		req_op[0] = 2;
+		req_key[0] = parse_number(line + 4, n - 4);
+		stat_sets = stat_sets + 1;
+		return 1;
+	}
+	stat_bad = stat_bad + 1;
+	return 0;
+}
+long format_response(char* dst, long hit, long nbytes) {
+	long i = 0;
+	if (hit) {
+		dst[0] = 'V'; dst[1] = 'A'; dst[2] = 'L'; dst[3] = ' ';
+		i = 4;
+		long v = nbytes;
+		while (v > 0) { dst[i] = '0' + (v % 10); v = v / 10; i = i + 1; }
+	} else {
+		dst[0] = 'E'; dst[1] = 'N'; dst[2] = 'D';
+		i = 3;
+	}
+	dst[i] = 0;
+	return i;
+}
+long checksum(char* p, long n) {
+	long sum = 0;
+	for (long i = 0; i < n; i++) { sum = (sum * 31 + p[i]) & 16777215; }
+	return sum;
+}
+long stats_total() {
+	return stat_gets + stat_sets + stat_bad;
+}
+long dispatch(char* line, long n, char* resp) {
+	if (parse_request(line, n) == 0) { return format_response(resp, 0, 0); }
+	if (req_op[0] == 1) {
+		long hit = mc_get(req_key[0]);
+		return format_response(resp, hit, 64);
+	}
+	mc_set(req_key[0], req_val);
+	return format_response(resp, 1, 0);
+}
+entry long run_ycsb() {
+	long seed = 11;
+	long hits = 0;
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { mc_set(key, inbuf); }
+		else { hits = hits + mc_get(key); }
+	}
+	return hits;
+}
+`
+
+// MemcachedCoreColored is the Privagic port: the central map is colored
+// (paper §9.2: "2 [lines] to add the colors to the central map, and 7 to
+// declassify the values"), compiled in hardened mode as in the paper. Keys
+// enter the enclave through annotated entry parameters and values through
+// ignore-annotated classify/declassify copies (§6.4).
+const MemcachedCoreColored = `
+ignore void classify(char color(store)* dst, char* src, long n);
+ignore void declassify(char* dst, char color(store)* src, long n);
+ignore long reveal(long color(store) v);
+ignore void classify_key(long color(store)* dst, long* src);
+long color(store) kslot;
+struct item { long color(store) key; char color(store) value[64]; struct item color(store)* next; };
+struct item color(store)* color(store) table[256];
+char out[64];
+char inbuf[64];
+long color(store) items = 0;
+
+long hash_of(long k) {
+	return (k * 2654435761) & 255;
+}
+void mc_set(long color(store) k, char* v) {
+	long h = hash_of(k);
+	struct item color(store)* n = table[h];
+	while (n != 0) {
+		if (n->key == k) { classify(n->value, v, 64); return; }
+		n = n->next;
+	}
+	n = malloc(sizeof(struct item));
+	n->key = k;
+	classify(n->value, v, 64);
+	n->next = table[h];
+	table[h] = n;
+	items = items + 1;
+}
+long mc_get(long color(store) k) {
+	long h = hash_of(k);
+	struct item color(store)* n = table[h];
+	while (n != 0) {
+		if (n->key == k) { declassify(out, n->value, 64); return 1; }
+		n = n->next;
+	}
+	return 0;
+}
+long mc_items() {
+	return reveal(items);
+}
+
+long req_op[1];
+long req_key[1];
+char req_val[64];
+long stat_gets = 0;
+long stat_sets = 0;
+long stat_bad = 0;
+
+long parse_digit(char c) {
+	if (c < '0') { return -1; }
+	if (c > '9') { return -1; }
+	return c - '0';
+}
+long parse_number(char* s, long n) {
+	long v = 0;
+	for (long i = 0; i < n; i++) {
+		long d = parse_digit(s[i]);
+		if (d < 0) { return v; }
+		v = v * 10 + d;
+	}
+	return v;
+}
+long parse_request(char* line, long n) {
+	if (n < 4) { stat_bad = stat_bad + 1; return 0; }
+	if (line[0] == 'g') {
+		req_op[0] = 1;
+		req_key[0] = parse_number(line + 4, n - 4);
+		stat_gets = stat_gets + 1;
+		return 1;
+	}
+	if (line[0] == 's') {
+		req_op[0] = 2;
+		req_key[0] = parse_number(line + 4, n - 4);
+		stat_sets = stat_sets + 1;
+		return 1;
+	}
+	stat_bad = stat_bad + 1;
+	return 0;
+}
+long format_response(char* dst, long hit, long nbytes) {
+	long i = 0;
+	if (hit) {
+		dst[0] = 'V'; dst[1] = 'A'; dst[2] = 'L'; dst[3] = ' ';
+		i = 4;
+		long v = nbytes;
+		while (v > 0) { dst[i] = '0' + (v % 10); v = v / 10; i = i + 1; }
+	} else {
+		dst[0] = 'E'; dst[1] = 'N'; dst[2] = 'D';
+		i = 3;
+	}
+	dst[i] = 0;
+	return i;
+}
+long checksum(char* p, long n) {
+	long sum = 0;
+	for (long i = 0; i < n; i++) { sum = (sum * 31 + p[i]) & 16777215; }
+	return sum;
+}
+long stats_total() {
+	return stat_gets + stat_sets + stat_bad;
+}
+long dispatch(char* line, long n, char* resp) {
+	if (parse_request(line, n) == 0) { return format_response(resp, 0, 0); }
+	classify_key(&kslot, req_key);
+	long k = kslot;
+	if (req_op[0] == 1) {
+		long hit = reveal(mc_get(k));
+		return format_response(resp, hit, 64);
+	}
+	mc_set(k, req_val);
+	return format_response(resp, 1, 0);
+}
+entry long run_ycsb() {
+	long seed = 11;
+	long hits = 0;
+	for (long i = 0; i < 600; i++) {
+		seed = (seed * 1103515245 + 12345) & 2147483647;
+		long key = seed % 40;
+		if ((seed & 15) < 8) { mc_set(key, inbuf); }
+		else { hits = hits + mc_get(key); }
+	}
+	return hits;
+}
+`

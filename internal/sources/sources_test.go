@@ -1,0 +1,102 @@
+package sources
+
+import (
+	"testing"
+
+	"privagic/internal/interp"
+	"privagic/internal/ir"
+	"privagic/internal/minic"
+	"privagic/internal/partition"
+	"privagic/internal/passes"
+	"privagic/internal/sgx"
+	"privagic/internal/typing"
+)
+
+// runProgram compiles and runs one MiniC program, returning run_ycsb's
+// result.
+func runProgram(t *testing.T, name, src string, mode typing.Mode) int64 {
+	t.Helper()
+	mod, err := minic.Compile(name, src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	passes.RunAll(mod)
+	an := typing.Analyze(mod, typing.Options{Mode: mode, Entries: []string{"run_ycsb"}})
+	if err := an.Err(); err != nil {
+		t.Fatalf("%s: typing: %v", name, err)
+	}
+	prog, err := partition.Partition(an)
+	if err != nil {
+		t.Fatalf("%s: partition: %v", name, err)
+	}
+	ip := interp.New(prog, sgx.MachineA())
+	defer ip.Close()
+	ret, err := ip.Call("run_ycsb")
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	return ret
+}
+
+// TestColoredVariantsMatchPlain runs every colored data structure and
+// checks it computes exactly what its unprotected twin computes — the
+// partition must preserve semantics.
+func TestColoredVariantsMatchPlain(t *testing.T) {
+	cases := []struct {
+		name         string
+		plain, color string
+		coloredMode  typing.Mode
+	}{
+		{"list", ListPlain, ListColored, typing.Hardened},
+		{"treemap", TreemapPlain, TreemapColored, typing.Hardened},
+		{"hashmap1", HashmapPlain, HashmapColored1, typing.Hardened},
+		{"hashmap2", HashmapPlain, HashmapColored2, typing.Relaxed},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want := runProgram(t, tc.name+"-plain", tc.plain, typing.Hardened)
+			got := runProgram(t, tc.name+"-colored", tc.color, tc.coloredMode)
+			if want == 0 {
+				t.Fatalf("plain variant produced 0 hits; driver broken")
+			}
+			if got != want {
+				t.Errorf("colored returns %d, plain returns %d", got, want)
+			}
+		})
+	}
+}
+
+// TestColoredHashmapUsesEnclave checks that the colored hashmap really
+// places the map in an enclave: the blue region must hold the node data.
+func TestColoredHashmapUsesEnclave(t *testing.T) {
+	mod, err := minic.Compile("hm.c", HashmapColored1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes.RunAll(mod)
+	an := typing.Analyze(mod, typing.Options{Mode: typing.Hardened, Entries: []string{"run_ycsb"}})
+	if err := an.Err(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := partition.Partition(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(prog, sgx.MachineA())
+	defer ip.Close()
+	if _, err := ip.Call("run_ycsb"); err != nil {
+		t.Fatal(err)
+	}
+	blueIdx := prog.ColorIndex(analysisColor(an))
+	blue := ip.RT.Space.Region(sgx.RegionID(blueIdx))
+	if blue.Used() == 0 {
+		t.Error("blue enclave region holds no data; the map was not placed inside")
+	}
+	_, messages, _, _ := ip.RT.Meter.Counts()
+	if messages == 0 {
+		t.Error("no queue messages; the partition did not use the runtime")
+	}
+}
+
+func analysisColor(an *typing.Analysis) ir.Color { return an.Colors[0] }

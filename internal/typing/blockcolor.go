@@ -1,0 +1,67 @@
+package typing
+
+import (
+	"privagic/internal/ir"
+)
+
+// blockColors implements Rule 4 (implicit indirect leaks, §6.1.1): when a
+// conditional jump is controlled by a C register, every basic block on a
+// path from the branch to its immediate post-dominator — the joining point
+// of the "if" — takes the color C. The joining point itself stays
+// uncolored, because it no longer carries sensitive control-flow
+// information.
+func (a *Analysis) blockColors(s *FuncSpec) {
+	fn := s.Fn
+	pdom := ir.PostDominators(fn)
+	for _, b := range fn.Blocks {
+		term, ok := b.Terminator().(*ir.CondBr)
+		if !ok {
+			continue
+		}
+		c := a.colorOf(s, term.Cond)
+		if !c.IsEnclave() {
+			// Rule 4 protects the confidentiality of the condition:
+			// only enclave-colored conditions leak through control
+			// flow. A U condition is attacker-known already, and
+			// untrusted control over which chunks run is the spawn
+			// surface the paper's §8 explicitly leaves open.
+			continue
+		}
+		join := pdom.Idom(b)
+		for _, r := range regionBlocks(b, term, join) {
+			cur, has := s.BlockColor[r]
+			if !has || cur.IsFree() {
+				s.BlockColor[r] = c
+				a.setChanged()
+				continue
+			}
+			if cur != c {
+				a.errorf(ErrIncompatible, term.InstrPos(), fn.FName,
+					"basic block %%%s is controlled by both a %s and a %s condition", r.BName, cur, c)
+			}
+		}
+	}
+}
+
+// regionBlocks returns the blocks reachable from the branch targets without
+// crossing the joining point (nil join means the branch never rejoins, e.g.
+// a loop around return: the whole reachable region is colored).
+func regionBlocks(b *ir.Block, term *ir.CondBr, join *ir.Block) []*ir.Block {
+	seen := map[*ir.Block]bool{b: true}
+	if join != nil {
+		seen[join] = true
+	}
+	var out []*ir.Block
+	stack := []*ir.Block{term.Then, term.Else}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		out = append(out, x)
+		stack = append(stack, x.Succs()...)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package typing
+
+import (
+	"privagic/internal/ir"
+)
+
+// visitCall implements the call rules of §6.2–§6.4: specialization of local
+// functions per argument colors, U-typing of external and indirect calls,
+// enclave placement of within calls, and the argument-ignoring behaviour of
+// ignore functions used for classify/declassify.
+func (a *Analysis) visitCall(s *FuncSpec, b *ir.Block, c *ir.Call) {
+	pos := c.InstrPos()
+	callee, direct := c.Callee.(*ir.Function)
+	switch {
+	case direct && !callee.External:
+		a.visitLocalCall(s, c, callee, pos)
+	case direct && (callee.Within || callee.Ignore):
+		a.visitWithinCall(s, c, callee, pos)
+	case direct:
+		a.visitExternalCall(s, c, callee.FName, pos)
+	default:
+		// Indirect call: conservatively a call into the untrusted
+		// part of the application (§6.3).
+		a.visitExternalCall(s, c, "<indirect>", pos)
+	}
+}
+
+// visitLocalCall specializes the callee with the actual argument colors and
+// propagates the callee's return color back to the call result (§6.2).
+func (a *Analysis) visitLocalCall(s *FuncSpec, c *ir.Call, callee *ir.Function, pos ir.Pos) {
+	argColors := make([]ir.Color, len(callee.Params))
+	for i, p := range callee.Params {
+		var ac ir.Color
+		if i < len(c.Args) {
+			ac = a.colorOf(s, c.Args[i])
+			a.checkStaticColors(s, c.Args[i].Type(), p.Typ, pos, "argument")
+		} else {
+			ac = ir.F
+		}
+		if !p.Color.IsNone() {
+			// Explicitly annotated parameter: the annotation wins;
+			// arguments must be compatible with it.
+			a.checkCompat(s, ac, p.Color, ErrIncompatible, pos,
+				"argument %d of @%s has color %s, parameter is declared %s", i, callee.FName, ac, p.Color)
+			ac = p.Color
+		}
+		argColors[i] = ac
+	}
+	// Variadic tail arguments keep their own colors; they flow into the
+	// spec key too so chunks see consistent values.
+	for i := len(callee.Params); i < len(c.Args); i++ {
+		argColors = append(argColors, a.colorOf(s, c.Args[i]))
+	}
+	target := a.getSpec(callee, argColors)
+	if s.CallTarget[c] != target {
+		s.CallTarget[c] = target
+		a.setChanged()
+	}
+	a.assignReg(s, c, target.RetColor, pos, "call result")
+	a.setInstrColor(s, c, a.colorOf(s, c))
+}
+
+// visitExternalCall types a call into the untrusted part: every argument
+// must be compatible with unsafe memory, and the result is untrusted
+// (U in hardened mode; in relaxed mode it behaves like a load from S and
+// becomes F).
+func (a *Analysis) visitExternalCall(s *FuncSpec, c *ir.Call, name string, pos ir.Pos) {
+	for i, arg := range c.Args {
+		ac := a.colorOf(s, arg)
+		if ac.IsEnclave() {
+			a.errorf(ErrConfidentiality, pos, s.Fn.FName,
+				"argument %d of external call %s carries enclave color %s", i, name, ac)
+		}
+		// A pointer to enclave memory handed to untrusted code is
+		// only an address (SGX protects the contents), but a pointer
+		// to a colored location must not be writable from outside —
+		// flagged when the callee stores through it, which we cannot
+		// see; the paper accepts this for plain external calls.
+	}
+	if a.Mode == Hardened {
+		a.assignReg(s, c, ir.U, pos, "external call result")
+	}
+	a.setInstrColor(s, c, ir.U)
+}
+
+// visitWithinCall handles functions available inside enclaves (§6.3) and
+// ignore functions (§6.4). The call executes in the single concrete enclave
+// color C among the argument values and argument pointees; other arguments
+// must be compatible with C unless the function is ignore.
+func (a *Analysis) visitWithinCall(s *FuncSpec, c *ir.Call, callee *ir.Function, pos ir.Pos) {
+	var named []ir.Color
+	addNamed := func(col ir.Color) {
+		if !col.IsEnclave() {
+			return
+		}
+		for _, x := range named {
+			if x == col {
+				return
+			}
+		}
+		named = append(named, col)
+	}
+	sawUnsafe := false
+	for _, arg := range c.Args {
+		ac := a.colorOf(s, arg)
+		addNamed(ac)
+		if ac == ir.U {
+			sawUnsafe = true
+		}
+		if pt, ok := arg.Type().(ir.PointerType); ok {
+			pc := a.resolveLoc(pt.Color)
+			addNamed(pc)
+			if pc == ir.U {
+				sawUnsafe = true
+			}
+		}
+	}
+	if len(named) > 1 {
+		a.errorf(ErrIncompatible, pos, s.Fn.FName,
+			"call to %s mixes enclave colors %s and %s", callee.FName, named[0], named[1])
+		return
+	}
+	if len(named) == 0 {
+		// Purely untrusted data so far: execute outside any enclave.
+		// The U here is only a default — a later stabilizing pass may
+		// discover an enclave color among the arguments and upgrade.
+		if a.Mode == Hardened {
+			a.softU[ir.Value(c)] = true
+			a.assignReg(s, c, ir.U, pos, "within call result")
+		}
+		a.softU[ir.Instr(c)] = true
+		a.setInstrColor(s, c, ir.U)
+		return
+	}
+	enclave := named[0]
+	if !callee.Ignore {
+		if sawUnsafe {
+			a.errorf(ErrConfidentiality, pos, s.Fn.FName,
+				"call to %s executed in %s takes unsafe (U) data; annotate %s with 'ignore' to declassify",
+				callee.FName, enclave, callee.FName)
+		}
+		for i, arg := range c.Args {
+			ac := a.colorOf(s, arg)
+			a.checkCompat(s, ac, enclave, ErrIago, pos,
+				"argument %d of %s has color %s, call executes in %s", i, callee.FName, ac, enclave)
+			if pt, ok := arg.Type().(ir.PointerType); ok {
+				pc := a.resolveLoc(pt.Color)
+				if pc.Kind == ir.KindShared {
+					continue // relaxed mode: enclaves may touch S
+				}
+				a.checkCompat(s, pc, enclave, ErrConfidentiality, pos,
+					"argument %d of %s points at %s memory, call executes in %s", i, callee.FName, pc, enclave)
+			}
+		}
+	}
+	if !callee.Ignore {
+		a.assignReg(s, c, enclave, pos, "within call result")
+	}
+	// An ignore function's result is deliberately left F: calling it is
+	// the developer's declassification statement (§6.4), so the result
+	// may flow anywhere — e.g. revealing whether a lookup hit before
+	// branching into another enclave's code.
+	a.setInstrColor(s, c, enclave)
+}
+
+// noteIndirectOperands detects defined functions used as values (their
+// address taken): such functions may be called indirectly, so Privagic
+// generates a version specialized for untrusted arguments (§6.3).
+func (a *Analysis) noteIndirectOperands(s *FuncSpec, in ir.Instr) {
+	ops := in.Ops()
+	start := 0
+	if call, ok := in.(*ir.Call); ok && !call.IsIndirect() {
+		start = 1 // skip the direct callee position
+	}
+	for _, op := range ops[start:] {
+		fn, ok := (*op).(*ir.Function)
+		if !ok || fn.External {
+			continue
+		}
+		colors := make([]ir.Color, len(fn.Params))
+		for i, p := range fn.Params {
+			if !p.Color.IsNone() {
+				colors[i] = p.Color
+			} else {
+				colors[i] = a.entryArgColor()
+			}
+		}
+		spec := a.getSpec(fn, colors)
+		if !containsSpec(a.Indirect, spec) {
+			a.Indirect = append(a.Indirect, spec)
+			a.setChanged()
+		}
+	}
+}
+
+// prune drops specializations no longer reachable from the entry points
+// (stale instances created with colors that inference later refined).
+func (a *Analysis) prune() {
+	live := map[*FuncSpec]bool{}
+	var mark func(s *FuncSpec)
+	mark = func(s *FuncSpec) {
+		if live[s] {
+			return
+		}
+		live[s] = true
+		for _, t := range s.CallTarget {
+			mark(t)
+		}
+	}
+	for _, s := range a.Entries {
+		mark(s)
+	}
+	for _, s := range a.Indirect {
+		mark(s)
+	}
+	for k, s := range a.Specs {
+		if !live[s] {
+			delete(a.Specs, k)
+		}
+	}
+}

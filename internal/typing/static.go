@@ -1,0 +1,107 @@
+package typing
+
+import (
+	"sort"
+
+	"privagic/internal/ir"
+)
+
+// checkStaticColors enforces the structural half of secure typing: a value
+// of type "pointer to C memory" can only be stored in / passed as / cast to
+// a pointer to memory of the same color — "exactly as storing a pointer to
+// a float in a pointer to an integer is prohibited" (paper §3, Figure 3.b).
+func (a *Analysis) checkStaticColors(s *FuncSpec, from, to ir.Type, pos ir.Pos, what string) {
+	fp, fok := from.(ir.PointerType)
+	tp, tok := to.(ir.PointerType)
+	if !fok || !tok {
+		return
+	}
+	fc := a.resolveLoc(fp.Color)
+	tc := a.resolveLoc(tp.Color)
+	if fc != tc {
+		a.errorf(ErrConfidentiality, pos, s.Fn.FName,
+			"%s: pointer to %s memory used where pointer to %s memory is expected", what, fc, tc)
+		return
+	}
+	// Recurse through multi-level pointers (int color(blue)** etc.).
+	a.checkStaticColors(s, fp.Elem, tp.Elem, pos, what)
+}
+
+// checkStaticCast enforces the fourth confidentiality rule of §4: a cast
+// cannot change a color.
+func (a *Analysis) checkStaticCast(s *FuncSpec, c *ir.Cast, pos ir.Pos) {
+	a.checkStaticColors(s, c.Val.Type(), c.Type(), pos, "cast")
+}
+
+// checkStructs verifies the structure-level constraints: a multi-color
+// struct is allowed only in relaxed mode, because the indirection it
+// requires forces enclaves to load field pointers from unsafe memory
+// (paper §7.2 and the §8 limitation).
+func (a *Analysis) checkStructs() {
+	for _, st := range a.Mod.Structs {
+		colors := st.Colors()
+		if len(colors) >= 2 && a.Mode == Hardened {
+			a.errorf(ErrStructure, ir.Pos{}, "<module>",
+				"struct %s mixes colors %s and %s: multi-color structures require relaxed mode (paper §8)",
+				st.Name, colors[0], colors[1])
+		}
+	}
+}
+
+// collectColors gathers every named enclave color appearing in the module's
+// types, globals, allocation sites and parameters.
+func (a *Analysis) collectColors() {
+	seen := map[ir.Color]bool{}
+	add := func(c ir.Color) {
+		if c.IsEnclave() && !seen[c] {
+			seen[c] = true
+			a.Colors = append(a.Colors, c)
+		}
+	}
+	var addType func(t ir.Type, depth int)
+	addType = func(t ir.Type, depth int) {
+		if depth > 8 {
+			return
+		}
+		switch tt := t.(type) {
+		case ir.PointerType:
+			add(tt.Color)
+			addType(tt.Elem, depth+1)
+		case ir.ArrayType:
+			addType(tt.Elem, depth+1)
+		case *ir.StructType:
+			for _, f := range tt.Fields {
+				add(f.Color)
+				addType(f.Type, depth+1)
+			}
+		}
+	}
+	for _, st := range a.Mod.Structs {
+		addType(st, 0)
+	}
+	for _, g := range a.Mod.Globals {
+		add(g.Color)
+		addType(g.Elem, 0)
+	}
+	for _, fn := range a.Mod.Funcs {
+		add(fn.RetColor)
+		for _, p := range fn.Params {
+			add(p.Color)
+			addType(p.Typ, 0)
+		}
+		if fn.External {
+			continue
+		}
+		fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+			switch t := in.(type) {
+			case *ir.Alloca:
+				add(t.Color)
+				addType(t.Elem, 0)
+			case *ir.Malloc:
+				add(t.Color)
+				addType(t.Elem, 0)
+			}
+		})
+	}
+	sort.Slice(a.Colors, func(i, j int) bool { return a.Colors[i].Name < a.Colors[j].Name })
+}

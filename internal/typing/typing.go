@@ -1,0 +1,222 @@
+// Package typing implements the secure type system of the paper (§4–§6):
+// the color-propagation rules of Table 3, the initial colors of Table 2,
+// the stabilizing inference algorithm of §5.2, per-call-site function
+// specialization (§6.2), the external/within/ignore call rules (§6.3–§6.4),
+// and the implicit-indirect-leak block coloring of Rule 4.
+//
+// The analysis runs after mem2reg, so the only colors left to infer are
+// register colors; all remaining memory locations (globals, escaping or
+// explicitly colored locals, heap objects, struct fields) carry explicit
+// colors or default to unsafe memory per Table 2.
+package typing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"privagic/internal/ir"
+)
+
+// Mode selects the two compiler modes of paper §5: Hardened enforces
+// confidentiality, integrity, and Iago protection (uncolored memory is U);
+// Relaxed drops Iago protection (uncolored memory is S, and values loaded
+// from S become F).
+type Mode int
+
+// Modes.
+const (
+	Hardened Mode = iota + 1
+	Relaxed
+)
+
+// String returns "hardened" or "relaxed".
+func (m Mode) String() string {
+	if m == Hardened {
+		return "hardened"
+	}
+	return "relaxed"
+}
+
+// ErrKind classifies type errors by the security property they protect.
+type ErrKind int
+
+// Error kinds.
+const (
+	ErrConfidentiality ErrKind = iota + 1 // a colored value escapes its enclave
+	ErrIntegrity                          // a store into an enclave from outside
+	ErrIago                               // an enclave consumes an untrusted value
+	ErrIncompatible                       // two different concrete colors meet
+	ErrStructure                          // malformed secure types (multi-color unions etc.)
+)
+
+var errKindNames = map[ErrKind]string{
+	ErrConfidentiality: "confidentiality",
+	ErrIntegrity:       "integrity",
+	ErrIago:            "iago",
+	ErrIncompatible:    "incompatible-colors",
+	ErrStructure:       "structure",
+}
+
+// String names the error kind.
+func (k ErrKind) String() string { return errKindNames[k] }
+
+// TypeError is a secure-typing diagnostic.
+type TypeError struct {
+	Kind ErrKind
+	Pos  ir.Pos
+	Fn   string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("%s: [%s] in @%s: %s", e.Pos, e.Kind, e.Fn, e.Msg)
+}
+
+// Options configures an analysis.
+type Options struct {
+	Mode Mode
+	// Entries optionally overrides the entry-point set (function names);
+	// when empty, the module's Entry-marked functions are used, or every
+	// defined function when none is marked (paper §6.2).
+	Entries []string
+}
+
+// FuncSpec is one specialized instance of a function: the same body may be
+// analyzed several times with different argument colors (paper §6.2:
+// "Privagic generates a specialized version of the function with the actual
+// colors of the arguments").
+type FuncSpec struct {
+	Orig      *ir.Function
+	Fn        *ir.Function // clone owned by this spec
+	Key       string
+	ArgColors []ir.Color
+	IsEntry   bool
+
+	// RegColor maps each register (instruction result or parameter) to
+	// its color. Missing entries mean F.
+	RegColor map[ir.Value]ir.Color
+	// InstrColor maps each instruction to the enclave it is generated in
+	// (F = replicated into every chunk).
+	InstrColor map[ir.Instr]ir.Color
+	// BlockColor carries Rule 4 colors for basic blocks.
+	BlockColor map[*ir.Block]ir.Color
+	// RetColor is the inferred color of the return value.
+	RetColor ir.Color
+	// CallTarget resolves each direct local call to its specialized
+	// callee.
+	CallTarget map[*ir.Call]*FuncSpec
+}
+
+// ColorSet returns the distinct non-F instruction placement colors of the
+// spec, the "color set" of paper §7.3.1, sorted for determinism.
+func (s *FuncSpec) ColorSet() []ir.Color {
+	seen := map[ir.Color]bool{}
+	var out []ir.Color
+	add := func(c ir.Color) {
+		if c.IsFree() || c.IsNone() || c.Kind == ir.KindShared {
+			return
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range s.InstrColor {
+		add(c)
+	}
+	// A function that receives a colored argument belongs to that color
+	// even if inference has not placed an instruction there yet (paper
+	// §7.3.1: "f's color set is {blue} because f receives a blue
+	// argument").
+	for _, c := range s.ArgColors {
+		add(c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ValueColor returns the color of a value within the spec (F for constants
+// and unmapped registers).
+func (s *FuncSpec) ValueColor(v ir.Value) ir.Color {
+	if c, ok := s.RegColor[v]; ok {
+		return c
+	}
+	return ir.F
+}
+
+// Analysis is the result of running the secure type system over a module.
+type Analysis struct {
+	Mod    *ir.Module
+	Mode   Mode
+	Specs  map[string]*FuncSpec
+	Errors []*TypeError
+	// Colors is the sorted set of named enclave colors in the program.
+	Colors []ir.Color
+	// Entries lists the specs generated for entry points, which the
+	// partitioner turns into interface versions (§7.3.4).
+	Entries []*FuncSpec
+	// Indirect lists specs generated for functions whose address is
+	// taken (specialized for untrusted arguments, §6.3).
+	Indirect []*FuncSpec
+
+	passes  int
+	changed bool
+	// softU marks registers and instructions whose U color is only the
+	// hardened-mode default for calls with no known enclave color yet;
+	// a later stabilizing pass may upgrade them to an enclave color.
+	softU map[any]bool
+}
+
+// Err returns all diagnostics joined, or nil.
+func (a *Analysis) Err() error {
+	if len(a.Errors) == 0 {
+		return nil
+	}
+	errs := make([]error, len(a.Errors))
+	for i, e := range a.Errors {
+		errs[i] = e
+	}
+	return errors.Join(errs...)
+}
+
+// Passes reports how many stabilizing passes ran (paper §5.2).
+func (a *Analysis) Passes() int { return a.passes }
+
+// SpecKey builds the memoization key of a specialization.
+func SpecKey(name string, colors []ir.Color) string {
+	parts := make([]string, len(colors))
+	for i, c := range colors {
+		parts[i] = c.String()
+	}
+	return name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// unsafeLoc is the color given to an unannotated memory location:
+// U in hardened mode, S in relaxed mode (Table 2).
+func (a *Analysis) unsafeLoc() ir.Color {
+	if a.Mode == Hardened {
+		return ir.U
+	}
+	return ir.S
+}
+
+// resolveLoc resolves a declared location color: explicit colors stand,
+// the absence of a color becomes unsafe memory.
+func (a *Analysis) resolveLoc(c ir.Color) ir.Color {
+	if c.IsNone() {
+		return a.unsafeLoc()
+	}
+	return c
+}
+
+// entryArgColor is the color given to the parameters of an entry point:
+// U in hardened mode and F in relaxed mode (§6.2).
+func (a *Analysis) entryArgColor() ir.Color {
+	if a.Mode == Hardened {
+		return ir.U
+	}
+	return ir.F
+}

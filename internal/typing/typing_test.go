@@ -1,0 +1,525 @@
+package typing
+
+import (
+	"strings"
+	"testing"
+
+	"privagic/internal/ir"
+	"privagic/internal/minic"
+	"privagic/internal/passes"
+)
+
+// analyzeSrc compiles MiniC source, runs the SSA pipeline, and analyzes it.
+func analyzeSrc(t *testing.T, mode Mode, src string, entries ...string) *Analysis {
+	t.Helper()
+	mod, err := minic.Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	passes.RunAll(mod)
+	return Analyze(mod, Options{Mode: mode, Entries: entries})
+}
+
+func wantErrorContaining(t *testing.T, a *Analysis, frag string) {
+	t.Helper()
+	for _, e := range a.Errors {
+		if strings.Contains(e.Error(), frag) {
+			return
+		}
+	}
+	t.Errorf("no error containing %q; got %d errors: %v", frag, len(a.Errors), a.Err())
+}
+
+func wantNoErrors(t *testing.T, a *Analysis) {
+	t.Helper()
+	if len(a.Errors) > 0 {
+		t.Errorf("unexpected errors: %v", a.Err())
+	}
+}
+
+// TestDirectLeak checks the first confidentiality rule: a colored value
+// cannot be stored in a memory location with a different color (§4).
+func TestDirectLeak(t *testing.T) {
+	src := `
+int color(blue) secret;
+int public;
+void leak() { public = secret; }
+`
+	a := analyzeSrc(t, Hardened, src)
+	wantErrorContaining(t, a, "cannot be stored in U memory")
+}
+
+// TestExplicitIndirectLeak checks the third rule: the output of an
+// instruction consuming a colored value has the same color (§4).
+func TestExplicitIndirectLeak(t *testing.T) {
+	src := `
+int color(blue) secret;
+int public;
+void leak() { public = secret + 1; }
+`
+	a := analyzeSrc(t, Hardened, src)
+	wantErrorContaining(t, a, "cannot be stored in U memory")
+}
+
+// TestFigure3b reproduces the hidden-pointer-modification example of
+// Figure 3.b: coloring a and the pointee of x makes the racy retarget
+// "x = &b" a compile-time error, while f's legitimate use type-checks.
+func TestFigure3b(t *testing.T) {
+	src := `
+int color(blue) a;
+int b;
+int color(blue)* x;
+
+void f(int color(blue) s) {
+	x = &a;
+	*x = s;
+}
+void g() {
+	x = &b; // FAIL
+}
+`
+	a := analyzeSrc(t, Relaxed, src)
+	if len(a.Errors) == 0 {
+		t.Fatal("expected a type error for x = &b")
+	}
+	wantErrorContaining(t, a, "pointer to S memory used where pointer to blue memory is expected")
+	for _, e := range a.Errors {
+		if e.Fn == "f" {
+			t.Errorf("unexpected error in f (the legitimate writer): %v", e)
+		}
+	}
+}
+
+// TestFigure3bFixed checks that coloring b as the developer should removes
+// the error.
+func TestFigure3bFixed(t *testing.T) {
+	src := `
+int color(blue) a;
+int color(blue) b;
+int color(blue)* x;
+
+void f(int color(blue) s) { x = &a; *x = s; }
+void g() { x = &b; }
+`
+	a := analyzeSrc(t, Relaxed, src)
+	wantNoErrors(t, a)
+}
+
+// TestFigure4ImplicitLeak reproduces Figure 4: a store to an unsafe
+// location inside a basic block controlled by a colored condition is an
+// implicit indirect leak; the joining point is no longer colored.
+func TestFigure4ImplicitLeak(t *testing.T) {
+	src := `
+int x;
+int y;
+int color(blue) b;
+void f() {
+	if (b == 42)
+		x = 1;
+	y = 2;
+}
+`
+	a := analyzeSrc(t, Relaxed, src)
+	wantErrorContaining(t, a, "implicit leak")
+	// Only the x = 1 store (line 7) may be flagged, not y = 2 (line 8).
+	for _, e := range a.Errors {
+		if e.Pos.Line == 8 {
+			t.Errorf("joining point wrongly colored: %v", e)
+		}
+	}
+}
+
+// TestFigure4JoinIsFree checks the converse: storing to blue inside the
+// branch is fine, and the join block stays free.
+func TestFigure4Legal(t *testing.T) {
+	src := `
+int color(blue) x;
+int y;
+int color(blue) b;
+void f() {
+	if (b == 42)
+		x = 1;
+	y = 2;
+}
+`
+	a := analyzeSrc(t, Relaxed, src)
+	wantNoErrors(t, a)
+}
+
+// TestIagoMixedColors checks the Iago rule: an instruction cannot take
+// inputs with two different colors (§1, §4).
+func TestIagoMixedColors(t *testing.T) {
+	src := `
+int color(blue) key;
+entry int check(int guess) {
+	return guess == key;
+}
+`
+	a := analyzeSrc(t, Hardened, src)
+	if len(a.Errors) == 0 {
+		t.Fatal("expected an Iago error: U entry argument mixed with blue value")
+	}
+	found := false
+	for _, e := range a.Errors {
+		if e.Kind == ErrIago || e.Kind == ErrIncompatible {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("errors are not Iago/incompatible: %v", a.Err())
+	}
+}
+
+// TestRelaxedAllowsUntrustedInputs checks that the same program is
+// accepted in relaxed mode, where entry arguments are F (§6.2) — the mode
+// trades Iago protection away (§6.1.2).
+func TestRelaxedAllowsUntrustedInputs(t *testing.T) {
+	src := `
+int color(blue) key;
+int color(blue) result;
+entry void check(int guess) {
+	result = guess == key;
+}
+`
+	a := analyzeSrc(t, Relaxed, src)
+	wantNoErrors(t, a)
+}
+
+// TestFigure6ColorSets reproduces the color-set computation of §7.3.1 on
+// the complete example of Figure 6.
+func TestFigure6ColorSets(t *testing.T) {
+	src := `
+int color(U) unsafe = 0;
+int color(blue) blue = 10;
+int color(red) red = 0;
+
+void g(int n) {
+	blue = n;
+	red = n;
+	printf("Hello\n");
+}
+int f(int y) {
+	g(21);
+	return 42;
+}
+entry int main() {
+	unsafe = 1;
+	int x = f(blue);
+	return x;
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "main")
+	wantNoErrors(t, a)
+
+	want := map[string][]string{
+		SpecKey("main", nil):                       {"U", "blue"},
+		SpecKey("f", []ir.Color{ir.Named("blue")}): {"blue"},
+		SpecKey("g", []ir.Color{ir.F}):             {"U", "blue", "red"},
+	}
+	for key, colors := range want {
+		s := a.Specs[key]
+		if s == nil {
+			t.Errorf("spec %s missing; have %v", key, sortedKeys(a.Specs))
+			continue
+		}
+		got := s.ColorSet()
+		if len(got) != len(colors) {
+			t.Errorf("%s color set = %v, want %v", key, got, colors)
+			continue
+		}
+		for i := range colors {
+			if got[i].String() != colors[i] {
+				t.Errorf("%s color set = %v, want %v", key, got, colors)
+				break
+			}
+		}
+	}
+}
+
+// TestSpecialization checks that one function called with two different
+// argument colors produces two specialized instances (§6.2).
+func TestSpecialization(t *testing.T) {
+	src := `
+int color(blue) b;
+int color(red) r;
+int id(int v) { return v; }
+entry void main() {
+	b = id(b);
+	r = id(r);
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "main")
+	wantNoErrors(t, a)
+	blueSpec := a.Specs[SpecKey("id", []ir.Color{ir.Named("blue")})]
+	redSpec := a.Specs[SpecKey("id", []ir.Color{ir.Named("red")})]
+	if blueSpec == nil || redSpec == nil {
+		t.Fatalf("missing specializations; have %v", sortedKeys(a.Specs))
+	}
+	if blueSpec.RetColor != ir.Named("blue") {
+		t.Errorf("id(blue) returns %v, want blue", blueSpec.RetColor)
+	}
+	if redSpec.RetColor != ir.Named("red") {
+		t.Errorf("id(red) returns %v, want red", redSpec.RetColor)
+	}
+}
+
+// TestFigure1WithinCall checks §6.3: the strncpy into a blue field executes
+// in the blue enclave, because the pointee of its destination is blue.
+func TestFigure1WithinCall(t *testing.T) {
+	src := `
+struct account {
+	char color(blue) name[256];
+	double color(red) balance;
+};
+struct account* create(char* name) {
+	struct account* res = malloc(sizeof(struct account));
+	strncpy(res->name, name, 256);
+	res->balance = 0.0;
+	return res;
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "create")
+	wantNoErrors(t, a)
+	spec := a.Entries[0]
+	var strncpyColor, storeColor ir.Color
+	spec.Fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if call, ok := in.(*ir.Call); ok {
+			if fn, ok := call.Callee.(*ir.Function); ok && fn.FName == "strncpy" {
+				strncpyColor = spec.InstrColor[in]
+			}
+		}
+		if st, ok := in.(*ir.Store); ok {
+			if _, isF := st.Ptr.(*ir.FieldAddr); isF {
+				if pt, ok := st.Ptr.Type().(ir.PointerType); ok && pt.Color == ir.Named("red") {
+					storeColor = spec.InstrColor[in]
+				}
+			}
+		}
+	})
+	if strncpyColor != ir.Named("blue") {
+		t.Errorf("strncpy placed in %v, want blue", strncpyColor)
+	}
+	if storeColor != ir.Named("red") {
+		t.Errorf("balance store placed in %v, want red", storeColor)
+	}
+	// The multi-color struct is allocated in unsafe memory (§7.2), so
+	// create's color set also contains U besides blue and red.
+	cs := spec.ColorSet()
+	if len(cs) != 3 {
+		t.Errorf("create color set = %v, want {U blue red}", cs)
+	}
+}
+
+// TestMultiColorStructHardened checks the §8 limitation: multi-color
+// structures require relaxed mode.
+func TestMultiColorStructHardened(t *testing.T) {
+	src := `
+struct account {
+	char color(blue) name[256];
+	double color(red) balance;
+};
+struct account g;
+`
+	a := analyzeSrc(t, Hardened, src)
+	wantErrorContaining(t, a, "multi-color structures require relaxed mode")
+}
+
+// TestWithinDeclassifyNeedsIgnore checks §6.4: passing unsafe data to a
+// within function executing in an enclave demands the ignore annotation.
+func TestWithinDeclassifyNeedsIgnore(t *testing.T) {
+	src := `
+char color(blue) secret[64];
+entry void expose(char* out) {
+	memcpy(out, secret, 64);
+}
+`
+	a := analyzeSrc(t, Hardened, src, "expose")
+	wantErrorContaining(t, a, "ignore")
+}
+
+// TestIgnoreDeclassifies checks that the same flow is accepted through an
+// ignore-annotated communication function (the encrypt example of §6.4).
+func TestIgnoreDeclassifies(t *testing.T) {
+	src := `
+ignore void encrypt(char color(blue)* plain, long len, char* cipher);
+char color(blue) secret[64];
+entry void expose(char* out) {
+	encrypt(secret, 64, out);
+}
+`
+	a := analyzeSrc(t, Hardened, src, "expose")
+	wantNoErrors(t, a)
+	spec := a.Entries[0]
+	var callColor ir.Color
+	spec.Fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if call, ok := in.(*ir.Call); ok {
+			if fn, ok := call.Callee.(*ir.Function); ok && fn.FName == "encrypt" {
+				callColor = spec.InstrColor[in]
+			}
+		}
+	})
+	if callColor != ir.Named("blue") {
+		t.Errorf("encrypt placed in %v, want blue (the call executes in the enclave)", callColor)
+	}
+}
+
+// TestExternalCallLeak checks §6.3: arguments of calls into the untrusted
+// part must be compatible with U.
+func TestExternalCallLeak(t *testing.T) {
+	src := `
+extern void send(long v);
+long color(blue) secret;
+entry void leak() {
+	send(secret);
+}
+`
+	a := analyzeSrc(t, Hardened, src, "leak")
+	wantErrorContaining(t, a, "external call")
+}
+
+// TestIndirectCallIsUntrusted checks §6.3: indirect calls are treated as
+// calls into the untrusted part.
+func TestIndirectCallIsUntrusted(t *testing.T) {
+	src := `
+long color(blue) secret;
+entry void run(long (*f)(long)) {
+	f(secret);
+}
+`
+	a := analyzeSrc(t, Hardened, src, "run")
+	wantErrorContaining(t, a, "external call")
+}
+
+// TestAddressTakenFunctionSpecializedForU checks §6.3: loading a function
+// pointer yields a version specialized for untrusted arguments.
+func TestAddressTakenFunctionSpecializedForU(t *testing.T) {
+	// The function pointer must escape (here into a global); a local
+	// one is promoted by mem2reg and the call devirtualized.
+	src := `
+long helper(long v) { return v + 1; }
+long (*gf)(long);
+entry void main() {
+	gf = helper;
+	gf(3);
+}
+`
+	a := analyzeSrc(t, Hardened, src, "main")
+	if len(a.Indirect) != 1 {
+		t.Fatalf("indirect specs = %d, want 1", len(a.Indirect))
+	}
+	if got := a.Indirect[0].ArgColors[0]; got != ir.U {
+		t.Errorf("indirect spec arg color = %v, want U", got)
+	}
+}
+
+// TestStabilizingTerminates checks §5.2 on a recursive function: the
+// stabilizing algorithm reaches a fixpoint.
+func TestStabilizingTerminates(t *testing.T) {
+	src := `
+int color(blue) acc;
+int fact(int n) {
+	if (n <= 1) return 1;
+	return n * fact(n - 1);
+}
+entry void main() {
+	acc = fact(acc);
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "main")
+	wantNoErrors(t, a)
+	if a.Passes() >= 64 {
+		t.Errorf("stabilizing algorithm did not converge (%d passes)", a.Passes())
+	}
+}
+
+// TestLoadFromSharedIsFree checks Table 2: in relaxed mode a value loaded
+// from S becomes F and may flow into an enclave.
+func TestLoadFromSharedIsFree(t *testing.T) {
+	src := `
+int shared_counter;
+int color(blue) secret;
+entry void absorb() {
+	secret = shared_counter;
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "absorb")
+	wantNoErrors(t, a)
+}
+
+// TestLoadFromUntrustedIsNot is the hardened-mode counterpart: a value
+// loaded from U stays U and cannot flow into an enclave (Iago protection).
+func TestLoadFromUntrustedIsNot(t *testing.T) {
+	src := `
+int shared_counter;
+int color(blue) secret;
+entry void absorb() {
+	secret = shared_counter;
+}
+`
+	a := analyzeSrc(t, Hardened, src, "absorb")
+	wantErrorContaining(t, a, "cannot be stored in blue memory")
+}
+
+// TestCastCannotChangeColor checks the fourth rule of §4.
+func TestCastCannotChangeColor(t *testing.T) {
+	src := `
+int color(blue) b;
+entry void f() {
+	int* p = (int*)&b;
+	*p = 0;
+}
+`
+	a := analyzeSrc(t, Hardened, src, "f")
+	wantErrorContaining(t, a, "pointer to blue memory used where pointer to U memory is expected")
+}
+
+// TestTwoColorHashmapRelaxed is the Privagic-2 configuration shape (§9.3):
+// keys and values with two different colors, accepted in relaxed mode. As
+// in the paper's port (§9.3.1: "2 lines to declassify the result of a
+// get"), the red key-comparison result must be declassified through an
+// ignore function before it may gate blue code.
+func TestTwoColorHashmapRelaxed(t *testing.T) {
+	src := `
+ignore long reveal(long color(red) v);
+struct pair {
+	long color(red) key;
+	long color(blue) value;
+};
+struct pair table[128];
+long color(blue) found;
+entry void put(long k, long v) {
+	table[k % 128].key = k;
+	table[k % 128].value = v;
+}
+entry void get(long k) {
+	long hit = reveal(table[k % 128].key == k);
+	if (hit)
+		found = table[k % 128].value;
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "put", "get")
+	wantNoErrors(t, a)
+	if len(a.Colors) != 2 {
+		t.Errorf("colors = %v, want [blue red]", a.Colors)
+	}
+}
+
+// TestTwoColorGateNeedsDeclassify is the negative counterpart: without the
+// declassification, gating blue code on a red comparison is an implicit
+// leak between enclaves (Rule 4).
+func TestTwoColorGateNeedsDeclassify(t *testing.T) {
+	src := `
+struct pair {
+	long color(red) key;
+	long color(blue) value;
+};
+struct pair table[128];
+long color(blue) found;
+entry void get(long k) {
+	if (table[k % 128].key == k)
+		found = table[k % 128].value;
+}
+`
+	a := analyzeSrc(t, Relaxed, src, "get")
+	wantErrorContaining(t, a, "red condition")
+}

@@ -1,0 +1,247 @@
+// Package ycsb reimplements the YCSB workload generator of Cooper et al.
+// [15] that the paper injects load with (§9.2, §9.3): zipfian, uniform and
+// latest request distributions, the standard workload mixes A–F, and the
+// paper's record sizing (1024-byte values, 8-byte keys for the data
+// structures).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpKind is one YCSB operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	}
+	return "?"
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// ScanLen is set for scans.
+	ScanLen int
+}
+
+// Mix is an operation mix; fractions must sum to 1.
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64
+}
+
+// The standard YCSB workload mixes.
+var (
+	// WorkloadA is update-heavy: 50/50 reads and updates.
+	WorkloadA = Mix{Read: 0.5, Update: 0.5}
+	// WorkloadB is read-mostly: 95/5.
+	WorkloadB = Mix{Read: 0.95, Update: 0.05}
+	// WorkloadC is read-only.
+	WorkloadC = Mix{Read: 1.0}
+	// WorkloadD is read-latest: 95% reads, 5% inserts.
+	WorkloadD = Mix{Read: 0.95, Insert: 0.05}
+	// WorkloadE is short scans: 95% scans, 5% inserts.
+	WorkloadE = Mix{Scan: 0.95, Insert: 0.05}
+	// WorkloadF is read-modify-write: 50% reads, 50% RMW.
+	WorkloadF = Mix{Read: 0.5, RMW: 0.5}
+)
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+// Distributions.
+const (
+	Uniform Distribution = iota + 1
+	Zipfian
+	Latest
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	Records      int
+	Mix          Mix
+	Distribution Distribution
+	// ZipfTheta is the zipfian skew (YCSB default 0.99).
+	ZipfTheta float64
+	// RecordSize is carried for harnesses (1024 B in §9.2).
+	RecordSize int
+	Seed       uint64
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg     Config
+	rng     splitMix64
+	zipf    *zipfGen
+	records uint64
+}
+
+// New builds a generator; it validates the mix.
+func New(cfg Config) (*Generator, error) {
+	sum := cfg.Mix.Read + cfg.Mix.Update + cfg.Mix.Insert + cfg.Mix.Scan + cfg.Mix.RMW
+	if math.Abs(sum-1.0) > 1e-9 {
+		return nil, fmt.Errorf("ycsb: operation mix sums to %g, want 1", sum)
+	}
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: need a positive record count")
+	}
+	if cfg.ZipfTheta == 0 {
+		cfg.ZipfTheta = 0.99
+	}
+	g := &Generator{cfg: cfg, rng: splitMix64{state: cfg.Seed ^ 0x9e3779b97f4a7c15}, records: uint64(cfg.Records)}
+	if cfg.Distribution == Zipfian {
+		g.zipf = newZipf(uint64(cfg.Records), cfg.ZipfTheta)
+	}
+	return g, nil
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.float64()
+	m := g.cfg.Mix
+	var kind OpKind
+	switch {
+	case r < m.Read:
+		kind = OpRead
+	case r < m.Read+m.Update:
+		kind = OpUpdate
+	case r < m.Read+m.Update+m.Insert:
+		kind = OpInsert
+	case r < m.Read+m.Update+m.Insert+m.Scan:
+		kind = OpScan
+	default:
+		kind = OpReadModifyWrite
+	}
+	op := Op{Kind: kind, Key: g.nextKey()}
+	if kind == OpInsert {
+		g.records++
+		op.Key = g.records - 1
+	}
+	if kind == OpScan {
+		op.ScanLen = 1 + int(g.rng.next()%100)
+	}
+	return op
+}
+
+// nextKey draws a key per the configured distribution, hashed so that
+// popular zipfian ranks spread over the keyspace (as YCSB does).
+func (g *Generator) nextKey() uint64 {
+	switch g.cfg.Distribution {
+	case Zipfian:
+		rank := g.zipf.next(&g.rng)
+		return fnvMix(rank) % g.records
+	case Latest:
+		rank := g.zipf2().next(&g.rng)
+		return g.records - 1 - rank%g.records
+	default:
+		return g.rng.next() % g.records
+	}
+}
+
+func (g *Generator) zipf2() *zipfGen {
+	if g.zipf == nil {
+		g.zipf = newZipf(g.records, g.cfg.ZipfTheta)
+	}
+	return g.zipf
+}
+
+// KeyBytes renders a key as the fixed 8-byte key the paper's data-structure
+// experiments use (§9.3: "keys of 8 bytes").
+func KeyBytes(k uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(k >> (8 * i))
+	}
+	return b
+}
+
+// splitMix64 is a tiny deterministic PRNG.
+type splitMix64 struct{ state uint64 }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix64) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+func fnvMix(x uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (x >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+// zipfGen draws zipfian ranks in [0, n) using the Gray et al. rejection
+// method YCSB uses.
+type zipfGen struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func newZipf(n uint64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Closed-loop sum; capped for very large n with the standard
+	// integral approximation to keep setup O(1M).
+	if n > 1_000_000 {
+		base := zeta(1_000_000, theta)
+		// ∫ x^-theta dx from 1e6 to n.
+		return base + (math.Pow(float64(n), 1-theta)-math.Pow(1e6, 1-theta))/(1-theta)
+	}
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next(rng *splitMix64) uint64 {
+	u := rng.float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,138 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func gen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMixProportions(t *testing.T) {
+	g := gen(t, Config{Records: 1000, Mix: WorkloadB, Distribution: Uniform, Seed: 1})
+	const n = 100_000
+	reads := 0
+	for i := 0; i < n; i++ {
+		if g.Next().Kind == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if math.Abs(frac-0.95) > 0.01 {
+		t.Errorf("workload B read fraction = %.3f, want ~0.95", frac)
+	}
+}
+
+func TestInvalidMix(t *testing.T) {
+	if _, err := New(Config{Records: 10, Mix: Mix{Read: 0.5}}); err == nil {
+		t.Error("mix summing to 0.5 accepted")
+	}
+	if _, err := New(Config{Records: 0, Mix: WorkloadC}); err == nil {
+		t.Error("zero records accepted")
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Zipfian, Latest} {
+		g := gen(t, Config{Records: 5000, Mix: WorkloadC, Distribution: d, Seed: 7})
+		for i := 0; i < 50_000; i++ {
+			op := g.Next()
+			if op.Key >= 5000 {
+				t.Fatalf("distribution %d produced key %d out of range", d, op.Key)
+			}
+		}
+	}
+}
+
+// TestZipfianIsSkewed checks the defining property the paper's hashmap
+// analysis relies on (§9.3.2: "the zipfian access pattern leads to fewer
+// LLC misses"): a small fraction of keys receives most accesses.
+func TestZipfianIsSkewed(t *testing.T) {
+	const records = 10_000
+	g := gen(t, Config{Records: records, Mix: WorkloadC, Distribution: Zipfian, Seed: 3})
+	counts := make([]int, records)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Count accesses landing on the 1% hottest keys.
+	hot := 0
+	for _, c := range counts {
+		if c > n/records*10 {
+			hot += c
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.3 {
+		t.Errorf("hottest keys draw %.2f of accesses, want > 0.3 (skew)", frac)
+	}
+
+	// Uniform, by contrast, must not concentrate.
+	gu := gen(t, Config{Records: records, Mix: WorkloadC, Distribution: Uniform, Seed: 3})
+	ucounts := make([]int, records)
+	for i := 0; i < n; i++ {
+		ucounts[gu.Next().Key]++
+	}
+	uhot := 0
+	for _, c := range ucounts {
+		if c > n/records*10 {
+			uhot += c
+		}
+	}
+	if frac := float64(uhot) / n; frac > 0.05 {
+		t.Errorf("uniform concentrates %.2f of accesses on hot keys", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, Config{Records: 100, Mix: WorkloadA, Distribution: Zipfian, Seed: 9})
+	b := gen(t, Config{Records: 100, Mix: WorkloadA, Distribution: Zipfian, Seed: 9})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestInsertGrowsKeyspace(t *testing.T) {
+	g := gen(t, Config{Records: 10, Mix: WorkloadD, Distribution: Uniform, Seed: 5})
+	maxKey := uint64(0)
+	inserts := 0
+	for i := 0; i < 10_000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert {
+			inserts++
+			if op.Key > maxKey {
+				maxKey = op.Key
+			}
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+	if maxKey < 10 {
+		t.Errorf("inserts never extended the keyspace (max %d)", maxKey)
+	}
+}
+
+func TestScanLengths(t *testing.T) {
+	g := gen(t, Config{Records: 100, Mix: WorkloadE, Distribution: Uniform, Seed: 2})
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+			t.Fatalf("scan length %d out of [1,100]", op.ScanLen)
+		}
+	}
+}
+
+func TestKeyBytes(t *testing.T) {
+	b := KeyBytes(0x0102030405060708)
+	if len(b) != 8 || b[0] != 8 || b[7] != 1 {
+		t.Errorf("KeyBytes wrong: %v", b)
+	}
+}

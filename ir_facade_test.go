@@ -1,0 +1,60 @@
+package privagic
+
+import (
+	"testing"
+)
+
+// TestCompileIRPath exercises the Figure 5 input path: MiniC → emitted IR
+// text → CompileIR → execution, with the same behaviour as the direct
+// compile.
+func TestCompileIRPath(t *testing.T) {
+	src := `
+long color(blue) total = 0;
+entry void add(long color(blue) n) { total = total + n; }
+entry long get() { return total; }
+`
+	direct, err := Compile("acc.c", src, Options{Mode: Hardened})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := direct.EmitIR()
+	viaIR, err := CompileIR("acc.pir", text, Options{Mode: Hardened})
+	if err != nil {
+		t.Fatalf("CompileIR: %v\n--- emitted ---\n%s", err, text)
+	}
+
+	run := func(p *Program) int64 {
+		inst := p.Instantiate(MachineA())
+		defer inst.Close()
+		for _, n := range []int64{5, 7, 30} {
+			if _, err := inst.Call("add", n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := inst.Call("get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if a, b := run(direct), run(viaIR); a != b || a != 42 {
+		t.Errorf("direct = %d, via IR = %d, want 42", a, b)
+	}
+}
+
+// TestCompileIRRejectsLeaks: type errors surface on the IR path too.
+func TestCompileIRRejectsLeaks(t *testing.T) {
+	src := `
+@secret = global i64 color(blue)
+@open = global i64
+define void @leak() {
+entry1:
+  %v = load i64, @secret
+  store %v, @open
+  ret void
+}
+`
+	if _, err := CompileIR("leak.pir", src, Options{Mode: Hardened}); err == nil {
+		t.Fatal("hand-written leaking IR accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package privagic is a reproduction of "Privagic: automatic code
+// partitioning with explicit secure typing" (Tanigassalame et al.,
+// MIDDLEWARE 2024): a compiler and runtime that automatically partitions a
+// multi-threaded C-like application between Intel SGX enclaves and unsafe
+// memory, driven by explicit secure types (colors) instead of data-flow
+// analysis.
+//
+// The public API mirrors the paper's toolchain (Figure 5):
+//
+//	prog, err := privagic.Compile("app.c", source, privagic.Options{
+//		Mode: privagic.Hardened,
+//	})
+//	inst := prog.Instantiate(nil) // simulated SGX machine
+//	defer inst.Close()
+//	ret, err := inst.Call("main")
+//
+// Source programs are written in MiniC — a C subset with the paper's
+// annotations: color(NAME) type qualifiers (Figure 1), and the entry,
+// within, and ignore function attributes (§6.2–§6.4).
+package privagic
+
+import (
+	"fmt"
+
+	"privagic/internal/interp"
+	"privagic/internal/ir"
+	"privagic/internal/minic"
+	"privagic/internal/partition"
+	"privagic/internal/passes"
+	"privagic/internal/sgx"
+	"privagic/internal/typing"
+)
+
+// Mode selects the compiler mode of paper §5.
+type Mode = typing.Mode
+
+// Compiler modes: Hardened enforces confidentiality, integrity and Iago
+// protection; Relaxed drops Iago protection and allows Free values to cross
+// enclaves in cont messages (required for multi-color structures, §8).
+const (
+	Hardened = typing.Hardened
+	Relaxed  = typing.Relaxed
+)
+
+// Options configures compilation.
+type Options struct {
+	// Mode is the compiler mode (default Hardened).
+	Mode Mode
+	// Entries names the entry points (paper §6.2). Empty means: use
+	// functions marked with the entry attribute, or every defined
+	// function if none is marked.
+	Entries []string
+}
+
+// Program is a compiled, type-checked and partitioned application.
+type Program struct {
+	Module      *ir.Module
+	Analysis    *typing.Analysis
+	Partitioned *partition.Program
+}
+
+// Compile parses MiniC source, lowers it to SSA, runs the secure type
+// system, and partitions the application. Type errors and hardened-mode
+// partitioning errors are returned; the returned Program is nil on error.
+func Compile(filename, src string, opts Options) (*Program, error) {
+	mod, err := minic.Compile(filename, src)
+	if err != nil {
+		return nil, fmt.Errorf("privagic: frontend: %w", err)
+	}
+	passes.RunAll(mod)
+	an := typing.Analyze(mod, typing.Options{Mode: opts.Mode, Entries: opts.Entries})
+	if err := an.Err(); err != nil {
+		return nil, fmt.Errorf("privagic: secure typing: %w", err)
+	}
+	prog, err := partition.Partition(an)
+	if err != nil {
+		return nil, fmt.Errorf("privagic: partitioning: %w", err)
+	}
+	return &Program{Module: mod, Analysis: an, Partitioned: prog}, nil
+}
+
+// CompileIR skips the MiniC frontend and consumes textual IR directly —
+// the analogue of feeding the compiler an LLVM bitcode file (paper
+// Figure 5). The text format is what ir.Module.String prints.
+func CompileIR(name, src string, opts Options) (*Program, error) {
+	mod, err := ir.ParseModule(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("privagic: ir: %w", err)
+	}
+	passes.RunAll(mod)
+	an := typing.Analyze(mod, typing.Options{Mode: opts.Mode, Entries: opts.Entries})
+	if err := an.Err(); err != nil {
+		return nil, fmt.Errorf("privagic: secure typing: %w", err)
+	}
+	prog, err := partition.Partition(an)
+	if err != nil {
+		return nil, fmt.Errorf("privagic: partitioning: %w", err)
+	}
+	return &Program{Module: mod, Analysis: an, Partitioned: prog}, nil
+}
+
+// EmitIR returns the program's whole-module textual IR, re-consumable by
+// CompileIR.
+func (p *Program) EmitIR() string { return p.Module.String() }
+
+// Check runs only the frontend and the secure type system, returning the
+// analysis (including its errors) without partitioning. Useful for
+// inspecting colors and diagnostics.
+func Check(filename, src string, opts Options) (*typing.Analysis, error) {
+	mod, err := minic.Compile(filename, src)
+	if err != nil {
+		return nil, fmt.Errorf("privagic: frontend: %w", err)
+	}
+	passes.RunAll(mod)
+	return typing.Analyze(mod, typing.Options{Mode: opts.Mode, Entries: opts.Entries}), nil
+}
+
+// Colors returns the named enclave colors of the program.
+func (p *Program) Colors() []string {
+	out := make([]string, len(p.Analysis.Colors))
+	for i, c := range p.Analysis.Colors {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// TCBReport computes the Table 4-style trusted-computing-base metrics.
+func (p *Program) TCBReport() *partition.TCBReport {
+	return p.Partitioned.Report()
+}
+
+// Instance is a loaded program on a simulated SGX machine.
+type Instance struct {
+	ip *interp.Interp
+}
+
+// Instantiate loads the program on a machine (nil means the paper's
+// machine B preset). Call Close when done to stop the enclave workers.
+func (p *Program) Instantiate(m *sgx.Machine) *Instance {
+	if m == nil {
+		m = sgx.MachineB()
+	}
+	return &Instance{ip: interp.New(p.Partitioned, m)}
+}
+
+// Call invokes an entry point through its interface version (§7.3.4).
+func (i *Instance) Call(entry string, args ...int64) (int64, error) {
+	return i.ip.Call(entry, args...)
+}
+
+// Output returns everything the program printed so far.
+func (i *Instance) Output() string { return i.ip.Output() }
+
+// Meter exposes the simulated cycle and event accounting.
+func (i *Instance) Meter() *sgx.Meter { return i.ip.RT.Meter }
+
+// AllocUnsafe allocates n bytes in unsafe memory and returns the simulated
+// address, for passing buffers to entry points.
+func (i *Instance) AllocUnsafe(n int64) uint64 {
+	r := i.ip.RT.Space.Region(sgx.Unsafe)
+	return sgx.EncodePtr(sgx.Unsafe, r.Alloc(n))
+}
+
+// WriteUnsafe copies data into unsafe memory at a simulated address.
+func (i *Instance) WriteUnsafe(addr uint64, data []byte) {
+	rid, off := sgx.DecodePtr(addr)
+	i.ip.RT.Space.Region(rid).Store(off, data)
+}
+
+// ReadUnsafe copies n bytes out of unsafe memory.
+func (i *Instance) ReadUnsafe(addr uint64, n int) []byte {
+	rid, off := sgx.DecodePtr(addr)
+	buf := make([]byte, n)
+	i.ip.RT.Space.Region(rid).Load(off, buf)
+	return buf
+}
+
+// EnableSpawnValidation installs the spawn whitelist of paper §8's
+// future-work defense: enclave workers refuse spawn messages for chunks
+// the compiler never scheduled on them.
+func (i *Instance) EnableSpawnValidation() { i.ip.EnableSpawnValidation() }
+
+// RejectedSpawns reports how many injected spawn messages validation
+// refused.
+func (i *Instance) RejectedSpawns() int64 { return i.ip.RT.RejectedSpawns() }
+
+// Close stops the instance's worker threads.
+func (i *Instance) Close() { i.ip.Close() }
+
+// MachineA returns the paper's machine A preset (i5-9500, SGXv1, 93 MiB
+// EPC).
+func MachineA() *sgx.Machine { return sgx.MachineA() }
+
+// MachineB returns the paper's machine B preset (Xeon Gold 5415+, SGXv2,
+// 8131 MiB EPC).
+func MachineB() *sgx.Machine { return sgx.MachineB() }
