@@ -1,0 +1,25 @@
+# Tier-1 is the gate every change must keep green; tier-2 adds vet and
+# the race detector over the concurrency-heavy packages (runtime, queue,
+# fault injector — the soak shrinks itself under -race via build tags).
+
+GO ?= go
+
+.PHONY: tier1 tier2 soak bench fmt
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: tier1
+	$(GO) vet ./...
+	$(GO) test -race ./internal/prt ./internal/queue ./internal/faults
+
+# The full 1000+-schedule robustness sweep, race-free build for speed.
+soak:
+	$(GO) test -count=1 -run 'TestSoak' -v ./internal/faults
+
+bench:
+	$(GO) run ./cmd/privagic-bench -quick
+
+fmt:
+	gofmt -l -w $$(ls -d cmd examples internal *.go)

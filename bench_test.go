@@ -1,4 +1,4 @@
-package privagic
+package privagic_test
 
 // This file maps every table and figure of the paper's evaluation (§9)
 // onto a testing.B benchmark, so `go test -bench=. -benchmem` regenerates
@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"privagic"
 	"privagic/internal/bench"
 	"privagic/internal/sources"
 )
@@ -107,8 +108,8 @@ func BenchmarkFig3Motivation(b *testing.B) {
 // core: frontend + SSA + secure typing + partitioning.
 func BenchmarkCompilePipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile("memcached_core.c", sources.MemcachedCoreColored,
-			Options{Mode: Hardened}); err != nil {
+		if _, err := privagic.Compile("memcached_core.c", sources.MemcachedCoreColored,
+			privagic.Options{Mode: privagic.Hardened}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,13 +119,13 @@ func BenchmarkCompilePipeline(b *testing.B) {
 // whitelist (our implementation of the paper's future-work defense): the
 // partitioned memcached core runs with and without validation.
 func BenchmarkAblationSpawnValidation(b *testing.B) {
-	prog, err := Compile("memcached_core.c", sources.MemcachedCoreColored,
-		Options{Mode: Hardened, Entries: []string{"run_ycsb"}})
+	prog, err := privagic.Compile("memcached_core.c", sources.MemcachedCoreColored,
+		privagic.Options{Mode: privagic.Hardened, Entries: []string{"run_ycsb"}})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("off", func(b *testing.B) {
-		inst := prog.Instantiate(MachineB())
+		inst := prog.Instantiate(privagic.MachineB())
 		defer inst.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -134,7 +135,7 @@ func BenchmarkAblationSpawnValidation(b *testing.B) {
 		}
 	})
 	b.Run("on", func(b *testing.B) {
-		inst := prog.Instantiate(MachineB())
+		inst := prog.Instantiate(privagic.MachineB())
 		defer inst.Close()
 		inst.EnableSpawnValidation()
 		b.ResetTimer()
@@ -153,12 +154,12 @@ func BenchmarkAblationSpawnValidation(b *testing.B) {
 // partitioned memcached core (600 YCSB driver ops) on the simulated SGX
 // machine with real enclave workers and lock-free queues.
 func BenchmarkPartitionedExecution(b *testing.B) {
-	prog, err := Compile("memcached_core.c", sources.MemcachedCoreColored,
-		Options{Mode: Hardened, Entries: []string{"run_ycsb"}})
+	prog, err := privagic.Compile("memcached_core.c", sources.MemcachedCoreColored,
+		privagic.Options{Mode: privagic.Hardened, Entries: []string{"run_ycsb"}})
 	if err != nil {
 		b.Fatal(err)
 	}
-	inst := prog.Instantiate(MachineB())
+	inst := prog.Instantiate(privagic.MachineB())
 	defer inst.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

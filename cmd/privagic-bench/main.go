@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort] [-quick]
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision] [-quick]
 package main
 
 import (
@@ -19,7 +19,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
 	flag.Parse()
@@ -85,6 +85,17 @@ func run() int {
 			fmt.Println(rep.String())
 		case "effort":
 			fmt.Println(bench.Effort().String())
+		case "supervision":
+			cfg := bench.DefaultSupervision()
+			if *quick {
+				cfg.Schedules = 3
+			}
+			rep, err := bench.Supervision(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(rep.String())
 		default:
 			fmt.Fprintf(os.Stderr, "privagic-bench: unknown experiment %q\n", name)
 			return 2
@@ -93,7 +104,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8"} {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision"} {
 			if rc := runOne(name); rc != 0 {
 				return rc
 			}

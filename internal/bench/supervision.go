@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"privagic"
+	"privagic/internal/sources"
+)
+
+// The supervision experiment is the robustness ablation that the paper's
+// evaluation does not have: the two-color hashmap (the §9.3 workload with
+// the longest cross-enclave protocol) runs under the runtime's
+// fault-tolerance layer, with and without injected faults, and the table
+// reports what supervision costs when nothing goes wrong and what it
+// buys when things do — every faulted run either recovers to the exact
+// fault-free answer or fails with a typed error, never hangs, never
+// returns a silently wrong result.
+
+// SupervisionConfig parameterizes the ablation.
+type SupervisionConfig struct {
+	// Schedules is the number of seeded fault schedules per faulted
+	// scenario.
+	Schedules int
+	// WaitTimeout is the supervision inactivity window.
+	WaitTimeout time.Duration
+}
+
+// DefaultSupervision returns the standard ablation setup.
+func DefaultSupervision() SupervisionConfig {
+	return SupervisionConfig{Schedules: 10, WaitTimeout: 15 * time.Millisecond}
+}
+
+// SupervisionRow is one scenario's aggregate outcome.
+type SupervisionRow struct {
+	Scenario string
+	Runs     int
+	Correct  int // exact fault-free answer
+	Timeouts int // typed ErrWaitTimeout failures
+	Aborts   int // typed ErrEnclaveAbort failures (simulated AEX)
+	Wrong    int // silent corruption: must stay 0
+
+	Retransmits     int64 // cost-model retransmissions charged
+	HostileRejected int64 // forged messages refused at the admit gate
+	DupsDropped     int64 // replayed messages suppressed
+	AvgWallMicros   float64
+}
+
+// SupervisionReport holds the ablation table.
+type SupervisionReport struct {
+	Config SupervisionConfig
+	Want   int64 // the fault-free answer every run is held to
+	Rows   []SupervisionRow
+}
+
+// supScenario describes one table row's fault regime.
+type supScenario struct {
+	name      string
+	supervise bool
+	faulted   bool
+	faults    func(seed int64) privagic.FaultOptions
+}
+
+// Supervision runs the ablation.
+func Supervision(cfg SupervisionConfig) (*SupervisionReport, error) {
+	if cfg.Schedules < 1 {
+		cfg.Schedules = 1
+	}
+	prog, err := privagic.Compile("hashmap2.c", sources.HashmapColored2, privagic.Options{
+		Mode: privagic.Relaxed, Entries: []string{"run_ycsb"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &SupervisionReport{Config: cfg}
+
+	// Ground truth: one clean, unsupervised run.
+	clean := prog.Instantiate(nil)
+	rep.Want, err = clean.Call("run_ycsb")
+	clean.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: clean supervision baseline failed: %w", err)
+	}
+
+	scenarios := []supScenario{
+		{name: "baseline (no supervision)"},
+		{name: "supervised, fault-free", supervise: true},
+		{name: "drop 1% + retransmit", supervise: true, faulted: true,
+			faults: func(seed int64) privagic.FaultOptions {
+				return privagic.FaultOptions{Seed: seed, Drop: 0.01,
+					Retransmit: true, RetransmitAfter: time.Millisecond}
+			}},
+		{name: "crash 0.5% of chunks", supervise: true, faulted: true,
+			faults: func(seed int64) privagic.FaultOptions {
+				return privagic.FaultOptions{Seed: seed, Crash: 0.005}
+			}},
+		{name: "dup/delay/reorder/forge 2%", supervise: true, faulted: true,
+			faults: func(seed int64) privagic.FaultOptions {
+				return privagic.FaultOptions{Seed: seed, Duplicate: 0.02,
+					Delay: 0.02, Reorder: 0.02, Forge: 0.02}
+			}},
+	}
+	for _, sc := range scenarios {
+		runs := 1
+		if sc.faulted {
+			runs = cfg.Schedules
+		}
+		row := SupervisionRow{Scenario: sc.name, Runs: runs}
+		var wall time.Duration
+		for seed := int64(1); seed <= int64(runs); seed++ {
+			inst := prog.Instantiate(nil)
+			inst.EnableSpawnValidation()
+			if sc.supervise {
+				inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: cfg.WaitTimeout})
+			}
+			if sc.faulted {
+				inst.EnableFaultInjection(sc.faults(seed))
+			}
+			start := time.Now()
+			ret, err := inst.Call("run_ycsb")
+			wall += time.Since(start)
+			switch {
+			case err == nil && ret == rep.Want:
+				row.Correct++
+			case errors.Is(err, privagic.ErrWaitTimeout):
+				row.Timeouts++
+			case errors.Is(err, privagic.ErrEnclaveAbort):
+				row.Aborts++
+			default:
+				row.Wrong++
+			}
+			sup := inst.SupervisionStats()
+			row.HostileRejected += sup.HostileTotal()
+			row.DupsDropped += sup.DroppedDuplicates
+			row.Retransmits += inst.Meter().Retransmits()
+			inst.Close()
+		}
+		row.AvgWallMicros = float64(wall.Microseconds()) / float64(runs)
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// String renders the ablation table.
+func (r *SupervisionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Supervision ablation — two-color hashmap, %d hits fault-free, window %v\n",
+		r.Want, r.Config.WaitTimeout)
+	fmt.Fprintf(&b, "%-28s %5s %8s %9s %7s %6s %8s %8s %6s %11s\n",
+		"scenario", "runs", "correct", "timeouts", "aborts", "wrong",
+		"hostile", "dups", "retx", "avg-us/run")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %5d %8d %9d %7d %6d %8d %8d %6d %11.0f\n",
+			row.Scenario, row.Runs, row.Correct, row.Timeouts, row.Aborts, row.Wrong,
+			row.HostileRejected, row.DupsDropped, row.Retransmits, row.AvgWallMicros)
+	}
+	b.WriteString("every run completes correctly or fails with a typed error; wrong must be 0\n")
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSupervisionAblation runs a shrunken ablation and holds it to the
+// experiment's own invariant: zero silently wrong runs, a correct
+// baseline, recovery under retransmission, and typed failures under
+// crashes.
+func TestSupervisionAblation(t *testing.T) {
+	rep, err := Supervision(SupervisionConfig{Schedules: 2, WaitTimeout: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if rep.Want <= 0 {
+		t.Fatalf("degenerate fault-free answer %d", rep.Want)
+	}
+	for _, row := range rep.Rows {
+		if row.Wrong != 0 {
+			t.Errorf("%s: %d silently wrong runs", row.Scenario, row.Wrong)
+		}
+		if row.Correct+row.Timeouts+row.Aborts != row.Runs {
+			t.Errorf("%s: outcomes do not account for all %d runs", row.Scenario, row.Runs)
+		}
+	}
+	if rep.Rows[0].Correct != 1 {
+		t.Error("unsupervised baseline did not complete correctly")
+	}
+	if rep.Rows[1].Correct != 1 {
+		t.Error("supervised fault-free run did not complete correctly")
+	}
+	if drop := rep.Rows[2]; drop.Correct != drop.Runs || drop.Retransmits == 0 {
+		t.Errorf("drop+retransmit: %d/%d correct with %d retransmits; retransmission should recover every run",
+			drop.Correct, drop.Runs, drop.Retransmits)
+	}
+	if crash := rep.Rows[3]; crash.Aborts+crash.Timeouts+crash.Correct != crash.Runs {
+		t.Errorf("crash scenario: unexpected outcome mix %+v", crash)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package faults
+
+// Soak schedule counts (see soak_test.go). The race-enabled build shrinks
+// them so `go test -race` stays in CI budget while still exercising every
+// fault class under the race detector.
+const (
+	SoakFigure6Schedules  = 700
+	SoakTwoColorSchedules = 320
+)

@@ -1,0 +1,12 @@
+//go:build race
+
+package faults
+
+// Reduced soak schedule counts for `go test -race`: the detector slows
+// every queue operation by an order of magnitude, so the full 1000+
+// schedules would dominate CI. The reduced sweep still covers all four
+// fault classes (retransmit, permanent loss, crash, clean-but-noisy).
+const (
+	SoakFigure6Schedules  = 80
+	SoakTwoColorSchedules = 24
+)

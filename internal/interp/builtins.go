@@ -49,12 +49,22 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 		w.Spawn(ip.Prog.ColorIndex(ch.Color), chunkID, payload, needReply)
 		return val{}
 	case partition.IntrWait:
-		if v, ok := w.Wait(int(args[0].i)).(val); ok {
+		p, err := w.Wait(int(args[0].i))
+		if err != nil {
+			// A lost cont (timeout), a crashed peer, or shutdown: abort
+			// this chunk; execChunk/Call surface the typed error.
+			panic(runtimeErr{err})
+		}
+		if v, ok := p.(val); ok {
 			return v
 		}
 		return val{}
 	case partition.IntrJoin:
-		if v, ok := w.Join(int(args[0].i)).(val); ok {
+		p, err := w.Join(int(args[0].i))
+		if err != nil {
+			panic(runtimeErr{err})
+		}
+		if v, ok := p.(val); ok {
 			return v
 		}
 		return val{}

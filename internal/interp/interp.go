@@ -110,18 +110,37 @@ func (ip *Interp) EnableSpawnValidation() {
 	}
 }
 
-// Close stops all worker threads.
+// EnableContValidation installs the cont-tag whitelist: tags outside the
+// partitioner's allocation range are rejected at the admit gate instead of
+// parking forever in a pending buffer (defense-in-depth beside the
+// authentication stamp).
+func (ip *Interp) EnableContValidation() {
+	maxTag := ip.Prog.MaxTag()
+	ip.RT.ValidateCont = func(tag int) bool { return tag > 0 && tag <= maxTag }
+}
+
+// EnableSupervision turns on the runtime's fault-tolerance layer: every
+// wait/join is bounded by the timeout (a lost message degrades into a
+// typed error instead of a hang) and, when watchdog is set, a supervisor
+// goroutine reports which tag/join a stuck worker is blocked on. Call it
+// before the first Call.
+func (ip *Interp) EnableSupervision(s prt.Supervision) {
+	ip.RT.Supervise = s
+}
+
+// Close stops all worker threads and the runtime's supervisor.
 func (ip *Interp) Close() {
 	ip.threads.Wait()
 	if ip.main != nil {
 		ip.main.Close()
 	}
 	ip.bgMu.Lock()
-	defer ip.bgMu.Unlock()
 	for _, t := range ip.bg {
 		t.Close()
 	}
 	ip.bg = nil
+	ip.bgMu.Unlock()
+	ip.RT.Shutdown()
 }
 
 // Output returns everything the program printed.
@@ -273,7 +292,12 @@ func (ip *Interp) Call(entry string, args ...int64) (ret int64, err error) {
 	for i, a := range args {
 		vargs[i] = iv(a)
 	}
-	v := ip.invokeInterface(ip.mainThread().Normal(), pf, vargs)
+	// Each top-level invocation is a new epoch: stragglers of a previous
+	// (possibly timed-out or crashed) call are fenced off instead of being
+	// matched against this call's waits.
+	main := ip.mainThread()
+	main.AdvanceEpoch()
+	v := ip.invokeInterface(main.Normal(), pf, vargs)
 	if aerr := ip.takeErr(); aerr != nil {
 		return v.i, aerr
 	}
@@ -320,7 +344,18 @@ func (ip *Interp) invokeInterface(w *prt.Worker, pf *partition.PartFunc, args []
 	// the return color wins.
 	retColor := pf.Spec.RetColor
 	for range spawned {
-		msg := w.JoinOne()
+		msg, err := w.JoinOne()
+		if err != nil {
+			// Shutdown or a timed-out completion: further completions
+			// of this invocation will not arrive either; bail out.
+			panic(runtimeErr{err})
+		}
+		if msg.Err != nil {
+			// Poisoned completion: the spawned chunk aborted. Record it
+			// and keep joining so the remaining spawns complete.
+			ip.recordErr(msg.Err)
+			continue
+		}
 		from := ip.Prog.ColorAt(msg.From)
 		if v, ok := msg.Payload.(val); ok {
 			if from == retColor || !haveResult {

@@ -1,0 +1,180 @@
+package memcached
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The protocol-fuzz suite feeds the server the traffic a broken or
+// hostile client produces — truncated bodies, impossible lengths,
+// binary junk, stalls — and asserts two properties: the server never
+// serves garbage (malformed commands get CLIENT_ERROR or a disconnect,
+// never STORED), and it keeps answering well-formed clients afterwards.
+
+// assertAlive proves the server still serves a fresh connection.
+func assertAlive(t *testing.T, srv *Server) {
+	t.Helper()
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "version\r\n"); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("server no longer serving: version -> %q", got)
+	}
+}
+
+func TestFuzzTruncatedSetBody(t *testing.T) {
+	srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promise 10 bytes, deliver 3, hang up mid-body.
+	fmt.Fprint(conn, "set k 0 0 10\r\nabc")
+	_ = conn.Close()
+	assertAlive(t, srv)
+}
+
+func TestFuzzOversizedLengthClosesConnection(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "set k 0 0 999999999\r\n"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("oversized length -> %q, want CLIENT_ERROR", got)
+	}
+	// The stream is unframeable, so the server must hang up.
+	_ = c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Error("connection stayed open after an unframeable set")
+	}
+	assertAlive(t, srv)
+}
+
+func TestFuzzUnparseableLength(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "set k 0 0 banana\r\n"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("unparseable length -> %q, want CLIENT_ERROR", got)
+	}
+	// No body was promised credibly, so the connection stays usable.
+	if got := c.send(t, "version\r\n"); !strings.HasPrefix(got, "VERSION") {
+		t.Errorf("version after bad length -> %q", got)
+	}
+	assertAlive(t, srv)
+}
+
+func TestFuzzBadFlagsKeepsFraming(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	// Bad flags, but a credible length: the body is swallowed, the
+	// command rejected, and the connection stays usable.
+	if got := c.send(t, "set k nope 0 3\r\nabc\r\n"); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Errorf("bad flags -> %q, want CLIENT_ERROR", got)
+	}
+	if got := c.send(t, "set k 7 0 3\r\nxyz\r\n"); got != "STORED" {
+		t.Errorf("set after bad flags -> %q, want STORED", got)
+	}
+	if got := c.send(t, "get k\r\n"); got != "VALUE k 7 3" {
+		t.Errorf("get -> %q, want VALUE k 7 3", got)
+	}
+}
+
+func TestFuzzMissingBodyTerminator(t *testing.T) {
+	srv := newTestServer(t)
+	c := dialRaw(t, srv.Addr())
+	// Exactly n+2 bytes, but the terminator slot holds junk. The value
+	// must not be stored, and the next command must parse cleanly.
+	if got := c.send(t, "set k 0 0 3\r\nabcXY"); !strings.HasPrefix(got, "CLIENT_ERROR bad data chunk") {
+		t.Errorf("missing terminator -> %q, want CLIENT_ERROR bad data chunk", got)
+	}
+	if got := c.send(t, "get k\r\n"); got != "END" {
+		t.Errorf("get after rejected set -> %q, want END (nothing stored)", got)
+	}
+}
+
+func TestFuzzGarbageLines(t *testing.T) {
+	srv := newTestServer(t)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		c := dialRaw(t, srv.Addr())
+		junk := make([]byte, 1+rng.Intn(64))
+		for j := range junk {
+			junk[j] = byte(rng.Intn(256))
+			if junk[j] == '\n' {
+				junk[j] = ' '
+			}
+		}
+		// A junk line answers ERROR or CLIENT_ERROR (a junk token
+		// starting with "set" can reach the set parser), never STORED.
+		got := c.send(t, string(junk)+"\r\n")
+		if got == "STORED" {
+			t.Fatalf("garbage line %q was STORED", junk)
+		}
+		_ = c.conn.Close()
+	}
+	assertAlive(t, srv)
+}
+
+func TestFuzzSlowClientDisconnected(t *testing.T) {
+	srv := newTestServer(t)
+	srv.SetDeadlines(50*time.Millisecond, 50*time.Millisecond)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing. The read deadline must free the pool worker and
+	// close the connection rather than pinning it forever.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Error("silent connection was not closed by the read deadline")
+	}
+	srv.SetDeadlines(0, 0)
+	assertAlive(t, srv)
+}
+
+func TestFuzzSlowBodyDisconnected(t *testing.T) {
+	srv := newTestServer(t)
+	srv.SetDeadlines(50*time.Millisecond, 50*time.Millisecond)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send the command line, then stall inside the body.
+	fmt.Fprint(conn, "set k 0 0 10\r\nab")
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Error("stalled body was not cut off by the read deadline")
+	}
+	srv.SetDeadlines(0, 0)
+	assertAlive(t, srv)
+}
+
+func TestFuzzRandomSessions(t *testing.T) {
+	srv := newTestServer(t)
+	rng := rand.New(rand.NewSource(7))
+	cmds := []string{
+		"get k%d\r\n",
+		"set k%d 0 0 3\r\nabc\r\n",
+		"set k%d 0 0 -1\r\n",
+		"delete k%d\r\n",
+		"stats extra junk\r\n",
+		"\r\n",
+		"set\r\n",
+		"set k 1 2\r\n",
+		"gets\r\n",
+	}
+	for i := 0; i < 30; i++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			fmt.Fprintf(conn, cmds[rng.Intn(len(cmds))], rng.Intn(4))
+		}
+		_ = conn.Close()
+	}
+	assertAlive(t, srv)
+}

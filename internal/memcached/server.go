@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Server speaks the memcached text protocol over TCP. Connections are
@@ -21,8 +23,35 @@ type Server struct {
 	conns chan net.Conn
 	wg    sync.WaitGroup
 
+	// Per-operation I/O deadlines in nanoseconds (0 = none): a slow or
+	// stalled client cannot pin a pool worker forever.
+	readTimeout  atomic.Int64
+	writeTimeout atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// SetDeadlines bounds how long one read (a command line or a set body)
+// and one write flush may take per connection. Zero disables a bound.
+// Safe to call while the server is running; new operations pick it up.
+func (s *Server) SetDeadlines(read, write time.Duration) {
+	s.readTimeout.Store(int64(read))
+	s.writeTimeout.Store(int64(write))
+}
+
+// armRead applies the read deadline before a blocking read.
+func (s *Server) armRead(conn net.Conn) {
+	if d := s.readTimeout.Load(); d > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(time.Duration(d)))
+	}
+}
+
+// armWrite applies the write deadline before a flush.
+func (s *Server) armWrite(conn net.Conn) {
+	if d := s.writeTimeout.Load(); d > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Duration(d)))
+	}
 }
 
 // NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
@@ -86,14 +115,19 @@ func (s *Server) workerLoop() {
 	}
 }
 
-// serve handles one connection until quit or EOF.
+// maxLineLen bounds one command line: a client streaming an endless line
+// is unframeable and gets disconnected instead of growing the buffer.
+const maxLineLen = 8 << 10
+
+// serve handles one connection until quit, EOF, or a deadline expiry.
 func (s *Server) serve(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		s.armRead(conn)
 		line, err := r.ReadString('\n')
-		if err != nil {
+		if err != nil || len(line) > maxLineLen {
 			return
 		}
 		line = strings.TrimRight(line, "\r\n")
@@ -105,7 +139,8 @@ func (s *Server) serve(conn net.Conn) {
 		case "get", "gets":
 			s.handleGet(w, fields[1:])
 		case "set":
-			if !s.handleSet(r, w, fields[1:]) {
+			if !s.handleSet(conn, r, w, fields[1:]) {
+				_ = w.Flush()
 				return
 			}
 		case "delete":
@@ -126,6 +161,7 @@ func (s *Server) serve(conn net.Conn) {
 		default:
 			fmt.Fprint(w, "ERROR\r\n")
 		}
+		s.armWrite(conn)
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -143,25 +179,51 @@ func (s *Server) handleGet(w *bufio.Writer, keys []string) {
 	fmt.Fprint(w, "END\r\n")
 }
 
+// maxItemSize caps a set body (the classic 8 MiB item limit).
+const maxItemSize = 8 << 20
+
 // handleSet parses "set <key> <flags> <exptime> <bytes>" plus the data
-// block; returns false on a connection-fatal error.
-func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args []string) bool {
+// block; returns false on a connection-fatal error. Malformed commands
+// answer CLIENT_ERROR; the connection only closes when the stream can no
+// longer be framed (unparseable or oversized length, truncated body) —
+// anything else would let this worker serve garbage forever.
+func (s *Server) handleSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
 	if len(args) < 4 {
 		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
 		return true
 	}
-	flags, _ := strconv.ParseUint(args[1], 10, 32)
 	n, err := strconv.Atoi(args[3])
-	if err != nil || n < 0 || n > 8<<20 {
+	if err != nil || n < 0 {
+		// No credible length: treat the stream as line-framed and keep
+		// the connection — body lines, if any, will read as unknown
+		// commands and answer ERROR, never get stored.
 		fmt.Fprint(w, "CLIENT_ERROR bad data chunk\r\n")
 		return true
 	}
+	if n > maxItemSize {
+		// A real body of this size would have to be swallowed to stay
+		// framed; hang up instead of buffering an attacker's gigabyte.
+		fmt.Fprint(w, "CLIENT_ERROR bad data chunk\r\n")
+		return false
+	}
+	flags, flagsErr := strconv.ParseUint(args[1], 10, 32)
+	_, expErr := strconv.Atoi(args[2])
 	data := make([]byte, n+2)
+	s.armRead(conn)
 	if _, err := readFull(r, data); err != nil {
 		return false
 	}
-	s.store.Set(args[0], data[:n], uint32(flags))
-	fmt.Fprint(w, "STORED\r\n")
+	switch {
+	case data[n] != '\r' || data[n+1] != '\n':
+		// The framed bytes exist but the terminator is wrong; the
+		// stream stays aligned, so keep the connection.
+		fmt.Fprint(w, "CLIENT_ERROR bad data chunk\r\n")
+	case flagsErr != nil || expErr != nil:
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+	default:
+		s.store.Set(args[0], data[:n], uint32(flags))
+		fmt.Fprint(w, "STORED\r\n")
+	}
 	return true
 }
 

@@ -49,3 +49,9 @@ func (p *Program) SpawnWhitelist() map[int][]int {
 	}
 	return out
 }
+
+// MaxTag is the highest cont tag the partitioner allocated. It bounds the
+// dynamic half of the §8 defense: a cont message whose tag exceeds it was
+// never produced by generated code and can be rejected outright (see the
+// runtime's ValidateCont hook).
+func (p *Program) MaxTag() int { return p.nextTag }

@@ -1,0 +1,64 @@
+package prt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Wait/Join/JoinOne when the worker receives the
+// shutdown message mid-protocol (Thread.Close during in-flight work). It
+// replaces the former panic so tearing a thread down is always safe.
+var ErrStopped = errors.New("prt: runtime stopped")
+
+// ErrWaitTimeout is the sentinel matched (errors.Is) by every supervision
+// timeout; the concrete error is a *TimeoutError carrying the blocked
+// operation.
+var ErrWaitTimeout = errors.New("prt: wait timed out")
+
+// ErrEnclaveAbort is the sentinel matched (errors.Is) by *EnclaveAbort.
+var ErrEnclaveAbort = errors.New("prt: enclave aborted")
+
+// TimeoutError reports which wait point gave up: the simulated analogue of
+// a lost message on the untrusted queue that no retransmit recovered.
+type TimeoutError struct {
+	Op      string // "wait", "join", "join-one"
+	Worker  int    // color index of the blocked worker
+	Tag     int    // cont tag (Op == "wait")
+	Pending int    // completions still missing (Op == "join")
+	Elapsed time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	switch e.Op {
+	case "wait":
+		return fmt.Sprintf("prt: w%d wait(tag=%d) timed out after %v", e.Worker, e.Tag, e.Elapsed)
+	case "join":
+		return fmt.Sprintf("prt: w%d join timed out after %v with %d completion(s) missing", e.Worker, e.Elapsed, e.Pending)
+	default:
+		return fmt.Sprintf("prt: w%d %s timed out after %v", e.Worker, e.Op, e.Elapsed)
+	}
+}
+
+// Is lets errors.Is(err, ErrWaitTimeout) match any supervision timeout.
+func (e *TimeoutError) Is(target error) bool { return target == ErrWaitTimeout }
+
+// EnclaveAbort is the poisoned completion a crashing chunk leaves behind:
+// the simulated analogue of an AEX that kills the enclave thread. Instead
+// of deadlocking the joiner, runSpawn converts the panic into a MsgDone
+// carrying this error.
+type EnclaveAbort struct {
+	Worker  int // color index of the worker the chunk crashed on
+	ChunkID int
+	Cause   error
+}
+
+func (e *EnclaveAbort) Error() string {
+	return fmt.Sprintf("prt: chunk %d aborted on enclave worker w%d: %v", e.ChunkID, e.Worker, e.Cause)
+}
+
+// Unwrap exposes the crash cause.
+func (e *EnclaveAbort) Unwrap() error { return e.Cause }
+
+// Is lets errors.Is(err, ErrEnclaveAbort) match any abort.
+func (e *EnclaveAbort) Is(target error) bool { return target == ErrEnclaveAbort }

@@ -8,6 +8,21 @@
 // message hop costs one queue round trip, not an enclave transition —
 // which is precisely why the paper's Figure 9 shows Privagic beating the
 // Intel SDK's lock-based switchless calls.
+//
+// Because the queues live in U memory, everything read off them is
+// attacker-controlled (the Iago stance of §4). The runtime therefore
+// treats every dequeued message as hostile until proven otherwise: spawn
+// messages are checked against the ValidateSpawn whitelist (§8), and all
+// messages carry an authentication stamp (the simulated analogue of a MAC
+// over the message body), a per-(epoch, receiver) stream sequence number
+// (the receiver reassembles the exact send order, which both suppresses
+// replayed duplicates and undoes adversarial reordering — generated code
+// pipelines order-sensitive same-tag cont streams, so FIFO delivery is a
+// correctness requirement, not an optimization), and an epoch (staleness
+// fencing across invocations). See Worker.next. The supervision layer
+// (supervise.go) adds inactivity deadlines, abort propagation and a
+// watchdog so a crashed enclave or a lost cont degrades into a typed
+// error instead of a deadlock.
 package prt
 
 import (
@@ -15,6 +30,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"privagic/internal/queue"
 	"privagic/internal/sgx"
@@ -43,6 +59,21 @@ const (
 	msgStop
 )
 
+// authStamp marks a message as produced by the trusted runtime (the
+// simulation of a MAC computed inside the enclave). The field is
+// unexported, so code outside this package — including the fault injector
+// playing the attacker — cannot forge it; it can only replay complete
+// messages, which the stream-sequence reassembly catches (a replayed
+// message re-arrives below the receiver's consumed watermark).
+const authStamp uint32 = 0x5afe
+
+// reorderBufCap bounds the receiver-side reassembly buffer. A gap that
+// never fills (permanent loss) stalls the stream; the inactivity timeout
+// converts the stall into a typed error long before a sane protocol
+// accumulates this many out-of-order messages, so the cap only guards
+// against a pathological adversary ballooning memory.
+const reorderBufCap = 1024
+
 // Message is one element of a worker's lock-free channel.
 type Message struct {
 	Kind MsgKind
@@ -60,12 +91,35 @@ type Message struct {
 	// which goroutine scheduling can break; the static tag (assigned
 	// per transport by the partitioner) makes delivery order-free.
 	Tag int
+	// Err poisons a Done: the spawned chunk aborted (EnclaveAbort)
+	// instead of completing, and the joiner must surface the error.
+	Err error
+
+	// Trusted-side metadata (see package comment). Unexported on
+	// purpose: a forged message cannot carry a valid auth stamp. strSeq
+	// is the position of this message in its (epoch, receiver) stream,
+	// assigned at send time; the receiver delivers strictly in strSeq
+	// order, so duplicates and reorderings cannot reach the protocol.
+	auth   uint32
+	strSeq uint64
+	epoch  uint64
 }
 
 // ChunkExec executes the body of a chunk; the interpreter and the native
 // benchmark harness plug in here. It runs on the worker's goroutine with
 // the worker's enclave as the active mode.
 type ChunkExec func(w *Worker, chunkID int, args []any) any
+
+// Interceptor is the fault-injection seam: when installed, every runtime
+// message is handed to Deliver instead of being enqueued directly, and the
+// interceptor decides what actually reaches the queue (EnqueueRaw), in
+// what order, and how many times. Control (stop) messages bypass it.
+type Interceptor interface {
+	Deliver(to *Worker, msg Message)
+}
+
+// interceptorBox wraps the interface for atomic.Pointer storage.
+type interceptorBox struct{ ic Interceptor }
 
 // Runtime owns the enclaves and cost accounting of one partitioned
 // application execution.
@@ -82,14 +136,46 @@ type Runtime struct {
 	// in enclave mode, so the whitelist itself is tamper-proof.
 	ValidateSpawn func(workerIdx, chunkID int) bool
 
-	rejectedSpawns atomic.Int64
+	// ValidateCont, when set, rejects cont messages whose tag the
+	// partitioner never allocated (defense-in-depth beside the auth
+	// stamp: a forged tag must not park forever in a pending buffer).
+	ValidateCont func(tag int) bool
+
+	// Supervise configures the fault-tolerance layer (zero = off).
+	// Set it before creating threads.
+	Supervise Supervision
+
+	interceptor atomic.Pointer[interceptorBox]
+
+	// lastAdmit is the UnixNano timestamp of the most recent admitted
+	// message anywhere in the runtime. The inactivity window measures
+	// system-wide quiescence against it: a waiter whose own queue is
+	// silent keeps waiting while other workers are still making
+	// progress (a deep protocol phase may not touch every worker for a
+	// while), and gives up only once the whole runtime has been quiet
+	// for a full window — which a genuine loss or deadlock forces.
+	lastAdmit atomic.Int64
+
+	stats        supCounters
+	watchdogOnce sync.Once
+	watchdogStop chan struct{}
+	shutdownOnce sync.Once
 
 	mu      sync.Mutex
 	threads []*Thread
 }
 
 // RejectedSpawns reports how many spawn messages validation refused.
-func (rt *Runtime) RejectedSpawns() int64 { return rt.rejectedSpawns.Load() }
+func (rt *Runtime) RejectedSpawns() int64 { return rt.stats.rejectedSpawns.Load() }
+
+// SetInterceptor installs (or removes, with nil) the fault-injection hook.
+func (rt *Runtime) SetInterceptor(ic Interceptor) {
+	if ic == nil {
+		rt.interceptor.Store(nil)
+		return
+	}
+	rt.interceptor.Store(&interceptorBox{ic: ic})
+}
 
 // New creates a runtime with one enclave region per color.
 func New(m *sgx.Machine, colors []string, exec ChunkExec) *Runtime {
@@ -120,6 +206,20 @@ type Worker struct {
 	pendingCont []Message
 	pendingDone []Message
 	stopped     chan struct{}
+
+	// Consumer-side state, touched only on the worker's own goroutine
+	// (or the app thread, for index 0). ordEpoch/expect/reorderBuf
+	// reassemble the sender-side stream order: expect is the highest
+	// strSeq consumed this epoch, reorderBuf parks messages that arrived
+	// ahead of a gap.
+	ordEpoch   uint64
+	expect     uint64
+	reorderBuf map[uint64]Message
+	execEpoch  uint64 // epoch of the spawn currently executing
+	stopping   bool   // a stop was consumed mid-protocol
+
+	// block publishes what the worker is blocked on, for the watchdog.
+	block atomic.Pointer[blockInfo]
 }
 
 // Thread models one application thread: the normal-mode context plus one
@@ -129,6 +229,39 @@ type Thread struct {
 	RT      *Runtime
 	Workers []*Worker // index 0 is the app thread itself (normal mode)
 	wg      sync.WaitGroup
+	epoch   atomic.Uint64
+	closed  atomic.Bool
+
+	// sendMu guards sendSeqs: per-epoch, per-receiver stream counters.
+	// Stamping happens under the lock, so concurrent senders to the same
+	// receiver get distinct consecutive positions; the receiver then
+	// reconstructs exactly this order regardless of delivery order.
+	sendMu   sync.Mutex
+	sendSeqs map[uint64][]uint64
+}
+
+// nextStrSeq allocates the next stream position for a message to the
+// receiver with the given index, within the given epoch. Counters of
+// epochs older than epoch-1 can no longer produce admissible messages and
+// are pruned.
+func (t *Thread) nextStrSeq(epoch uint64, toIdx int) uint64 {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if t.sendSeqs == nil {
+		t.sendSeqs = make(map[uint64][]uint64, 2)
+	}
+	s := t.sendSeqs[epoch]
+	if s == nil {
+		s = make([]uint64, len(t.Workers))
+		t.sendSeqs[epoch] = s
+		for e := range t.sendSeqs {
+			if e+1 < epoch {
+				delete(t.sendSeqs, e)
+			}
+		}
+	}
+	s[toIdx]++
+	return s[toIdx]
 }
 
 // NewThread creates the workers of one application thread and starts the
@@ -154,15 +287,43 @@ func (rt *Runtime) NewThread() *Thread {
 	rt.mu.Lock()
 	rt.threads = append(rt.threads, t)
 	rt.mu.Unlock()
+	rt.maybeStartWatchdog()
 	return t
 }
 
-// Close stops the thread's enclave workers and waits for them to exit.
+// AdvanceEpoch fences a new top-level invocation: messages stamped with an
+// older epoch (stragglers of a failed or timed-out run, late retransmits,
+// delayed duplicates) are discarded instead of being matched against the
+// new invocation's waits. Call it only at a protocol quiescent point.
+func (t *Thread) AdvanceEpoch() { t.epoch.Add(1) }
+
+// Close stops the thread's enclave workers, waits for them to exit, and
+// drains every leftover message (a crashed protocol must not leak queue
+// contents into a later reuse of the address space). Close is idempotent.
 func (t *Thread) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
 	for _, w := range t.Workers[1:] {
-		w.q.Enqueue(Message{Kind: msgStop})
+		// Control messages bypass the interceptor: the attacker owns
+		// the data plane, not the host's ability to stop a worker.
+		w.q.Enqueue(Message{Kind: msgStop, auth: authStamp})
 	}
 	t.wg.Wait()
+	drained := int64(0)
+	for _, w := range t.Workers {
+		for {
+			if _, ok := w.q.Dequeue(); !ok {
+				break
+			}
+			drained++
+		}
+		drained += int64(len(w.pendingCont) + len(w.pendingDone) + len(w.reorderBuf))
+		w.pendingCont, w.pendingDone, w.reorderBuf = nil, nil, nil
+	}
+	if drained > 0 {
+		t.RT.stats.drained.Add(drained)
+	}
 }
 
 // Normal returns the normal-mode context of the thread.
@@ -171,18 +332,56 @@ func (t *Thread) Normal() *Worker { return t.Workers[0] }
 // Worker returns the worker bound to colorIdx (0 = normal mode).
 func (t *Thread) Worker(colorIdx int) *Worker { return t.Workers[colorIdx] }
 
+// EnqueueRaw places a message on the worker's queue exactly as given,
+// preserving its trusted-side metadata. This is how an interceptor
+// releases (or duplicates) messages it previously captured.
+func (w *Worker) EnqueueRaw(msg Message) { w.q.Enqueue(msg) }
+
+// DequeueRaw pops the worker's next queued message without the admit gate —
+// the inspection half of the injector seam (EnqueueRaw is the insertion
+// half). Tests and diagnostics only: consuming a live worker's messages
+// breaks the protocol.
+func (w *Worker) DequeueRaw() (Message, bool) { return w.q.Dequeue() }
+
+// DeliverHostile enqueues a message without the runtime's authentication
+// stamp — the simulation of an attacker writing a forged message into the
+// U-memory queue. The receiving worker is expected to reject it.
+func (w *Worker) DeliverHostile(msg Message) {
+	msg.auth = 0
+	w.q.Enqueue(msg)
+}
+
+// epochNow is the epoch to stamp on outbound messages: the app thread
+// defines the thread's epoch; an enclave worker propagates the epoch of
+// the spawn it is executing, so a straggler finishing old work cannot
+// pollute a newer invocation.
+func (w *Worker) epochNow() uint64 {
+	if w.Index == 0 {
+		return w.Thread.epoch.Load()
+	}
+	return w.execEpoch
+}
+
 // loop is the top-level scheduler of an enclave worker: it executes spawn
 // messages forever (Figure 7's "wait()" at the top of each enclave column).
 func (w *Worker) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(w.stopped)
 	for {
-		msg := w.q.DequeueBlock()
+		msg, ok := w.next(time.Time{})
+		if !ok {
+			return
+		}
 		switch msg.Kind {
 		case msgStop:
 			return
 		case MsgSpawn:
 			w.runSpawn(msg)
+			if w.stopping {
+				// A stop was consumed by a nested wait inside the
+				// spawn; honor it now.
+				return
+			}
 		case MsgCont, MsgDone:
 			// A message for a chunk that is not running. With
 			// correct generated code this cannot happen; after a
@@ -195,29 +394,205 @@ func (w *Worker) loop(wg *sync.WaitGroup) {
 	}
 }
 
-// runSpawn executes a spawned chunk and reports completion.
-func (w *Worker) runSpawn(msg Message) {
-	tracef("w%d run spawn chunk=%d", w.Index, msg.ChunkID)
+// next returns the next trustworthy message in its sender-side stream
+// order. It is the Iago gate: forged messages (missing auth stamp) and
+// stale stragglers (older epoch) are rejected outright, and authentic
+// messages are reassembled by strSeq — a replay arrives at or below the
+// consumed watermark and is dropped as a duplicate, an overtaking message
+// parks in reorderBuf until the gap before it fills. A zero deadline
+// blocks forever; otherwise ok=false on timeout (parked out-of-order
+// arrivals do not count as progress, so a permanent gap still times out).
+// Runs only on the worker's consumer goroutine.
+func (w *Worker) next(deadline time.Time) (Message, bool) {
 	rt := w.Thread.RT
-	if rt.ValidateSpawn != nil && !rt.ValidateSpawn(w.Index, msg.ChunkID) {
-		rt.rejectedSpawns.Add(1)
-		if msg.ReplyTo != nil {
-			// Still complete the join so legitimate peers cannot be
-			// deadlocked by a rejected injection racing a real spawn.
-			rt.send(msg.ReplyTo, Message{Kind: MsgDone, From: w.Index})
+	for {
+		// The stream state follows the thread's epoch.
+		if e := w.Thread.epoch.Load(); w.ordEpoch != e {
+			w.resetStream(e)
 		}
-		return
-	}
-	ret := rt.Exec(w, msg.ChunkID, msg.Args)
-	if msg.ReplyTo != nil {
-		w.Thread.RT.send(msg.ReplyTo, Message{Kind: MsgDone, Payload: ret, From: w.Index})
+		// A previously parked successor may now be deliverable.
+		if msg, ok := w.reorderBuf[w.expect+1]; ok {
+			delete(w.reorderBuf, w.expect+1)
+			w.expect++
+			rt.lastAdmit.Store(time.Now().UnixNano())
+			if w.accept(msg) {
+				return msg, true
+			}
+			continue
+		}
+		var msg Message
+		if deadline.IsZero() {
+			msg = w.q.DequeueBlock()
+		} else {
+			var ok bool
+			msg, ok = w.q.DequeueTimeout(time.Until(deadline))
+			if !ok {
+				return Message{}, false
+			}
+		}
+		if msg.auth != authStamp {
+			switch msg.Kind {
+			case MsgSpawn:
+				rt.stats.hostileSpawns.Add(1)
+			case MsgCont:
+				rt.stats.hostileConts.Add(1)
+			default:
+				rt.stats.hostileOther.Add(1)
+			}
+			tracef("w%d reject forged kind=%d tag=%d", w.Index, msg.Kind, msg.Tag)
+			continue
+		}
+		if msg.Kind == msgStop {
+			return msg, true
+		}
+		switch {
+		case msg.epoch < w.ordEpoch:
+			rt.stats.droppedStale.Add(1)
+			tracef("w%d drop stale kind=%d epoch=%d<%d", w.Index, msg.Kind, msg.epoch, w.ordEpoch)
+			continue
+		case msg.epoch > w.ordEpoch:
+			// The thread advanced between our epoch load and this
+			// dequeue; adopt the newer epoch.
+			w.resetStream(msg.epoch)
+		}
+		switch {
+		case msg.strSeq <= w.expect:
+			rt.stats.droppedDuplicates.Add(1)
+			tracef("w%d drop duplicate kind=%d strSeq=%d<=%d", w.Index, msg.Kind, msg.strSeq, w.expect)
+			continue
+		case msg.strSeq > w.expect+1:
+			if len(w.reorderBuf) < reorderBufCap {
+				if w.reorderBuf == nil {
+					w.reorderBuf = make(map[uint64]Message, 8)
+				}
+				w.reorderBuf[msg.strSeq] = msg
+				tracef("w%d park kind=%d strSeq=%d (expect %d)", w.Index, msg.Kind, msg.strSeq, w.expect+1)
+			} else {
+				rt.stats.droppedStale.Add(1)
+			}
+			continue
+		}
+		w.expect++
+		rt.lastAdmit.Store(time.Now().UnixNano())
+		if w.accept(msg) {
+			return msg, true
+		}
 	}
 }
 
-// send enqueues a message, charging one queue hop.
-func (rt *Runtime) send(to *Worker, msg Message) {
+// sysActiveWithin reports whether any worker of the runtime admitted a
+// message in the last d. Hostile, duplicate and stale rejects do not
+// count: a forged or replayed flood cannot keep a doomed wait alive.
+func (rt *Runtime) sysActiveWithin(d time.Duration) bool {
+	last := rt.lastAdmit.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) < d
+}
+
+// resetStream rebases the consumer's stream state onto a new epoch,
+// discarding parked messages of the old one.
+func (w *Worker) resetStream(epoch uint64) {
+	w.ordEpoch = epoch
+	w.expect = 0
+	if n := len(w.reorderBuf); n > 0 {
+		w.Thread.RT.stats.droppedStale.Add(int64(n))
+		clear(w.reorderBuf)
+	}
+}
+
+// accept applies the content checks to an authentic, in-order message. A
+// rejected message has already consumed its stream position, so the
+// stream keeps flowing past it.
+func (w *Worker) accept(msg Message) bool {
+	rt := w.Thread.RT
+	if msg.Kind == MsgCont && rt.ValidateCont != nil && !rt.ValidateCont(msg.Tag) {
+		rt.stats.rejectedConts.Add(1)
+		tracef("w%d reject cont with unknown tag=%d", w.Index, msg.Tag)
+		return false
+	}
+	return true
+}
+
+// prunePending drops buffered messages from older epochs before a wait
+// point consults the buffers.
+func (w *Worker) prunePending() {
+	e := w.Thread.epoch.Load()
+	prune := func(buf []Message) []Message {
+		kept := buf[:0]
+		for _, m := range buf {
+			if m.epoch < e {
+				w.Thread.RT.stats.droppedStale.Add(1)
+				continue
+			}
+			kept = append(kept, m)
+		}
+		return kept
+	}
+	w.pendingCont = prune(w.pendingCont)
+	w.pendingDone = prune(w.pendingDone)
+}
+
+// runSpawn executes a spawned chunk and reports completion. A panicking
+// chunk is the simulated AEX: instead of killing the worker goroutine (and
+// deadlocking the joiner forever), the panic is converted into a poisoned
+// MsgDone carrying an *EnclaveAbort, and the worker survives to serve the
+// next request.
+func (w *Worker) runSpawn(msg Message) {
+	tracef("w%d run spawn chunk=%d", w.Index, msg.ChunkID)
+	rt := w.Thread.RT
+	prevEpoch := w.execEpoch
+	w.execEpoch = msg.epoch
+	defer func() { w.execEpoch = prevEpoch }()
+	if rt.ValidateSpawn != nil && !rt.ValidateSpawn(w.Index, msg.ChunkID) {
+		rt.stats.rejectedSpawns.Add(1)
+		if msg.ReplyTo != nil {
+			// Still complete the join so legitimate peers cannot be
+			// deadlocked by a rejected injection racing a real spawn.
+			rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index})
+		}
+		return
+	}
+	var ret any
+	aborted := func() (aborted bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				aborted = true
+				rt.stats.aborts.Add(1)
+				cause, ok := r.(error)
+				if !ok {
+					cause = fmt.Errorf("panic: %v", r)
+				}
+				abort := &EnclaveAbort{Worker: w.Index, ChunkID: msg.ChunkID, Cause: cause}
+				tracef("w%d abort chunk=%d: %v", w.Index, msg.ChunkID, cause)
+				if msg.ReplyTo != nil {
+					rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index, Err: abort})
+				}
+			}
+		}()
+		ret = rt.Exec(w, msg.ChunkID, msg.Args)
+		return false
+	}()
+	if !aborted && msg.ReplyTo != nil {
+		rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, Payload: ret, From: w.Index})
+	}
+}
+
+// send enqueues a message, charging one queue hop. from is the sending
+// worker (epoch provenance); the interceptor, when installed, owns the
+// actual delivery.
+func (rt *Runtime) send(from, to *Worker, msg Message) {
 	tracef("send -> w%d kind=%d chunk=%d tag=%d", to.Index, msg.Kind, msg.ChunkID, msg.Tag)
 	rt.Meter.ChargeMessage(&rt.Machine.Cost)
+	msg.auth = authStamp
+	if from != nil {
+		msg.epoch = from.epochNow()
+	} else {
+		msg.epoch = to.Thread.epoch.Load()
+	}
+	msg.strSeq = to.Thread.nextStrSeq(msg.epoch, to.Index)
+	if box := rt.interceptor.Load(); box != nil {
+		box.ic.Deliver(to, msg)
+		return
+	}
 	to.q.Enqueue(msg)
 }
 
@@ -225,7 +600,7 @@ func (rt *Runtime) send(to *Worker, msg Message) {
 // same thread (§7.3.2). The completion Done is routed back to the caller.
 func (w *Worker) Spawn(colorIdx int, chunkID int, args []any, needReply bool) {
 	target := w.Thread.Worker(colorIdx)
-	w.Thread.RT.send(target, Message{
+	w.Thread.RT.send(w, target, Message{
 		Kind: MsgSpawn, ChunkID: chunkID, Args: args,
 		NeedReply: needReply, ReplyTo: w,
 	})
@@ -234,27 +609,70 @@ func (w *Worker) Spawn(colorIdx int, chunkID int, args []any, needReply bool) {
 // SendCont sends a Free value to the worker of colorIdx in the same thread
 // (the cont message of §7.3.2), tagged with its wait point.
 func (w *Worker) SendCont(colorIdx int, tag int, payload any) {
-	w.Thread.RT.send(w.Thread.Worker(colorIdx), Message{Kind: MsgCont, Payload: payload, Tag: tag})
+	w.Thread.RT.send(w, w.Thread.Worker(colorIdx), Message{Kind: MsgCont, Payload: payload, Tag: tag})
+}
+
+// window resolves the default supervision inactivity window (0 = block
+// forever, the unsupervised behavior). The window bounds *quiescence*,
+// not total time: any admitted message anywhere in the runtime restarts
+// it, so a long protocol that keeps making progress — even on workers
+// other than the blocked one — never times out, while a genuine loss or
+// deadlock quiesces the whole runtime and fails within one window.
+// Rejected (forged/stale/duplicate) messages do not restart it — a
+// hostile flood cannot suppress the timeout.
+func (w *Worker) window() time.Duration {
+	return w.Thread.RT.Supervise.WaitTimeout
+}
+
+// nextDeadline starts (or restarts) the inactivity window.
+func nextDeadline(window time.Duration) time.Time {
+	if window > 0 {
+		return time.Now().Add(window)
+	}
+	return time.Time{}
 }
 
 // Wait blocks until the cont message with the given tag arrives and
 // returns its payload, executing any spawn messages that arrive in the
 // meantime (this is what lets Figure 7's main.U run g.U between its two
 // waits). Conts with other tags are buffered for their own wait points.
-func (w *Worker) Wait(tag int) any {
+//
+// Under supervision (Runtime.Supervise.WaitTimeout > 0) a lost cont turns
+// into a *TimeoutError once no authentic message arrives for a full
+// window; a stop message turns into ErrStopped instead of a panic.
+func (w *Worker) Wait(tag int) (any, error) { return w.waitTag(tag, w.window()) }
+
+// WaitTimeout is Wait with an explicit inactivity window overriding the
+// configured supervision default.
+func (w *Worker) WaitTimeout(tag int, d time.Duration) (any, error) {
+	return w.waitTag(tag, d)
+}
+
+func (w *Worker) waitTag(tag int, window time.Duration) (any, error) {
 	tracef("w%d wait tag=%d", w.Index, tag)
+	w.prunePending()
 	for i, msg := range w.pendingCont {
 		if msg.Tag == tag {
 			w.pendingCont = append(w.pendingCont[:i], w.pendingCont[i+1:]...)
-			return msg.Payload
+			return msg.Payload, nil
 		}
 	}
+	start := time.Now()
+	w.publishBlock("wait", tag, start)
+	defer w.clearBlock()
 	for {
-		msg := w.q.DequeueBlock()
+		msg, ok := w.next(nextDeadline(window))
+		if !ok {
+			if w.Thread.RT.sysActiveWithin(window) {
+				continue // the system is alive; only our queue is quiet
+			}
+			w.Thread.RT.stats.timeouts.Add(1)
+			return nil, &TimeoutError{Op: "wait", Worker: w.Index, Tag: tag, Elapsed: time.Since(start)}
+		}
 		switch msg.Kind {
 		case MsgCont:
 			if msg.Tag == tag {
-				return msg.Payload
+				return msg.Payload, nil
 			}
 			w.pendingCont = append(w.pendingCont, msg)
 		case MsgSpawn:
@@ -262,43 +680,78 @@ func (w *Worker) Wait(tag int) any {
 		case MsgDone:
 			w.pendingDone = append(w.pendingDone, msg)
 		case msgStop:
-			panic("prt: worker stopped while waiting for cont")
+			w.stopping = true
+			return nil, ErrStopped
 		}
 	}
 }
 
 // JoinOne waits for a single spawn completion and returns the whole Done
 // message (the interface versions of §7.3.4 need the sender identity to
-// pick the chunk carrying the return color). Spawns arriving in the
-// meantime are executed; conts are buffered.
-func (w *Worker) JoinOne() Message {
+// pick the chunk carrying the return color; a poisoned completion carries
+// its abort in Message.Err). Spawns arriving in the meantime are executed;
+// conts are buffered.
+func (w *Worker) JoinOne() (Message, error) { return w.joinOne(w.window()) }
+
+// JoinOneTimeout is JoinOne with an explicit inactivity window.
+func (w *Worker) JoinOneTimeout(d time.Duration) (Message, error) {
+	return w.joinOne(d)
+}
+
+func (w *Worker) joinOne(window time.Duration) (Message, error) {
+	w.prunePending()
 	if len(w.pendingDone) > 0 {
 		msg := w.pendingDone[0]
 		w.pendingDone = w.pendingDone[1:]
-		return msg
+		return msg, nil
 	}
+	start := time.Now()
+	w.publishBlock("join-one", 0, start)
+	defer w.clearBlock()
 	for {
-		msg := w.q.DequeueBlock()
+		msg, ok := w.next(nextDeadline(window))
+		if !ok {
+			if w.Thread.RT.sysActiveWithin(window) {
+				continue
+			}
+			w.Thread.RT.stats.timeouts.Add(1)
+			return Message{}, &TimeoutError{Op: "join-one", Worker: w.Index, Pending: 1, Elapsed: time.Since(start)}
+		}
 		switch msg.Kind {
 		case MsgDone:
-			return msg
+			return msg, nil
 		case MsgSpawn:
 			w.runSpawn(msg)
 		case MsgCont:
 			w.pendingCont = append(w.pendingCont, msg)
 		case msgStop:
-			panic("prt: worker stopped while joining")
+			w.stopping = true
+			return Message{}, ErrStopped
 		}
 	}
 }
 
 // Join waits for n spawn completions and returns the payload of the last
 // non-nil one (the partitioner arranges for at most one meaningful result).
-// Spawn messages arriving in the meantime are executed.
-func (w *Worker) Join(n int) any {
+// Spawn messages arriving in the meantime are executed. If a completion is
+// poisoned (the chunk aborted), Join keeps collecting the remaining
+// completions and then reports the first abort.
+func (w *Worker) Join(n int) (any, error) { return w.joinN(n, w.window()) }
+
+// JoinTimeout is Join with an explicit inactivity window.
+func (w *Worker) JoinTimeout(n int, d time.Duration) (any, error) {
+	return w.joinN(n, d)
+}
+
+func (w *Worker) joinN(n int, window time.Duration) (any, error) {
 	tracef("w%d join n=%d", w.Index, n)
+	w.prunePending()
 	var result any
+	var firstErr error
 	take := func(msg Message) {
+		if msg.Err != nil && firstErr == nil {
+			firstErr = msg.Err
+		}
 		if msg.Payload != nil {
 			result = msg.Payload
 		}
@@ -308,8 +761,18 @@ func (w *Worker) Join(n int) any {
 		w.pendingDone = w.pendingDone[1:]
 		n--
 	}
+	start := time.Now()
+	w.publishBlock("join", n, start)
+	defer w.clearBlock()
 	for n > 0 {
-		msg := w.q.DequeueBlock()
+		msg, ok := w.next(nextDeadline(window))
+		if !ok {
+			if w.Thread.RT.sysActiveWithin(window) {
+				continue
+			}
+			w.Thread.RT.stats.timeouts.Add(1)
+			return result, &TimeoutError{Op: "join", Worker: w.Index, Pending: n, Elapsed: time.Since(start)}
+		}
 		switch msg.Kind {
 		case MsgDone:
 			take(msg)
@@ -319,8 +782,9 @@ func (w *Worker) Join(n int) any {
 		case MsgCont:
 			w.pendingCont = append(w.pendingCont, msg)
 		case msgStop:
-			panic("prt: worker stopped while joining")
+			w.stopping = true
+			return result, ErrStopped
 		}
 	}
-	return result
+	return result, firstErr
 }

@@ -35,7 +35,10 @@ func TestSpawnJoin(t *testing.T) {
 	defer th.Close()
 	u := th.Normal()
 	u.Spawn(1, 1, []any{21}, true)
-	got := u.Join(1)
+	got, err := u.Join(1)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
 	if got != 42 {
 		t.Errorf("Join = %v, want 42", got)
 	}
@@ -64,10 +67,12 @@ func TestContDelivery(t *testing.T) {
 	defer th.Close()
 	u := th.Normal()
 	u.Spawn(1, 1, nil, true)
-	if got := u.Wait(7); got != "payload" {
-		t.Errorf("Wait(7) = %v", got)
+	if got, err := u.Wait(7); err != nil || got != "payload" {
+		t.Errorf("Wait(7) = %v, %v", got, err)
 	}
-	u.Join(1)
+	if _, err := u.Join(1); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
 }
 
 // TestTaggedWaitsAreOrderFree reproduces the race the tags exist for: two
@@ -90,12 +95,17 @@ func TestTaggedWaitsAreOrderFree(t *testing.T) {
 		u.Spawn(1, 1, nil, true)
 		u.Spawn(2, 2, nil, true)
 		// Consume in the opposite order of a possible arrival order.
-		red := u.Wait(200)
-		blue := u.Wait(100)
+		red, errR := u.Wait(200)
+		blue, errB := u.Wait(100)
+		if errR != nil || errB != nil {
+			t.Fatalf("Wait errors: %v / %v", errR, errB)
+		}
 		if red != "from-red" || blue != "from-blue" {
 			t.Fatalf("tag routing failed: %v / %v", red, blue)
 		}
-		u.Join(2)
+		if _, err := u.Join(2); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
 		th.Close()
 	}
 }
@@ -123,19 +133,20 @@ func TestWaitExecutesSpawns(t *testing.T) {
 	defer th.Close()
 	u := th.Normal()
 	u.Spawn(1, 1, nil, true)
-	if got := u.Wait(5); got != 99 {
-		t.Errorf("Wait = %v", got)
+	if got, err := u.Wait(5); err != nil || got != 99 {
+		t.Errorf("Wait = %v, %v", got, err)
 	}
 	if nested.Load() != 1 {
 		t.Error("nested spawn did not run inside Wait")
 	}
-	u.Join(1)
+	if _, err := u.Join(1); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
 }
 
 // enqueueSpawnForTest lets a test route a spawn at a specific worker.
 func (w *Worker) enqueueSpawnForTest(chunkID int, from *Worker) {
-	w.Thread.RT.send(w, Message{Kind: MsgSpawn, ChunkID: chunkID, ReplyTo: nil})
-	_ = from
+	w.Thread.RT.send(from, w, Message{Kind: MsgSpawn, ChunkID: chunkID, ReplyTo: nil})
 }
 
 // TestJoinOneCarriesSender checks the From field the interface versions
@@ -152,7 +163,10 @@ func TestJoinOneCarriesSender(t *testing.T) {
 	u.Spawn(2, 2, nil, true)
 	got := map[int]any{}
 	for i := 0; i < 2; i++ {
-		msg := u.JoinOne()
+		msg, err := u.JoinOne()
+		if err != nil {
+			t.Fatalf("JoinOne: %v", err)
+		}
 		got[msg.From] = msg.Payload
 	}
 	if got[1] != "blue-result" || got[2] != "red-result" {
@@ -172,7 +186,9 @@ func TestMessageCostAccounting(t *testing.T) {
 	_, msgBefore, _, _ := rt.Meter.Counts()
 	u := th.Normal()
 	u.Spawn(1, 1, nil, true)
-	u.Join(1)
+	if _, err := u.Join(1); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
 	_, msgAfter, _, _ := rt.Meter.Counts()
 	if msgAfter-msgBefore != 2 { // spawn + done
 		t.Errorf("messages charged = %d, want 2", msgAfter-msgBefore)
@@ -193,7 +209,13 @@ func TestParallelThreads(t *testing.T) {
 			u := th.Normal()
 			for j := 0; j < 100; j++ {
 				u.Spawn(1, 1, []any{i*1000 + j}, true)
-				if got := u.Join(1); got != i*1000+j {
+				got, err := u.Join(1)
+				if err != nil {
+					t.Errorf("thread %d: Join error: %v", i, err)
+					done <- false
+					return
+				}
+				if got != i*1000+j {
 					t.Errorf("thread %d: Join = %v", i, got)
 					done <- false
 					return

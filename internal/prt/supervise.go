@@ -1,0 +1,205 @@
+package prt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Supervision configures the runtime's fault-tolerance layer. The zero
+// value disables everything, reproducing the paper's trusting runtime.
+type Supervision struct {
+	// WaitTimeout is the inactivity window of every Wait/Join/JoinOne: a
+	// blocked worker gives up once the whole runtime has admitted no
+	// authentic message for this long, returning a *TimeoutError instead
+	// of hanging on a lost message. Admitted traffic on any worker
+	// restarts the window (a long protocol that keeps making progress
+	// never trips it); rejected forgeries do not. 0 = block forever.
+	WaitTimeout time.Duration
+	// Watchdog starts a per-runtime supervisor goroutine that observes
+	// blocked workers and records which tag/join they are stuck on once
+	// they exceed the deadline (diagnosing hangs the timeouts cannot
+	// reach, e.g. blocking calls issued with WaitTimeout 0).
+	Watchdog bool
+	// WatchdogInterval is the sampling period (default 10ms).
+	WatchdogInterval time.Duration
+}
+
+// supCounters aggregates the hostile-message and failure counters of one
+// runtime (the "alongside RejectedSpawns" surface of the robustness work).
+type supCounters struct {
+	rejectedSpawns    atomic.Int64
+	rejectedConts     atomic.Int64
+	hostileSpawns     atomic.Int64
+	hostileConts      atomic.Int64
+	hostileOther      atomic.Int64
+	droppedStale      atomic.Int64
+	droppedDuplicates atomic.Int64
+	aborts            atomic.Int64
+	timeouts          atomic.Int64
+	drained           atomic.Int64
+
+	stallMu sync.Mutex
+	stalls  []Stall
+}
+
+// SupStats is a snapshot of the supervision counters.
+type SupStats struct {
+	// RejectedSpawns counts spawn messages the ValidateSpawn whitelist
+	// refused; RejectedConts counts cont messages with unallocated tags.
+	RejectedSpawns int64
+	RejectedConts  int64
+	// HostileSpawns/Conts/Other count forged messages (missing auth
+	// stamp) rejected at the admit gate, by kind.
+	HostileSpawns int64
+	HostileConts  int64
+	HostileOther  int64
+	// DroppedStale counts stragglers of older epochs; DroppedDuplicates
+	// counts replayed sequence numbers.
+	DroppedStale      int64
+	DroppedDuplicates int64
+	// Aborts counts chunks that crashed and were converted into
+	// poisoned completions; Timeouts counts waits that gave up;
+	// Drained counts leftover messages discarded by Thread.Close.
+	Aborts   int64
+	Timeouts int64
+	Drained  int64
+	// Stalls counts watchdog reports (details via Runtime.Stalls).
+	Stalls int64
+}
+
+// HostileTotal is the total number of forged messages rejected.
+func (s SupStats) HostileTotal() int64 { return s.HostileSpawns + s.HostileConts + s.HostileOther }
+
+// SupervisionStats snapshots the runtime's robustness counters.
+func (rt *Runtime) SupervisionStats() SupStats {
+	c := &rt.stats
+	c.stallMu.Lock()
+	nStalls := int64(len(c.stalls))
+	c.stallMu.Unlock()
+	return SupStats{
+		RejectedSpawns:    c.rejectedSpawns.Load(),
+		RejectedConts:     c.rejectedConts.Load(),
+		HostileSpawns:     c.hostileSpawns.Load(),
+		HostileConts:      c.hostileConts.Load(),
+		HostileOther:      c.hostileOther.Load(),
+		DroppedStale:      c.droppedStale.Load(),
+		DroppedDuplicates: c.droppedDuplicates.Load(),
+		Aborts:            c.aborts.Load(),
+		Timeouts:          c.timeouts.Load(),
+		Drained:           c.drained.Load(),
+		Stalls:            nStalls,
+	}
+}
+
+// Stall is one watchdog observation: a worker blocked past its deadline,
+// with the wait point it is stuck on.
+type Stall struct {
+	Worker  int    // color index of the blocked worker
+	Op      string // "wait", "join", "join-one"
+	Tag     int    // cont tag (Op == "wait") or completions pending
+	Blocked time.Duration
+}
+
+// Stalls returns the watchdog's reports so far.
+func (rt *Runtime) Stalls() []Stall {
+	rt.stats.stallMu.Lock()
+	defer rt.stats.stallMu.Unlock()
+	return append([]Stall(nil), rt.stats.stalls...)
+}
+
+// blockInfo is the state a worker publishes while blocked in a wait
+// primitive, consumed by the watchdog.
+type blockInfo struct {
+	op       string
+	tag      int
+	since    time.Time
+	reported atomic.Bool
+}
+
+func (w *Worker) publishBlock(op string, tag int, since time.Time) {
+	if w.Thread.RT.Supervise.Watchdog {
+		w.block.Store(&blockInfo{op: op, tag: tag, since: since})
+	}
+}
+
+func (w *Worker) clearBlock() {
+	if w.Thread.RT.Supervise.Watchdog {
+		w.block.Store(nil)
+	}
+}
+
+// maybeStartWatchdog starts the supervisor goroutine once, if configured.
+func (rt *Runtime) maybeStartWatchdog() {
+	if !rt.Supervise.Watchdog {
+		return
+	}
+	rt.watchdogOnce.Do(func() {
+		rt.watchdogStop = make(chan struct{})
+		go rt.watchdog()
+	})
+}
+
+// watchdog samples every worker's published block state and records a
+// stall the first time a block exceeds the deadline. It reports which
+// tag/join the worker is stuck on — the diagnostic half of supervision
+// (the timeout variants are the recovery half).
+func (rt *Runtime) watchdog() {
+	interval := rt.Supervise.WatchdogInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	threshold := rt.Supervise.WaitTimeout
+	if threshold <= 0 {
+		threshold = 4 * interval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.watchdogStop:
+			return
+		case <-ticker.C:
+		}
+		rt.mu.Lock()
+		threads := append([]*Thread(nil), rt.threads...)
+		rt.mu.Unlock()
+		now := time.Now()
+		for _, t := range threads {
+			for _, w := range t.Workers {
+				bi := w.block.Load()
+				if bi == nil {
+					continue
+				}
+				blocked := now.Sub(bi.since)
+				if blocked < threshold || !bi.reported.CompareAndSwap(false, true) {
+					continue
+				}
+				tracef("watchdog: w%d stuck in %s tag=%d for %v", w.Index, bi.op, bi.tag, blocked)
+				rt.stats.stallMu.Lock()
+				if len(rt.stats.stalls) < 1024 {
+					rt.stats.stalls = append(rt.stats.stalls, Stall{
+						Worker: w.Index, Op: bi.op, Tag: bi.tag, Blocked: blocked,
+					})
+				}
+				rt.stats.stallMu.Unlock()
+			}
+		}
+	}
+}
+
+// Shutdown closes every thread the runtime created and stops the watchdog.
+// Safe to call more than once.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	threads := append([]*Thread(nil), rt.threads...)
+	rt.mu.Unlock()
+	for _, t := range threads {
+		t.Close()
+	}
+	rt.shutdownOnce.Do(func() {
+		if rt.watchdogStop != nil {
+			close(rt.watchdogStop)
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package prt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"privagic/internal/sgx"
+)
+
+// TestStopDuringWaitReturnsErrStopped checks the satellite fix: a worker
+// blocked in Wait when Thread.Close fires gets a typed shutdown error, not
+// a panic, so teardown during in-flight work is safe.
+func TestStopDuringWaitReturnsErrStopped(t *testing.T) {
+	errCh := make(chan error, 1)
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			_, err := w.Wait(42) // blocks: nobody ever sends tag 42
+			errCh <- err
+			return nil
+		},
+	})
+	th := rt.NewThread()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, false)
+	time.Sleep(5 * time.Millisecond) // let the chunk reach its wait
+	th.Close()                       // must not deadlock or panic
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("Wait during Close = %v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chunk never unblocked")
+	}
+}
+
+// TestAbortPropagatesToJoiner checks the simulated-AEX path: a panicking
+// chunk becomes a poisoned Done carrying *EnclaveAbort instead of
+// deadlocking the joiner forever.
+func TestAbortPropagatesToJoiner(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { panic("enclave blew up") },
+		2: func(w *Worker, args []any) any { return "ok" },
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	_, err := u.Join(1)
+	if !errors.Is(err, ErrEnclaveAbort) {
+		t.Fatalf("Join after crash = %v, want EnclaveAbort", err)
+	}
+	var abort *EnclaveAbort
+	if !errors.As(err, &abort) || abort.ChunkID != 1 || abort.Worker != 1 {
+		t.Fatalf("abort details wrong: %+v", abort)
+	}
+	// The worker survived the crash and serves the next request.
+	u.Spawn(1, 2, nil, true)
+	got, err := u.Join(1)
+	if err != nil || got != "ok" {
+		t.Fatalf("worker did not survive the abort: %v, %v", got, err)
+	}
+	if st := rt.SupervisionStats(); st.Aborts != 1 {
+		t.Errorf("Aborts = %d, want 1", st.Aborts)
+	}
+}
+
+// TestWaitTimeoutOnLostCont checks that a lost cont degrades into a typed
+// timeout instead of a hang.
+func TestWaitTimeoutOnLostCont(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, nil)
+	rt.Supervise = Supervision{WaitTimeout: 20 * time.Millisecond}
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	start := time.Now()
+	_, err := u.Wait(7)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Wait on lost cont = %v, want ErrWaitTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Tag != 7 || te.Op != "wait" {
+		t.Fatalf("timeout details wrong: %+v", te)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("timeout took %v", el)
+	}
+	if st := rt.SupervisionStats(); st.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
+	}
+}
+
+// TestJoinTimeoutExplicit checks the explicit-deadline variant against a
+// spawn whose completion never comes (dropped by an interceptor).
+func TestJoinTimeoutExplicit(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return nil },
+	})
+	rt.SetInterceptor(dropKind{MsgDone})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	_, err := u.JoinTimeout(1, 20*time.Millisecond)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("JoinTimeout = %v, want ErrWaitTimeout", err)
+	}
+}
+
+// dropKind is a test interceptor that swallows every message of one kind.
+type dropKind struct{ kind MsgKind }
+
+func (d dropKind) Deliver(to *Worker, msg Message) {
+	if msg.Kind == d.kind {
+		return
+	}
+	to.EnqueueRaw(msg)
+}
+
+// dupAll is a test interceptor that delivers every message twice — the
+// replay attack / duplicating-transport case.
+type dupAll struct{}
+
+func (dupAll) Deliver(to *Worker, msg Message) {
+	to.EnqueueRaw(msg)
+	to.EnqueueRaw(msg)
+}
+
+// TestDuplicateSuppression checks that replayed messages are delivered
+// exactly once: 50 spawn/join rounds under a duplicating transport still
+// yield exactly one completion each.
+func TestDuplicateSuppression(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return args[0] },
+	})
+	rt.SetInterceptor(dupAll{})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	for j := 0; j < 50; j++ {
+		u.Spawn(1, 1, []any{j}, true)
+		got, err := u.Join(1)
+		if err != nil || got != j {
+			t.Fatalf("round %d: Join = %v, %v", j, got, err)
+		}
+	}
+	st := rt.SupervisionStats()
+	if st.DroppedDuplicates == 0 {
+		t.Error("no duplicates suppressed under a duplicating transport")
+	}
+}
+
+// TestHostileMessagesRejected forges messages into the queues (no auth
+// stamp) and checks they are counted and ignored while the legitimate
+// protocol proceeds.
+func TestHostileMessagesRejected(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return "real" },
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	// Forge: a spawn at the enclave worker, a cont and a done at the
+	// app thread (the injected-message surface of §8).
+	th.Worker(1).DeliverHostile(Message{Kind: MsgSpawn, ChunkID: 999})
+	u.DeliverHostile(Message{Kind: MsgCont, Tag: 1, Payload: "evil"})
+	u.DeliverHostile(Message{Kind: MsgDone, Payload: "evil", From: 1})
+	u.Spawn(1, 1, nil, true)
+	got, err := u.Join(1)
+	if err != nil || got != "real" {
+		t.Fatalf("Join = %v, %v; forged done consumed?", got, err)
+	}
+	st := rt.SupervisionStats()
+	if st.HostileSpawns != 1 || st.HostileConts != 1 || st.HostileOther != 1 {
+		t.Errorf("hostile counters = %+v, want 1/1/1", st)
+	}
+}
+
+// TestContTagValidation checks the ValidateCont whitelist: an
+// authenticated cont with an unallocated tag is rejected and counted
+// rather than parked forever in the pending buffer.
+func TestContTagValidation(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			w.SendCont(0, 500, "bogus") // tag outside the whitelist
+			w.SendCont(0, 3, "good")
+			return nil
+		},
+	})
+	rt.ValidateCont = func(tag int) bool { return tag <= 10 }
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	if got, err := u.Wait(3); err != nil || got != "good" {
+		t.Fatalf("Wait(3) = %v, %v", got, err)
+	}
+	if _, err := u.Join(1); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if st := rt.SupervisionStats(); st.RejectedConts != 1 {
+		t.Errorf("RejectedConts = %d, want 1", st.RejectedConts)
+	}
+}
+
+// holdDones captures Done messages until released — simulating a transport
+// that redelivers them much later (after the invocation moved on).
+type holdDones struct {
+	mu   sync.Mutex
+	held []struct {
+		to  *Worker
+		msg Message
+	}
+}
+
+func (h *holdDones) Deliver(to *Worker, msg Message) {
+	if msg.Kind == MsgDone {
+		h.mu.Lock()
+		h.held = append(h.held, struct {
+			to  *Worker
+			msg Message
+		}{to, msg})
+		h.mu.Unlock()
+		return
+	}
+	to.EnqueueRaw(msg)
+}
+
+func (h *holdDones) release() {
+	h.mu.Lock()
+	held := h.held
+	h.held = nil
+	h.mu.Unlock()
+	for _, e := range held {
+		e.to.EnqueueRaw(e.msg)
+	}
+}
+
+// TestEpochFencesStaleMessages checks the cross-invocation staleness
+// fence: a completion from invocation N delivered during invocation N+1 is
+// discarded, not consumed as N+1's result.
+func TestEpochFencesStaleMessages(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return args[0] },
+	})
+	ic := &holdDones{}
+	rt.SetInterceptor(ic)
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+
+	th.AdvanceEpoch()
+	u.Spawn(1, 1, []any{"old"}, true)
+	if _, err := u.JoinTimeout(1, 10*time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("expected timeout while the done is held, got %v", err)
+	}
+
+	// Next invocation: the stale done is released mid-flight.
+	th.AdvanceEpoch()
+	rt.SetInterceptor(nil)
+	ic.release()
+	u.Spawn(1, 1, []any{"new"}, true)
+	got, err := u.Join(1)
+	if err != nil || got != "new" {
+		t.Fatalf("Join = %v, %v; stale completion leaked across epochs", got, err)
+	}
+	if st := rt.SupervisionStats(); st.DroppedStale == 0 {
+		t.Error("stale message was not counted as dropped")
+	}
+}
+
+// TestWatchdogReportsStall checks the diagnostic half of supervision: a
+// worker blocked past the deadline is reported with the tag it is stuck on.
+func TestWatchdogReportsStall(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, nil)
+	rt.Supervise = Supervision{Watchdog: true, WatchdogInterval: 2 * time.Millisecond}
+	th := rt.NewThread()
+	defer func() { th.Close(); rt.Shutdown() }()
+	u := th.Normal()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		u.Wait(77) // blocks until the cont below arrives
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.Stalls()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	stalls := rt.Stalls()
+	if len(stalls) == 0 {
+		t.Fatal("watchdog never reported the blocked worker")
+	}
+	if s := stalls[0]; s.Op != "wait" || s.Tag != 77 || s.Worker != 0 {
+		t.Errorf("stall = %+v, want wait on tag 77 at w0", s)
+	}
+	// Unblock and tear down.
+	th.Worker(1).Thread.RT.send(th.Worker(1), u, Message{Kind: MsgCont, Tag: 77})
+	<-done
+}
+
+// TestCloseDrainsLeftovers checks graceful shutdown: queue contents left
+// by a crashed protocol are drained and counted, not leaked.
+func TestCloseDrainsLeftovers(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			w.SendCont(0, 9, "never consumed")
+			w.SendCont(0, 10, "never consumed")
+			return nil
+		},
+	})
+	th := rt.NewThread()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	if _, err := u.Join(1); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	th.Close()
+	th.Close() // idempotent
+	if st := rt.SupervisionStats(); st.Drained < 2 {
+		t.Errorf("Drained = %d, want >= 2 leftover conts", st.Drained)
+	}
+}
+
+// TestSupervisedRoundTripStillCorrect is the zero-fault sanity check: with
+// the full supervision stack on, the ordinary protocol is unchanged.
+func TestSupervisedRoundTripStillCorrect(t *testing.T) {
+	rt := New(sgx.MachineB(), []string{"blue"}, func(w *Worker, chunkID int, args []any) any {
+		return args[0].(int) + 1
+	})
+	rt.Supervise = Supervision{WaitTimeout: time.Second, Watchdog: true}
+	th := rt.NewThread()
+	defer func() { th.Close(); rt.Shutdown() }()
+	u := th.Normal()
+	for j := 0; j < 200; j++ {
+		th.AdvanceEpoch()
+		u.Spawn(1, 1, []any{j}, true)
+		got, err := u.Join(1)
+		if err != nil || got != j+1 {
+			t.Fatalf("round %d: %v, %v", j, got, err)
+		}
+	}
+	st := rt.SupervisionStats()
+	if st.Timeouts != 0 || st.Aborts != 0 || st.HostileTotal() != 0 {
+		t.Errorf("clean run tripped counters: %+v", st)
+	}
+}

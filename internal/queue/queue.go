@@ -12,6 +12,7 @@ package queue
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // node is one queue cell.
@@ -28,6 +29,7 @@ type Queue[T any] struct {
 
 	enqueues atomic.Int64
 	dequeues atomic.Int64
+	parks    atomic.Int64
 }
 
 // New creates an empty queue.
@@ -89,15 +91,57 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 	}
 }
 
-// DequeueBlock spins (with a scheduler yield) until an element arrives.
-// The Privagic runtime's wait primitive is built on it.
+// Blocking-dequeue backoff schedule: a short hot spin catches the common
+// ping-pong case where the producer is already mid-Enqueue, a few scheduler
+// yields cover a producer that holds the core, and after that the waiter
+// parks in exponentially growing sleeps so an idle worker costs (almost) no
+// CPU. The sleep cap bounds the added latency of a message that arrives
+// while the consumer is parked.
+const (
+	spinIters  = 128
+	yieldIters = 32
+	sleepStart = time.Microsecond
+	sleepCap   = 256 * time.Microsecond
+)
+
+// DequeueBlock waits (spin → yield → parked sleep) until an element
+// arrives. The Privagic runtime's wait primitive is built on it.
 func (q *Queue[T]) DequeueBlock() T {
+	v, _ := q.dequeueDeadline(time.Time{})
+	return v
+}
+
+// DequeueTimeout waits like DequeueBlock but gives up after d, reporting
+// false. A non-positive d degrades to a single non-blocking attempt.
+func (q *Queue[T]) DequeueTimeout(d time.Duration) (T, bool) {
+	if d <= 0 {
+		return q.Dequeue()
+	}
+	return q.dequeueDeadline(time.Now().Add(d))
+}
+
+// dequeueDeadline runs the backoff loop; a zero deadline means forever.
+func (q *Queue[T]) dequeueDeadline(deadline time.Time) (T, bool) {
+	sleep := sleepStart
 	for i := 0; ; i++ {
 		if v, ok := q.Dequeue(); ok {
-			return v
+			return v, true
 		}
-		if i%64 == 63 {
+		switch {
+		case i < spinIters:
+			// hot spin
+		case i < spinIters+yieldIters:
 			runtime.Gosched()
+		default:
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				var zero T
+				return zero, false
+			}
+			q.parks.Add(1)
+			time.Sleep(sleep)
+			if sleep < sleepCap {
+				sleep *= 2
+			}
 		}
 	}
 }
@@ -116,3 +160,7 @@ func (q *Queue[T]) Len() int64 {
 func (q *Queue[T]) Stats() (enqueues, dequeues int64) {
 	return q.enqueues.Load(), q.dequeues.Load()
 }
+
+// Parks counts how many times a blocking dequeue slept instead of spinning
+// — the observable difference between a parked idle worker and a hot one.
+func (q *Queue[T]) Parks() int64 { return q.parks.Load() }

@@ -50,6 +50,10 @@ type CostModel struct {
 	// resident workers never transition, FastSGX [40]). It is the
 	// workload-dependent part of the Intel SDK's boundary cost.
 	TLBRefill int64
+	// Retransmit is the cost of re-sending a message whose delivery was
+	// not acknowledged in time: a timer read, re-enqueue, and the
+	// receiver-side dedup check. Only the supervision layer pays it.
+	Retransmit int64
 }
 
 // EnclaveMiss returns the enclave-mode LLC miss cost.
@@ -90,6 +94,7 @@ func defaultCost() CostModel {
 		StreamMiss:           30,
 		StreamEnclaveFactor:  2.0,
 		TLBRefill:            30000,
+		Retransmit:           1200, // one queue hop + timer bookkeeping
 	}
 }
 
@@ -137,6 +142,7 @@ type Meter struct {
 	messages    atomic.Int64
 	syscalls    atomic.Int64
 	pageFaults  atomic.Int64
+	retransmits atomic.Int64
 }
 
 // Charge adds raw cycles.
@@ -153,6 +159,15 @@ func (mt *Meter) ChargeMessage(c *CostModel) {
 	mt.messages.Add(1)
 	mt.cycles.Add(c.QueueMessage)
 }
+
+// ChargeRetransmit records one supervision-layer message retransmission.
+func (mt *Meter) ChargeRetransmit(c *CostModel) {
+	mt.retransmits.Add(1)
+	mt.cycles.Add(c.Retransmit)
+}
+
+// Retransmits returns how many retransmissions were charged.
+func (mt *Meter) Retransmits() int64 { return mt.retransmits.Load() }
 
 // ChargeSyscall records a system call from the given mode.
 func (mt *Meter) ChargeSyscall(c *CostModel, mode Mode) {
@@ -186,4 +201,5 @@ func (mt *Meter) Reset() {
 	mt.messages.Store(0)
 	mt.syscalls.Store(0)
 	mt.pageFaults.Store(0)
+	mt.retransmits.Store(0)
 }

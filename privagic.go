@@ -21,12 +21,15 @@ package privagic
 
 import (
 	"fmt"
+	"time"
 
+	"privagic/internal/faults"
 	"privagic/internal/interp"
 	"privagic/internal/ir"
 	"privagic/internal/minic"
 	"privagic/internal/partition"
 	"privagic/internal/passes"
+	"privagic/internal/prt"
 	"privagic/internal/sgx"
 	"privagic/internal/typing"
 )
@@ -131,7 +134,8 @@ func (p *Program) TCBReport() *partition.TCBReport {
 
 // Instance is a loaded program on a simulated SGX machine.
 type Instance struct {
-	ip *interp.Interp
+	ip  *interp.Interp
+	inj *faults.Injector
 }
 
 // Instantiate loads the program on a machine (nil means the paper's
@@ -184,8 +188,96 @@ func (i *Instance) EnableSpawnValidation() { i.ip.EnableSpawnValidation() }
 // refused.
 func (i *Instance) RejectedSpawns() int64 { return i.ip.RT.RejectedSpawns() }
 
-// Close stops the instance's worker threads.
-func (i *Instance) Close() { i.ip.Close() }
+// SupervisionOptions configures the runtime's fault-tolerance layer.
+type SupervisionOptions struct {
+	// WaitTimeout is the inactivity window of every runtime wait/join: a
+	// lost message degrades into an error satisfying errors.Is(err,
+	// ErrWaitTimeout) once nothing authentic has arrived for this long,
+	// instead of hanging the calling thread forever. Progress restarts
+	// the window, so it bounds stalls, not total call duration. 0 keeps
+	// the paper's trusting block-forever behavior.
+	WaitTimeout time.Duration
+	// Watchdog starts a supervisor goroutine reporting which tag/join a
+	// stuck worker is blocked on (see SupervisionStats().Stalls).
+	Watchdog bool
+}
+
+// EnableSupervision turns on timeouts, the watchdog, and the cont-tag
+// whitelist (alongside EnableSpawnValidation's spawn whitelist). Call it
+// before the first Call.
+func (i *Instance) EnableSupervision(o SupervisionOptions) {
+	i.ip.EnableContValidation()
+	i.ip.EnableSupervision(prt.Supervision{WaitTimeout: o.WaitTimeout, Watchdog: o.Watchdog})
+}
+
+// SupervisionStats snapshots the runtime's robustness counters: hostile
+// messages rejected, duplicates and stale stragglers suppressed, aborts,
+// timeouts, drained messages, and watchdog stalls.
+func (i *Instance) SupervisionStats() prt.SupStats { return i.ip.RT.SupervisionStats() }
+
+// Typed failure sentinels, for errors.Is against Call's error: a bounded
+// wait that gave up, a chunk that crashed inside its enclave (the
+// simulated AEX), and a call interrupted by shutdown.
+var (
+	ErrWaitTimeout  = prt.ErrWaitTimeout
+	ErrEnclaveAbort = prt.ErrEnclaveAbort
+	ErrStopped      = prt.ErrStopped
+)
+
+// FaultOptions configures the deterministic fault injector. Probabilities
+// are per message (or per spawned chunk, for Crash), in [0,1].
+type FaultOptions struct {
+	// Seed fixes the injection schedule: the same seed over the same
+	// workload produces the same decisions.
+	Seed int64
+	// Message faults: vanish, replay, hold for a few deliveries, deliver
+	// out of order, inject a forged hostile message alongside.
+	Drop      float64
+	Duplicate float64
+	Delay     float64
+	Reorder   float64
+	Forge     float64
+	// Crash makes a spawned chunk panic mid-run (the simulated AEX).
+	Crash float64
+	// Retransmit re-delivers dropped messages after RetransmitAfter
+	// (default 2ms), charging the cost model's Retransmit cycles: the
+	// supervised transport's answer to lossy queues.
+	Retransmit      bool
+	RetransmitAfter time.Duration
+}
+
+// EnableFaultInjection installs the injector on the instance's runtime.
+// Combine with EnableSupervision: without timeouts, a dropped message
+// without retransmit blocks its waiter forever (by design — that is the
+// failure mode supervision exists to remove).
+func (i *Instance) EnableFaultInjection(o FaultOptions) {
+	if i.inj != nil {
+		i.inj.Close()
+	}
+	i.inj = faults.Attach(i.ip.RT, faults.Config{
+		Seed: o.Seed,
+		Drop: o.Drop, Duplicate: o.Duplicate, Delay: o.Delay,
+		Reorder: o.Reorder, Forge: o.Forge, Crash: o.Crash,
+		Retransmit: o.Retransmit, RetransmitAfter: o.RetransmitAfter,
+	})
+}
+
+// FaultStats snapshots the injector's counters (zero value when fault
+// injection was never enabled).
+func (i *Instance) FaultStats() faults.Stats {
+	if i.inj == nil {
+		return faults.Stats{}
+	}
+	return i.inj.Stats()
+}
+
+// Close stops the instance's worker threads, supervisor, and injector.
+func (i *Instance) Close() {
+	if i.inj != nil {
+		i.inj.Close()
+	}
+	i.ip.Close()
+}
 
 // MachineA returns the paper's machine A preset (i5-9500, SGXv1, 93 MiB
 // EPC).
