@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 soak bench fmt
+.PHONY: tier1 tier2 soak tier3-soak fuzz bench fmt
 
 tier1:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ tier2: tier1
 # The full 1000+-schedule robustness sweep, race-free build for speed.
 soak:
 	$(GO) test -count=1 -run 'TestSoak' -v ./internal/faults
+
+# Tier-3: the crash-recovery acceptance soak (1000+ seeded crash schedules,
+# every run must recover to the exact answer) plus the recovery ablation.
+# Nightly/manual in CI — too slow for the per-push gate.
+tier3-soak:
+	$(GO) test -count=1 -run 'TestSoakRecovery' -v -timeout 30m ./internal/faults
+	$(GO) run ./cmd/privagic-bench -exp recovery
+
+# 60-second coverage-guided smoke of the memcached protocol fuzzer.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzProtocol -fuzztime 60s ./internal/memcached
 
 bench:
 	$(GO) run ./cmd/privagic-bench -quick

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"privagic"
+	"privagic/internal/sources"
+)
+
+// The recovery experiment is the ablation for the restart/replay layer:
+// the two-color hashmap runs (a) bare, (b) with recovery armed but no
+// faults — the cost of effect buffering and the journal's load/cont
+// caches on the fault-free path — and (c) under seeded crash schedules
+// with the crash cap at the replay budget, where every run must recover
+// to the exact fault-free answer. The two headline numbers are the
+// fault-free overhead and the recovery rate.
+
+// RecoveryConfig parameterizes the ablation.
+type RecoveryConfig struct {
+	// Schedules is the number of seeded crash schedules in the faulted
+	// scenario, and the repeat count of the unfaulted scenarios (wall
+	// times are averaged over it).
+	Schedules int
+	// Budget is the per-spawn replay budget and the per-run crash cap.
+	Budget int
+	// WaitTimeout is the supervision inactivity window.
+	WaitTimeout time.Duration
+}
+
+// DefaultRecovery returns the standard ablation setup.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{Schedules: 30, Budget: 3, WaitTimeout: 15 * time.Millisecond}
+}
+
+// RecoveryRow is one scenario's aggregate outcome.
+type RecoveryRow struct {
+	Scenario  string
+	Runs      int
+	Recovered int // exact fault-free answer
+	Errors    int // user-visible typed errors (must stay 0)
+	Wrong     int // silent corruption (must stay 0)
+
+	Crashes  int64 // crashes injected across the scenario
+	Replays  int64 // replays performed
+	Restarts int64 // workers torn down and re-created
+
+	AvgWallMicros float64
+}
+
+// RecoveryReport holds the ablation table.
+type RecoveryReport struct {
+	Config RecoveryConfig
+	Want   int64 // the fault-free answer every run is held to
+	Rows   []RecoveryRow
+	// OverheadPct is the fault-free cost of arming recovery, relative to
+	// the bare run (row 1 vs row 0).
+	OverheadPct float64
+}
+
+// Recovery runs the ablation.
+func Recovery(cfg RecoveryConfig) (*RecoveryReport, error) {
+	if cfg.Schedules < 1 {
+		cfg.Schedules = 1
+	}
+	if cfg.Budget < 1 {
+		cfg.Budget = 1
+	}
+	prog, err := privagic.Compile("hashmap2.c", sources.HashmapColored2, privagic.Options{
+		Mode: privagic.Relaxed, Entries: []string{"run_ycsb"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &RecoveryReport{Config: cfg}
+
+	clean := prog.Instantiate(nil)
+	rep.Want, err = clean.Call("run_ycsb")
+	clean.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: clean recovery baseline failed: %w", err)
+	}
+
+	type scenario struct {
+		name     string
+		recover  bool
+		faulted  bool
+		faultsOf func(seed int64) privagic.FaultOptions
+	}
+	scenarios := []scenario{
+		{name: "baseline (no recovery)"},
+		{name: "recovery armed, fault-free", recover: true},
+		{name: fmt.Sprintf("crash schedules (cap %d)", cfg.Budget), recover: true, faulted: true,
+			faultsOf: func(seed int64) privagic.FaultOptions {
+				r := rand.New(rand.NewSource(seed * 104729))
+				return privagic.FaultOptions{
+					Seed:       seed,
+					MaxCrashes: cfg.Budget,
+					Crash:      0.02 + 0.06*r.Float64(),
+					CrashMid:   0.01 + 0.03*r.Float64(),
+				}
+			}},
+	}
+	for _, sc := range scenarios {
+		row := RecoveryRow{Scenario: sc.name, Runs: cfg.Schedules}
+		var wall time.Duration
+		for seed := int64(1); seed <= int64(cfg.Schedules); seed++ {
+			inst := prog.Instantiate(nil)
+			inst.EnableSpawnValidation()
+			if sc.recover {
+				inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: cfg.WaitTimeout})
+				inst.EnableRecovery(privagic.RecoveryOptions{MaxAttempts: cfg.Budget})
+			}
+			if sc.faulted {
+				inst.EnableFaultInjection(sc.faultsOf(seed))
+			}
+			start := time.Now()
+			ret, err := inst.Call("run_ycsb")
+			wall += time.Since(start)
+			switch {
+			case err == nil && ret == rep.Want:
+				row.Recovered++
+			case err != nil:
+				row.Errors++
+			default:
+				row.Wrong++
+			}
+			if sc.faulted {
+				row.Crashes += inst.FaultStats().Crashes
+			}
+			rs := inst.RecoveryStats()
+			row.Replays += rs.Replays
+			row.Restarts += rs.Restarts
+			inst.Close()
+		}
+		row.AvgWallMicros = float64(wall.Microseconds()) / float64(cfg.Schedules)
+		rep.Rows = append(rep.Rows, row)
+	}
+	if base := rep.Rows[0].AvgWallMicros; base > 0 {
+		rep.OverheadPct = (rep.Rows[1].AvgWallMicros - base) / base * 100
+	}
+	return rep, nil
+}
+
+// String renders the ablation table.
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery ablation — two-color hashmap, %d hits fault-free, budget %d, window %v\n",
+		r.Want, r.Config.Budget, r.Config.WaitTimeout)
+	fmt.Fprintf(&b, "%-28s %5s %10s %7s %6s %8s %8s %9s %11s\n",
+		"scenario", "runs", "recovered", "errors", "wrong", "crashes", "replays", "restarts", "avg-us/run")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %5d %10d %7d %6d %8d %8d %9d %11.0f\n",
+			row.Scenario, row.Runs, row.Recovered, row.Errors, row.Wrong,
+			row.Crashes, row.Replays, row.Restarts, row.AvgWallMicros)
+	}
+	fmt.Fprintf(&b, "fault-free overhead of arming recovery: %+.1f%%\n", r.OverheadPct)
+	b.WriteString("every crashed run must land in recovered; errors and wrong must be 0\n")
+	return b.String()
+}

@@ -38,7 +38,19 @@ type Config struct {
 	Delay     float64 // message is held for DelayHops deliveries
 	Reorder   float64 // message is delivered after the next one
 	Forge     float64 // a hostile message is injected alongside
-	Crash     float64 // the next spawned chunk panics mid-run (AEX)
+	Crash     float64 // a spawned chunk panics at entry (AEX before any work)
+	// CrashMid is the per-store probability that a spawned chunk panics
+	// in the middle of its body — after some of its writes were issued.
+	// It exercises the recovery layer's effect buffering: an entry crash
+	// leaves trivially no trace, a mid-run crash only does if the
+	// interpreter buffered the partial writes. Wire it with
+	// Interp.SetCrashPoint(injector.CrashPoint).
+	CrashMid float64
+	// MaxCrashes caps the total number of injected crashes (entry and
+	// mid-run combined; 0 = unlimited). A soak that wants every request
+	// to recover sets it at or below the retry budget, making success
+	// deterministic instead of probabilistic.
+	MaxCrashes int
 
 	// DelayHops is how many subsequent deliveries a delayed message is
 	// held for (default 2).
@@ -77,11 +89,26 @@ type Stats struct {
 
 // InjectedCrash is the panic value of a crash injection; prt's runSpawn
 // recovery converts it into an *EnclaveAbort whose Cause unwraps to it.
-type InjectedCrash struct{ ChunkID int }
+// Store is the 1-based buffered-store number a mid-run crash fired at
+// (0 for an entry crash).
+type InjectedCrash struct {
+	ChunkID int
+	Store   int
+}
 
 func (e *InjectedCrash) Error() string {
+	if e.Store > 0 {
+		return fmt.Sprintf("faults: injected crash in chunk %d at store %d", e.ChunkID, e.Store)
+	}
 	return fmt.Sprintf("faults: injected crash in chunk %d", e.ChunkID)
 }
+
+// InjectedFault marks the panic value as a deliberate fault injection.
+// Executors that normally absorb chunk panics into recorded program
+// errors (the interpreter) match this structural interface and re-panic
+// instead, so the crash reaches the runtime's recover and becomes an
+// *EnclaveAbort the recovery layer can replay.
+func (e *InjectedCrash) InjectedFault() {}
 
 // heldMsg is a captured delivery awaiting release.
 type heldMsg struct {
@@ -137,8 +164,7 @@ func Attach(rt *prt.Runtime, cfg Config) *Injector {
 	if cfg.Crash > 0 {
 		orig := rt.Exec
 		rt.Exec = func(w *prt.Worker, chunkID int, args []any) any {
-			if in.decide(cfg.Crash) {
-				in.stats.crashes.Add(1)
+			if in.decide(cfg.Crash) && in.takeCrashBudget() {
 				panic(&InjectedCrash{ChunkID: chunkID})
 			}
 			return orig(w, chunkID, args)
@@ -159,6 +185,33 @@ func (in *Injector) decide(p float64) bool {
 	v := in.rng.Float64() < p
 	in.mu.Unlock()
 	return v
+}
+
+// takeCrashBudget consumes one injected crash if MaxCrashes permits,
+// incrementing the crash counter on success.
+func (in *Injector) takeCrashBudget() bool {
+	for {
+		n := in.stats.crashes.Load()
+		if in.cfg.MaxCrashes > 0 && n >= int64(in.cfg.MaxCrashes) {
+			return false
+		}
+		if in.stats.crashes.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// CrashPoint is the interpreter-facing mid-run crash hook (wire it with
+// Interp.SetCrashPoint): it is consulted on every buffered store of a
+// spawned chunk and returns the panic value of an injected mid-run crash,
+// or nil. Decisions come from the shared seeded stream, so a
+// single-threaded protocol replays identically under the same seed.
+func (in *Injector) CrashPoint(workerIdx, chunkID, storeN int) any {
+	if !in.decide(in.cfg.CrashMid) || !in.takeCrashBudget() {
+		return nil
+	}
+	_ = workerIdx
+	return &InjectedCrash{ChunkID: chunkID, Store: storeN}
 }
 
 // Deliver is the interceptor hook: it decides the fate of one message.

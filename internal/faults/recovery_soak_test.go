@@ -1,0 +1,176 @@
+package faults_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"privagic"
+	"privagic/internal/faults"
+	"privagic/internal/sources"
+)
+
+// The recovery soak is the acceptance test of the recovery layer: the same
+// two workloads as the supervision soak, but every schedule injects crashes
+// (at chunk entry, mid-body after buffered writes, or both) capped at the
+// replay budget — so every single run must recover to the exact correct
+// answer with a nil error. On top of correctness, each run is audited for
+// the exactly-once invariants: no spawn gives up, every journaled spawn
+// commits exactly once, every injected crash is answered by exactly one
+// replay, and no crashed attempt's buffered effects leak.
+
+// recoveryBudget is both the per-spawn replay budget and the per-run crash
+// cap. Cap <= budget is what makes recovery deterministic: even if every
+// crash lands on the same spawn, its attempts never exhaust.
+const recoveryBudget = 3
+
+// recoveryFaultsFor derives a crash-only schedule from the seed: entry
+// crashes, mid-run crashes (the case that needs effect buffering), or a mix.
+func recoveryFaultsFor(seed int64) privagic.FaultOptions {
+	r := rand.New(rand.NewSource(seed * 104729))
+	o := privagic.FaultOptions{Seed: seed, MaxCrashes: recoveryBudget}
+	switch seed % 3 {
+	case 0:
+		o.Crash = 0.05 + 0.2*r.Float64()
+	case 1:
+		o.CrashMid = 0.02 + 0.08*r.Float64()
+	default:
+		o.Crash = 0.03 + 0.1*r.Float64()
+		o.CrashMid = 0.01 + 0.04*r.Float64()
+	}
+	return o
+}
+
+// recoveryTotals aggregates the audit counters over a sweep.
+type recoveryTotals struct {
+	crashes, replays, discards int64
+}
+
+// runRecoverySchedule executes one entry call under one crash schedule with
+// recovery enabled and asserts full recovery plus the journal invariants.
+func runRecoverySchedule(t *testing.T, prog *privagic.Program, entry string, seed int64,
+	check func(ret int64, inst *privagic.Instance) string, tot *recoveryTotals) {
+	t.Helper()
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	inst.EnableSpawnValidation()
+	inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: soakWaitTimeout})
+	inst.EnableRecovery(privagic.RecoveryOptions{MaxAttempts: recoveryBudget})
+	inst.EnableFaultInjection(recoveryFaultsFor(seed))
+
+	type result struct {
+		ret int64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ret, err := inst.Call(entry)
+		done <- result{ret, err}
+	}()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("seed %d: DEADLOCK: call did not complete in 10s (faults: %+v, recovery: %+v)",
+			seed, inst.FaultStats(), inst.RecoveryStats())
+	}
+	fs, rs := inst.FaultStats(), inst.RecoveryStats()
+	if res.err != nil {
+		t.Fatalf("seed %d: USER-VISIBLE ERROR despite recovery: %v (faults: %+v, recovery: %+v)",
+			seed, res.err, fs, rs)
+	}
+	if msg := check(res.ret, inst); msg != "" {
+		t.Fatalf("seed %d: WRONG ANSWER after recovery: %s (faults: %+v, recovery: %+v)",
+			seed, msg, fs, rs)
+	}
+	// Exactly-once audit. Every injected crash aborts one attempt and is
+	// answered by exactly one replay; every journaled spawn commits exactly
+	// once (a commit gap means a lost effect, an excess means double
+	// application); nothing may run out of budget with the cap <= budget.
+	if rs.Giveups != 0 {
+		t.Fatalf("seed %d: %d spawns exhausted the replay budget (faults: %+v)", seed, rs.Giveups, fs)
+	}
+	if rs.Commits != rs.SpawnsJournaled {
+		t.Fatalf("seed %d: %d journaled spawns but %d commits (faults: %+v, recovery: %+v)",
+			seed, rs.SpawnsJournaled, rs.Commits, fs, rs)
+	}
+	if rs.Replays != fs.Crashes {
+		t.Fatalf("seed %d: %d crashes injected but %d replays performed (recovery: %+v)",
+			seed, fs.Crashes, rs.Replays, rs)
+	}
+	// Only mid-run crashes open (and then discard) an effect transaction.
+	if rs.EffectDiscards > fs.Crashes {
+		t.Fatalf("seed %d: %d effect discards for %d crashes", seed, rs.EffectDiscards, fs.Crashes)
+	}
+	tot.crashes += fs.Crashes
+	tot.replays += rs.Replays
+	tot.discards += rs.EffectDiscards
+}
+
+// TestSoakRecoveryFigure6 sweeps the walkthrough program through crash
+// schedules with recovery on: ret must be 42 with g's output printed
+// exactly once, every time.
+func TestSoakRecoveryFigure6(t *testing.T) {
+	prog, err := privagic.Compile("figure6.c", figure6Src, privagic.Options{
+		Mode: privagic.Relaxed, Entries: []string{"main"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := soakCount(faults.SoakRecoveryFigure6Schedules, testing.Short())
+	var tot recoveryTotals
+	for seed := int64(1); seed <= int64(n); seed++ {
+		runRecoverySchedule(t, prog, "main", seed, func(ret int64, inst *privagic.Instance) string {
+			if ret != 42 {
+				return "ret != 42"
+			}
+			if c := strings.Count(inst.Output(), "Hello"); c != 1 {
+				return fmt.Sprintf("g's output appeared %d times, want exactly once", c)
+			}
+			return ""
+		}, &tot)
+	}
+	t.Logf("figure6 recovery soak over %d schedules: %d crashes injected, %d replays, %d effect discards — all recovered",
+		n, tot.crashes, tot.replays, tot.discards)
+	if tot.crashes == 0 {
+		t.Error("sweep injected no crashes; the soak proved nothing")
+	}
+}
+
+// TestSoakRecoveryTwoColorHashmap sweeps the two-color hashmap — the
+// workload whose enclave state a double-applied or lost replay effect
+// would silently corrupt — through crash schedules with recovery on.
+func TestSoakRecoveryTwoColorHashmap(t *testing.T) {
+	prog, err := privagic.Compile("hashmap2.c", sources.HashmapColored2, privagic.Options{
+		Mode: privagic.Relaxed, Entries: []string{"run_ycsb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := prog.Instantiate(nil)
+	want, err := clean.Call("run_ycsb")
+	clean.Close()
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if want <= 0 {
+		t.Fatalf("clean run returned %d hits; workload is degenerate", want)
+	}
+	n := soakCount(faults.SoakRecoveryTwoColorSchedules, testing.Short())
+	var tot recoveryTotals
+	for seed := int64(1); seed <= int64(n); seed++ {
+		runRecoverySchedule(t, prog, "run_ycsb", seed, func(ret int64, _ *privagic.Instance) string {
+			if ret != want {
+				return "hit count diverged from the clean run"
+			}
+			return ""
+		}, &tot)
+	}
+	t.Logf("two-color recovery soak over %d schedules (want %d hits): %d crashes, %d replays, %d effect discards — all recovered",
+		n, want, tot.crashes, tot.replays, tot.discards)
+	if tot.crashes == 0 {
+		t.Error("sweep injected no crashes; the soak proved nothing")
+	}
+}

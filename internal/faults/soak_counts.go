@@ -8,4 +8,10 @@ package faults
 const (
 	SoakFigure6Schedules  = 700
 	SoakTwoColorSchedules = 320
+
+	// Recovery soak (recovery_soak_test.go): every schedule injects
+	// crashes capped at the replay budget and must fully recover. The two
+	// sweeps together clear the 1000-schedule acceptance floor.
+	SoakRecoveryFigure6Schedules  = 700
+	SoakRecoveryTwoColorSchedules = 320
 )

@@ -9,4 +9,7 @@ package faults
 const (
 	SoakFigure6Schedules  = 80
 	SoakTwoColorSchedules = 24
+
+	SoakRecoveryFigure6Schedules  = 60
+	SoakRecoveryTwoColorSchedules = 20
 )

@@ -92,11 +92,11 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 	switch fn.FName {
 	case "printf":
 		ip.RT.Meter.ChargeSyscall(cost, w.Mode)
-		ip.print(ip.format(w, args))
+		ip.printTx(w, ip.format(w, args))
 		return iv(0)
 	case "puts":
 		ip.RT.Meter.ChargeSyscall(cost, w.Mode)
-		ip.print(ip.readString(w, uint64(args[0].i)) + "\n")
+		ip.printTx(w, ip.readString(w, uint64(args[0].i))+"\n")
 		return iv(0)
 	case "exit":
 		panic(runtimeErr{fmt.Errorf("%w: code %d", ErrExit, args[0].i)})
@@ -114,12 +114,8 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		// Scalar classification of an 8-byte key into the enclave.
 		dst, src := uint64(args[0].i), uint64(args[1].i)
 		var buf [8]byte
-		if err := ip.RT.Space.CheckedLoad(w.Mode, src, buf[:]); err != nil {
-			panic(runtimeErr{err})
-		}
-		if err := ip.RT.Space.CheckedStore(w.Mode, dst, buf[:]); err != nil {
-			panic(runtimeErr{err})
-		}
+		ip.loadBytes(w, src, buf[:])
+		ip.storeBytes(w, dst, buf[:])
 		return val{}
 	case "classify", "declassify":
 		// The paper's §6.4 communication idiom: an ignore-annotated
@@ -132,9 +128,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 	case "memcpy", "strncpy":
 		dst, src, n := uint64(args[0].i), uint64(args[1].i), args[2].i
 		buf := make([]byte, n)
-		if err := ip.RT.Space.CheckedLoad(w.Mode, src, buf); err != nil {
-			panic(runtimeErr{err})
-		}
+		ip.loadBytes(w, src, buf)
 		if fn.FName == "strncpy" {
 			if i := indexByte(buf, 0); i >= 0 {
 				for j := i; j < len(buf); j++ {
@@ -142,9 +136,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 				}
 			}
 		}
-		if err := ip.RT.Space.CheckedStore(w.Mode, dst, buf); err != nil {
-			panic(runtimeErr{err})
-		}
+		ip.storeBytes(w, dst, buf)
 		if ip.OnAccess != nil {
 			ip.OnAccess(src, n, false, w.Mode)
 			ip.OnAccess(dst, n, true, w.Mode)
@@ -156,9 +148,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		for i := range buf {
 			buf[i] = c
 		}
-		if err := ip.RT.Space.CheckedStore(w.Mode, dst, buf); err != nil {
-			panic(runtimeErr{err})
-		}
+		ip.storeBytes(w, dst, buf)
 		return args[0]
 	case "strlen":
 		return iv(int64(len(ip.readString(w, uint64(args[0].i)))))
@@ -179,9 +169,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		// FNV-1a, the classic in-enclave hash helper.
 		p, n := uint64(args[0].i), args[1].i
 		buf := make([]byte, n)
-		if err := ip.RT.Space.CheckedLoad(w.Mode, p, buf); err != nil {
-			panic(runtimeErr{err})
-		}
+		ip.loadBytes(w, p, buf)
 		var h uint64 = 14695981039346656037
 		for _, b := range buf {
 			h ^= uint64(b)
@@ -233,9 +221,7 @@ func (ip *Interp) readString(w *prt.Worker, addr uint64) string {
 	var out []byte
 	buf := make([]byte, 64)
 	for len(out) < 1<<20 {
-		if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf); err != nil {
-			panic(runtimeErr{err})
-		}
+		ip.loadBytes(w, addr, buf)
 		if i := indexByte(buf, 0); i >= 0 {
 			return string(append(out, buf[:i]...))
 		}

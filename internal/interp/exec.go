@@ -14,17 +14,35 @@ import (
 // worker's goroutine, inside the worker's enclave. Runtime errors in a
 // spawned chunk are recorded and surfaced by the next Call; the worker
 // itself survives (a crashed enclave must not take the process down).
+// Injected faults (values with an InjectedFault method) re-panic instead:
+// they must reach the runtime's recover to become an EnclaveAbort the
+// recovery layer can replay, not a recorded program error.
+//
+// Under recovery the chunk runs inside an effect transaction: stores and
+// output buffer until the chunk completes, so a crashed attempt leaves no
+// trace and its replay is idempotent.
 func (ip *Interp) execChunk(w *prt.Worker, chunkID int, args []any) (result any) {
+	tx, prevTx := ip.beginTx(w, chunkID)
 	defer func() {
+		w.Tx = prevTx
 		r := recover()
 		if r == nil {
+			ip.commitTx(tx)
 			return
+		}
+		if _, injected := r.(interface{ InjectedFault() }); injected {
+			ip.discardTx(tx)
+			panic(r)
 		}
 		re, ok := r.(runtimeErr)
 		if !ok {
 			re = runtimeErr{fmt.Errorf("interp: chunk %d panicked: %v", chunkID, r)}
 		}
 		ip.recordErr(re.err)
+		// A recorded program error completes the chunk (recovery does not
+		// replay program bugs), so its effects commit like any other
+		// completion — matching the recovery-off behavior.
+		ip.commitTx(tx)
 		result = val{}
 	}()
 	ch := ip.Prog.ChunkByID[chunkID]
@@ -229,31 +247,40 @@ func (ip *Interp) doMalloc(w *prt.Worker, frame map[ir.Value]val, t *ir.Malloc) 
 			count = 1
 		}
 	}
+	// The whole allocation runs as one journaled service call: the bump
+	// allocator is runtime state outside the effect transaction, so a
+	// replayed chunk must reuse the crashed attempt's addresses (peers may
+	// already hold committed writes behind them) instead of allocating
+	// fresh, orphaned memory.
 	if ly := ip.layoutOf(t.Elem); ly != nil {
-		region := ip.regionOfColor(resolveAllocColor(t.Color))
-		r := ip.RT.Space.Region(region)
-		base := r.Alloc(ly.size * count)
-		for n := int64(0); n < count; n++ {
-			for i, fc := range sortedFieldColors(ly.split) {
-				_ = i
-				fieldIdx, color := fc.idx, fc.color
-				fr := ip.RT.Space.Region(ip.regionOfColor(color))
-				fldOff := fr.Alloc(ly.split.Struct.Fields[fieldIdx].Type.Size())
-				ptr := sgx.EncodePtr(ip.regionOfColor(color), fldOff)
-				var buf [8]byte
-				putInt(buf[:], int64(ptr))
-				r.Store(base+uint64(n*ly.size+ly.offsets[fieldIdx]), buf[:])
-				// Allocation request + reply to the field's enclave.
-				ip.RT.Meter.ChargeMessage(&ip.RT.Machine.Cost)
-				ip.RT.Meter.ChargeMessage(&ip.RT.Machine.Cost)
+		return iv(int64(w.JournalAlloc(func() uint64 {
+			region := ip.regionOfColor(resolveAllocColor(t.Color))
+			r := ip.RT.Space.Region(region)
+			base := r.Alloc(ly.size * count)
+			for n := int64(0); n < count; n++ {
+				for i, fc := range sortedFieldColors(ly.split) {
+					_ = i
+					fieldIdx, color := fc.idx, fc.color
+					fr := ip.RT.Space.Region(ip.regionOfColor(color))
+					fldOff := fr.Alloc(ly.split.Struct.Fields[fieldIdx].Type.Size())
+					ptr := sgx.EncodePtr(ip.regionOfColor(color), fldOff)
+					var buf [8]byte
+					putInt(buf[:], int64(ptr))
+					r.Store(base+uint64(n*ly.size+ly.offsets[fieldIdx]), buf[:])
+					// Allocation request + reply to the field's enclave.
+					ip.RT.Meter.ChargeMessage(&ip.RT.Machine.Cost)
+					ip.RT.Meter.ChargeMessage(&ip.RT.Machine.Cost)
+				}
 			}
-		}
-		return iv(int64(sgx.EncodePtr(region, base)))
+			return sgx.EncodePtr(region, base)
+		})))
 	}
-	region := ip.regionOfColor(resolveAllocColor(t.Color))
-	size := t.Elem.Size() * count
-	off := ip.RT.Space.Region(region).Alloc(size)
-	return iv(int64(sgx.EncodePtr(region, off)))
+	return iv(int64(w.JournalAlloc(func() uint64 {
+		region := ip.regionOfColor(resolveAllocColor(t.Color))
+		size := t.Elem.Size() * count
+		off := ip.RT.Space.Region(region).Alloc(size)
+		return sgx.EncodePtr(region, off)
+	})))
 }
 
 type fieldColor struct {
@@ -301,9 +328,7 @@ func (ip *Interp) memLoad(w *prt.Worker, addr uint64, typ ir.Type) val {
 		errf("interp: nil dereference (load)")
 	}
 	var buf [8]byte
-	if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf[:size]); err != nil {
-		panic(runtimeErr{err})
-	}
+	ip.loadBytes(w, addr, buf[:size])
 	if ip.OnAccess != nil {
 		ip.OnAccess(addr, size, false, w.Mode)
 	}
@@ -330,9 +355,7 @@ func (ip *Interp) memStore(w *prt.Worker, addr uint64, v val, typ ir.Type) {
 	} else {
 		putInt(buf[:size], v.i)
 	}
-	if err := ip.RT.Space.CheckedStore(w.Mode, addr, buf[:size]); err != nil {
-		panic(runtimeErr{err})
-	}
+	ip.storeBytes(w, addr, buf[:size])
 	if ip.OnAccess != nil {
 		ip.OnAccess(addr, size, true, w.Mode)
 	}

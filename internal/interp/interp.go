@@ -67,6 +67,11 @@ type Interp struct {
 	// OnAccess, when set, observes every checked memory access (the
 	// cache simulator attaches here).
 	OnAccess func(addr uint64, size int64, write bool, mode sgx.Mode)
+
+	// crashPoint is the mid-chunk fault-injection hook (SetCrashPoint);
+	// effCounters tracks effect-transaction commits/discards.
+	crashPoint func(workerIdx, chunkID, storeN int) any
+	effCounters
 }
 
 // runtimeErr carries an execution error through panics.

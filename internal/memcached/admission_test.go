@@ -1,0 +1,127 @@
+package memcached
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Admission control must shed with an explicit SERVER_ERROR busy — never
+// by silently dropping a command or desyncing the stream — and must stop
+// shedding the moment the pressure clears.
+
+func TestAdmissionSaturatedProbe(t *testing.T) {
+	srv := newTestServer(t)
+	var saturated atomic.Bool
+	srv.SetAdmission(Admission{Saturated: saturated.Load})
+	c := dialRaw(t, srv.Addr())
+
+	if got := c.send(t, "set k 0 0 3\r\nabc\r\n"); got != "STORED" {
+		t.Fatalf("unsaturated set -> %q, want STORED", got)
+	}
+	saturated.Store(true)
+	if got := c.send(t, "get k\r\n"); got != "SERVER_ERROR busy" {
+		t.Errorf("saturated get -> %q, want SERVER_ERROR busy", got)
+	}
+	// A shed set must still swallow its body so the connection stays
+	// framed: the next command must parse as a command, not as body junk.
+	if got := c.send(t, "set k2 0 0 3\r\nxyz\r\n"); got != "SERVER_ERROR busy" {
+		t.Errorf("saturated set -> %q, want SERVER_ERROR busy", got)
+	}
+	if got := c.send(t, "delete k\r\n"); got != "SERVER_ERROR busy" {
+		t.Errorf("saturated delete -> %q, want SERVER_ERROR busy", got)
+	}
+	saturated.Store(false)
+	// Nothing was stored while shedding, the stream is intact, and
+	// service resumes.
+	if got := c.send(t, "get k2\r\n"); got != "END" {
+		t.Errorf("get of shed key -> %q, want END", got)
+	}
+	if got := c.send(t, "get k\r\n"); got != "VALUE k 0 3" {
+		t.Errorf("recovered get -> %q, want VALUE k 0 3", got)
+	}
+	for i := 0; i < 2; i++ { // drain the value body and END
+		if _, err := c.r.ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := srv.ShedOps(); n != 3 {
+		t.Errorf("ShedOps = %d, want 3", n)
+	}
+	// The counter is exported through the stats command too.
+	if got := c.send(t, "stats\r\n"); !strings.HasPrefix(got, "STAT get_hits") {
+		t.Errorf("stats -> %q", got)
+	}
+	sawShed := false
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if strings.HasPrefix(line, "STAT shed_ops ") {
+			sawShed = line == "STAT shed_ops 3"
+		}
+		if line == "END" {
+			break
+		}
+	}
+	if !sawShed {
+		t.Error("stats did not report STAT shed_ops 3")
+	}
+}
+
+func TestAdmissionMaxInflight(t *testing.T) {
+	srv := newTestServer(t) // 2 pool workers
+	srv.SetAdmission(Admission{MaxInflight: 1})
+
+	// Occupy one worker: promise a set body and stall inside it, so the
+	// worker blocks in readFull with the command admitted (inflight = 1).
+	slow, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fmt.Fprint(slow, "set k 0 0 10\r\nab")
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.inflight.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled set never became inflight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The second worker must shed: the cap is 1 and it is taken.
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "get k\r\n"); got != "SERVER_ERROR busy" {
+		t.Errorf("get over the inflight cap -> %q, want SERVER_ERROR busy", got)
+	}
+
+	// Release the stalled worker; service resumes on the same connection.
+	fmt.Fprint(slow, "cdefghij\r\n")
+	for srv.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled set never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.send(t, "get k\r\n"); got != "VALUE k 0 10" {
+		t.Errorf("get after drain -> %q, want VALUE k 0 10", got)
+	}
+}
+
+func TestAdmissionClear(t *testing.T) {
+	srv := newTestServer(t)
+	srv.SetAdmission(Admission{Saturated: func() bool { return true }})
+	c := dialRaw(t, srv.Addr())
+	if got := c.send(t, "get k\r\n"); got != "SERVER_ERROR busy" {
+		t.Fatalf("saturated get -> %q", got)
+	}
+	srv.SetAdmission(Admission{}) // zero policy removes admission control
+	if got := c.send(t, "get k\r\n"); got != "END" {
+		t.Errorf("get after clearing admission -> %q, want END", got)
+	}
+}

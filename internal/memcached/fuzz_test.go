@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -150,6 +151,81 @@ func TestFuzzSlowBodyDisconnected(t *testing.T) {
 	}
 	srv.SetDeadlines(0, 0)
 	assertAlive(t, srv)
+}
+
+// fuzzSrv is the shared server of the native fuzz target: one per
+// process, so each execution only pays for a connection.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *Server
+)
+
+func fuzzServer() *Server {
+	fuzzSrvOnce.Do(func() {
+		srv, err := NewServer("127.0.0.1:0", NewStore(256, 0), 2)
+		if err != nil {
+			panic(err)
+		}
+		srv.SetDeadlines(100*time.Millisecond, 100*time.Millisecond)
+		fuzzSrv = srv
+	})
+	return fuzzSrv
+}
+
+// FuzzProtocol throws arbitrary client bytes at a live server and checks
+// the two invariants the deterministic fuzz suite asserts piecewise: the
+// process never panics, and a fresh well-formed connection is still
+// served afterwards. Run with: go test -fuzz FuzzProtocol ./internal/memcached
+func FuzzProtocol(f *testing.F) {
+	seeds := []string{
+		"get k\r\n",
+		"set k 0 0 3\r\nabc\r\n",
+		"set k 0 0 10\r\nab",
+		"set k 0 0 -1\r\n",
+		"set k 0 0 999999999\r\n",
+		"set k nope 0 3\r\nabc\r\n",
+		"delete k\r\nstats\r\nversion\r\n",
+		"gets a b c\r\nquit\r\n",
+		"\x00\x01\x02garbage\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		srv := fuzzServer()
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Skip("dial failed (fd pressure)")
+		}
+		_ = conn.SetDeadline(time.Now().Add(time.Second))
+		_, _ = conn.Write(data)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite() // EOF the server promptly
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		_ = conn.Close()
+
+		// The server must still answer a fresh client.
+		probe, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatalf("server unreachable after input %q: %v", data, err)
+		}
+		defer probe.Close()
+		_ = probe.SetDeadline(time.Now().Add(2 * time.Second))
+		fmt.Fprint(probe, "version\r\n")
+		line, err := bufio.NewReader(probe).ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, "VERSION") {
+			t.Fatalf("server no longer serving after input %q: %q, %v", data, line, err)
+		}
+	})
 }
 
 func TestFuzzRandomSessions(t *testing.T) {

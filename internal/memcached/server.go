@@ -28,8 +28,59 @@ type Server struct {
 	readTimeout  atomic.Int64
 	writeTimeout atomic.Int64
 
+	// Admission control (SetAdmission): commands beyond the inflight cap,
+	// or arriving while the backend reports saturation, are shed with
+	// SERVER_ERROR busy instead of queuing without bound.
+	admission atomic.Pointer[Admission]
+	inflight  atomic.Int32
+	shedOps   atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// Admission is the server's overload policy. Shedding answers fast and
+// keeps the connection framed (a shed set still swallows its body), so a
+// loaded server degrades into explicit SERVER_ERROR busy responses rather
+// than into unbounded queueing and timeouts — the shed-vs-queue half of
+// the runtime's end-to-end backpressure story.
+type Admission struct {
+	// MaxInflight caps commands being processed concurrently (0 = no
+	// cap). With one command per pool worker this is effectively "how
+	// many workers may be busy before new commands are shed".
+	MaxInflight int32
+	// Saturated, when set, is probed per command; true sheds it. Wire it
+	// to prt.Runtime.Saturated so a full worker queue in the partitioned
+	// backend pushes back to the network edge.
+	Saturated func() bool
+}
+
+// SetAdmission installs (or, with a zero Admission, removes) the overload
+// policy. Safe to call while serving.
+func (s *Server) SetAdmission(a Admission) {
+	if a.MaxInflight <= 0 && a.Saturated == nil {
+		s.admission.Store(nil)
+		return
+	}
+	s.admission.Store(&a)
+}
+
+// ShedOps reports how many commands admission control refused.
+func (s *Server) ShedOps() int64 { return s.shedOps.Load() }
+
+// admit decides whether the next command may start.
+func (s *Server) admit() bool {
+	a := s.admission.Load()
+	if a == nil {
+		return true
+	}
+	if a.MaxInflight > 0 && s.inflight.Load() >= a.MaxInflight {
+		return false
+	}
+	if a.Saturated != nil && a.Saturated() {
+		return false
+	}
+	return true
 }
 
 // SetDeadlines bounds how long one read (a command line or a set body)
@@ -137,22 +188,47 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		switch fields[0] {
 		case "get", "gets":
+			if !s.admit() {
+				s.shedOps.Add(1)
+				fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+				break
+			}
+			s.inflight.Add(1)
 			s.handleGet(w, fields[1:])
+			s.inflight.Add(-1)
 		case "set":
-			if !s.handleSet(conn, r, w, fields[1:]) {
+			if !s.admit() {
+				s.shedOps.Add(1)
+				if !s.shedSet(conn, r, w, fields[1:]) {
+					_ = w.Flush()
+					return
+				}
+				break
+			}
+			s.inflight.Add(1)
+			ok := s.handleSet(conn, r, w, fields[1:])
+			s.inflight.Add(-1)
+			if !ok {
 				_ = w.Flush()
 				return
 			}
 		case "delete":
+			if !s.admit() {
+				s.shedOps.Add(1)
+				fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+				break
+			}
+			s.inflight.Add(1)
 			if len(fields) >= 2 && s.store.Delete(fields[1]) {
 				fmt.Fprint(w, "DELETED\r\n")
 			} else {
 				fmt.Fprint(w, "NOT_FOUND\r\n")
 			}
+			s.inflight.Add(-1)
 		case "stats":
 			hits, misses, evictions := s.store.Stats()
-			fmt.Fprintf(w, "STAT get_hits %d\r\nSTAT get_misses %d\r\nSTAT evictions %d\r\nSTAT curr_items %d\r\nEND\r\n",
-				hits, misses, evictions, s.store.Len())
+			fmt.Fprintf(w, "STAT get_hits %d\r\nSTAT get_misses %d\r\nSTAT evictions %d\r\nSTAT curr_items %d\r\nSTAT shed_ops %d\r\nEND\r\n",
+				hits, misses, evictions, s.store.Len(), s.shedOps.Load())
 		case "version":
 			fmt.Fprint(w, "VERSION privagic-mini-1.6.12\r\n")
 		case "quit":
@@ -224,6 +300,33 @@ func (s *Server) handleSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args
 		s.store.Set(args[0], data[:n], uint32(flags))
 		fmt.Fprint(w, "STORED\r\n")
 	}
+	return true
+}
+
+// shedSet refuses a set under overload while preserving the stream
+// framing: a credible body is swallowed exactly like handleSet would,
+// then the client gets SERVER_ERROR busy. Framing-fatal inputs follow
+// handleSet's rules (false = hang up). Nothing is ever stored.
+func (s *Server) shedSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
+	if len(args) < 4 {
+		fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+		return true
+	}
+	n, err := strconv.Atoi(args[3])
+	if err != nil || n < 0 {
+		fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+		return true
+	}
+	if n > maxItemSize {
+		fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+		return false
+	}
+	data := make([]byte, n+2)
+	s.armRead(conn)
+	if _, err := readFull(r, data); err != nil {
+		return false
+	}
+	fmt.Fprint(w, "SERVER_ERROR busy\r\n")
 	return true
 }
 

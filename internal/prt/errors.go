@@ -20,24 +20,46 @@ var ErrWaitTimeout = errors.New("prt: wait timed out")
 var ErrEnclaveAbort = errors.New("prt: enclave aborted")
 
 // TimeoutError reports which wait point gave up: the simulated analogue of
-// a lost message on the untrusted queue that no retransmit recovered.
+// a lost message on the untrusted queue that no retransmit recovered. It
+// carries the diagnostics the watchdog computes anyway — which cont tags
+// the thread's workers were still blocked on and how deep each worker's
+// queue was at expiry — so a timeout names the stuck protocol state, not
+// just the symptom.
 type TimeoutError struct {
 	Op      string // "wait", "join", "join-one"
 	Worker  int    // color index of the blocked worker
 	Tag     int    // cont tag (Op == "wait")
 	Pending int    // completions still missing (Op == "join")
 	Elapsed time.Duration
+
+	// PendingTags is the sorted set of cont tags still unresolved across
+	// the thread at expiry: the blocked worker's own tag plus every tag a
+	// sibling worker had published as its blocked wait point.
+	PendingTags []int
+	// QueueDepths is the per-worker queue depth (index = color index) at
+	// expiry: a non-empty queue under a timeout means the worker died or
+	// wedged with work still pending; all-empty means the message is
+	// genuinely lost.
+	QueueDepths []int64
 }
 
 func (e *TimeoutError) Error() string {
+	var head string
 	switch e.Op {
 	case "wait":
-		return fmt.Sprintf("prt: w%d wait(tag=%d) timed out after %v", e.Worker, e.Tag, e.Elapsed)
+		head = fmt.Sprintf("prt: w%d wait(tag=%d) timed out after %v", e.Worker, e.Tag, e.Elapsed)
 	case "join":
-		return fmt.Sprintf("prt: w%d join timed out after %v with %d completion(s) missing", e.Worker, e.Elapsed, e.Pending)
+		head = fmt.Sprintf("prt: w%d join timed out after %v with %d completion(s) missing", e.Worker, e.Elapsed, e.Pending)
 	default:
-		return fmt.Sprintf("prt: w%d %s timed out after %v", e.Worker, e.Op, e.Elapsed)
+		head = fmt.Sprintf("prt: w%d %s timed out after %v", e.Worker, e.Op, e.Elapsed)
 	}
+	if len(e.PendingTags) > 0 {
+		head += fmt.Sprintf(" (pending tags %v)", e.PendingTags)
+	}
+	if len(e.QueueDepths) > 0 {
+		head += fmt.Sprintf(" (queue depths %v)", e.QueueDepths)
+	}
+	return head
 }
 
 // Is lets errors.Is(err, ErrWaitTimeout) match any supervision timeout.
@@ -51,6 +73,11 @@ type EnclaveAbort struct {
 	Worker  int // color index of the worker the chunk crashed on
 	ChunkID int
 	Cause   error
+
+	// stack is the goroutine stack captured by debug.Stack() at recover
+	// time — the only record of where inside the chunk the crash
+	// happened, since the panic unwinds before the abort is constructed.
+	stack []byte
 }
 
 func (e *EnclaveAbort) Error() string {
@@ -62,3 +89,9 @@ func (e *EnclaveAbort) Unwrap() error { return e.Cause }
 
 // Is lets errors.Is(err, ErrEnclaveAbort) match any abort.
 func (e *EnclaveAbort) Is(target error) bool { return target == ErrEnclaveAbort }
+
+// Stack returns the goroutine stack captured when the chunk's panic was
+// recovered (nil for aborts constructed without one). It is not part of
+// Error() — stacks are for the operator inspecting a failure, not for the
+// one-line log.
+func (e *EnclaveAbort) Stack() []byte { return e.stack }

@@ -1,0 +1,375 @@
+package prt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The journal is the transactional half of recovery: every spawn is
+// recorded with its argument vector before it leaves the sender,
+// and stays in-flight until its completion commits. A poisoned completion
+// replays the spawn from the journaled arguments; because the executing
+// side buffers its visible effects until the completion is sent (the
+// interpreter's effect transaction) and the journal additionally caches
+// the chunk's cont traffic, a replay is idempotent:
+//
+//   - writes of the crashed attempt were never applied (discarded with
+//     the effect transaction), so the replay starts from pristine state;
+//   - conts and completions the crashed attempt had already consumed are
+//     re-served from the journal's cache (the peer will not send them
+//     again);
+//   - conts and nested spawns the crashed attempt had already sent are
+//     suppressed on replay (the peer consumed them; a fresh copy would
+//     be matched against a *later* wait point, or execute a nested chunk
+//     a second time, and corrupt the protocol);
+//   - loads the crashed attempt performed are re-served from the cache
+//     (committed effects of nested chunks may have moved shared memory
+//     past the point the attempt observed, and a live re-read would
+//     steer the replay down a branch its peers never reacted to).
+//
+// Deterministic chunk bodies (same args, same cached inputs) make the
+// cached/suppressed values exact, which is what the paper's §5 execution
+// model guarantees: a chunk is a pure function of its arguments and its
+// barrier inputs, plus writes that are buffered here.
+type journal struct {
+	mu       sync.Mutex
+	inflight map[spawnKey]*spawnRec
+
+	journaled atomic.Int64 // spawns recorded
+	commits   atomic.Int64 // completions that closed an entry
+	replays   atomic.Int64 // re-executions performed
+	giveups   atomic.Int64 // spawns that exhausted the attempt budget
+}
+
+// spawnKey identifies one in-flight spawn. A thread's protocol is
+// sequential per chunk (a new spawn of the same chunk only happens after
+// the previous one's completion was consumed), so (thread, target worker,
+// chunk) is unique among in-flight spawns.
+type spawnKey struct {
+	t     *Thread
+	toIdx int
+	chunk int
+}
+
+// spawnRec is the redo-log entry of one spawn: everything needed to
+// replay it, plus the cont replay caches. Fields are guarded by mu — the
+// executing worker (cont caching) and the joiner (retry bookkeeping) can
+// race when a restart replays while a stale attempt still runs.
+type spawnRec struct {
+	mu        sync.Mutex
+	toIdx     int
+	chunkID   int
+	args      []any
+	replyTo   *Worker
+	needReply bool
+	attempts  int // replays performed so far
+
+	// contsIn caches conts consumed by the executing chunk in consumption
+	// order; inCursor is the current attempt's position in it. sentOut is
+	// how many conts earlier attempts delivered; outCursor counts the
+	// current attempt's sends (the first sentOut of them are suppressed).
+	contsIn   []Message
+	inCursor  int
+	sentOut   int
+	outCursor int
+
+	// The same discipline for the chunk's own nested protocol: donesIn
+	// caches completions the chunk consumed (a replay re-joins them from
+	// the cache — the nested chunk will not complete again), and
+	// spawnsSent/spawnCursor suppress re-issuing nested spawns a previous
+	// attempt already sent (a fresh copy would execute the nested chunk a
+	// second time).
+	donesIn      []Message
+	doneInCursor int
+	spawnsSent   int
+	spawnCursor  int
+
+	// loadBuf/loadLens cache every mode-checked load the executing chunk
+	// performs (in program order, bytes concatenated arena-style so the
+	// fault-free path never allocates per load), and loadCursor/loadOff
+	// are the current attempt's position. A replay is served from this
+	// cache instead of re-reading memory: between the crashed attempt and
+	// the replay, *committed* effects of nested chunks may have changed
+	// shared memory, and a live re-read would steer the replay down a
+	// different branch than the attempt the protocol's peers already
+	// reacted to. With loads, conts and completions all replayed from the
+	// log, a chunk body is a pure function of its journal entry.
+	loadBuf    []byte
+	loadLens   []int32
+	loadCursor int
+	loadOff    int
+
+	// allocsIn caches the results of allocation service calls (§7.2): the
+	// allocator's bump cursor is runtime state outside the effect
+	// transaction, so a replay must reuse the addresses the crashed
+	// attempt obtained — its peers may already have committed writes
+	// through pointers derived from them.
+	allocsIn    []uint64
+	allocCursor int
+}
+
+// beginAttempt rewinds the replay cursors for a (re-)execution.
+func (r *spawnRec) beginAttempt() {
+	r.mu.Lock()
+	r.inCursor = 0
+	r.outCursor = 0
+	r.doneInCursor = 0
+	r.spawnCursor = 0
+	r.loadCursor = 0
+	r.loadOff = 0
+	r.allocCursor = 0
+	r.mu.Unlock()
+}
+
+// cachedCont serves the next cont of the replay cache if it matches tag.
+// A mismatch falls through to a live wait (the attempt diverged from the
+// cached order; with deterministic chunks this only happens when the
+// cache is exhausted).
+func (r *spawnRec) cachedCont(tag int) (Message, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inCursor < len(r.contsIn) && r.contsIn[r.inCursor].Tag == tag {
+		msg := r.contsIn[r.inCursor]
+		r.inCursor++
+		return msg, true
+	}
+	return Message{}, false
+}
+
+// recordContIn appends a live-consumed cont to the cache.
+func (r *spawnRec) recordContIn(msg Message) {
+	r.mu.Lock()
+	if r.inCursor == len(r.contsIn) {
+		r.contsIn = append(r.contsIn, msg)
+		r.inCursor++
+	}
+	r.mu.Unlock()
+}
+
+// suppressSend reports whether the current attempt's next cont send was
+// already delivered by a previous attempt.
+func (r *spawnRec) suppressSend() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outCursor++
+	if r.outCursor <= r.sentOut {
+		return true
+	}
+	r.sentOut = r.outCursor
+	return false
+}
+
+// suppressSpawn reports whether the current attempt's next nested spawn
+// was already issued by a previous attempt.
+func (r *spawnRec) suppressSpawn() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spawnCursor++
+	if r.spawnCursor <= r.spawnsSent {
+		return true
+	}
+	r.spawnsSent = r.spawnCursor
+	return false
+}
+
+// cachedDone serves the next completion of the replay cache, if any.
+// Completions are order-based (joins carry no tag): a deterministic chunk
+// re-joins in the order it first consumed.
+func (r *spawnRec) cachedDone() (Message, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.doneInCursor < len(r.donesIn) {
+		msg := r.donesIn[r.doneInCursor]
+		r.doneInCursor++
+		return msg, true
+	}
+	return Message{}, false
+}
+
+// journalLoad threads one mode-checked load through the replay cache:
+// a position with a cached value overwrites buf with the bytes the
+// earlier attempt read; a position past the cache records buf. Purely
+// positional — a deterministic chunk issues the same load sequence.
+func (r *spawnRec) journalLoad(buf []byte) {
+	r.mu.Lock()
+	if r.loadCursor < len(r.loadLens) {
+		n := int(r.loadLens[r.loadCursor])
+		copy(buf, r.loadBuf[r.loadOff:r.loadOff+n])
+		r.loadCursor++
+		r.loadOff += n
+		r.mu.Unlock()
+		return
+	}
+	r.loadBuf = append(r.loadBuf, buf...)
+	r.loadLens = append(r.loadLens, int32(len(buf)))
+	r.loadCursor++
+	r.loadOff += len(buf)
+	r.mu.Unlock()
+}
+
+// journalAlloc serves the next allocation from the replay cache, or runs
+// alloc live and records its result. On a cache hit alloc is not called:
+// the addresses (and the side allocations behind them) already exist from
+// the attempt the cache recorded.
+func (r *spawnRec) journalAlloc(alloc func() uint64) uint64 {
+	r.mu.Lock()
+	if r.allocCursor < len(r.allocsIn) {
+		ptr := r.allocsIn[r.allocCursor]
+		r.allocCursor++
+		r.mu.Unlock()
+		return ptr
+	}
+	r.mu.Unlock()
+	ptr := alloc()
+	r.mu.Lock()
+	r.allocsIn = append(r.allocsIn, ptr)
+	r.allocCursor++
+	r.mu.Unlock()
+	return ptr
+}
+
+// recordDoneIn appends a live-consumed completion to the cache.
+func (r *spawnRec) recordDoneIn(msg Message) {
+	r.mu.Lock()
+	if r.doneInCursor == len(r.donesIn) {
+		r.donesIn = append(r.donesIn, msg)
+		r.doneInCursor++
+	}
+	r.mu.Unlock()
+}
+
+// recordSpawn journals a spawn before it is sent. Recovery must be
+// enabled by the caller.
+func (rt *Runtime) recordSpawn(t *Thread, toIdx, chunkID int, args []any, replyTo *Worker, needReply bool) {
+	j := &rt.jr
+	j.mu.Lock()
+	if j.inflight == nil {
+		j.inflight = make(map[spawnKey]*spawnRec, 8)
+	}
+	key := spawnKey{t, toIdx, chunkID}
+	if _, exists := j.inflight[key]; !exists {
+		j.inflight[key] = &spawnRec{toIdx: toIdx, chunkID: chunkID, args: args, replyTo: replyTo, needReply: needReply}
+		j.journaled.Add(1)
+	}
+	j.mu.Unlock()
+}
+
+// lookupSpawn finds the in-flight entry for a spawn executing on worker
+// toIdx of thread t (nil when recovery is off or the spawn predates it).
+func (rt *Runtime) lookupSpawn(t *Thread, toIdx, chunkID int) *spawnRec {
+	j := &rt.jr
+	j.mu.Lock()
+	rec := j.inflight[spawnKey{t, toIdx, chunkID}]
+	j.mu.Unlock()
+	return rec
+}
+
+// completeSpawn commits the journal entry of a consumed successful
+// completion. Unknown completions (recovery off, forged) are ignored.
+func (rt *Runtime) completeSpawn(t *Thread, fromIdx, chunkID int) {
+	j := &rt.jr
+	j.mu.Lock()
+	key := spawnKey{t, fromIdx, chunkID}
+	if _, ok := j.inflight[key]; ok {
+		delete(j.inflight, key)
+		j.commits.Add(1)
+	}
+	j.mu.Unlock()
+}
+
+// retrySpawn decides the fate of a poisoned completion consumed by w:
+// true means the spawn was replayed (the completion is swallowed and the
+// joiner keeps waiting for the replacement), false means the budget is
+// exhausted (or the spawn was never journaled) and the error surfaces.
+// Runs on the joiner's goroutine; the backoff sleep happens here, where
+// the caller is blocked anyway.
+func (rt *Runtime) retrySpawn(w *Worker, abort *EnclaveAbort) bool {
+	if !rt.Recovery.Enabled() {
+		return false
+	}
+	t := w.Thread
+	rec := rt.lookupSpawn(t, abort.Worker, abort.ChunkID)
+	if rec == nil {
+		return false
+	}
+	rec.mu.Lock()
+	rec.attempts++
+	attempt := rec.attempts
+	rec.mu.Unlock()
+	if attempt > rt.Recovery.MaxAttempts {
+		j := &rt.jr
+		j.mu.Lock()
+		delete(j.inflight, spawnKey{t, abort.Worker, abort.ChunkID})
+		j.mu.Unlock()
+		j.giveups.Add(1)
+		tracef("recovery: chunk %d on w%d exhausted %d attempts", abort.ChunkID, abort.Worker, attempt-1)
+		return false
+	}
+	rt.jr.replays.Add(1)
+	time.Sleep(rt.Recovery.delay(attempt))
+	rt.respawn(t, rec)
+	return true
+}
+
+// respawn re-sends a journaled spawn to the current worker of its color
+// (after a restart, that is the replacement worker) in the thread's
+// current epoch.
+func (rt *Runtime) respawn(t *Thread, rec *spawnRec) {
+	target := t.Worker(rec.toIdx)
+	tracef("recovery: replay chunk %d -> w%d (attempt %d)", rec.chunkID, rec.toIdx, rec.attempts)
+	rt.send(rec.replyTo, target, Message{
+		Kind: MsgSpawn, ChunkID: rec.chunkID, Args: rec.args,
+		NeedReply: rec.needReply, ReplyTo: rec.replyTo,
+	})
+}
+
+// inflightFor snapshots the in-flight spawns of thread t, optionally
+// restricted to one target worker (toIdx < 0 means all).
+func (rt *Runtime) inflightFor(t *Thread, toIdx int) []*spawnRec {
+	j := &rt.jr
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []*spawnRec
+	for k, rec := range j.inflight {
+		if k.t == t && (toIdx < 0 || k.toIdx == toIdx) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// RecoveryStats snapshots the recovery layer's counters.
+type RecoveryStats struct {
+	// SpawnsJournaled counts spawns recorded in the redo log; Commits
+	// counts completions that closed their entry. After a quiescent,
+	// fully recovered workload the two are equal — the zero-double-apply
+	// invariant the soak asserts.
+	SpawnsJournaled int64
+	Commits         int64
+	// Replays counts re-executions; Giveups counts spawns that exhausted
+	// the attempt budget and surfaced their typed error.
+	Replays int64
+	Giveups int64
+	// Restarts counts enclave workers torn down and re-created;
+	// Redelivered counts queued messages carried over to a replacement
+	// worker.
+	Restarts    int64
+	Redelivered int64
+	// BackpressureWaits counts sends that found a bounded queue full and
+	// had to wait for the consumer.
+	BackpressureWaits int64
+}
+
+// RecoveryStats snapshots restart/replay/backpressure counters.
+func (rt *Runtime) RecoveryStats() RecoveryStats {
+	return RecoveryStats{
+		SpawnsJournaled:   rt.jr.journaled.Load(),
+		Commits:           rt.jr.commits.Load(),
+		Replays:           rt.jr.replays.Load(),
+		Giveups:           rt.jr.giveups.Load(),
+		Restarts:          rt.stats.restarts.Load(),
+		Redelivered:       rt.stats.redelivered.Load(),
+		BackpressureWaits: rt.stats.backpressure.Load(),
+	}
+}

@@ -1,0 +1,306 @@
+package prt
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests exercise the recovery layer end to end at the runtime level:
+// replay-on-abort, the attempt budget, the cont replay caches, worker
+// restart with epoch fencing, timeout diagnostics, and backpressure.
+
+// TestRetryOnAbortRecovers: a chunk that crashes twice and then succeeds
+// must complete the join with the correct value and no visible error, and
+// the journal must record exactly one commit for the one logical spawn.
+func TestRetryOnAbortRecovers(t *testing.T) {
+	var execs atomic.Int32
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			if execs.Add(1) <= 2 {
+				panic("injected crash")
+			}
+			return 42
+		},
+	})
+	rt.Recovery = RecoveryPolicy{MaxAttempts: 3}
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	got, err := u.JoinTimeout(1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Join after recovery: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("Join = %v, want 42", got)
+	}
+	if n := execs.Load(); n != 3 {
+		t.Errorf("chunk executed %d times, want 3 (1 + 2 replays)", n)
+	}
+	rs := rt.RecoveryStats()
+	if rs.SpawnsJournaled != 1 || rs.Commits != 1 {
+		t.Errorf("journal: %d journaled, %d commits, want 1/1", rs.SpawnsJournaled, rs.Commits)
+	}
+	if rs.Replays != 2 || rs.Giveups != 0 {
+		t.Errorf("replays=%d giveups=%d, want 2/0", rs.Replays, rs.Giveups)
+	}
+}
+
+// TestRetryBudgetExhausted: a chunk that always crashes is replayed exactly
+// MaxAttempts times, then the original typed error surfaces — carrying the
+// crash-site stack captured at recover time.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var execs atomic.Int32
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			execs.Add(1)
+			panic("always crashing")
+		},
+	})
+	rt.Recovery = RecoveryPolicy{MaxAttempts: 2}
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	_, err := u.JoinTimeout(1, 5*time.Second)
+	if !errors.Is(err, ErrEnclaveAbort) {
+		t.Fatalf("Join = %v, want ErrEnclaveAbort after exhausted budget", err)
+	}
+	var abort *EnclaveAbort
+	if !errors.As(err, &abort) {
+		t.Fatalf("error %T does not unwrap to *EnclaveAbort", err)
+	}
+	if len(abort.Stack()) == 0 || !bytes.Contains(abort.Stack(), []byte("prt")) {
+		t.Errorf("abort carries no usable stack: %q", abort.Stack())
+	}
+	if n := execs.Load(); n != 3 {
+		t.Errorf("chunk executed %d times, want 3 (1 + MaxAttempts)", n)
+	}
+	rs := rt.RecoveryStats()
+	if rs.Replays != 2 || rs.Giveups != 1 || rs.Commits != 0 {
+		t.Errorf("replays=%d giveups=%d commits=%d, want 2/1/0", rs.Replays, rs.Giveups, rs.Commits)
+	}
+}
+
+// TestReplayContCaches: a chunk that consumes two conts, answers with a
+// third, and then crashes must replay idempotently — the consumed conts are
+// re-served from the journal cache (the peer will not resend them) and the
+// answered cont is suppressed (the peer already consumed it, and a fresh
+// copy could satisfy a later wait on the same tag).
+func TestReplayContCaches(t *testing.T) {
+	var execs atomic.Int32
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			a, err := w.WaitTimeout(5, 2*time.Second)
+			if err != nil {
+				t.Errorf("chunk Wait(5): %v", err)
+				return nil
+			}
+			b, err := w.WaitTimeout(6, 2*time.Second)
+			if err != nil {
+				t.Errorf("chunk Wait(6): %v", err)
+				return nil
+			}
+			sum := a.(int) + b.(int)
+			w.SendCont(0, 9, sum)
+			if execs.Add(1) == 1 {
+				panic("crash after consuming and answering")
+			}
+			return sum
+		},
+	})
+	rt.Recovery = RecoveryPolicy{MaxAttempts: 3}
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	u.SendCont(1, 5, 20)
+	u.SendCont(1, 6, 22)
+	if got, err := u.WaitTimeout(9, 5*time.Second); err != nil || got != 42 {
+		t.Fatalf("Wait(9) = %v, %v, want 42", got, err)
+	}
+	if got, err := u.JoinTimeout(1, 5*time.Second); err != nil || got != 42 {
+		t.Fatalf("Join = %v, %v, want 42", got, err)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Errorf("chunk executed %d times, want 2", n)
+	}
+	// Exactly one copy of the answer cont must ever reach this worker: the
+	// replay's re-send was suppressed, so a second wait on the tag starves.
+	if _, err := u.WaitTimeout(9, 50*time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Errorf("second Wait(9) = %v, want timeout (replayed cont must be suppressed)", err)
+	}
+	rs := rt.RecoveryStats()
+	if rs.Replays != 1 || rs.Commits != 1 || rs.SpawnsJournaled != 1 {
+		t.Errorf("replays=%d commits=%d journaled=%d, want 1/1/1", rs.Replays, rs.Commits, rs.SpawnsJournaled)
+	}
+}
+
+// TestRestartEpochFencing is the exactly-once story of a worker restart: a
+// straggler completion from the pre-restart incarnation is fenced off as
+// stale, while the replayed spawn's completion in the new epoch commits —
+// exactly once.
+func TestRestartEpochFencing(t *testing.T) {
+	release := make(chan struct{})
+	var execs atomic.Int32
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			if execs.Add(1) == 1 {
+				<-release // wedged until after the restart
+				return "stale"
+			}
+			return "fresh"
+		},
+	})
+	rt.Recovery = RecoveryPolicy{MaxAttempts: 3}
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	oldW := th.Worker(1)
+	u.Spawn(1, 1, nil, true)
+	deadline := time.Now().Add(2 * time.Second)
+	for execs.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("spawn never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	th.RestartWorker(1)
+	if th.Worker(1) == oldW {
+		t.Fatal("RestartWorker did not swap in a replacement")
+	}
+
+	// Unwedge the dead incarnation and wait for it to finish: its "stale"
+	// completion is now in our queue, stamped with the dead epoch.
+	close(release)
+	select {
+	case <-oldW.stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("old worker goroutine never exited")
+	}
+
+	// The join must see exactly the replay's completion.
+	got, err := u.JoinTimeout(1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Join after restart: %v", err)
+	}
+	if got != "fresh" {
+		t.Errorf("Join = %v, want the replayed chunk's result", got)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Errorf("chunk executed %d times, want 2", n)
+	}
+	// No second completion may ever be admitted.
+	if _, err := u.JoinOneTimeout(60 * time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Errorf("straggler completion was admitted: JoinOne = %v, want timeout", err)
+	}
+	rs := rt.RecoveryStats()
+	if rs.Restarts != 1 || rs.Replays != 1 || rs.Commits != 1 || rs.SpawnsJournaled != 1 {
+		t.Errorf("restarts=%d replays=%d commits=%d journaled=%d, want 1/1/1/1",
+			rs.Restarts, rs.Replays, rs.Commits, rs.SpawnsJournaled)
+	}
+	if rs.Giveups != 0 {
+		t.Errorf("giveups=%d, want 0", rs.Giveups)
+	}
+	if ds := rt.SupervisionStats().DroppedStale; ds < 1 {
+		t.Errorf("dropped-stale=%d, want >=1 (the fenced straggler)", ds)
+	}
+}
+
+// TestTimeoutDiagnostics: a TimeoutError names the protocol state at
+// expiry — the waiter's own tag, every sibling worker's published wait
+// point, and per-worker queue depths.
+func TestTimeoutDiagnostics(t *testing.T) {
+	blocked := make(chan struct{})
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			close(blocked)
+			if _, err := w.WaitTimeout(5, 5*time.Second); err != nil {
+				t.Errorf("chunk Wait(5): %v", err)
+			}
+			return nil
+		},
+	})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	<-blocked
+	time.Sleep(5 * time.Millisecond) // let the chunk publish its block point
+
+	_, err := u.WaitTimeout(9, 60*time.Millisecond)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("WaitTimeout = %v, want *TimeoutError", err)
+	}
+	if len(te.QueueDepths) != 2 {
+		t.Errorf("QueueDepths = %v, want one entry per worker", te.QueueDepths)
+	}
+	wantTags := map[int]bool{5: false, 9: false}
+	for _, tag := range te.PendingTags {
+		if _, ok := wantTags[tag]; ok {
+			wantTags[tag] = true
+		}
+	}
+	for tag, seen := range wantTags {
+		if !seen {
+			t.Errorf("PendingTags = %v, missing tag %d", te.PendingTags, tag)
+		}
+	}
+
+	u.SendCont(1, 5, nil) // unblock the enclave chunk
+	if _, err := u.JoinTimeout(1, 5*time.Second); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+}
+
+// TestBackpressureBoundedQueues: with a bounded queue capacity, a producer
+// outrunning its consumer blocks (and is counted) instead of growing the
+// queue, Runtime.Saturated reports the pressure, and every message still
+// arrives in order.
+func TestBackpressureBoundedQueues(t *testing.T) {
+	const conts = 8
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			for i := 0; i < conts; i++ {
+				w.SendCont(0, 100+i, i)
+			}
+			return nil
+		},
+	})
+	rt.Supervise.QueueCapacity = 2
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+
+	// The enclave floods our bounded queue; it must fill and stay full
+	// (the producer blocked in EnqueueBlock) until we start draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for !rt.Saturated() {
+		if time.Now().After(deadline) {
+			t.Fatal("bounded queue never reached capacity")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i := 0; i < conts; i++ {
+		got, err := u.WaitTimeout(100+i, 2*time.Second)
+		if err != nil || got != i {
+			t.Fatalf("Wait(%d) = %v, %v, want %d", 100+i, got, err, i)
+		}
+	}
+	if _, err := u.JoinTimeout(1, 2*time.Second); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if bp := rt.RecoveryStats().BackpressureWaits; bp == 0 {
+		t.Error("producer never felt backpressure on the bounded queue")
+	}
+	if rt.Saturated() {
+		t.Error("Saturated still true after the queues drained")
+	}
+}

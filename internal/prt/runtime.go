@@ -28,6 +28,8 @@ package prt
 import (
 	"fmt"
 	"os"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +147,14 @@ type Runtime struct {
 	// Set it before creating threads.
 	Supervise Supervision
 
+	// Recovery configures bounded restart/replay of aborted spawns
+	// (zero = off, the surface-the-error behavior). Set it before
+	// creating threads; see retry.go and journal.go.
+	Recovery RecoveryPolicy
+
+	// jr is the spawn redo log backing Recovery.
+	jr journal
+
 	interceptor atomic.Pointer[interceptorBox]
 
 	// lastAdmit is the UnixNano timestamp of the most recent admitted
@@ -218,7 +228,18 @@ type Worker struct {
 	execEpoch  uint64 // epoch of the spawn currently executing
 	stopping   bool   // a stop was consumed mid-protocol
 
-	// block publishes what the worker is blocked on, for the watchdog.
+	// curRec is the journal entry of the spawn currently executing on
+	// this worker (nil when recovery is off): the cont replay caches
+	// live there. Touched only on the worker's own goroutine.
+	curRec *spawnRec
+
+	// Tx is a per-execution scratch slot owned by the embedder (the
+	// interpreter parks its effect transaction here). Touched only on
+	// the worker's own goroutine.
+	Tx any
+
+	// block publishes what the worker is blocked on, for the watchdog
+	// and for timeout diagnostics.
 	block atomic.Pointer[blockInfo]
 }
 
@@ -226,8 +247,14 @@ type Worker struct {
 // worker goroutine per enclave ("for each thread of the application,
 // Privagic runs one worker thread per enclave", §8).
 type Thread struct {
-	RT      *Runtime
-	Workers []*Worker // index 0 is the app thread itself (normal mode)
+	RT *Runtime
+	// Workers holds the live worker of each color (index 0 is the app
+	// thread itself, normal mode). A restart swaps a replacement in
+	// under wmu; use Worker()/Normal() rather than indexing directly
+	// when restarts may be live.
+	Workers []*Worker
+	wmu     sync.RWMutex
+	nw      int // worker count, fixed at creation (len(Workers))
 	wg      sync.WaitGroup
 	epoch   atomic.Uint64
 	closed  atomic.Bool
@@ -252,7 +279,7 @@ func (t *Thread) nextStrSeq(epoch uint64, toIdx int) uint64 {
 	}
 	s := t.sendSeqs[epoch]
 	if s == nil {
-		s = make([]uint64, len(t.Workers))
+		s = make([]uint64, t.nw)
 		t.sendSeqs[epoch] = s
 		for e := range t.sendSeqs {
 			if e+1 < epoch {
@@ -264,6 +291,16 @@ func (t *Thread) nextStrSeq(epoch uint64, toIdx int) uint64 {
 	return s[toIdx]
 }
 
+// newWorkerQueue creates a worker channel honoring the configured queue
+// capacity: bounded when Supervise.QueueCapacity > 0 (senders then feel
+// backpressure through rt.send), unbounded otherwise.
+func (rt *Runtime) newWorkerQueue() *queue.Queue[Message] {
+	if c := rt.Supervise.QueueCapacity; c > 0 {
+		return queue.NewBounded[Message](c)
+	}
+	return queue.New[Message]()
+}
+
 // NewThread creates the workers of one application thread and starts the
 // enclave goroutines.
 func (rt *Runtime) NewThread() *Thread {
@@ -273,11 +310,12 @@ func (rt *Runtime) NewThread() *Thread {
 			Thread:  t,
 			Index:   i,
 			Mode:    rt.RegionOf(i),
-			q:       queue.New[Message](),
+			q:       rt.newWorkerQueue(),
 			stopped: make(chan struct{}),
 		}
 		t.Workers = append(t.Workers, w)
 	}
+	t.nw = len(t.Workers)
 	for _, w := range t.Workers[1:] {
 		t.wg.Add(1)
 		go w.loop(&t.wg)
@@ -304,14 +342,17 @@ func (t *Thread) Close() {
 	if !t.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, w := range t.Workers[1:] {
+	t.wmu.RLock()
+	workers := append([]*Worker(nil), t.Workers...)
+	t.wmu.RUnlock()
+	for _, w := range workers[1:] {
 		// Control messages bypass the interceptor: the attacker owns
 		// the data plane, not the host's ability to stop a worker.
 		w.q.Enqueue(Message{Kind: msgStop, auth: authStamp})
 	}
 	t.wg.Wait()
 	drained := int64(0)
-	for _, w := range t.Workers {
+	for _, w := range workers {
 		for {
 			if _, ok := w.q.Dequeue(); !ok {
 				break
@@ -327,10 +368,16 @@ func (t *Thread) Close() {
 }
 
 // Normal returns the normal-mode context of the thread.
-func (t *Thread) Normal() *Worker { return t.Workers[0] }
+func (t *Thread) Normal() *Worker { return t.Worker(0) }
 
-// Worker returns the worker bound to colorIdx (0 = normal mode).
-func (t *Thread) Worker(colorIdx int) *Worker { return t.Workers[colorIdx] }
+// Worker returns the live worker bound to colorIdx (0 = normal mode).
+// After a restart this is the replacement, not the dead incarnation.
+func (t *Thread) Worker(colorIdx int) *Worker {
+	t.wmu.RLock()
+	w := t.Workers[colorIdx]
+	t.wmu.RUnlock()
+	return w
+}
 
 // EnqueueRaw places a message on the worker's queue exactly as given,
 // preserving its trusted-side metadata. This is how an interceptor
@@ -382,13 +429,25 @@ func (w *Worker) loop(wg *sync.WaitGroup) {
 				// spawn; honor it now.
 				return
 			}
-		case MsgCont, MsgDone:
-			// A message for a chunk that is not running. With
-			// correct generated code this cannot happen; after a
-			// chunk crashed mid-protocol (and was recovered by the
-			// executor) its peers' leftover messages land here, so
-			// dropping them keeps the worker alive for the next
-			// request.
+		case MsgCont:
+			// A cont for a chunk that is not running. With correct
+			// generated code this cannot happen; after a chunk crashed
+			// mid-protocol its peers' leftover conts land here. Under
+			// recovery they must survive — the replayed chunk will wait
+			// for them — so they are buffered; otherwise dropping them
+			// keeps the worker alive for the next request.
+			if w.Thread.RT.Recovery.Enabled() && len(w.pendingCont) < reorderBufCap {
+				w.pendingCont = append(w.pendingCont, msg)
+			}
+			continue
+		case MsgDone:
+			// A completion with no joiner on this worker. After a chunk
+			// crashed between spawning nested work and joining it, the
+			// nested completions land here; under recovery the chunk's
+			// replay will join them, so they are buffered. Otherwise drop.
+			if w.Thread.RT.Recovery.Enabled() && len(w.pendingDone) < reorderBufCap {
+				w.pendingDone = append(w.pendingDone, msg)
+			}
 			continue
 		}
 	}
@@ -547,10 +606,25 @@ func (w *Worker) runSpawn(msg Message) {
 		if msg.ReplyTo != nil {
 			// Still complete the join so legitimate peers cannot be
 			// deadlocked by a rejected injection racing a real spawn.
-			rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index})
+			rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index, ChunkID: msg.ChunkID})
 		}
 		return
 	}
+	// Bind the journal entry (if any) for the duration of the execution:
+	// the cont replay caches live there. Saved/restored so a nested spawn
+	// on the same worker does not clobber the outer chunk's caches.
+	prevRec := w.curRec
+	if rt.Recovery.Enabled() {
+		if rec := rt.lookupSpawn(w.Thread, w.Index, msg.ChunkID); rec != nil {
+			rec.beginAttempt()
+			w.curRec = rec
+		} else {
+			w.curRec = nil
+		}
+	} else {
+		w.curRec = nil
+	}
+	defer func() { w.curRec = prevRec }()
 	var ret any
 	aborted := func() (aborted bool) {
 		defer func() {
@@ -561,10 +635,13 @@ func (w *Worker) runSpawn(msg Message) {
 				if !ok {
 					cause = fmt.Errorf("panic: %v", r)
 				}
-				abort := &EnclaveAbort{Worker: w.Index, ChunkID: msg.ChunkID, Cause: cause}
+				abort := &EnclaveAbort{
+					Worker: w.Index, ChunkID: msg.ChunkID, Cause: cause,
+					stack: debug.Stack(),
+				}
 				tracef("w%d abort chunk=%d: %v", w.Index, msg.ChunkID, cause)
 				if msg.ReplyTo != nil {
-					rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index, Err: abort})
+					rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index, ChunkID: msg.ChunkID, Err: abort})
 				}
 			}
 		}()
@@ -572,7 +649,7 @@ func (w *Worker) runSpawn(msg Message) {
 		return false
 	}()
 	if !aborted && msg.ReplyTo != nil {
-		rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, Payload: ret, From: w.Index})
+		rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, Payload: ret, From: w.Index, ChunkID: msg.ChunkID})
 	}
 }
 
@@ -593,14 +670,69 @@ func (rt *Runtime) send(from, to *Worker, msg Message) {
 		box.ic.Deliver(to, msg)
 		return
 	}
+	if to.q.Capacity() > 0 {
+		// Bounded queue: make the producer feel a full consumer instead
+		// of letting the queue grow without limit (end-to-end
+		// backpressure). The counter is what admission control upstream
+		// (e.g. the memcached front-end) reads to start shedding.
+		if !to.q.TryEnqueue(msg) {
+			rt.stats.backpressure.Add(1)
+			to.q.EnqueueBlock(msg)
+		}
+		return
+	}
 	to.q.Enqueue(msg)
+}
+
+// JournalLoad threads one memory load of the currently executing chunk
+// through its journal entry's replay cache: on a replay, buf is
+// overwritten with the bytes the crashed attempt read at this position;
+// on a live attempt, buf is recorded. A no-op when the executing chunk is
+// not journaled. The embedder (the interpreter) calls this on every
+// mode-checked load so a replay observes the memory of the attempt its
+// peers already reacted to, not whatever committed nested effects have
+// since made of it.
+func (w *Worker) JournalLoad(buf []byte) {
+	if rec := w.curRec; rec != nil {
+		rec.journalLoad(buf)
+	}
+}
+
+// JournalAlloc threads an allocation service call through the executing
+// chunk's replay cache: a replay reuses the address the crashed attempt
+// obtained instead of running alloc (the allocator's bump cursor is not
+// part of the effect transaction, and peers may hold committed writes
+// behind the original address). Live attempts run alloc and record the
+// result. Calls alloc directly when the executing chunk is not journaled.
+func (w *Worker) JournalAlloc(alloc func() uint64) uint64 {
+	if rec := w.curRec; rec != nil {
+		return rec.journalAlloc(alloc)
+	}
+	return alloc()
 }
 
 // Spawn sends a spawn message for chunkID to the worker of colorIdx in the
 // same thread (§7.3.2). The completion Done is routed back to the caller.
 func (w *Worker) Spawn(colorIdx int, chunkID int, args []any, needReply bool) {
+	rt := w.Thread.RT
+	if rec := w.curRec; rec != nil && rec.suppressSpawn() {
+		// A previous attempt of this chunk already issued this nested
+		// spawn; it is either still in flight or already consumed. A
+		// fresh copy would execute the nested chunk a second time.
+		tracef("w%d suppress replayed spawn chunk=%d", w.Index, chunkID)
+		return
+	}
+	if rt.Recovery.Enabled() {
+		// Journal before sending: if the chunk aborts, the spawn is
+		// replayed from exactly these arguments. Every spawn is journaled,
+		// not just needs-reply ones — the partitioner joins every spawn it
+		// emits (the completion is the chunk barrier even when the payload
+		// is unused), so every spawn's abort reaches a joiner and must be
+		// replayable.
+		rt.recordSpawn(w.Thread, colorIdx, chunkID, args, w, needReply)
+	}
 	target := w.Thread.Worker(colorIdx)
-	w.Thread.RT.send(w, target, Message{
+	rt.send(w, target, Message{
 		Kind: MsgSpawn, ChunkID: chunkID, Args: args,
 		NeedReply: needReply, ReplyTo: w,
 	})
@@ -609,6 +741,14 @@ func (w *Worker) Spawn(colorIdx int, chunkID int, args []any, needReply bool) {
 // SendCont sends a Free value to the worker of colorIdx in the same thread
 // (the cont message of §7.3.2), tagged with its wait point.
 func (w *Worker) SendCont(colorIdx int, tag int, payload any) {
+	if rec := w.curRec; rec != nil && rec.suppressSend() {
+		// A previous attempt of this chunk already delivered this cont;
+		// the peer consumed it. Re-sending would stamp a fresh strSeq
+		// (the admit gate would accept it) and the copy could satisfy a
+		// *later* wait on the same tag — so the replay stays silent.
+		tracef("w%d suppress replayed cont tag=%d", w.Index, tag)
+		return
+	}
 	w.Thread.RT.send(w, w.Thread.Worker(colorIdx), Message{Kind: MsgCont, Payload: payload, Tag: tag})
 }
 
@@ -651,11 +791,37 @@ func (w *Worker) WaitTimeout(tag int, d time.Duration) (any, error) {
 func (w *Worker) waitTag(tag int, window time.Duration) (any, error) {
 	tracef("w%d wait tag=%d", w.Index, tag)
 	w.prunePending()
+	// A replayed chunk re-consumes conts its crashed attempt already took;
+	// the peer will not send them again, so the journal cache serves them.
+	if rec := w.curRec; rec != nil {
+		if msg, ok := rec.cachedCont(tag); ok {
+			tracef("w%d replay cached cont tag=%d", w.Index, tag)
+			return msg.Payload, nil
+		}
+	}
 	for i, msg := range w.pendingCont {
 		if msg.Tag == tag {
 			w.pendingCont = append(w.pendingCont[:i], w.pendingCont[i+1:]...)
+			if rec := w.curRec; rec != nil {
+				rec.recordContIn(msg)
+			}
 			return msg.Payload, nil
 		}
+	}
+	// Before blocking, give buffered completions their recovery pass: a
+	// poisoned Done parked by loop() while no joiner was active may belong
+	// to the very chunk whose replay is the only sender of this tag — the
+	// join-side retry in joinOne/joinN never runs if the protocol waits
+	// before it joins. handleDone swallows retried aborts; everything else
+	// stays buffered for the eventual join (commits are idempotent).
+	if len(w.pendingDone) > 0 {
+		kept := w.pendingDone[:0]
+		for _, msg := range w.pendingDone {
+			if !w.handleDone(msg) {
+				kept = append(kept, msg)
+			}
+		}
+		w.pendingDone = kept
 	}
 	start := time.Now()
 	w.publishBlock("wait", tag, start)
@@ -667,23 +833,74 @@ func (w *Worker) waitTag(tag int, window time.Duration) (any, error) {
 				continue // the system is alive; only our queue is quiet
 			}
 			w.Thread.RT.stats.timeouts.Add(1)
-			return nil, &TimeoutError{Op: "wait", Worker: w.Index, Tag: tag, Elapsed: time.Since(start)}
+			err := &TimeoutError{Op: "wait", Worker: w.Index, Tag: tag, Elapsed: time.Since(start)}
+			w.Thread.timeoutDiag(err)
+			return nil, err
 		}
 		switch msg.Kind {
 		case MsgCont:
 			if msg.Tag == tag {
+				if rec := w.curRec; rec != nil {
+					rec.recordContIn(msg)
+				}
 				return msg.Payload, nil
 			}
 			w.pendingCont = append(w.pendingCont, msg)
 		case MsgSpawn:
 			w.runSpawn(msg)
 		case MsgDone:
+			if w.handleDone(msg) {
+				continue
+			}
 			w.pendingDone = append(w.pendingDone, msg)
 		case msgStop:
 			w.stopping = true
 			return nil, ErrStopped
 		}
 	}
+}
+
+// handleDone gives the recovery layer first refusal on a consumed
+// completion: a successful Done commits its journal entry (and is then
+// delivered normally, so false), a poisoned Done whose spawn still has
+// attempt budget is swallowed and the spawn replayed (true — the caller
+// keeps waiting for the replacement completion).
+func (w *Worker) handleDone(msg Message) bool {
+	rt := w.Thread.RT
+	if !rt.Recovery.Enabled() {
+		return false
+	}
+	if msg.Err == nil {
+		rt.completeSpawn(w.Thread, msg.From, msg.ChunkID)
+		return false
+	}
+	if abort, ok := msg.Err.(*EnclaveAbort); ok && rt.retrySpawn(w, abort) {
+		return true
+	}
+	return false
+}
+
+// timeoutDiag fills a TimeoutError's diagnostic fields: per-worker queue
+// depths and the set of cont tags the thread's workers were blocked on.
+func (t *Thread) timeoutDiag(te *TimeoutError) {
+	t.wmu.RLock()
+	workers := append([]*Worker(nil), t.Workers...)
+	t.wmu.RUnlock()
+	te.QueueDepths = make([]int64, len(workers))
+	tags := map[int]bool{}
+	if te.Op == "wait" {
+		tags[te.Tag] = true
+	}
+	for i, w := range workers {
+		te.QueueDepths[i] = w.q.Depth()
+		if bi := w.block.Load(); bi != nil && bi.op == "wait" {
+			tags[bi.tag] = true
+		}
+	}
+	for tag := range tags {
+		te.PendingTags = append(te.PendingTags, tag)
+	}
+	sort.Ints(te.PendingTags)
 }
 
 // JoinOne waits for a single spawn completion and returns the whole Done
@@ -700,9 +917,26 @@ func (w *Worker) JoinOneTimeout(d time.Duration) (Message, error) {
 
 func (w *Worker) joinOne(window time.Duration) (Message, error) {
 	w.prunePending()
-	if len(w.pendingDone) > 0 {
+	// A replayed chunk re-joins completions its crashed attempt already
+	// consumed; the nested chunk will not complete again, so the journal
+	// cache serves them.
+	if rec := w.curRec; rec != nil {
+		if msg, ok := rec.cachedDone(); ok {
+			tracef("w%d replay cached done chunk=%d", w.Index, msg.ChunkID)
+			return msg, nil
+		}
+	}
+	// Buffered completions may include poisoned ones parked by loop()
+	// that recovery has not seen yet, so pops go through handleDone too.
+	for len(w.pendingDone) > 0 {
 		msg := w.pendingDone[0]
 		w.pendingDone = w.pendingDone[1:]
+		if w.handleDone(msg) {
+			continue
+		}
+		if rec := w.curRec; rec != nil {
+			rec.recordDoneIn(msg)
+		}
 		return msg, nil
 	}
 	start := time.Now()
@@ -715,10 +949,18 @@ func (w *Worker) joinOne(window time.Duration) (Message, error) {
 				continue
 			}
 			w.Thread.RT.stats.timeouts.Add(1)
-			return Message{}, &TimeoutError{Op: "join-one", Worker: w.Index, Pending: 1, Elapsed: time.Since(start)}
+			err := &TimeoutError{Op: "join-one", Worker: w.Index, Pending: 1, Elapsed: time.Since(start)}
+			w.Thread.timeoutDiag(err)
+			return Message{}, err
 		}
 		switch msg.Kind {
 		case MsgDone:
+			if w.handleDone(msg) {
+				continue
+			}
+			if rec := w.curRec; rec != nil {
+				rec.recordDoneIn(msg)
+			}
 			return msg, nil
 		case MsgSpawn:
 			w.runSpawn(msg)
@@ -756,9 +998,28 @@ func (w *Worker) joinN(n int, window time.Duration) (any, error) {
 			result = msg.Payload
 		}
 	}
+	// Serve the replay cache first (see joinOne).
+	if rec := w.curRec; rec != nil {
+		for n > 0 {
+			msg, ok := rec.cachedDone()
+			if !ok {
+				break
+			}
+			tracef("w%d replay cached done chunk=%d", w.Index, msg.ChunkID)
+			take(msg)
+			n--
+		}
+	}
 	for n > 0 && len(w.pendingDone) > 0 {
-		take(w.pendingDone[0])
+		msg := w.pendingDone[0]
 		w.pendingDone = w.pendingDone[1:]
+		if w.handleDone(msg) {
+			continue
+		}
+		if rec := w.curRec; rec != nil {
+			rec.recordDoneIn(msg)
+		}
+		take(msg)
 		n--
 	}
 	start := time.Now()
@@ -771,10 +1032,18 @@ func (w *Worker) joinN(n int, window time.Duration) (any, error) {
 				continue
 			}
 			w.Thread.RT.stats.timeouts.Add(1)
-			return result, &TimeoutError{Op: "join", Worker: w.Index, Pending: n, Elapsed: time.Since(start)}
+			err := &TimeoutError{Op: "join", Worker: w.Index, Pending: n, Elapsed: time.Since(start)}
+			w.Thread.timeoutDiag(err)
+			return result, err
 		}
 		switch msg.Kind {
 		case MsgDone:
+			if w.handleDone(msg) {
+				continue
+			}
+			if rec := w.curRec; rec != nil {
+				rec.recordDoneIn(msg)
+			}
 			take(msg)
 			n--
 		case MsgSpawn:

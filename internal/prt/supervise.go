@@ -23,6 +23,16 @@ type Supervision struct {
 	Watchdog bool
 	// WatchdogInterval is the sampling period (default 10ms).
 	WatchdogInterval time.Duration
+	// QueueCapacity bounds every worker queue created after it is set
+	// (0 = unbounded, the paper's model). A full queue blocks the
+	// producer inside rt.send — end-to-end backpressure instead of
+	// unbounded growth; Runtime.Saturated exposes the pressure to
+	// admission control upstream.
+	QueueCapacity int
+	// RestartStuck escalates a watchdog stall report on an enclave
+	// worker into Thread.RestartWorker: tear down, fresh epoch, replay.
+	// Requires Recovery to be enabled for the replay half to run.
+	RestartStuck bool
 }
 
 // supCounters aggregates the hostile-message and failure counters of one
@@ -38,6 +48,9 @@ type supCounters struct {
 	aborts            atomic.Int64
 	timeouts          atomic.Int64
 	drained           atomic.Int64
+	restarts          atomic.Int64
+	redelivered       atomic.Int64
+	backpressure      atomic.Int64
 
 	stallMu sync.Mutex
 	stalls  []Stall
@@ -117,16 +130,15 @@ type blockInfo struct {
 	reported atomic.Bool
 }
 
+// publishBlock is always on (not gated on the watchdog): timeout
+// diagnostics read the published wait points of sibling workers to name
+// the pending tags in a TimeoutError.
 func (w *Worker) publishBlock(op string, tag int, since time.Time) {
-	if w.Thread.RT.Supervise.Watchdog {
-		w.block.Store(&blockInfo{op: op, tag: tag, since: since})
-	}
+	w.block.Store(&blockInfo{op: op, tag: tag, since: since})
 }
 
 func (w *Worker) clearBlock() {
-	if w.Thread.RT.Supervise.Watchdog {
-		w.block.Store(nil)
-	}
+	w.block.Store(nil)
 }
 
 // maybeStartWatchdog starts the supervisor goroutine once, if configured.
@@ -166,7 +178,10 @@ func (rt *Runtime) watchdog() {
 		rt.mu.Unlock()
 		now := time.Now()
 		for _, t := range threads {
-			for _, w := range t.Workers {
+			t.wmu.RLock()
+			workers := append([]*Worker(nil), t.Workers...)
+			t.wmu.RUnlock()
+			for _, w := range workers {
 				bi := w.block.Load()
 				if bi == nil {
 					continue
@@ -183,9 +198,35 @@ func (rt *Runtime) watchdog() {
 					})
 				}
 				rt.stats.stallMu.Unlock()
+				if rt.Supervise.RestartStuck && w.Index > 0 && !t.closed.Load() {
+					// Escalate: a stuck enclave worker is torn down and
+					// re-created, the epoch fences its stragglers, and
+					// the journal replays its in-flight spawns.
+					t.RestartWorker(w.Index)
+				}
 			}
 		}
 	}
+}
+
+// Saturated reports whether any bounded worker queue is at capacity —
+// the signal admission control upstream (the memcached front-end) probes
+// to start shedding load before producers block.
+func (rt *Runtime) Saturated() bool {
+	rt.mu.Lock()
+	threads := append([]*Thread(nil), rt.threads...)
+	rt.mu.Unlock()
+	for _, t := range threads {
+		t.wmu.RLock()
+		workers := append([]*Worker(nil), t.Workers...)
+		t.wmu.RUnlock()
+		for _, w := range workers {
+			if c := w.q.Capacity(); c > 0 && w.q.Depth() >= c {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Shutdown closes every thread the runtime created and stops the watchdog.

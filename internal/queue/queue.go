@@ -27,17 +27,38 @@ type Queue[T any] struct {
 	head atomic.Pointer[node[T]] // sentinel; head.next is the front
 	tail atomic.Pointer[node[T]]
 
-	enqueues atomic.Int64
-	dequeues atomic.Int64
-	parks    atomic.Int64
+	// capacity, when positive, bounds the queue for the cooperative
+	// producer paths (TryEnqueue/EnqueueBlock). Enqueue itself never
+	// blocks or fails: it is the raw insertion path (re-deliveries, the
+	// fault injector playing the attacker), and an attacker does not
+	// honor backpressure. The bound is therefore a protocol contract,
+	// not a memory guarantee — and because Len is a racy difference of
+	// counters, the bound is approximate by up to the number of
+	// concurrent producers.
+	capacity int64
+
+	enqueues  atomic.Int64
+	dequeues  atomic.Int64
+	parks     atomic.Int64
+	fullWaits atomic.Int64
 }
 
-// New creates an empty queue.
+// New creates an empty, unbounded queue.
 func New[T any]() *Queue[T] {
 	q := &Queue[T]{}
 	sentinel := &node[T]{}
 	q.head.Store(sentinel)
 	q.tail.Store(sentinel)
+	return q
+}
+
+// NewBounded creates a queue whose cooperative producers (TryEnqueue,
+// EnqueueBlock) respect a capacity; cap < 1 means unbounded.
+func NewBounded[T any](capacity int) *Queue[T] {
+	q := New[T]()
+	if capacity > 0 {
+		q.capacity = int64(capacity)
+	}
 	return q
 }
 
@@ -63,6 +84,46 @@ func (q *Queue[T]) Enqueue(v T) {
 	}
 }
 
+// TryEnqueue appends v unless the queue is bounded and at capacity, in
+// which case it reports false without enqueueing. On an unbounded queue it
+// always succeeds.
+func (q *Queue[T]) TryEnqueue(v T) bool {
+	if q.capacity > 0 && q.Len() >= q.capacity {
+		return false
+	}
+	q.Enqueue(v)
+	return true
+}
+
+// EnqueueBlock appends v, waiting (spin → yield → parked sleep, the same
+// backoff schedule as DequeueBlock) while a bounded queue is at capacity.
+// This is the backpressure edge: a producer feeding a saturated consumer
+// slows down to the consumer's pace instead of growing the queue.
+func (q *Queue[T]) EnqueueBlock(v T) {
+	if q.TryEnqueue(v) {
+		return
+	}
+	q.fullWaits.Add(1)
+	sleep := sleepStart
+	for i := 0; ; i++ {
+		switch {
+		case i < spinIters:
+			// hot spin
+		case i < spinIters+yieldIters:
+			runtime.Gosched()
+		default:
+			q.parks.Add(1)
+			time.Sleep(sleep)
+			if sleep < sleepCap {
+				sleep *= 2
+			}
+		}
+		if q.TryEnqueue(v) {
+			return
+		}
+	}
+}
+
 // Dequeue removes and returns the front element, reporting false when the
 // queue is empty.
 func (q *Queue[T]) Dequeue() (T, bool) {
@@ -82,10 +143,13 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
-		v := next.val
 		if q.head.CompareAndSwap(head, next) {
-			q.dequeues.Add(1)
+			// Only the CAS winner may touch val: a pre-CAS read would race
+			// with the winner's zeroing write on a contended node (losers
+			// discard the value, but the unordered access pair is real).
+			v := next.val
 			next.val = zero // drop the reference for the GC
+			q.dequeues.Add(1)
 			return v, true
 		}
 	}
@@ -164,3 +228,13 @@ func (q *Queue[T]) Stats() (enqueues, dequeues int64) {
 // Parks counts how many times a blocking dequeue slept instead of spinning
 // — the observable difference between a parked idle worker and a hot one.
 func (q *Queue[T]) Parks() int64 { return q.parks.Load() }
+
+// Depth is the queue-depth gauge (an alias of Len, named for metrics).
+func (q *Queue[T]) Depth() int64 { return q.Len() }
+
+// Capacity returns the cooperative bound (0 = unbounded).
+func (q *Queue[T]) Capacity() int64 { return q.capacity }
+
+// FullWaits counts how many EnqueueBlock calls found the queue at capacity
+// and had to wait — the backpressure events seen by producers.
+func (q *Queue[T]) FullWaits() int64 { return q.fullWaits.Load() }

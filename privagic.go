@@ -200,6 +200,14 @@ type SupervisionOptions struct {
 	// Watchdog starts a supervisor goroutine reporting which tag/join a
 	// stuck worker is blocked on (see SupervisionStats().Stalls).
 	Watchdog bool
+	// QueueCapacity bounds every runtime worker queue (0 = unbounded).
+	// Full queues make producers wait — end-to-end backpressure — and
+	// surface through Saturated for admission control at the edge.
+	QueueCapacity int
+	// RestartStuck lets the watchdog escalate a stalled enclave worker
+	// into a restart: tear down, fresh epoch, replay of in-flight spawns
+	// (needs Watchdog and EnableRecovery).
+	RestartStuck bool
 }
 
 // EnableSupervision turns on timeouts, the watchdog, and the cont-tag
@@ -207,7 +215,64 @@ type SupervisionOptions struct {
 // before the first Call.
 func (i *Instance) EnableSupervision(o SupervisionOptions) {
 	i.ip.EnableContValidation()
-	i.ip.EnableSupervision(prt.Supervision{WaitTimeout: o.WaitTimeout, Watchdog: o.Watchdog})
+	i.ip.EnableSupervision(prt.Supervision{
+		WaitTimeout: o.WaitTimeout, Watchdog: o.Watchdog,
+		QueueCapacity: o.QueueCapacity, RestartStuck: o.RestartStuck,
+	})
+}
+
+// RecoveryOptions configures bounded restart/replay of crashed chunks.
+type RecoveryOptions struct {
+	// MaxAttempts is the per-spawn replay budget: a chunk that aborts is
+	// re-executed from its journaled arguments up to this many times
+	// before the original typed error surfaces from Call. 0 disables
+	// recovery.
+	MaxAttempts int
+	// Backoff is the delay before the first replay (default 100µs),
+	// doubling per replay up to MaxBackoff (default 2ms), randomized by
+	// ±Jitter (default 0.2) to decorrelate mass failures.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	Jitter     float64
+}
+
+// EnableRecovery turns crashed chunks from surfaced errors into replayed
+// work: spawns are journaled, a chunk's visible effects (memory writes,
+// output) buffer until it completes, and a poisoned completion replays
+// the spawn with backoff instead of reaching the caller — until the
+// attempt budget runs out. Combine with EnableSupervision (the timeout
+// converts a wedged worker into an error recovery can act on) and, for
+// stuck-worker restarts, SupervisionOptions.RestartStuck. Call before
+// the first Call.
+func (i *Instance) EnableRecovery(o RecoveryOptions) {
+	i.ip.EnableRecovery(prt.RecoveryPolicy{
+		MaxAttempts: o.MaxAttempts,
+		Backoff:     o.Backoff, MaxBackoff: o.MaxBackoff, Jitter: o.Jitter,
+	})
+}
+
+// RecoveryStats merges the runtime's restart/replay counters with the
+// interpreter's effect-transaction counters. After a quiescent fully
+// recovered workload, Commits == SpawnsJournaled and Giveups == 0 — the
+// exactly-once invariant.
+type RecoveryStats struct {
+	prt.RecoveryStats
+	// EffectCommits counts chunk effect transactions applied;
+	// EffectDiscards counts crashed attempts whose buffered effects were
+	// dropped (each discard is a write set that would have been
+	// double-applied without buffering).
+	EffectCommits  int64
+	EffectDiscards int64
+}
+
+// RecoveryStats snapshots the recovery layer.
+func (i *Instance) RecoveryStats() RecoveryStats {
+	commits, discards := i.ip.EffectStats()
+	return RecoveryStats{
+		RecoveryStats:  i.ip.RT.RecoveryStats(),
+		EffectCommits:  commits,
+		EffectDiscards: discards,
+	}
 }
 
 // SupervisionStats snapshots the runtime's robustness counters: hostile
@@ -237,8 +302,16 @@ type FaultOptions struct {
 	Delay     float64
 	Reorder   float64
 	Forge     float64
-	// Crash makes a spawned chunk panic mid-run (the simulated AEX).
-	Crash float64
+	// Crash makes a spawned chunk panic at entry (the simulated AEX);
+	// CrashMid is the per-store probability of a panic in the middle of
+	// the chunk's body, after some writes were issued — the case that
+	// needs the recovery layer's effect buffering to replay cleanly.
+	Crash    float64
+	CrashMid float64
+	// MaxCrashes caps total injected crashes, entry and mid-run combined
+	// (0 = unlimited). At or below the recovery attempt budget, every
+	// request deterministically recovers.
+	MaxCrashes int
 	// Retransmit re-delivers dropped messages after RetransmitAfter
 	// (default 2ms), charging the cost model's Retransmit cycles: the
 	// supervised transport's answer to lossy queues.
@@ -258,8 +331,14 @@ func (i *Instance) EnableFaultInjection(o FaultOptions) {
 		Seed: o.Seed,
 		Drop: o.Drop, Duplicate: o.Duplicate, Delay: o.Delay,
 		Reorder: o.Reorder, Forge: o.Forge, Crash: o.Crash,
+		CrashMid: o.CrashMid, MaxCrashes: o.MaxCrashes,
 		Retransmit: o.Retransmit, RetransmitAfter: o.RetransmitAfter,
 	})
+	if o.CrashMid > 0 {
+		i.ip.SetCrashPoint(i.inj.CrashPoint)
+	} else {
+		i.ip.SetCrashPoint(nil)
+	}
 }
 
 // FaultStats snapshots the injector's counters (zero value when fault
