@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 soak tier3-soak fuzz bench fmt
+.PHONY: tier1 tier2 soak tier3-soak tier3-iago fuzz bench fmt
 
 tier1:
 	$(GO) build ./...
@@ -25,7 +25,17 @@ tier3-soak:
 	$(GO) test -count=1 -run 'TestSoakRecovery' -v -timeout 30m ./internal/faults
 	$(GO) run ./cmd/privagic-bench -exp recovery
 
-# 60-second coverage-guided smoke of the memcached protocol fuzzer.
+# Tier-3: the Iago boundary-defense acceptance soak (1000+ seeded
+# U-memory mutator schedules: hardened mode must return the exact answer
+# or a typed violation — never silent corruption — and the relaxed
+# negative control must detect nothing) plus the boundary ablation.
+tier3-iago:
+	$(GO) test -count=1 -run 'TestSoakIago|TestIagoRelaxed' -v -timeout 30m ./internal/faults
+	$(GO) run ./cmd/privagic-bench -exp iago
+
+# 60-second coverage-guided smoke of the memcached protocol fuzzer,
+# starting from the checked-in corpus in
+# internal/memcached/testdata/fuzz/FuzzProtocol.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProtocol -fuzztime 60s ./internal/memcached
 

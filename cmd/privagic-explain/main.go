@@ -2,11 +2,14 @@
 // a program: the colors of every specialized function's instructions, the
 // color sets, the call plans, and any diagnostics — the view a developer
 // uses to understand why a line was placed in (or rejected from) an
-// enclave.
+// enclave. Every load in the listing carries its boundary classification
+// (trusted S-load vs U-load the runtime defense snapshots and sanitizes),
+// and -audit runs the entries under the full boundary defense to report
+// which crossings the defense actually covered.
 //
 // Usage:
 //
-//	privagic-explain [-mode hardened|relaxed] [-entries main] file.c
+//	privagic-explain [-mode hardened|relaxed] [-entries main] [-audit] file.c
 package main
 
 import (
@@ -27,6 +30,7 @@ func main() {
 func run() int {
 	mode := flag.String("mode", "hardened", "compiler mode")
 	entries := flag.String("entries", "", "comma-separated entry points")
+	audit := flag.Bool("audit", false, "run the entries under the full boundary defense and report per-load classification")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: privagic-explain [flags] file.c")
@@ -73,7 +77,7 @@ func run() int {
 				if c.IsFree() || c == ir.None {
 					label = "F (replicated)"
 				}
-				fmt.Printf("    [%-14s] %s\n", label, in)
+				fmt.Printf("    [%-14s] %s%s\n", label, in, loadClass(in))
 			}
 		}
 		fmt.Println()
@@ -87,5 +91,68 @@ func run() int {
 		return 1
 	}
 	fmt.Println("no secure-typing violations")
+
+	if *audit {
+		if len(opts.Entries) == 0 {
+			fmt.Fprintln(os.Stderr, "privagic-explain: -audit needs -entries to know what to run")
+			return 2
+		}
+		if rc := runAudit(flag.Arg(0), string(src), opts); rc != 0 {
+			return rc
+		}
+	}
+	return 0
+}
+
+// loadClass annotates a load instruction with its boundary classification:
+// a load through an enclave-colored pointer is served from that enclave's
+// private memory (trusted, no defense needed), while a load through a
+// Free/U pointer is the crossing the runtime boundary defense snapshots
+// and sanitizes when it executes inside an enclave chunk.
+func loadClass(in ir.Instr) string {
+	ld, ok := in.(*ir.Load)
+	if !ok {
+		return ""
+	}
+	pt, ok := ld.Ptr.Type().(ir.PointerType)
+	if !ok {
+		return ""
+	}
+	if pt.Color.IsFree() || pt.Color == ir.None {
+		return "   ; U-load: snapshotted+sanitized at the boundary"
+	}
+	return fmt.Sprintf("   ; S-load: trusted (%s-private)", pt.Color)
+}
+
+// runAudit executes every entry under the full boundary defense and
+// prints what the defense saw: how each load was classified and how many
+// crossings each layer covered.
+func runAudit(file, src string, opts privagic.Options) int {
+	prog, err := privagic.Compile(file, src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, entry := range opts.Entries {
+		inst := prog.Instantiate(nil)
+		inst.EnableBoundaryDefense(privagic.FullBoundaryDefense())
+		ret, err := inst.Call(entry)
+		bs := inst.BoundaryStats()
+		inst.Close()
+		fmt.Printf("\nboundary audit — entry %s under the full defense", entry)
+		if err != nil {
+			fmt.Printf(" (failed: %v)\n", err)
+		} else {
+			fmt.Printf(" (ret %d)\n", ret)
+		}
+		fmt.Println("  per-load classification:")
+		fmt.Printf("    %-20s %8d   %s\n", "trusted S-loads", bs.TrustedLoads, "enclave-private memory; no defense needed")
+		fmt.Printf("    %-20s %8d   %s\n", "snapshot copy-ins", bs.SnapshotCopyIns, "U words copied into the enclave at first read")
+		fmt.Printf("    %-20s %8d   %s\n", "snapshot-served", bs.SnapshotServed, "repeated U reads served from the private copy")
+		fmt.Printf("    %-20s %8d   %s\n", "unsafe U loads", bs.UnsafeLoads, "U loads outside snapshot coverage")
+		fmt.Printf("    %-20s %8d   %s\n", "pointer checks", bs.SanitizeChecks, "U-sourced addresses validated against the map")
+		fmt.Printf("    %-20s %8d   %s\n", "rejected", bs.Violations, "typed ErrIagoViolation raised")
+		fmt.Printf("  payload-tag rejections: %d\n", bs.PayloadTampered)
+	}
 	return 0
 }

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"privagic"
+	"privagic/internal/sources"
+)
+
+// The Iago ablation measures what the runtime boundary defense (copy-in
+// snapshots, pointer sanitization, payload integrity tags — the §4 Iago
+// attacker's countermeasures) costs when nothing attacks and what it buys
+// when the U-memory mutator does: every hardened run must end in the
+// exact answer or a typed error, while the relaxed control row shows the
+// same adversary corrupting an undefended instance without tripping a
+// single detector. Two workloads bracket the attack surface: the figure-6
+// walkthrough (no enclave pointers resident in U) and the memcached core
+// (split-struct chains parked in U memory — the pointer smasher's target).
+
+// iagoFigure6Src is the paper's Figure 6 walkthrough: entry main returns
+// 42 after the cross-enclave g(21) protocol.
+const iagoFigure6Src = `
+int color(U) unsafe = 0;
+int color(blue) blue = 10;
+int color(red) red = 0;
+
+void g(int n) {
+	blue = n;
+	red = n;
+	printf("Hello\n");
+}
+int f(int y) {
+	g(21);
+	return 42;
+}
+entry int main() {
+	unsafe = 1;
+	int x = f(blue);
+	return x;
+}
+`
+
+// IagoConfig parameterizes the ablation.
+type IagoConfig struct {
+	// Schedules is the number of runs per row (seeded mutator schedules
+	// for the attacked rows, repeated timings for the fault-free rows).
+	Schedules int
+	// WaitTimeout is the supervision inactivity window for attacked rows
+	// (a rejected payload starves its wait; the timeout types the loss).
+	WaitTimeout time.Duration
+}
+
+// DefaultIago returns the standard ablation setup.
+func DefaultIago() IagoConfig {
+	return IagoConfig{Schedules: 20, WaitTimeout: 15 * time.Millisecond}
+}
+
+// IagoRow is one (workload, scenario) aggregate outcome.
+type IagoRow struct {
+	Workload string
+	Scenario string
+	Runs     int
+	Correct  int // exact fault-free answer
+	Detected int // typed ErrIagoViolation failures
+	Timeouts int // typed ErrWaitTimeout failures (rejected message starved a wait)
+	Aborts   int // typed ErrEnclaveAbort / ErrStopped failures
+	Wrong    int // silent corruption or untyped failure: must stay 0 when hardened
+
+	Mutations       int64 // corruptions the adversary injected
+	PointerRejected int64 // U-sourced addresses refused by the sanitizer
+	PayloadRejected int64 // tampered messages refused at the admit gate
+	SnapshotCopyIns int64 // U words copied into enclave-private snapshots
+	AvgWallMicros   float64
+	// OverheadPct is the fault-free defense cost relative to the
+	// workload's baseline row (only set on the hardened fault-free row).
+	OverheadPct float64
+}
+
+// IagoReport holds the ablation table.
+type IagoReport struct {
+	Config IagoConfig
+	Rows   []IagoRow
+}
+
+// iagoMutator derives a jittered everything-at-once mutator schedule from
+// the seed (the same class the soak's seed%4==3 arm runs).
+func iagoMutator(seed int64) privagic.MutatorOptions {
+	r := rand.New(rand.NewSource(seed * 6151))
+	return privagic.MutatorOptions{
+		Seed:          seed,
+		FlipAfterRead: 0.03 + 0.12*r.Float64(),
+		SmashPointers: 0.01 + 0.06*r.Float64(),
+		MutatePayload: 0.01 + 0.06*r.Float64(),
+	}
+}
+
+// minMicros returns the fastest sampled wall time in microseconds. The
+// minimum, not the mean or median, is what the overhead ratio wants:
+// scheduler preemption and GC pauses only ever add time, so the fastest
+// run of a sweep is the closest observable to the workload's true cost.
+func minMicros(walls []time.Duration) float64 {
+	if len(walls) == 0 {
+		return 0
+	}
+	min := walls[0]
+	for _, d := range walls[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return float64(min.Nanoseconds()) / 1e3
+}
+
+// iagoScenario describes one table row's defense/attack regime.
+type iagoScenario struct {
+	name     string
+	defense  bool
+	attacked bool
+}
+
+// iagoWorkload is one program under test.
+type iagoWorkload struct {
+	name  string
+	file  string
+	src   string
+	entry string
+}
+
+// Iago runs the ablation.
+func Iago(cfg IagoConfig) (*IagoReport, error) {
+	if cfg.Schedules < 1 {
+		cfg.Schedules = 1
+	}
+	rep := &IagoReport{Config: cfg}
+	workloads := []iagoWorkload{
+		{name: "figure6", file: "figure6.c", src: iagoFigure6Src, entry: "main"},
+		{name: "memcached", file: "memcached_core.c", src: sources.MemcachedCoreColored, entry: "run_ycsb"},
+	}
+	scenarios := []iagoScenario{
+		{name: "baseline (no defense)"},
+		{name: "hardened, fault-free", defense: true},
+		{name: "hardened + mutator", defense: true, attacked: true},
+		{name: "relaxed + mutator", attacked: true},
+	}
+	for _, wl := range workloads {
+		prog, err := privagic.Compile(wl.file, wl.src, privagic.Options{
+			Mode: privagic.Relaxed, Entries: []string{wl.entry},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: compile %s: %w", wl.name, err)
+		}
+		// Ground truth: one clean, undefended run.
+		clean := prog.Instantiate(nil)
+		want, err := clean.Call(wl.entry)
+		clean.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: clean %s baseline failed: %w", wl.name, err)
+		}
+		var baseWall float64
+		for _, sc := range scenarios {
+			row := IagoRow{Workload: wl.name, Scenario: sc.name, Runs: cfg.Schedules}
+			if !sc.attacked {
+				// The fault-free rows feed the overhead figure, so give
+				// them a couple of untimed warmup runs: the first calls
+				// after a compile pay one-time costs (allocator growth,
+				// cold caches) that would otherwise land entirely on
+				// whichever row happens to run first.
+				for i := 0; i < 2; i++ {
+					inst := prog.Instantiate(nil)
+					if sc.defense {
+						inst.EnableBoundaryDefense(privagic.FullBoundaryDefense())
+					}
+					inst.Call(wl.entry)
+					inst.Close()
+				}
+			}
+			var wall time.Duration
+			walls := make([]time.Duration, 0, cfg.Schedules)
+			for seed := int64(1); seed <= int64(cfg.Schedules); seed++ {
+				inst := prog.Instantiate(nil)
+				inst.EnableSpawnValidation()
+				if sc.defense {
+					inst.EnableBoundaryDefense(privagic.FullBoundaryDefense())
+				}
+				if sc.attacked {
+					inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: cfg.WaitTimeout})
+					inst.EnableMutator(iagoMutator(seed))
+				}
+				start := time.Now()
+				ret, err := inst.Call(wl.entry)
+				d := time.Since(start)
+				wall += d
+				walls = append(walls, d)
+				switch {
+				case err == nil && ret == want:
+					row.Correct++
+				case errors.Is(err, privagic.ErrIagoViolation):
+					row.Detected++
+				case errors.Is(err, privagic.ErrWaitTimeout):
+					row.Timeouts++
+				case errors.Is(err, privagic.ErrEnclaveAbort), errors.Is(err, privagic.ErrStopped):
+					row.Aborts++
+				default:
+					row.Wrong++
+				}
+				bs := inst.BoundaryStats()
+				row.PointerRejected += bs.Violations
+				row.PayloadRejected += bs.PayloadTampered
+				row.SnapshotCopyIns += bs.SnapshotCopyIns
+				row.Mutations += inst.MutatorStats().Total()
+				inst.Close()
+			}
+			row.AvgWallMicros = float64(wall.Microseconds()) / float64(cfg.Schedules)
+			best := minMicros(walls)
+			switch {
+			case !sc.defense && !sc.attacked:
+				baseWall = best
+			case sc.defense && !sc.attacked && baseWall > 0:
+				row.OverheadPct = 100 * (best - baseWall) / baseWall
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// String renders the ablation table.
+func (r *IagoReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Iago boundary-defense ablation — %d runs/row, window %v\n",
+		r.Config.Schedules, r.Config.WaitTimeout)
+	fmt.Fprintf(&b, "%-10s %-24s %8s %9s %9s %7s %6s %6s %8s %8s %8s %11s %9s\n",
+		"workload", "scenario", "correct", "detected", "timeouts", "aborts", "wrong",
+		"muts", "ptr-rej", "pay-rej", "copy-in", "avg-us/run", "overhead")
+	for _, row := range r.Rows {
+		over := ""
+		if row.OverheadPct != 0 {
+			over = fmt.Sprintf("%+.1f%%", row.OverheadPct)
+		}
+		fmt.Fprintf(&b, "%-10s %-24s %8d %9d %9d %7d %6d %6d %8d %8d %8d %11.0f %9s\n",
+			row.Workload, row.Scenario, row.Correct, row.Detected, row.Timeouts,
+			row.Aborts, row.Wrong, row.Mutations, row.PointerRejected,
+			row.PayloadRejected, row.SnapshotCopyIns, row.AvgWallMicros, over)
+	}
+	b.WriteString("hardened rows must keep wrong at 0; the relaxed control must keep detections at 0\n")
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"privagic"
+)
+
+// TestFaultCountersUniform pins the uniform counter surface: both fault
+// classes (message injector, memory mutator) export name -> count maps
+// through faults.CounterSource, and the facade aggregates them with
+// per-class prefixes that agree with the typed stats. The two adversaries
+// are exercised on separate instances — each claims the runtime's
+// message interceptor, so the last one enabled would own the queues.
+func TestFaultCountersUniform(t *testing.T) {
+	prog, err := privagic.Compile("figure6.c", figure6Src, privagic.Options{
+		Mode: privagic.Relaxed, Entries: []string{"main"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := prog.Instantiate(nil)
+	defer inj.Close()
+	inj.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: 100 * time.Millisecond})
+	inj.EnableFaultInjection(privagic.FaultOptions{Seed: 3, Duplicate: 0.2})
+	inj.Call("main")
+	got := inj.FaultCounters()
+	for _, key := range []string{
+		"inject.delivered", "inject.dropped", "inject.duplicated",
+		"inject.reordered", "inject.forged", "inject.crashes",
+	} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("FaultCounters missing %q (got %v)", key, got)
+		}
+	}
+	if fs := inj.FaultStats(); got["inject.duplicated"] != fs.Duplicated {
+		t.Errorf("inject.duplicated = %d, want %d", got["inject.duplicated"], fs.Duplicated)
+	}
+	if got["inject.delivered"] == 0 {
+		t.Error("injector saw no traffic; the run exercised nothing")
+	}
+
+	// The flip seam triggers on enclave reads of U memory, which figure6
+	// never performs — the two-color hashmap's split-struct bodies give
+	// the mutator real targets.
+	hm := compileHashmap2(t)
+	mut := hm.Instantiate(nil)
+	defer mut.Close()
+	mut.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: 100 * time.Millisecond})
+	mut.EnableBoundaryDefense(privagic.FullBoundaryDefense())
+	mut.EnableMutator(privagic.MutatorOptions{Seed: 3, FlipAfterRead: 0.5})
+	mut.Call("run_ycsb")
+	got = mut.FaultCounters()
+	for _, key := range []string{
+		"mutate.flips", "mutate.smashes", "mutate.payload_mutations", "mutate.restores",
+	} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("FaultCounters missing %q (got %v)", key, got)
+		}
+	}
+	if ms := mut.MutatorStats(); got["mutate.flips"] != ms.Flips {
+		t.Errorf("mutate.flips = %d, want %d", got["mutate.flips"], ms.Flips)
+	}
+	if got["mutate.flips"] == 0 {
+		t.Error("mutator flipped nothing at probability 0.5; the run exercised nothing")
+	}
+
+	// An instance with no adversary enabled reports an empty map, not nil
+	// panics or stale counters.
+	plain := prog.Instantiate(nil)
+	defer plain.Close()
+	if n := len(plain.FaultCounters()); n != 0 {
+		t.Errorf("undisturbed instance reports %d counters, want 0", n)
+	}
+}

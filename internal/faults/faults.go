@@ -371,6 +371,24 @@ func (s Stats) Total() int64 {
 	return s.Dropped + s.Duplicated + s.Delayed + s.Reordered + s.Forged + s.Crashes
 }
 
+// Counters exposes the injector's counters in the uniform name -> count
+// form shared by every fault class (the Mutator exports the same shape),
+// so harnesses can aggregate and print fault activity without knowing
+// which adversary produced it.
+func (in *Injector) Counters() map[string]int64 {
+	s := in.Stats()
+	return map[string]int64{
+		"delivered":     s.Delivered,
+		"dropped":       s.Dropped,
+		"duplicated":    s.Duplicated,
+		"delayed":       s.Delayed,
+		"reordered":     s.Reordered,
+		"forged":        s.Forged,
+		"crashes":       s.Crashes,
+		"retransmitted": s.Retransmitted,
+	}
+}
+
 // Close detaches the injector from the runtime, stops the flusher, and
 // releases any still-held messages so no delivery is silently lost at
 // teardown.

@@ -1,0 +1,107 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privagic"
+	"privagic/internal/sources"
+)
+
+// compileHashmap2 compiles the two-color hashmap — the workload whose
+// split-struct bodies park enclave pointers in U memory, which is exactly
+// the surface a pointer-smashing Iago attacker aims at.
+func compileHashmap2(t *testing.T) *privagic.Program {
+	t.Helper()
+	prog, err := privagic.Compile("hashmap2.c", sources.HashmapColored2, privagic.Options{
+		Mode: privagic.Relaxed, Entries: []string{"run_ycsb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestIagoSmashDetected pins the sanitizer in isolation: with snapshots
+// disarmed (so the smashed slot is actually re-read from backing memory)
+// and the mutator smashing every eligible pointer slot, the run must end
+// in a typed ErrIagoViolation — never garbage, never a host crash.
+func TestIagoSmashDetected(t *testing.T) {
+	prog := compileHashmap2(t)
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: 100 * time.Millisecond})
+	inst.EnableBoundaryDefense(privagic.BoundaryDefenseOptions{SanitizePointers: true})
+	inst.EnableMutator(privagic.MutatorOptions{Seed: 1, SmashPointers: 1.0})
+
+	type result struct {
+		ret int64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ret, err := inst.Call("run_ycsb")
+		done <- result{ret, err}
+	}()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("deadlock under smashing mutator (mutator: %+v, boundary: %+v)",
+			inst.MutatorStats(), inst.BoundaryStats())
+	}
+	ms, bs := inst.MutatorStats(), inst.BoundaryStats()
+	if ms.Smashes == 0 {
+		t.Fatal("mutator found no pointer slot to smash; the test exercised nothing")
+	}
+	if !errors.Is(res.err, privagic.ErrIagoViolation) {
+		t.Fatalf("Call = %d, %v; want ErrIagoViolation (mutator: %+v, boundary: %+v)",
+			res.ret, res.err, ms, bs)
+	}
+	if bs.Violations == 0 {
+		t.Errorf("violation surfaced but Violations counter = 0 (boundary: %+v)", bs)
+	}
+}
+
+// TestIagoSmashUndetectedWithoutDefense is the negative control: the same
+// smashing adversary against a relaxed (undefended) instance corrupts
+// freely and nothing is detected — no typed violation, zero detection
+// counters. The host process itself must survive (the simulated machine
+// zero-fills out-of-range loads instead of faulting the test binary).
+func TestIagoSmashUndetectedWithoutDefense(t *testing.T) {
+	prog := compileHashmap2(t)
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: 100 * time.Millisecond})
+	inst.EnableMutator(privagic.MutatorOptions{Seed: 1, SmashPointers: 1.0})
+
+	type result struct {
+		ret int64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ret, err := inst.Call("run_ycsb")
+		done <- result{ret, err}
+	}()
+	returned := false
+	var res result
+	select {
+	case res = <-done:
+		returned = true
+	case <-time.After(5 * time.Second):
+		// A wedged undefended run is itself a fair outcome of chasing
+		// smashed pointers; the assertions below only need the counters.
+	}
+	ms, bs := inst.MutatorStats(), inst.BoundaryStats()
+	if ms.Smashes == 0 {
+		t.Fatal("mutator found no pointer slot to smash; the control proved nothing")
+	}
+	if bs.Violations != 0 || bs.PayloadTampered != 0 {
+		t.Fatalf("undefended run detected something: %+v", bs)
+	}
+	if returned && errors.Is(res.err, privagic.ErrIagoViolation) {
+		t.Fatalf("undefended run surfaced ErrIagoViolation: %v", res.err)
+	}
+}

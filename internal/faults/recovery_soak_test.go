@@ -26,6 +26,14 @@ import (
 // crash lands on the same spawn, its attempts never exhaust.
 const recoveryBudget = 3
 
+// recoveryWaitTimeout bounds runtime waits during the recovery soak.
+// Crash-only schedules never lose a message, so unlike the supervision
+// soak's tight budget (where a timeout is an *expected* outcome of a
+// dropped cont) this timeout is purely a lost-wakeup guard: it must sit
+// well above scheduler noise — delays past 100ms have been observed on
+// loaded CI machines — or benign preemption reads as a recovery failure.
+const recoveryWaitTimeout = 250 * time.Millisecond
+
 // recoveryFaultsFor derives a crash-only schedule from the seed: entry
 // crashes, mid-run crashes (the case that needs effect buffering), or a mix.
 func recoveryFaultsFor(seed int64) privagic.FaultOptions {
@@ -56,7 +64,7 @@ func runRecoverySchedule(t *testing.T, prog *privagic.Program, entry string, see
 	inst := prog.Instantiate(nil)
 	defer inst.Close()
 	inst.EnableSpawnValidation()
-	inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: soakWaitTimeout})
+	inst.EnableSupervision(privagic.SupervisionOptions{WaitTimeout: recoveryWaitTimeout})
 	inst.EnableRecovery(privagic.RecoveryOptions{MaxAttempts: recoveryBudget})
 	inst.EnableFaultInjection(recoveryFaultsFor(seed))
 
@@ -119,7 +127,7 @@ func TestSoakRecoveryFigure6(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := soakCount(faults.SoakRecoveryFigure6Schedules, testing.Short())
+	n := soakCount(faults.Schedules().RecoveryFigure6, testing.Short())
 	var tot recoveryTotals
 	for seed := int64(1); seed <= int64(n); seed++ {
 		runRecoverySchedule(t, prog, "main", seed, func(ret int64, inst *privagic.Instance) string {
@@ -158,7 +166,7 @@ func TestSoakRecoveryTwoColorHashmap(t *testing.T) {
 	if want <= 0 {
 		t.Fatalf("clean run returned %d hits; workload is degenerate", want)
 	}
-	n := soakCount(faults.SoakRecoveryTwoColorSchedules, testing.Short())
+	n := soakCount(faults.Schedules().RecoveryTwoColor, testing.Short())
 	var tot recoveryTotals
 	for seed := int64(1); seed <= int64(n); seed++ {
 		runRecoverySchedule(t, prog, "run_ycsb", seed, func(ret int64, _ *privagic.Instance) string {

@@ -1,17 +1,40 @@
-//go:build !race
-
 package faults
 
-// Soak schedule counts (see soak_test.go). The race-enabled build shrinks
-// them so `go test -race` stays in CI budget while still exercising every
-// fault class under the race detector.
-const (
-	SoakFigure6Schedules  = 700
-	SoakTwoColorSchedules = 320
+// SoakBudget is the schedule count of each tier-3 soak sweep. The values
+// live in one build-tagged variable (soak_counts_full.go /
+// soak_counts_race.go): the race-enabled build shrinks every sweep so
+// `go test -race` stays in CI budget while still exercising every fault
+// class under the detector. Tests read the counts through Schedules() so
+// the tag selection happens in exactly one place.
+type SoakBudget struct {
+	// Supervision soak (soak_test.go): message-level faults, every run
+	// must end in the correct answer or a typed error.
+	Figure6  int
+	TwoColor int
 
-	// Recovery soak (recovery_soak_test.go): every schedule injects
-	// crashes capped at the replay budget and must fully recover. The two
-	// sweeps together clear the 1000-schedule acceptance floor.
-	SoakRecoveryFigure6Schedules  = 700
-	SoakRecoveryTwoColorSchedules = 320
+	// Recovery soak (recovery_soak_test.go): injected crashes capped at
+	// the replay budget, every run must fully recover.
+	RecoveryFigure6  int
+	RecoveryTwoColor int
+
+	// Iago soak (iago_soak_test.go): the U-memory mutator adversary,
+	// hardened mode must return the exact answer or a typed violation.
+	IagoFigure6  int
+	IagoTwoColor int
+}
+
+// Schedules returns the build's soak schedule counts.
+func Schedules() SoakBudget { return soakBudget }
+
+// CounterSource is the uniform counter surface every fault class
+// exports: adversary activity as name -> count, so harnesses can
+// aggregate and print what an attack did without knowing which
+// adversary produced it.
+type CounterSource interface {
+	Counters() map[string]int64
+}
+
+var (
+	_ CounterSource = (*Injector)(nil)
+	_ CounterSource = (*Mutator)(nil)
 )

@@ -1,0 +1,16 @@
+//go:build !race
+
+package faults
+
+// Full soak sweeps (race-free build). Each pair of sweeps clears the
+// 1000-schedule acceptance floor of its soak on its own: 700 + 320.
+var soakBudget = SoakBudget{
+	Figure6:  700,
+	TwoColor: 320,
+
+	RecoveryFigure6:  700,
+	RecoveryTwoColor: 320,
+
+	IagoFigure6:  700,
+	IagoTwoColor: 320,
+}

@@ -2,14 +2,17 @@
 
 package faults
 
-// Reduced soak schedule counts for `go test -race`: the detector slows
-// every queue operation by an order of magnitude, so the full 1000+
-// schedules would dominate CI. The reduced sweep still covers all four
-// fault classes (retransmit, permanent loss, crash, clean-but-noisy).
-const (
-	SoakFigure6Schedules  = 80
-	SoakTwoColorSchedules = 24
+// Reduced sweeps for `go test -race`: the detector slows every queue
+// operation by an order of magnitude, so the full 1000+ schedules per
+// soak would dominate CI. Each reduced sweep still covers all of its
+// fault classes under the detector.
+var soakBudget = SoakBudget{
+	Figure6:  80,
+	TwoColor: 24,
 
-	SoakRecoveryFigure6Schedules  = 60
-	SoakRecoveryTwoColorSchedules = 20
-)
+	RecoveryFigure6:  60,
+	RecoveryTwoColor: 20,
+
+	IagoFigure6:  60,
+	IagoTwoColor: 20,
+}

@@ -147,7 +147,7 @@ func TestSoakFigure6(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := soakCount(faults.SoakFigure6Schedules, testing.Short())
+	n := soakCount(faults.Schedules().Figure6, testing.Short())
 	var out soakOutcome
 	for seed := int64(1); seed <= int64(n); seed++ {
 		runSchedule(t, prog, "main", seed, func(ret int64, inst *privagic.Instance) string {
@@ -187,7 +187,7 @@ func TestSoakTwoColorHashmap(t *testing.T) {
 	if want <= 0 {
 		t.Fatalf("clean run returned %d hits; workload is degenerate", want)
 	}
-	n := soakCount(faults.SoakTwoColorSchedules, testing.Short())
+	n := soakCount(faults.Schedules().TwoColor, testing.Short())
 	var out soakOutcome
 	for seed := int64(1); seed <= int64(n); seed++ {
 		runSchedule(t, prog, "run_ycsb", seed, func(ret int64, _ *privagic.Instance) string {

@@ -55,6 +55,10 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 			// this chunk; execChunk/Call surface the typed error.
 			panic(runtimeErr{err})
 		}
+		// A satisfied wait ends the barrier interval: drop the copy-in
+		// snapshot so the interval that starts now re-copies each U word
+		// (a peer's writes behind the barrier must become observable).
+		ip.snapBarrier(w)
 		if v, ok := p.(val); ok {
 			return v
 		}
@@ -64,6 +68,7 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 		if err != nil {
 			panic(runtimeErr{err})
 		}
+		ip.snapBarrier(w)
 		if v, ok := p.(val); ok {
 			return v
 		}

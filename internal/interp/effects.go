@@ -82,7 +82,16 @@ func (ip *Interp) commitTx(tx *effectTx) {
 	for _, rec := range tx.redo {
 		rid, off := sgx.DecodePtr(rec.addr)
 		if r := ip.RT.Space.Region(rid); r != nil {
-			r.Store(off, tx.arena[rec.off:rec.off+rec.n])
+			// Commits into unsafe memory go through the observer guard:
+			// a mutator holding a pending corruption of these words must
+			// resolve it before the committed bytes land, or a later
+			// restore would clobber them.
+			data := tx.arena[rec.off : rec.off+rec.n]
+			if ip.bobs == nil {
+				r.Store(off, data)
+			} else {
+				ip.guardedBackingStore(rec.addr, rec.n, func() { r.Store(off, data) })
+			}
 		}
 	}
 	if len(tx.out) > 0 {
@@ -125,11 +134,25 @@ func (ip *Interp) EnableRecovery(p prt.RecoveryPolicy) {
 }
 
 // loadBytes is the central mode-checked load every interpreter read goes
-// through: backing memory first, then the active transaction's overlay
-// patched over it so a chunk observes its own buffered writes.
+// through: sanitization first (when armed), then the snapshot/observer
+// layer for unsafe memory or the plain checked load, then the active
+// transaction's overlay patched over it so a chunk observes its own
+// buffered writes.
 func (ip *Interp) loadBytes(w *prt.Worker, addr uint64, buf []byte) {
-	if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf); err != nil {
-		panic(runtimeErr{err})
+	if ip.boundary.SanitizePointers {
+		ip.sanitize(w, addr, len(buf), false)
+	}
+	if ip.boundary.any() {
+		if rid, _ := sgx.DecodePtr(addr); rid != sgx.Unsafe {
+			ip.bStats.trustedLoads.Add(1)
+		} else if !ip.boundary.Snapshots || snapOf(w) == nil {
+			ip.bStats.unsafeLoads.Add(1)
+		}
+	}
+	if !ip.snapLoad(w, addr, buf) {
+		if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf); err != nil {
+			panic(runtimeErr{err})
+		}
 	}
 	if tx := txOf(w); tx != nil {
 		if len(tx.overlay) > 0 {
@@ -163,10 +186,30 @@ func (tx *effectTx) patch(addr uint64, buf []byte) {
 // transaction, buffered (after the same access check, so an illegal
 // store still faults at the faulting instruction) when one is active.
 func (ip *Interp) storeBytes(w *prt.Worker, addr uint64, data []byte) {
+	if ip.boundary.SanitizePointers {
+		ip.sanitize(w, addr, len(data), true)
+	}
 	tx := txOf(w)
 	if tx == nil {
-		if err := ip.RT.Space.CheckedStore(w.Mode, addr, data); err != nil {
-			panic(runtimeErr{err})
+		if ip.bobs == nil {
+			// Fast path: no observer installed, store directly (the
+			// closure below would otherwise escape on every store).
+			if err := ip.RT.Space.CheckedStore(w.Mode, addr, data); err != nil {
+				panic(runtimeErr{err})
+			}
+		} else {
+			ip.guardedBackingStore(addr, len(data), func() {
+				if err := ip.RT.Space.CheckedStore(w.Mode, addr, data); err != nil {
+					panic(runtimeErr{err})
+				}
+			})
+		}
+		// Keep the snapshot coherent: a copied-in word the chunk just
+		// overwrote must serve the new bytes.
+		if sn := snapOf(w); sn != nil {
+			if rid, off := sgx.DecodePtr(addr); rid == sgx.Unsafe {
+				snapStoreSync(sn, off, data)
+			}
 		}
 		return
 	}

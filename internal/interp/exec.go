@@ -23,8 +23,12 @@ import (
 // trace and its replay is idempotent.
 func (ip *Interp) execChunk(w *prt.Worker, chunkID int, args []any) (result any) {
 	tx, prevTx := ip.beginTx(w, chunkID)
+	// The chunk's first barrier interval starts here: open the copy-in
+	// snapshot (when the boundary defense or an observer is engaged).
+	prevSnap := ip.beginSnap(w)
 	defer func() {
 		w.Tx = prevTx
+		w.Snap = prevSnap
 		r := recover()
 		if r == nil {
 			ip.commitTx(tx)

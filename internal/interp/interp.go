@@ -72,6 +72,13 @@ type Interp struct {
 	// effCounters tracks effect-transaction commits/discards.
 	crashPoint func(workerIdx, chunkID, storeN int) any
 	effCounters
+
+	// boundary configures the runtime Iago defense (boundary.go); bobs is
+	// the U-memory access observer the mutator adversary installs; bStats
+	// classifies boundary crossings while the defense is armed.
+	boundary BoundaryConfig
+	bobs     BoundaryObserver
+	bStats   boundaryCounters
 }
 
 // runtimeErr carries an execution error through panics.
@@ -288,6 +295,14 @@ func (ip *Interp) Call(entry string, args ...int64) (ret int64, err error) {
 		if r := recover(); r != nil {
 			if re, ok := r.(runtimeErr); ok {
 				err = re.err
+				// A worker-recorded error is the root cause of whatever
+				// the main goroutine then tripped over (a chunk that
+				// aborts mid-protocol starves the join into a timeout):
+				// surface the cause, not the symptom. This also keeps the
+				// stash from leaking into a later Call.
+				if aerr := ip.takeErr(); aerr != nil {
+					err = aerr
+				}
 				return
 			}
 			panic(r)

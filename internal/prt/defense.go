@@ -1,0 +1,113 @@
+package prt
+
+import "fmt"
+
+// Payload integrity tags (the third leg of the runtime Iago defense, next
+// to copy-in snapshots and pointer sanitization in internal/interp).
+//
+// The auth stamp already proves a message *struct* was produced by the
+// trusted runtime, and the stream sequence pins its position — but both
+// live in the same U-memory queue node as the payload, and the §4
+// attacker can rewrite the payload words in place after enqueue without
+// touching either. payloadSum closes that window: a checksum over the
+// message's kind, routing fields and payload values, computed inside the
+// sender's enclave after the routing metadata is final and re-verified
+// inside the receiver's enclave at the admit gate. It stands in for the
+// MAC a production runtime would compute over the serialized message
+// body; like the auth stamp, its unexported field means code outside the
+// package cannot re-tag a mutated message.
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func sumU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func sumStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// PayloadSummer lets a payload type contribute its exact value words to
+// the checksum without this package knowing its layout. The interpreter's
+// value type implements it; everything else falls through to sumAny's
+// typed switch or its formatted fallback.
+type PayloadSummer interface {
+	PaySum() uint64
+}
+
+// sumAny folds one payload value into the checksum.
+func sumAny(h uint64, v any) uint64 {
+	switch x := v.(type) {
+	case nil:
+		return sumU64(h, 0x9e3779b97f4a7c15)
+	case PayloadSummer:
+		return sumU64(h, x.PaySum())
+	case int:
+		return sumU64(h, uint64(x))
+	case int64:
+		return sumU64(h, uint64(x))
+	case uint64:
+		return sumU64(h, x)
+	case bool:
+		if x {
+			return sumU64(h, 1)
+		}
+		return sumU64(h, 2)
+	case string:
+		return sumStr(h, x)
+	case []byte:
+		for _, b := range x {
+			h ^= uint64(b)
+			h *= fnvPrime
+		}
+		return h
+	case []any:
+		h = sumU64(h, uint64(len(x)))
+		for _, e := range x {
+			h = sumAny(h, e)
+		}
+		return h
+	default:
+		// Last resort: a stable textual rendering. Costs an allocation,
+		// but only for payload types the fast paths do not know.
+		return sumStr(h, fmt.Sprintf("%T:%v", v, v))
+	}
+}
+
+// payloadSum computes the integrity tag of a message: everything the
+// receiver acts on, except ReplyTo (a host pointer, re-validated by the
+// join protocol itself) and the tag field holding the sum.
+func payloadSum(m *Message) uint64 {
+	h := fnvOffset
+	h = sumU64(h, uint64(m.Kind))
+	h = sumU64(h, uint64(m.ChunkID))
+	h = sumU64(h, uint64(m.Tag))
+	h = sumU64(h, uint64(m.From))
+	if m.NeedReply {
+		h = sumU64(h, 1)
+	}
+	h = sumU64(h, m.epoch)
+	h = sumU64(h, m.strSeq)
+	if m.Err != nil {
+		h = sumStr(h, m.Err.Error())
+	}
+	h = sumAny(h, m.Payload)
+	h = sumU64(h, uint64(len(m.Args)))
+	for _, a := range m.Args {
+		h = sumAny(h, a)
+	}
+	return h
+}

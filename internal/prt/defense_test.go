@@ -1,0 +1,122 @@
+package prt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"privagic/internal/sgx"
+)
+
+// mutateCont simulates the §4 attacker rewriting a queued message in
+// place: the payload word changes between enqueue and dequeue while the
+// auth stamp, epoch and stream sequence — everything the plain admit gate
+// checks — stay intact (EnqueueRaw preserves the unexported metadata).
+type mutateCont struct{ tag int }
+
+func (m mutateCont) Deliver(to *Worker, msg Message) {
+	if msg.Kind == MsgCont && msg.Tag == m.tag {
+		if p, ok := msg.Payload.(int64); ok {
+			msg.Payload = p ^ 0x5a5a
+		}
+	}
+	to.EnqueueRaw(msg)
+}
+
+// TestPayloadTagRejectsMutatedCont checks the dequeue half of payload
+// integrity: a cont whose payload was rewritten in the queue is rejected
+// at the admit gate (counted as tampered), the waiter degrades to a typed
+// timeout instead of consuming the corrupted value, and the rest of the
+// stream — the untouched completion behind it — still flows.
+func TestPayloadTagRejectsMutatedCont(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			w.SendCont(0, 4, int64(1234))
+			return "done"
+		},
+	})
+	rt.PayloadTags = true
+	rt.Supervise = Supervision{WaitTimeout: 50 * time.Millisecond}
+	rt.SetInterceptor(mutateCont{tag: 4})
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	if _, err := u.Wait(4); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Wait on mutated cont = %v, want ErrWaitTimeout", err)
+	}
+	// The rejected message consumed its stream position, so the clean
+	// completion behind it is still admitted.
+	if got, err := u.Join(1); err != nil || got != "done" {
+		t.Fatalf("Join after rejected cont = %v, %v", got, err)
+	}
+	if st := rt.SupervisionStats(); st.PayloadTampered != 1 {
+		t.Errorf("PayloadTampered = %d, want 1", st.PayloadTampered)
+	}
+}
+
+// TestPayloadTagsCleanPassthrough is the zero-fault control: with tags
+// armed and nothing mutating, the full spawn/cont/join protocol is
+// unchanged and nothing is counted as tampered.
+func TestPayloadTagsCleanPassthrough(t *testing.T) {
+	rt := New(sgx.MachineB(), []string{"blue"}, func(w *Worker, chunkID int, args []any) any {
+		w.SendCont(0, 3, args[0].(int)*2)
+		return args[0].(int) + 1
+	})
+	rt.PayloadTags = true
+	rt.Supervise = Supervision{WaitTimeout: time.Second}
+	th := rt.NewThread()
+	defer func() { th.Close(); rt.Shutdown() }()
+	u := th.Normal()
+	for j := 0; j < 100; j++ {
+		u.Spawn(1, 1, []any{j}, true)
+		if got, err := u.Wait(3); err != nil || got != j*2 {
+			t.Fatalf("round %d: Wait = %v, %v", j, got, err)
+		}
+		if got, err := u.Join(1); err != nil || got != j+1 {
+			t.Fatalf("round %d: Join = %v, %v", j, got, err)
+		}
+	}
+	if st := rt.SupervisionStats(); st.PayloadTampered != 0 {
+		t.Errorf("clean run counted %d tampered payloads", st.PayloadTampered)
+	}
+}
+
+// TestPayloadSumSensitivity pins down what the tag covers: every field an
+// in-place mutation could profitably touch — kind, routing, payload word,
+// each argument, and the stream metadata a replay would have to reuse —
+// changes the sum, while an identical copy reproduces it.
+func TestPayloadSumSensitivity(t *testing.T) {
+	base := Message{
+		Kind: MsgCont, ChunkID: 3, Tag: 4, From: 1, NeedReply: true,
+		Payload: int64(7), Args: []any{int64(1), "s"},
+		epoch: 5, strSeq: 9,
+	}
+	sum := payloadSum(&base)
+	cp := base
+	cp.Args = []any{int64(1), "s"} // equal contents, distinct backing
+	if payloadSum(&cp) != sum {
+		t.Fatal("identical message produced a different sum")
+	}
+	mutate := map[string]func(m *Message){
+		"kind":    func(m *Message) { m.Kind = MsgDone },
+		"chunk":   func(m *Message) { m.ChunkID = 8 },
+		"tag":     func(m *Message) { m.Tag = 5 },
+		"from":    func(m *Message) { m.From = 2 },
+		"reply":   func(m *Message) { m.NeedReply = false },
+		"payload": func(m *Message) { m.Payload = int64(8) },
+		"arg0":    func(m *Message) { m.Args[0] = int64(2) },
+		"arg1":    func(m *Message) { m.Args[1] = "t" },
+		"argN":    func(m *Message) { m.Args = append(m.Args, int64(0)) },
+		"epoch":   func(m *Message) { m.epoch = 6 },
+		"strSeq":  func(m *Message) { m.strSeq = 10 },
+	}
+	for name, f := range mutate {
+		m := base
+		m.Args = append([]any(nil), base.Args...)
+		f(&m)
+		if payloadSum(&m) == sum {
+			t.Errorf("mutating %s did not change the payload sum", name)
+		}
+	}
+}

@@ -95,3 +95,38 @@ func (e *EnclaveAbort) Is(target error) bool { return target == ErrEnclaveAbort 
 // Error() — stacks are for the operator inspecting a failure, not for the
 // one-line log.
 func (e *EnclaveAbort) Stack() []byte { return e.stack }
+
+// ErrIagoViolation is the sentinel matched (errors.Is) by every runtime
+// boundary-defense detection: a pointer from unsafe memory that failed
+// sanitization, or a message whose payload words were mutated in place
+// between enqueue and dequeue. The §4 attacker owns all of U memory; this
+// error is the hardened runtime refusing to act on what it found there.
+var ErrIagoViolation = errors.New("prt: iago violation")
+
+// IagoViolation is the concrete detection record. Kind is "pointer" for a
+// sanitization failure (the offending address, its region and that
+// region's mapped extent are filled in) or "payload" for an integrity-tag
+// mismatch at the admit gate.
+type IagoViolation struct {
+	Kind   string // "pointer" | "payload"
+	Worker int    // color index of the detecting worker (-1 if unknown)
+	Addr   uint64 // offending simulated address (Kind == "pointer")
+	Region int    // region the address names
+	Extent uint64 // mapped extent of that region at detection time
+	Len    int    // access width in bytes
+}
+
+func (e *IagoViolation) Error() string {
+	switch e.Kind {
+	case "pointer":
+		return fmt.Sprintf("prt: iago violation: w%d rejected %d-byte access at %#x (region %d extent %#x)",
+			e.Worker, e.Len, e.Addr, e.Region, e.Extent)
+	case "payload":
+		return fmt.Sprintf("prt: iago violation: w%d rejected message with mutated payload", e.Worker)
+	default:
+		return fmt.Sprintf("prt: iago violation (%s) on w%d", e.Kind, e.Worker)
+	}
+}
+
+// Is lets errors.Is(err, ErrIagoViolation) match any boundary detection.
+func (e *IagoViolation) Is(target error) bool { return target == ErrIagoViolation }

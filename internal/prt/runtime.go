@@ -102,9 +102,15 @@ type Message struct {
 	// is the position of this message in its (epoch, receiver) stream,
 	// assigned at send time; the receiver delivers strictly in strSeq
 	// order, so duplicates and reorderings cannot reach the protocol.
+	// paySum extends the stamp from the message struct to its payload
+	// words (Runtime.PayloadTags): a checksum over kind, routing fields
+	// and payload values, computed at send time and re-verified at the
+	// admit gate, so mutating a queued message in place — auth stamp and
+	// sequence intact — is detected on dequeue.
 	auth   uint32
 	strSeq uint64
 	epoch  uint64
+	paySum uint64
 }
 
 // ChunkExec executes the body of a chunk; the interpreter and the native
@@ -142,6 +148,13 @@ type Runtime struct {
 	// partitioner never allocated (defense-in-depth beside the auth
 	// stamp: a forged tag must not park forever in a pending buffer).
 	ValidateCont func(tag int) bool
+
+	// PayloadTags arms payload integrity tags (part of the runtime Iago
+	// defense): outbound messages carry a checksum over their payload
+	// words, and the admit gate rejects any message whose contents no
+	// longer match — the in-place queue mutation the plain auth stamp
+	// cannot see. Set it before creating threads.
+	PayloadTags bool
 
 	// Supervise configures the fault-tolerance layer (zero = off).
 	// Set it before creating threads.
@@ -237,6 +250,12 @@ type Worker struct {
 	// interpreter parks its effect transaction here). Touched only on
 	// the worker's own goroutine.
 	Tx any
+
+	// Snap is a second embedder-owned scratch slot: the interpreter
+	// parks its boundary snapshot (the copy-in cache of U loads for the
+	// current barrier interval) here. Touched only on the worker's own
+	// goroutine.
+	Snap any
 
 	// block publishes what the worker is blocked on, for the watchdog
 	// and for timeout diagnostics.
@@ -563,6 +582,11 @@ func (w *Worker) resetStream(epoch uint64) {
 // stream keeps flowing past it.
 func (w *Worker) accept(msg Message) bool {
 	rt := w.Thread.RT
+	if rt.PayloadTags && msg.paySum != payloadSum(&msg) {
+		rt.stats.payloadTampered.Add(1)
+		tracef("w%d reject mutated payload kind=%d tag=%d", w.Index, msg.Kind, msg.Tag)
+		return false
+	}
 	if msg.Kind == MsgCont && rt.ValidateCont != nil && !rt.ValidateCont(msg.Tag) {
 		rt.stats.rejectedConts.Add(1)
 		tracef("w%d reject cont with unknown tag=%d", w.Index, msg.Tag)
@@ -666,6 +690,11 @@ func (rt *Runtime) send(from, to *Worker, msg Message) {
 		msg.epoch = to.Thread.epoch.Load()
 	}
 	msg.strSeq = to.Thread.nextStrSeq(msg.epoch, to.Index)
+	if rt.PayloadTags {
+		// Tag after the routing metadata is final: the sum covers epoch
+		// and strSeq too, so a mutated copy cannot borrow a stale tag.
+		msg.paySum = payloadSum(&msg)
+	}
 	if box := rt.interceptor.Load(); box != nil {
 		box.ic.Deliver(to, msg)
 		return

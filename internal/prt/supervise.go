@@ -51,6 +51,7 @@ type supCounters struct {
 	restarts          atomic.Int64
 	redelivered       atomic.Int64
 	backpressure      atomic.Int64
+	payloadTampered   atomic.Int64
 
 	stallMu sync.Mutex
 	stalls  []Stall
@@ -79,6 +80,11 @@ type SupStats struct {
 	Drained  int64
 	// Stalls counts watchdog reports (details via Runtime.Stalls).
 	Stalls int64
+	// PayloadTampered counts messages rejected at the admit gate because
+	// their payload integrity tag no longer matched their contents — the
+	// in-place queue mutations the auth stamp alone cannot see (requires
+	// Runtime.PayloadTags).
+	PayloadTampered int64
 }
 
 // HostileTotal is the total number of forged messages rejected.
@@ -102,6 +108,7 @@ func (rt *Runtime) SupervisionStats() SupStats {
 		Timeouts:          c.timeouts.Load(),
 		Drained:           c.drained.Load(),
 		Stalls:            nStalls,
+		PayloadTampered:   c.payloadTampered.Load(),
 	}
 }
 

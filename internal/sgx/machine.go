@@ -101,11 +101,34 @@ func (r *Region) Alloc(n int64) uint64 {
 // Used returns the bytes allocated so far (the EPC pressure input).
 func (r *Region) Used() int64 { return r.used.Load() }
 
-// Load copies n bytes at off into buf.
+// Extent returns the allocation watermark: offsets below it are mapped,
+// offsets at or above it have never been handed out by Alloc. This is the
+// region's memory map as far as pointer sanitization is concerned — an
+// address arriving from unsafe memory is only dereferenced if its whole
+// range lies under the extent of its region.
+func (r *Region) Extent() uint64 {
+	r.mu.Lock()
+	brk := r.brk
+	r.mu.Unlock()
+	return brk
+}
+
+// Load copies len(buf) bytes at off into buf. Reads beyond the backing
+// array are zero-filled instead of faulting: the simulated machine must
+// never let a hostile (or corrupted) out-of-range address crash the host
+// process — on real SGX the access faults inside the enclave, and here
+// the sanitization layer (when armed) raises the typed violation before
+// the load is even attempted.
 func (r *Region) Load(off uint64, buf []byte) {
 	r.mu.Lock()
-	copy(buf, r.mem[off:off+uint64(len(buf))])
+	n := 0
+	if off < uint64(len(r.mem)) {
+		n = copy(buf, r.mem[off:])
+	}
 	r.mu.Unlock()
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
 }
 
 // Store copies buf into the region at off.
@@ -146,6 +169,12 @@ func (as *AddressSpace) Region(id RegionID) *Region {
 // Regions returns all regions.
 func (as *AddressSpace) Regions() []*Region { return as.regions }
 
+// MaxOffset caps the in-region offset a checked access may name. Real
+// machines have a finite physical map; here the cap keeps a hostile or
+// bit-flipped offset from ballooning the backing slice (Store grows to
+// fit) into an out-of-memory. Well above any workload's footprint.
+const MaxOffset = uint64(1) << 28 // 256 MiB per region
+
 // CheckedLoad performs a mode-checked load at a simulated address.
 func (as *AddressSpace) CheckedLoad(mode Mode, addr uint64, buf []byte) error {
 	rid, off := DecodePtr(addr)
@@ -155,6 +184,9 @@ func (as *AddressSpace) CheckedLoad(mode Mode, addr uint64, buf []byte) error {
 	r := as.Region(rid)
 	if r == nil {
 		return fmt.Errorf("sgx: load from unmapped region %d", rid)
+	}
+	if off+uint64(len(buf)) > MaxOffset {
+		return fmt.Errorf("sgx: load at %#x beyond region ceiling", addr)
 	}
 	r.Load(off, buf)
 	return nil
@@ -169,6 +201,9 @@ func (as *AddressSpace) CheckedStore(mode Mode, addr uint64, buf []byte) error {
 	r := as.Region(rid)
 	if r == nil {
 		return fmt.Errorf("sgx: store to unmapped region %d", rid)
+	}
+	if off+uint64(len(buf)) > MaxOffset {
+		return fmt.Errorf("sgx: store at %#x beyond region ceiling", addr)
 	}
 	r.Store(off, buf)
 	return nil

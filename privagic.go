@@ -136,6 +136,7 @@ func (p *Program) TCBReport() *partition.TCBReport {
 type Instance struct {
 	ip  *interp.Interp
 	inj *faults.Injector
+	mut *faults.Mutator
 }
 
 // Instantiate loads the program on a machine (nil means the paper's
@@ -282,12 +283,121 @@ func (i *Instance) SupervisionStats() prt.SupStats { return i.ip.RT.SupervisionS
 
 // Typed failure sentinels, for errors.Is against Call's error: a bounded
 // wait that gave up, a chunk that crashed inside its enclave (the
-// simulated AEX), and a call interrupted by shutdown.
+// simulated AEX), a call interrupted by shutdown, and a runtime boundary
+// defense detection (smashed pointer, mutated payload).
 var (
-	ErrWaitTimeout  = prt.ErrWaitTimeout
-	ErrEnclaveAbort = prt.ErrEnclaveAbort
-	ErrStopped      = prt.ErrStopped
+	ErrWaitTimeout   = prt.ErrWaitTimeout
+	ErrEnclaveAbort  = prt.ErrEnclaveAbort
+	ErrStopped       = prt.ErrStopped
+	ErrIagoViolation = prt.ErrIagoViolation
 )
+
+// BoundaryDefenseOptions selects the runtime Iago defenses (DESIGN.md
+// §11). Arm all three for the hardened-mode guarantee; the zero value
+// disables everything (the relaxed, trusting behavior).
+type BoundaryDefenseOptions struct {
+	// Snapshots copies each unsafe-memory word into enclave-private
+	// memory at its first read of a barrier interval and serves repeated
+	// reads from the copy — double-fetch/TOCTOU is never observed.
+	Snapshots bool
+	// SanitizePointers validates every address against the memory map
+	// (region mapped, offset under the allocation extent) before a
+	// dereference; a smashed pointer surfaces as ErrIagoViolation.
+	SanitizePointers bool
+	// PayloadTags extends the message auth stamp to payload words: a
+	// queued message mutated in place is rejected at the admit gate.
+	PayloadTags bool
+}
+
+// FullBoundaryDefense arms all three boundary defenses.
+func FullBoundaryDefense() BoundaryDefenseOptions {
+	return BoundaryDefenseOptions{Snapshots: true, SanitizePointers: true, PayloadTags: true}
+}
+
+// EnableBoundaryDefense arms the runtime Iago defense layer. Call before
+// the first Call.
+func (i *Instance) EnableBoundaryDefense(o BoundaryDefenseOptions) {
+	i.ip.EnableBoundaryDefense(interp.BoundaryConfig{
+		Snapshots:        o.Snapshots,
+		SanitizePointers: o.SanitizePointers,
+		PayloadTags:      o.PayloadTags,
+	})
+}
+
+// BoundaryStats merges the interpreter's per-load classification with the
+// runtime's payload-tag rejections: how many boundary crossings each
+// defense covered and how many attacks were detected.
+type BoundaryStats struct {
+	interp.BoundaryStats
+	// PayloadTampered counts messages rejected at the admit gate because
+	// their payload integrity tag no longer matched their contents.
+	PayloadTampered int64
+}
+
+// BoundaryStats snapshots the boundary-defense counters.
+func (i *Instance) BoundaryStats() BoundaryStats {
+	return BoundaryStats{
+		BoundaryStats:   i.ip.BoundaryStats(),
+		PayloadTampered: i.ip.RT.SupervisionStats().PayloadTampered,
+	}
+}
+
+// MutatorOptions configures the U-memory mutator adversary (the §4
+// attacker who owns unsafe memory contents, not just the message
+// protocol). Probabilities are per read word / per message, in [0,1].
+type MutatorOptions struct {
+	// Seed fixes the corruption schedule.
+	Seed int64
+	// FlipAfterRead bit-flips a U word right after an enclave read (the
+	// double-fetch window); SmashPointers redirects U-resident enclave
+	// pointer slots past their region's extent; MutatePayload rewrites a
+	// queued message's payload words in place.
+	FlipAfterRead float64
+	SmashPointers float64
+	MutatePayload float64
+	// Concurrent adds a background goroutine corrupting already-read
+	// words on its own schedule.
+	Concurrent bool
+	// MaxHeld caps outstanding in-memory corruptions (default 16).
+	MaxHeld int
+}
+
+// EnableMutator installs the mutator adversary on the instance: it
+// becomes the runtime's interceptor (payload mutations) and the
+// interpreter's boundary observer (memory corruptions). Combine with
+// EnableBoundaryDefense and EnableSupervision to demonstrate detection;
+// without them it demonstrates silent corruption (the negative control).
+// Call before the workload starts.
+func (i *Instance) EnableMutator(o MutatorOptions) {
+	if i.mut != nil {
+		i.mut.Close()
+	}
+	i.mut = faults.NewMutator(i.ip.RT, faults.MutatorConfig{
+		Seed:          o.Seed,
+		FlipAfterRead: o.FlipAfterRead,
+		SmashPointers: o.SmashPointers,
+		MutatePayload: o.MutatePayload,
+		Concurrent:    o.Concurrent,
+		MaxHeld:       o.MaxHeld,
+	})
+	i.ip.SetBoundaryObserver(i.mut)
+}
+
+// MutatorStats snapshots the mutator adversary's counters (zero value
+// when no mutator was enabled).
+func (i *Instance) MutatorStats() faults.MutStats {
+	if i.mut == nil {
+		return faults.MutStats{}
+	}
+	return i.mut.Stats()
+}
+
+// UnsafeExtent returns the allocation watermark of unsafe memory: offsets
+// below it are mapped. Tests scanning U memory for pointer slots bound
+// their scan with it.
+func (i *Instance) UnsafeExtent() uint64 {
+	return i.ip.RT.Space.Region(sgx.Unsafe).Extent()
+}
 
 // FaultOptions configures the deterministic fault injector. Probabilities
 // are per message (or per spawned chunk, for Crash), in [0,1].
@@ -350,10 +460,34 @@ func (i *Instance) FaultStats() faults.Stats {
 	return i.inj.Stats()
 }
 
-// Close stops the instance's worker threads, supervisor, and injector.
+// FaultCounters aggregates every enabled adversary's counters in the
+// uniform name -> count form (faults.CounterSource), prefixed by the
+// fault class ("inject." for the message injector, "mutate." for the
+// memory mutator). Empty when no adversary is enabled.
+func (i *Instance) FaultCounters() map[string]int64 {
+	out := map[string]int64{}
+	if i.inj != nil {
+		for k, v := range i.inj.Counters() {
+			out["inject."+k] = v
+		}
+	}
+	if i.mut != nil {
+		for k, v := range i.mut.Counters() {
+			out["mutate."+k] = v
+		}
+	}
+	return out
+}
+
+// Close stops the instance's worker threads, supervisor, injector, and
+// mutator.
 func (i *Instance) Close() {
 	if i.inj != nil {
 		i.inj.Close()
+	}
+	if i.mut != nil {
+		i.mut.Close()
+		i.ip.SetBoundaryObserver(nil)
 	}
 	i.ip.Close()
 }
