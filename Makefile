@@ -4,11 +4,23 @@
 
 GO ?= go
 
-.PHONY: tier1 tier2 soak tier3-soak tier3-iago fuzz bench fmt
+.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago fuzz bench fmt
 
-tier1:
+tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) audit
+
+# Project vet-style checks (internal/lint): colorcmp + rawsend.
+lint:
+	$(GO) run ./cmd/privagic-lint .
+
+# Strict translation validation: the static leak auditor must re-prove
+# the boundary invariants on every example program's partition, in both
+# modes, with zero violations (the golden tests assert the same, but this
+# target exercises the -audit=strict driver path end to end).
+audit:
+	$(GO) run ./cmd/privagic-bench -exp audit -quick
 
 tier2: tier1
 	$(GO) vet ./...

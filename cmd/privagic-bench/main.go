@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago] [-quick]
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit] [-quick]
 package main
 
 import (
@@ -19,7 +19,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
 	flag.Parse()
@@ -107,6 +107,17 @@ func run() int {
 				return 1
 			}
 			fmt.Println(rep.String())
+		case "audit":
+			cfg := bench.DefaultAudit()
+			if *quick {
+				cfg.Reps = 2
+			}
+			rep, err := bench.Audit(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(rep.String())
 		case "iago":
 			cfg := bench.DefaultIago()
 			if *quick {
@@ -126,7 +137,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago"} {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit"} {
 			if rc := runOne(name); rc != 0 {
 				return rc
 			}

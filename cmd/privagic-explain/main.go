@@ -3,9 +3,16 @@
 // color sets, the call plans, and any diagnostics — the view a developer
 // uses to understand why a line was placed in (or rejected from) an
 // enclave. Every load in the listing carries its boundary classification
-// (trusted S-load vs U-load the runtime defense snapshots and sanitizes),
-// and -audit runs the entries under the full boundary defense to report
-// which crossings the defense actually covered.
+// (trusted S-load vs U-load the runtime defense snapshots and sanitizes).
+//
+// Every diagnostic is rendered with its provenance leak trace: the
+// backward def-use path from the sink to the source annotation that
+// colored the offending value. When the program type-checks, the static
+// leak auditor re-verifies the partitioned output and prints the
+// whole-program boundary crossing table (every U<->S crossing with its
+// justification). -audit additionally runs the entries under the full
+// runtime boundary defense to report which crossings the defense covered
+// dynamically.
 //
 // Usage:
 //
@@ -20,6 +27,7 @@ import (
 	"strings"
 
 	"privagic"
+	"privagic/internal/audit"
 	"privagic/internal/ir"
 )
 
@@ -30,7 +38,7 @@ func main() {
 func run() int {
 	mode := flag.String("mode", "hardened", "compiler mode")
 	entries := flag.String("entries", "", "comma-separated entry points")
-	audit := flag.Bool("audit", false, "run the entries under the full boundary defense and report per-load classification")
+	runtimeAudit := flag.Bool("audit", false, "run the entries under the full boundary defense and report per-load classification")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: privagic-explain [flags] file.c")
@@ -84,15 +92,22 @@ func run() int {
 	}
 
 	if err := an.Err(); err != nil {
-		fmt.Println("diagnostics:")
+		fmt.Println("diagnostics (with provenance leak traces):")
 		for _, e := range an.Errors {
 			fmt.Printf("  %s\n", e)
+			if tr := audit.TraceTypeError(an.Mode, e); tr != nil {
+				fmt.Println(indent(tr.String(), "  "))
+			}
 		}
 		return 1
 	}
 	fmt.Println("no secure-typing violations")
 
-	if *audit {
+	if rc := staticAudit(flag.Arg(0), string(src), opts); rc != 0 {
+		return rc
+	}
+
+	if *runtimeAudit {
 		if len(opts.Entries) == 0 {
 			fmt.Fprintln(os.Stderr, "privagic-explain: -audit needs -entries to know what to run")
 			return 2
@@ -102,6 +117,39 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// staticAudit partitions the program, re-proves the boundary invariants
+// over the partitioner's output, and prints the whole-program crossing
+// table. Violations (partitioner bugs) are rendered with their traces.
+func staticAudit(file, src string, opts privagic.Options) int {
+	opts.Audit = privagic.AuditWarn
+	prog, err := privagic.Compile(file, src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	res := prog.Audit
+	fmt.Printf("\nstatic audit: %d chunks / %d instructions re-verified\n",
+		res.Stats.Chunks, res.Stats.Instrs)
+	if len(res.Errors) > 0 {
+		fmt.Println("audit violations (with provenance leak traces):")
+		for _, e := range res.Errors {
+			fmt.Printf("  %s\n", e)
+			fmt.Println(indent(e.Trace.String(), "  "))
+		}
+		return 1
+	}
+	fmt.Print(res.Report.Table())
+	return 0
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pre + l
+	}
+	return strings.Join(lines, "\n")
 }
 
 // loadClass annotates a load instruction with its boundary classification:

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	privagic [-mode hardened|relaxed] [-entries main,get] [-emit] [-report] \
-//	         [-run entry [args...]] file.c
+//	privagic [-mode hardened|relaxed] [-audit strict|warn|off] [-entries main,get] \
+//	         [-emit] [-report] [-run entry [args...]] file.c
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"privagic"
+	"privagic/internal/audit"
 	"privagic/internal/partition"
 )
 
@@ -27,6 +28,7 @@ func main() {
 
 func run() int {
 	mode := flag.String("mode", "hardened", "compiler mode: hardened or relaxed (paper §5)")
+	auditLevel := flag.String("audit", "strict", "static leak auditor: strict (violations fail the build), warn, or off")
 	entries := flag.String("entries", "", "comma-separated entry points (default: 'entry'-marked functions)")
 	emit := flag.Bool("emit", false, "print the generated chunks")
 	report := flag.Bool("report", false, "print the TCB report (Table 4 metrics)")
@@ -59,6 +61,11 @@ func run() int {
 	if *entries != "" {
 		opts.Entries = strings.Split(*entries, ",")
 	}
+	opts.Audit, err = audit.ParseLevel(*auditLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "privagic: %v\n", err)
+		return 2
+	}
 
 	var prog *privagic.Program
 	if strings.HasSuffix(file, ".pir") {
@@ -72,6 +79,13 @@ func run() int {
 	}
 	fmt.Printf("compiled %s (%s mode): enclaves %v, %d stabilizing passes\n",
 		file, *mode, prog.Colors(), prog.Analysis.Passes())
+	if res := prog.Audit; res != nil {
+		fmt.Printf("audit (%s): %d chunks / %d instructions re-verified, %d boundary crossings, %d violations\n",
+			*auditLevel, res.Stats.Chunks, res.Stats.Instrs, res.Stats.Crossings, len(res.Errors))
+		for _, e := range res.Errors {
+			fmt.Fprintf(os.Stderr, "%v\n%s\n", e, e.Trace)
+		}
+	}
 
 	if *emit {
 		for _, pf := range sortedParts(prog) {

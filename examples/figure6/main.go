@@ -11,32 +11,11 @@ import (
 	"sort"
 
 	"privagic"
+	"privagic/internal/sources"
 )
 
-// src is Figure 6 verbatim (modulo MiniC syntax).
-const src = `
-int color(U) unsafe = 0;
-int color(blue) blue = 10;
-int color(red) red = 0;
-
-void g(int n) {
-	blue = n;
-	red = n;
-	printf("Hello\n");
-}
-int f(int y) {
-	g(21);
-	return 42;
-}
-entry int main() {
-	unsafe = 1;
-	int x = f(blue);
-	return x;
-}
-`
-
 func main() {
-	prog, err := privagic.Compile("figure6.c", src, privagic.Options{
+	prog, err := privagic.Compile("figure6.c", sources.Figure6, privagic.Options{
 		Mode:    privagic.Relaxed,
 		Entries: []string{"main"},
 	})

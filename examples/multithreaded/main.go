@@ -13,39 +13,12 @@ import (
 	"privagic/internal/baseline/dataflow"
 	"privagic/internal/minic"
 	"privagic/internal/passes"
+	"privagic/internal/sources"
 )
-
-const figure3a = `
-int a;
-int b;
-int* x;
-
-void f(int s) {
-	x = &a;
-	*x = s;
-}
-void g() {
-	x = &b;
-}
-`
-
-const figure3b = `
-int color(blue) a;
-int b;
-int color(blue)* x;
-
-void f(int color(blue) s) {
-	x = &a;
-	*x = s;
-}
-void g() {
-	x = &b;
-}
-`
 
 func main() {
 	fmt.Println("=== Figure 3.a: Glamdring-style data-flow analysis ===")
-	mod, err := minic.Compile("fig3a.c", figure3a)
+	mod, err := minic.Compile("fig3a.c", sources.Figure3a)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +38,7 @@ func main() {
 	fmt.Printf("LEAKED into unprotected locations: %v\n\n", outcome.Leaked)
 
 	fmt.Println("=== Figure 3.b: the same program with explicit secure typing ===")
-	_, err = privagic.Compile("fig3b.c", figure3b, privagic.Options{Mode: privagic.Relaxed})
+	_, err = privagic.Compile("fig3b.c", sources.Figure3b, privagic.Options{Mode: privagic.Relaxed})
 	if err != nil {
 		fmt.Printf("privagic rejects it at compile time:\n%v\n", err)
 		fmt.Println("\n(the fix is coloring b blue as well — then both assignments type-check)")

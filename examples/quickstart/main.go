@@ -9,28 +9,16 @@ import (
 	"log"
 
 	"privagic"
+	"privagic/internal/sources"
 )
 
-// src is a minimal Privagic program: the balance is colored, so every
-// instruction touching it is compiled into the "vault" enclave; deposits
-// flow in through the annotated entry parameter, and reads come out only
-// through the ignore-annotated declassification (paper §6.4).
-const src = `
-ignore long reveal(long color(vault) v);
-
-long color(vault) balance = 0;
-
-entry void deposit(long color(vault) cents) {
-	balance = balance + cents;
-}
-
-entry long audit() {
-	return reveal(balance);
-}
-`
+// sources.Wallet is a minimal Privagic program: the balance is colored,
+// so every instruction touching it is compiled into the "vault" enclave;
+// deposits flow in through the annotated entry parameter, and reads come
+// out only through the ignore-annotated declassification (paper §6.4).
 
 func main() {
-	prog, err := privagic.Compile("wallet.c", src, privagic.Options{Mode: privagic.Hardened})
+	prog, err := privagic.Compile("wallet.c", sources.Wallet, privagic.Options{Mode: privagic.Hardened})
 	if err != nil {
 		log.Fatal(err)
 	}

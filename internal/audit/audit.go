@@ -1,0 +1,194 @@
+// Package audit is the static leak auditor: a verification layer that runs
+// *after* the partitioner and re-proves, independently of how the chunks
+// were constructed, that the partitioned program still satisfies the secure
+// type system's guarantees at every boundary.
+//
+// The package contains two engines:
+//
+//   - A translation validator (validate.go), in the spirit of CONFLLVM's
+//     untrusted-compiler verification pass: it takes a partition.Program
+//     and re-checks, per chunk and across the cross-chunk call plan, that
+//     the confidentiality rules, the integrity rule, and the Iago rule hold
+//     on the *output* of the partitioner — every spawn/cont message field,
+//     trampoline argument, interface version, split-struct slot, and
+//     S-global placement is classified S/U/F and checked against the
+//     mode's boundary invariants. A violation is a partitioner bug caught
+//     at compile time, reported as a typed AuditError.
+//
+//   - A provenance engine (provenance.go), in the spirit of SecV's
+//     first-class secure values: it augments typing and audit errors with
+//     a backward def-use leak trace through the SSA graph (source
+//     annotation -> phi/cast/call hops -> sink), and builds a whole-program
+//     boundary report (report.go) enumerating every U<->S crossing with its
+//     justification.
+//
+// The auditor proves per build what the fault-injection soaks only sample
+// per schedule: the soaks exercise ~10^3 interleavings of one workload,
+// the validator checks every instruction of every chunk against the
+// boundary invariants.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privagic/internal/ir"
+	"privagic/internal/partition"
+	"privagic/internal/typing"
+)
+
+// Level selects how the compile pipeline treats audit findings.
+type Level int
+
+// Audit levels: Off skips the pass, Warn runs it and surfaces findings
+// without failing the build, Strict turns any finding into a compile
+// error.
+const (
+	Off Level = iota
+	Warn
+	Strict
+)
+
+// ParseLevel maps the -audit flag spelling to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "off":
+		return Off, nil
+	case "warn":
+		return Warn, nil
+	case "strict":
+		return Strict, nil
+	}
+	return Off, fmt.Errorf("audit: unknown level %q (want strict, warn, or off)", s)
+}
+
+// String returns the flag spelling.
+func (l Level) String() string {
+	switch l {
+	case Warn:
+		return "warn"
+	case Strict:
+		return "strict"
+	}
+	return "off"
+}
+
+// ErrKind classifies validator findings by the invariant they break.
+type ErrKind int
+
+// Audit error kinds. They mirror the type system's kinds where the broken
+// invariant is the same property, plus the two partitioner-output-only
+// classes: Plan (the spawn/cont protocol does not line up across chunks)
+// and Structure (split-struct or global-placement metadata is malformed).
+const (
+	ErrConfidentiality ErrKind = iota + 1 // enclave data reaches unsafe memory or a foreign chunk
+	ErrIntegrity                          // a chunk writes another enclave's memory
+	ErrIago                               // an enclave chunk consumes untrusted data (hardened)
+	ErrPlan                               // spawn/cont/join/barrier protocol mismatch
+	ErrStructure                          // split-struct slots or global placement malformed
+)
+
+var errKindNames = map[ErrKind]string{
+	ErrConfidentiality: "confidentiality",
+	ErrIntegrity:       "integrity",
+	ErrIago:            "iago",
+	ErrPlan:            "plan",
+	ErrStructure:       "structure",
+}
+
+// String names the kind.
+func (k ErrKind) String() string { return errKindNames[k] }
+
+// AuditError is one validator finding: a boundary invariant that no longer
+// holds on the partitioned output.
+type AuditError struct {
+	Kind  ErrKind
+	Pos   ir.Pos
+	Fn    string // partitioned function key, or "<module>"
+	Chunk string // chunk name ("f(U).blue"), empty for module-level findings
+	Msg   string
+	// Trace is the provenance of the offending value: the backward
+	// def-use path from the sink to the source annotation that colored
+	// it. Never nil for findings produced by Run.
+	Trace *Trace
+}
+
+// Error implements the error interface.
+func (e *AuditError) Error() string {
+	where := e.Fn
+	if e.Chunk != "" {
+		where = e.Chunk
+	}
+	return fmt.Sprintf("%s: [audit/%s] in %s: %s", e.Pos, e.Kind, where, e.Msg)
+}
+
+// Stats counts what one Run covered, so the pass's cost and coverage can
+// be tracked by privagic-bench.
+type Stats struct {
+	Chunks    int // chunk bodies re-verified
+	Instrs    int // instructions classified
+	Crossings int // U<->S crossings enumerated in the boundary report
+}
+
+// Result is the outcome of auditing one partitioned program.
+type Result struct {
+	Mode   typing.Mode
+	Errors []*AuditError
+	Report *BoundaryReport
+	Stats  Stats
+}
+
+// Err returns all findings joined into one error, or nil.
+func (r *Result) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(r.Errors))
+	for i, e := range r.Errors {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("audit: %d violations:\n%s", len(r.Errors), strings.Join(msgs, "\n"))
+}
+
+// Run audits a partitioned program: the translation validator re-proves
+// the boundary invariants over every chunk and the cross-chunk plan, and
+// the provenance engine builds the whole-program boundary report. The
+// input program is not mutated.
+func Run(prog *partition.Program) *Result {
+	v := newValidator(prog)
+	v.validate()
+	res := &Result{
+		Mode:   prog.Mode,
+		Errors: v.errors,
+		Report: buildReport(prog),
+		Stats:  v.stats,
+	}
+	res.Stats.Crossings = len(res.Report.Crossings)
+	sortErrors(res.Errors)
+	return res
+}
+
+// sortErrors orders findings by function, chunk, position, kind, then
+// message, so multi-finding output is deterministic.
+func sortErrors(errs []*AuditError) {
+	sort.SliceStable(errs, func(i, j int) bool {
+		x, y := errs[i], errs[j]
+		if x.Fn != y.Fn {
+			return x.Fn < y.Fn
+		}
+		if x.Chunk != y.Chunk {
+			return x.Chunk < y.Chunk
+		}
+		if x.Pos.Line != y.Pos.Line {
+			return x.Pos.Line < y.Pos.Line
+		}
+		if x.Pos.Col != y.Pos.Col {
+			return x.Pos.Col < y.Pos.Col
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.Msg < y.Msg
+	})
+}

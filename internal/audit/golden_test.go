@@ -1,0 +1,157 @@
+package audit_test
+
+// Golden-file tests for the diagnostic surface: every examples/ program is
+// rendered in both modes exactly as privagic-explain presents it — typing
+// diagnostics with their provenance leak traces when the program is
+// rejected, and the strict-audit statistics plus the whole-program
+// boundary crossing table when it compiles. Run with -update to rewrite
+// the expectations after an intentional diagnostic change.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privagic"
+	"privagic/internal/audit"
+	"privagic/internal/sources"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPrograms are the five examples/ programs (examples/figure6,
+// examples/quickstart, examples/multithreaded, examples/twocolor,
+// examples/memcachedkv's compiled core), via the shared source registry.
+var goldenPrograms = []struct {
+	name    string
+	src     string
+	entries []string
+}{
+	{"figure6", sources.Figure6, []string{"main"}},
+	{"wallet", sources.Wallet, nil},
+	{"figure3b", sources.Figure3b, nil},
+	{"hashmap2", sources.HashmapColored2, []string{"run_ycsb"}},
+	{"memcached", sources.MemcachedCoreColored, []string{"run_ycsb"}},
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	for _, p := range goldenPrograms {
+		for _, mode := range []privagic.Mode{privagic.Hardened, privagic.Relaxed} {
+			name := fmt.Sprintf("%s_%s", p.name, mode)
+			t.Run(name, func(t *testing.T) {
+				got := render(p.name, p.src, p.entries, mode)
+				path := filepath.Join("testdata", name+".golden")
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run go test ./internal/audit -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("diagnostics changed; diff against %s:\n%s", path, diff(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// render produces the deterministic diagnostic view of one (program,
+// mode) combination: the same content privagic-explain prints.
+func render(name, src string, entries []string, mode privagic.Mode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s — %s mode\n", name, mode)
+	opts := privagic.Options{Mode: mode, Entries: entries}
+
+	an, err := privagic.Check(name+".c", src, opts)
+	if err != nil {
+		fmt.Fprintf(&b, "front-end error: %v\n", err)
+		return b.String()
+	}
+	if an.Err() != nil {
+		b.WriteString("diagnostics (with provenance leak traces):\n")
+		for _, e := range an.Errors {
+			fmt.Fprintf(&b, "  %s\n", e)
+			if tr := audit.TraceTypeError(an.Mode, e); tr != nil {
+				b.WriteString(indent(tr.String(), "  "))
+				b.WriteString("\n")
+			}
+		}
+		return b.String()
+	}
+	b.WriteString("no secure-typing violations\n")
+
+	opts.Audit = privagic.AuditWarn
+	prog, err := privagic.Compile(name+".c", src, opts)
+	if err != nil {
+		fmt.Fprintf(&b, "partition error: %v\n", err)
+		return b.String()
+	}
+	res := prog.Audit
+	fmt.Fprintf(&b, "static audit: %d chunks / %d instructions re-verified, %d violations\n",
+		res.Stats.Chunks, res.Stats.Instrs, len(res.Errors))
+	for _, e := range res.Errors {
+		fmt.Fprintf(&b, "  %s\n", e)
+		b.WriteString(indent(e.Trace.String(), "  "))
+		b.WriteString("\n")
+	}
+	b.WriteString(res.Report.Table())
+	return b.String()
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pre + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// diff renders a small line diff (enough to read in test output).
+func diff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenStrictOnCompilingCombos is the acceptance gate: strict audit
+// passes with zero violations on every example/mode combination that
+// partitions successfully.
+func TestGoldenStrictOnCompilingCombos(t *testing.T) {
+	for _, p := range goldenPrograms {
+		for _, mode := range []privagic.Mode{privagic.Hardened, privagic.Relaxed} {
+			opts := privagic.Options{Mode: mode, Entries: p.entries}
+			if _, err := privagic.Compile(p.name+".c", p.src, opts); err != nil {
+				continue // rejected: nothing to audit
+			}
+			opts.Audit = privagic.AuditStrict
+			if _, err := privagic.Compile(p.name+".c", p.src, opts); err != nil {
+				t.Errorf("%s (%s): strict audit rejected the partitioner's own output:\n%v",
+					p.name, mode, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package audit_test
+
+// Negative corpus: deliberately corrupt the partitioner's output and
+// assert the auditor catches each corruption with the right error kind
+// and a provenance trace that names the true source annotation. These are
+// the "partitioner bug" scenarios the translation validator exists for.
+
+import (
+	"strings"
+	"testing"
+
+	"privagic"
+	"privagic/internal/audit"
+	"privagic/internal/ir"
+	"privagic/internal/partition"
+	"privagic/internal/sources"
+)
+
+func compilePartition(t *testing.T, name, src string, entries []string) *partition.Program {
+	t.Helper()
+	prog, err := privagic.Compile(name+".c", src, privagic.Options{
+		Mode: privagic.Relaxed, Entries: entries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Partitioned
+}
+
+// findErr returns the audit errors of the given kind.
+func findErr(res *audit.Result, kind audit.ErrKind) []*audit.AuditError {
+	var out []*audit.AuditError
+	for _, e := range res.Errors {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// requireTrace asserts the error carries a non-empty provenance trace
+// whose rendered text mentions every needle (the source annotation).
+func requireTrace(t *testing.T, e *audit.AuditError, needles ...string) {
+	t.Helper()
+	if e.Trace == nil || len(e.Trace.Steps) == 0 {
+		t.Fatalf("error has no provenance trace: %v", e)
+	}
+	text := e.Trace.String()
+	for _, n := range needles {
+		if !strings.Contains(text, n) {
+			t.Errorf("trace does not name %q:\n%v\n%s", n, e, text)
+		}
+	}
+}
+
+// TestCorruptGlobalPlacement moves an enclave-colored global into the
+// shared unsafe block — the exact §7.1 leak the first confidentiality
+// rule forbids — and expects a confidentiality violation whose trace ends
+// at the global's color annotation.
+func TestCorruptGlobalPlacement(t *testing.T) {
+	part := compilePartition(t, "figure6", sources.Figure6, []string{"main"})
+	moved := false
+	for c, gs := range part.EnclaveGlobals {
+		if c == ir.Named("blue") {
+			part.SharedGlobals = append(part.SharedGlobals, gs...)
+			delete(part.EnclaveGlobals, c)
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("figure6 has no blue enclave globals to corrupt")
+	}
+	res := audit.Run(part)
+	errs := findErr(res, audit.ErrConfidentiality)
+	if len(errs) == 0 {
+		t.Fatalf("auditor missed the leaked enclave global; got %v", res.Errors)
+	}
+	requireTrace(t, errs[0], "@blue", "color(blue)", "source annotation")
+	if res.Err() == nil {
+		t.Fatal("Result.Err() == nil despite violations")
+	}
+}
+
+// TestCorruptDroppedTransportSend deletes the __pv_send that ships a
+// transported enclave value to its consumer chunk. The waiting chunk
+// would deadlock (and the value be lost); the auditor's send/wait
+// set-matching must flag it as a plan violation, with the trace walking
+// the transported value back to its source annotation.
+func TestCorruptDroppedTransportSend(t *testing.T) {
+	part := compilePartition(t, "hashmap2", sources.HashmapColored2, []string{"run_ycsb"})
+
+	// Collect the tags that carry transported values (not barriers).
+	transportTags := map[int64]bool{}
+	for _, pf := range part.Funcs {
+		for _, tr := range part.Transports(pf) {
+			transportTags[int64(tr.Tag)] = true
+		}
+	}
+	if len(transportTags) == 0 {
+		t.Fatal("hashmap2 relaxed has no transports to corrupt")
+	}
+
+	dropped := false
+	for _, ch := range part.ChunkByID {
+		for _, b := range ch.Fn.Blocks {
+			for i, in := range b.Instrs {
+				call, ok := in.(*ir.Call)
+				if !ok || dropped {
+					continue
+				}
+				fn, isFn := call.Callee.(*ir.Function)
+				if !isFn || fn.FName != partition.IntrSend || len(call.Args) < 2 {
+					continue
+				}
+				tag, isConst := call.Args[1].(*ir.ConstInt)
+				if isConst && transportTags[tag.V] {
+					b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+					dropped = true
+					break
+				}
+			}
+		}
+	}
+	if !dropped {
+		t.Fatal("no transport __pv_send found to drop")
+	}
+
+	res := audit.Run(part)
+	errs := findErr(res, audit.ErrPlan)
+	if len(errs) == 0 {
+		t.Fatalf("auditor missed the dropped transport send; got %v", res.Errors)
+	}
+	requireTrace(t, errs[0], "source annotation")
+}
+
+// TestCorruptSplitSlotColor flips a split-struct indirection slot into
+// the wrong enclave — the §7.2 layout bug that would materialize one
+// enclave's field inside another — and expects a confidentiality
+// violation whose trace names the field's declared color.
+func TestCorruptSplitSlotColor(t *testing.T) {
+	part := compilePartition(t, "hashmap2", sources.HashmapColored2, []string{"run_ycsb"})
+	if len(part.Splits) == 0 {
+		t.Fatal("hashmap2 relaxed produced no split structs")
+	}
+	corrupted := false
+	for _, sp := range part.Splits {
+		for i, c := range sp.FieldColors {
+			if corrupted {
+				break
+			}
+			// Reassign the slot to any other enclave color.
+			for other := range part.EnclaveGlobals {
+				if other != c {
+					sp.FieldColors[i] = other
+					corrupted = true
+					break
+				}
+			}
+			if !corrupted { // single-enclave program: invent a color
+				sp.FieldColors[i] = ir.Named("bogus")
+				corrupted = true
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("no split slot to corrupt")
+	}
+	res := audit.Run(part)
+	errs := findErr(res, audit.ErrConfidentiality)
+	if len(errs) == 0 {
+		t.Fatalf("auditor missed the mis-colored split slot; got %v", res.Errors)
+	}
+	requireTrace(t, errs[0], "declared color(", "source annotation")
+}

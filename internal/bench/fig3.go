@@ -7,40 +7,9 @@ import (
 	"privagic/internal/baseline/dataflow"
 	"privagic/internal/minic"
 	"privagic/internal/passes"
+	"privagic/internal/sources"
 	"privagic/internal/typing"
 )
-
-// fig3aSrc is the Figure 3.a program: data-flow analysis input (only the
-// parameter s is annotated as sensitive).
-const fig3aSrc = `
-int a;
-int b;
-int* x;
-
-void f(int s) {
-	x = &a;
-	*x = s;
-}
-void g() {
-	x = &b;
-}
-`
-
-// fig3bSrc is the Figure 3.b program: the same code with Privagic's
-// explicit secure types.
-const fig3bSrc = `
-int color(blue) a;
-int b;
-int color(blue)* x;
-
-void f(int color(blue) s) {
-	x = &a;
-	*x = s;
-}
-void g() {
-	x = &b;
-}
-`
 
 // Fig3Report records the motivation experiment: the data-flow baseline's
 // protected set, the racy leak, and Privagic's compile-time rejection.
@@ -56,7 +25,7 @@ type Fig3Report struct {
 // interleaving then writes the secret into the unprotected b, and
 // Privagic's secure typing rejects the same program at compile time.
 func Fig3() (*Fig3Report, error) {
-	mod, err := minic.Compile("fig3a.c", fig3aSrc)
+	mod, err := minic.Compile("fig3a.c", sources.Figure3a)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +53,7 @@ func Fig3() (*Fig3Report, error) {
 		SequentialLeak:    seq.Leaked,
 	}
 
-	mod3b, err := minic.Compile("fig3b.c", fig3bSrc)
+	mod3b, err := minic.Compile("fig3b.c", sources.Figure3b)
 	if err != nil {
 		return nil, err
 	}

@@ -349,7 +349,7 @@ func (ip *Interp) invokeInterface(w *prt.Worker, pf *partition.PartFunc, args []
 	// receives the call results its return may depend on.
 	uInSet := len(pf.ColorSet) == 0 // colorless programs run entirely in U
 	for _, c := range pf.ColorSet {
-		if c == ir.U {
+		if c.IsUntrusted() {
 			uInSet = true
 		}
 	}

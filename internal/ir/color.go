@@ -67,6 +67,14 @@ func (c Color) IsFree() bool { return c.Kind == KindFree }
 // U and S denote unsafe memory and F denotes "not yet bound".
 func (c Color) IsEnclave() bool { return c.Kind == KindNamed }
 
+// IsUntrusted reports whether the color is U, the hardened-mode color of
+// unsafe memory.
+func (c Color) IsUntrusted() bool { return c.Kind == KindUntrusted }
+
+// IsShared reports whether the color is S, the relaxed-mode color of
+// unsafe memory.
+func (c Color) IsShared() bool { return c.Kind == KindShared }
+
 // String returns the display form of the color.
 func (c Color) String() string {
 	switch c.Kind {

@@ -175,7 +175,7 @@ func (p *Program) planCalls(pf *PartFunc) {
 func preferNamed(colors []ir.Color) ir.Color {
 	var best ir.Color
 	for _, c := range colors {
-		if c == ir.U {
+		if c.IsUntrusted() {
 			continue
 		}
 		if best.IsNone() || c.String() < best.String() {

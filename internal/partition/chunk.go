@@ -215,7 +215,7 @@ func (p *Program) fillChunkBody(ch *Chunk) {
 func (p *Program) keepInstr(ch *Chunk, b *ir.Block, idx int, in ir.Instr, oi ir.Instr) int {
 	fn := ch.Fn
 	var seq []ir.Instr
-	if barTag, others, isEff := p.barrierOf(ch.Part, oi); isEff && ch.Color == ir.U {
+	if barTag, others, isEff := p.barrierOf(ch.Part, oi); isEff && ch.Color.IsUntrusted() {
 		// Barrier entry: wait for one token per sibling chunk,
 		// freezing the shared state everyone reads (§7.3.3: visible
 		// effects execute "in the sequential order of the source
@@ -281,7 +281,7 @@ func (p *Program) dropOrReceive(ch *Chunk, b *ir.Block, idx int, in ir.Instr, oi
 	// Barrier participation: send the token to the effect chunk, then
 	// wait for its acknowledgment — the shared state is frozen while
 	// the effect executes (§7.3.3).
-	if barTag, _, isEff := p.barrierOf(ch.Part, oi); isEff && ch.Color != ir.U {
+	if barTag, _, isEff := p.barrierOf(ch.Part, oi); isEff && !ch.Color.IsUntrusted() {
 		seq = append(seq,
 			ir.NewCallInstr(fn, p.intrSend, ir.I64Const(0), ir.I64Const(int64(barTag)), ir.I64Const(0)),
 			ir.NewCallInstr(fn, p.intrWait, ir.I64Const(int64(barTag))))
@@ -318,7 +318,7 @@ func (p *Program) barrierOf(pf *PartFunc, oi ir.Instr) (tag int, others []ir.Col
 		return 0, nil, false
 	}
 	spec := pf.Spec
-	if spec.InstrColor[oi] != ir.U {
+	if !spec.InstrColor[oi].IsUntrusted() {
 		return 0, nil, false
 	}
 	switch t := oi.(type) {
@@ -338,7 +338,7 @@ func (p *Program) barrierOf(pf *PartFunc, oi ir.Instr) (tag int, others []ir.Col
 		return 0, nil, false
 	}
 	for _, c := range pf.ColorSet {
-		if c != ir.U {
+		if !c.IsUntrusted() {
 			others = append(others, c)
 		}
 	}

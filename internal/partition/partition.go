@@ -157,10 +157,26 @@ func (p *Program) Intrinsic(name string) *ir.Function {
 	return nil
 }
 
+// Transports exposes the cross-chunk value transport plan of a partitioned
+// function: for every producing instruction of the original spec body that
+// other chunks consume, the consumer chunks and the cont-message tag that
+// ships the value. Used by the interpreter-facing metadata consumers and by
+// the static auditor (internal/audit) to re-verify every boundary crossing.
+func (p *Program) Transports(pf *PartFunc) map[ir.Instr]*Transport {
+	return p.transportsOf(pf)
+}
+
+// BarrierTags exposes the relaxed-mode visible-effect barrier tags of a
+// partitioned function (§7.3.3), keyed by the original instruction. The map
+// is populated while chunks are built; it is empty for hardened programs.
+func (p *Program) BarrierTags(pf *PartFunc) map[ir.Instr]int {
+	return pf.barriers
+}
+
 // ColorIndex returns a stable small integer for a color (used by the
 // IntrSend intrinsic); U is always index 0.
 func (p *Program) ColorIndex(c ir.Color) int {
-	if c == ir.U {
+	if c.IsUntrusted() {
 		return 0
 	}
 	for i, x := range p.Colors {
@@ -308,7 +324,7 @@ func (p *Program) buildInterface(spec *typing.FuncSpec) {
 	}
 	var spawns []ir.Color
 	for _, c := range pf.ColorSet {
-		if c != ir.U {
+		if !c.IsUntrusted() {
 			spawns = append(spawns, c)
 		}
 	}

@@ -47,7 +47,7 @@ func (p *Program) Report() *TCBReport {
 	}
 	for _, pf := range p.Funcs {
 		for c, ch := range pf.Chunks {
-			if c == ir.U {
+			if c.IsUntrusted() {
 				continue // normal-mode code is not in any TCB
 			}
 			r.UserInstrsPerEnclave[c] += countInstrs(ch.Fn)

@@ -1,0 +1,79 @@
+package sources
+
+// The walkthrough programs of the paper's exposition, shared by the
+// examples/ directory, the static-audit benchmark, and the golden-file
+// diagnostic tests so there is a single source of truth for each listing.
+
+// Figure6 is the paper's complete Figure 6/7 example: an untrusted
+// global, two enclave colors, and a call chain whose Free result flows
+// back to the U block over a cont message (Figure 7's c5).
+const Figure6 = `
+int color(U) unsafe = 0;
+int color(blue) blue = 10;
+int color(red) red = 0;
+
+void g(int n) {
+	blue = n;
+	red = n;
+	printf("Hello\n");
+}
+int f(int y) {
+	g(21);
+	return 42;
+}
+entry int main() {
+	unsafe = 1;
+	int x = f(blue);
+	return x;
+}
+`
+
+// Wallet is the quickstart program: a single "vault" color whose secret
+// leaves the enclave only through the ignore-annotated declassification
+// (paper §6.4).
+const Wallet = `
+ignore long reveal(long color(vault) v);
+
+long color(vault) balance = 0;
+
+entry void deposit(long color(vault) cents) {
+	balance = balance + cents;
+}
+
+entry long audit() {
+	return reveal(balance);
+}
+`
+
+// Figure3a is the motivation program as a data-flow baseline sees it:
+// only the parameter s is (externally) marked sensitive.
+const Figure3a = `
+int a;
+int b;
+int* x;
+
+void f(int s) {
+	x = &a;
+	*x = s;
+}
+void g() {
+	x = &b;
+}
+`
+
+// Figure3b is the same program with Privagic's explicit secure types;
+// the secure type system rejects it at compile time because the blue
+// pointer x can be retargeted at the uncolored b.
+const Figure3b = `
+int color(blue) a;
+int b;
+int color(blue)* x;
+
+void f(int color(blue) s) {
+	x = &a;
+	*x = s;
+}
+void g() {
+	x = &b;
+}
+`

@@ -55,9 +55,34 @@ func Analyze(mod *ir.Module, opts Options) *Analysis {
 	}
 	// Structure-level checks run once, outside the pass loop (the loop
 	// resets per-pass diagnostics).
+	a.curSpec, a.curBlock, a.curInstr = nil, -1, -1
 	a.checkStructs()
 	a.prune()
+	a.sortErrors()
 	return a
+}
+
+// sortErrors orders the diagnostics by function, block index, then
+// instruction index (ties broken by kind and message), so multi-error
+// output — and the golden diagnostic files built on it — is stable across
+// map-iteration order.
+func (a *Analysis) sortErrors() {
+	sort.SliceStable(a.Errors, func(i, j int) bool {
+		x, y := a.Errors[i], a.Errors[j]
+		if x.Fn != y.Fn {
+			return x.Fn < y.Fn
+		}
+		if x.BlockIdx != y.BlockIdx {
+			return x.BlockIdx < y.BlockIdx
+		}
+		if x.InstrIdx != y.InstrIdx {
+			return x.InstrIdx < y.InstrIdx
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.Msg < y.Msg
+	})
 }
 
 // changed is set whenever the current pass assigns a new color.
@@ -151,18 +176,28 @@ func (a *Analysis) analyzeSpec(s *FuncSpec) {
 		return
 	}
 	fn.ComputeCFG()
+	a.curSpec = s
 	a.blockColors(s)
-	for _, b := range fn.Blocks {
-		for _, in := range b.Instrs {
+	for bi, b := range fn.Blocks {
+		for ii, in := range b.Instrs {
+			a.curBlock, a.curInstr = bi, ii
 			a.visitInstr(s, b, in)
 		}
 	}
+	a.curSpec, a.curBlock, a.curInstr = nil, -1, -1
 }
 
 // errorf records a diagnostic.
 func (a *Analysis) errorf(kind ErrKind, pos ir.Pos, fn string, format string, args ...any) {
+	a.errorv(kind, pos, fn, nil, format, args...)
+}
+
+// errorv records a diagnostic about a specific offending value, which the
+// provenance engine uses to reconstruct the backward leak trace.
+func (a *Analysis) errorv(kind ErrKind, pos ir.Pos, fn string, val ir.Value, format string, args ...any) {
 	a.Errors = append(a.Errors, &TypeError{
 		Kind: kind, Pos: pos, Fn: fn, Msg: fmt.Sprintf(format, args...),
+		Val: val, Spec: a.curSpec, BlockIdx: a.curBlock, InstrIdx: a.curInstr,
 	})
 }
 
@@ -213,17 +248,23 @@ func (a *Analysis) assignReg(s *FuncSpec, v ir.Value, c ir.Color, pos ir.Pos, wh
 		return
 	}
 	if cur != c {
-		a.errorf(ErrIncompatible, pos, s.Fn.FName,
+		a.errorv(ErrIncompatible, pos, s.Fn.FName, v,
 			"%s: register %s has color %s but is required to be %s", what, v.Name(), cur, c)
 	}
 }
 
 // checkCompat implements "x̄ ~ ȳ" from Table 3.
 func (a *Analysis) checkCompat(s *FuncSpec, x, y ir.Color, kind ErrKind, pos ir.Pos, format string, args ...any) bool {
+	return a.checkCompatv(s, x, y, nil, kind, pos, format, args...)
+}
+
+// checkCompatv is checkCompat carrying the offending value for the leak
+// trace.
+func (a *Analysis) checkCompatv(s *FuncSpec, x, y ir.Color, val ir.Value, kind ErrKind, pos ir.Pos, format string, args ...any) bool {
 	if ir.Compatible(x, y) {
 		return true
 	}
-	a.errorf(kind, pos, s.Fn.FName, format, args...)
+	a.errorv(kind, pos, s.Fn.FName, val, format, args...)
 	return false
 }
 
@@ -288,14 +329,14 @@ func (a *Analysis) visitInstr(s *FuncSpec, b *ir.Block, in ir.Instr) {
 			a.setInstrColor(s, in, c)
 		}
 		if t.Count != nil {
-			a.checkCompat(s, a.colorOf(s, t.Count), c, ErrIago, pos,
+			a.checkCompatv(s, a.colorOf(s, t.Count), c, t.Count, ErrIago, pos,
 				"allocation count of color %s used for %s allocation", a.colorOf(s, t.Count), c)
 		}
 
 	case *ir.Free:
 		pc := a.staticPointee(t.Ptr.Type())
 		p := a.colorOf(s, t.Ptr)
-		a.checkCompat(s, p, pc, ErrIncompatible, pos, "free: pointer color %s incompatible with pointee %s", p, pc)
+		a.checkCompatv(s, p, pc, t.Ptr, ErrIncompatible, pos, "free: pointer color %s incompatible with pointee %s", p, pc)
 		if pc.Kind == ir.KindShared {
 			a.setInstrColor(s, in, ir.U)
 		} else {
@@ -306,7 +347,7 @@ func (a *Analysis) visitInstr(s *FuncSpec, b *ir.Block, in ir.Instr) {
 		// Rule 1: *p̄ ~ p̄  ∧  (*p̄ ≠ S ⇒ r ← *p̄); ins ← *p̄.
 		pc := a.staticPointee(t.Ptr.Type())
 		p := a.colorOf(s, t.Ptr)
-		a.checkCompat(s, p, pc, ErrIago, pos,
+		a.checkCompatv(s, p, pc, t.Ptr, ErrIago, pos,
 			"load: pointer of color %s dereferences %s memory", p, pc)
 		if pc.Kind == ir.KindShared {
 			// Loading from shared memory yields a Free value
@@ -325,13 +366,13 @@ func (a *Analysis) visitInstr(s *FuncSpec, b *ir.Block, in ir.Instr) {
 		pc := a.staticPointee(t.Ptr.Type())
 		p := a.colorOf(s, t.Ptr)
 		v := a.colorOf(s, t.Val)
-		a.checkCompat(s, p, pc, ErrIntegrity, pos,
+		a.checkCompatv(s, p, pc, t.Ptr, ErrIntegrity, pos,
 			"store: pointer of color %s writes %s memory", p, pc)
 		kind := ErrIncompatible
 		if pc == ir.U || pc == ir.S {
 			kind = ErrConfidentiality
 		}
-		a.checkCompat(s, v, pc, kind, pos,
+		a.checkCompatv(s, v, pc, t.Val, kind, pos,
 			"store: value of color %s cannot be stored in %s memory", v, pc)
 		if pc.Kind == ir.KindShared {
 			// Visible effect in shared memory, executed in normal
@@ -384,7 +425,7 @@ func (a *Analysis) visitInstr(s *FuncSpec, b *ir.Block, in ir.Instr) {
 					s.RetColor = c
 					a.setChanged()
 				} else if s.RetColor != c {
-					a.errorf(ErrIncompatible, pos, s.Fn.FName,
+					a.errorv(ErrIncompatible, pos, s.Fn.FName, t.Val,
 						"return value color %s conflicts with earlier return color %s", c, s.RetColor)
 				}
 			}
@@ -407,7 +448,7 @@ func (a *Analysis) visitInstr(s *FuncSpec, b *ir.Block, in ir.Instr) {
 		if v, isVal := in.(ir.Value); isVal {
 			cur := a.colorOf(s, v)
 			if !cur.IsFree() && cur != bc {
-				a.errorf(ErrConfidentiality, pos, s.Fn.FName,
+				a.errorv(ErrConfidentiality, pos, s.Fn.FName, v,
 					"implicit leak: %s register %s assigned inside a basic block controlled by a %s condition", cur, v.Name(), bc)
 			} else {
 				a.assignReg(s, v, bc, pos, "block color")
@@ -415,7 +456,11 @@ func (a *Analysis) visitInstr(s *FuncSpec, b *ir.Block, in ir.Instr) {
 		}
 		cur := s.InstrColor[in]
 		if !cur.IsFree() && !cur.IsNone() && cur != bc {
-			a.errorf(ErrConfidentiality, pos, s.Fn.FName,
+			var val ir.Value
+			if v, isVal := in.(ir.Value); isVal {
+				val = v
+			}
+			a.errorv(ErrConfidentiality, pos, s.Fn.FName, val,
 				"implicit leak: %s instruction %q executed under a %s condition", cur, in.String(), bc)
 		} else {
 			a.setInstrColor(s, in, bc)
@@ -431,7 +476,7 @@ func (a *Analysis) visitOp(s *FuncSpec, in ir.Instr, pos ir.Pos, xs ...ir.Value)
 		c := a.colorOf(s, x)
 		cur := a.colorOf(s, v)
 		if !cur.IsFree() && !c.IsFree() && cur != c {
-			a.errorf(ErrIago, pos, s.Fn.FName,
+			a.errorv(ErrIago, pos, s.Fn.FName, x,
 				"instruction %q mixes inputs of colors %s and %s", in.String(), cur, c)
 			continue
 		}

@@ -40,7 +40,11 @@ func (a *Analysis) visitLocalCall(s *FuncSpec, c *ir.Call, callee *ir.Function, 
 		if !p.Color.IsNone() {
 			// Explicitly annotated parameter: the annotation wins;
 			// arguments must be compatible with it.
-			a.checkCompat(s, ac, p.Color, ErrIncompatible, pos,
+			var val ir.Value
+			if i < len(c.Args) {
+				val = c.Args[i]
+			}
+			a.checkCompatv(s, ac, p.Color, val, ErrIncompatible, pos,
 				"argument %d of @%s has color %s, parameter is declared %s", i, callee.FName, ac, p.Color)
 			ac = p.Color
 		}
@@ -68,7 +72,7 @@ func (a *Analysis) visitExternalCall(s *FuncSpec, c *ir.Call, name string, pos i
 	for i, arg := range c.Args {
 		ac := a.colorOf(s, arg)
 		if ac.IsEnclave() {
-			a.errorf(ErrConfidentiality, pos, s.Fn.FName,
+			a.errorv(ErrConfidentiality, pos, s.Fn.FName, arg,
 				"argument %d of external call %s carries enclave color %s", i, name, ac)
 		}
 		// A pointer to enclave memory handed to untrusted code is
@@ -141,14 +145,14 @@ func (a *Analysis) visitWithinCall(s *FuncSpec, c *ir.Call, callee *ir.Function,
 		}
 		for i, arg := range c.Args {
 			ac := a.colorOf(s, arg)
-			a.checkCompat(s, ac, enclave, ErrIago, pos,
+			a.checkCompatv(s, ac, enclave, arg, ErrIago, pos,
 				"argument %d of %s has color %s, call executes in %s", i, callee.FName, ac, enclave)
 			if pt, ok := arg.Type().(ir.PointerType); ok {
 				pc := a.resolveLoc(pt.Color)
 				if pc.Kind == ir.KindShared {
 					continue // relaxed mode: enclaves may touch S
 				}
-				a.checkCompat(s, pc, enclave, ErrConfidentiality, pos,
+				a.checkCompatv(s, pc, enclave, arg, ErrConfidentiality, pos,
 					"argument %d of %s points at %s memory, call executes in %s", i, callee.FName, pc, enclave)
 			}
 		}

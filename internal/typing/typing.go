@@ -68,6 +68,20 @@ type TypeError struct {
 	Pos  ir.Pos
 	Fn   string
 	Msg  string
+
+	// Val is the offending colored value, when the diagnostic is about a
+	// specific SSA value (nil otherwise). Together with Spec it lets the
+	// provenance engine (internal/audit) reconstruct the backward
+	// def-use leak trace from the sink back to the source annotation.
+	Val ir.Value
+	// Spec is the specialized function instance the error was found in
+	// (nil for module-level diagnostics such as structure errors).
+	Spec *FuncSpec
+	// BlockIdx and InstrIdx locate the sink inside Spec.Fn — the sort
+	// key that makes multi-error output deterministic across
+	// map-iteration order (block index, then instruction index).
+	BlockIdx int
+	InstrIdx int
 }
 
 // Error implements the error interface.
@@ -164,6 +178,12 @@ type Analysis struct {
 
 	passes  int
 	changed bool
+	// cur tracks where the analysis currently is (spec, block index,
+	// instruction index) so errorf can stamp every diagnostic with a
+	// deterministic sort key and the spec needed for leak traces.
+	curSpec  *FuncSpec
+	curBlock int
+	curInstr int
 	// softU marks registers and instructions whose U color is only the
 	// hardened-mode default for calls with no known enclave color yet;
 	// a later stabilizing pass may upgrade them to an enclave color.

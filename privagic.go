@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"privagic/internal/audit"
 	"privagic/internal/faults"
 	"privagic/internal/interp"
 	"privagic/internal/ir"
@@ -45,6 +46,13 @@ const (
 	Relaxed  = typing.Relaxed
 )
 
+// Audit levels for Options.Audit, re-exported from internal/audit.
+const (
+	AuditOff    = audit.Off
+	AuditWarn   = audit.Warn
+	AuditStrict = audit.Strict
+)
+
 // Options configures compilation.
 type Options struct {
 	// Mode is the compiler mode (default Hardened).
@@ -53,6 +61,12 @@ type Options struct {
 	// functions marked with the entry attribute, or every defined
 	// function if none is marked.
 	Entries []string
+	// Audit selects the static leak auditor that re-verifies the
+	// partitioner's output (translation validation): AuditStrict turns
+	// any violation into a compile error, AuditWarn records the result
+	// in Program.Audit without failing, and the zero value (AuditOff)
+	// skips the pass.
+	Audit audit.Level
 }
 
 // Program is a compiled, type-checked and partitioned application.
@@ -60,6 +74,10 @@ type Program struct {
 	Module      *ir.Module
 	Analysis    *typing.Analysis
 	Partitioned *partition.Program
+	// Audit is the static leak auditor's result (nil when Options.Audit
+	// was AuditOff): the re-proved boundary invariants and the
+	// whole-program boundary crossing report.
+	Audit *audit.Result
 }
 
 // Compile parses MiniC source, lowers it to SSA, runs the secure type
@@ -79,7 +97,25 @@ func Compile(filename, src string, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("privagic: partitioning: %w", err)
 	}
-	return &Program{Module: mod, Analysis: an, Partitioned: prog}, nil
+	p := &Program{Module: mod, Analysis: an, Partitioned: prog}
+	if err := p.runAudit(opts.Audit); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// runAudit runs the static leak auditor per the configured level.
+func (p *Program) runAudit(level audit.Level) error {
+	if level == audit.Off {
+		return nil
+	}
+	p.Audit = audit.Run(p.Partitioned)
+	if level == audit.Strict {
+		if err := p.Audit.Err(); err != nil {
+			return fmt.Errorf("privagic: %w", err)
+		}
+	}
+	return nil
 }
 
 // CompileIR skips the MiniC frontend and consumes textual IR directly —
@@ -99,7 +135,11 @@ func CompileIR(name, src string, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("privagic: partitioning: %w", err)
 	}
-	return &Program{Module: mod, Analysis: an, Partitioned: prog}, nil
+	p := &Program{Module: mod, Analysis: an, Partitioned: prog}
+	if err := p.runAudit(opts.Audit); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // EmitIR returns the program's whole-module textual IR, re-consumable by
