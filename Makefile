@@ -4,14 +4,15 @@
 
 GO ?= go
 
-.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago fuzz bench fmt
+.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs fuzz bench fmt
 
 tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) audit
 
-# Project vet-style checks (internal/lint): colorcmp + rawsend.
+# Project vet-style checks (internal/lint): colorcmp + rawsend +
+# docmetric (code <-> OBSERVABILITY.md metric catalogue agreement).
 lint:
 	$(GO) run ./cmd/privagic-lint .
 
@@ -44,6 +45,13 @@ tier3-soak:
 tier3-iago:
 	$(GO) test -count=1 -run 'TestSoakIago|TestIagoRelaxed' -v -timeout 30m ./internal/faults
 	$(GO) run ./cmd/privagic-bench -exp iago
+
+# Tier-3: the observability acceptance sweep (700 seeded fault schedules
+# with metrics + tracer armed, trace export must parse and event totals
+# must reconcile with the registry) plus the overhead ablation.
+tier3-obs:
+	$(GO) test -count=1 -run 'TestSoakTraceReconcile' -v -timeout 30m ./internal/faults
+	$(GO) run ./cmd/privagic-bench -exp obs
 
 # 60-second coverage-guided smoke of the memcached protocol fuzzer,
 # starting from the checked-in corpus in

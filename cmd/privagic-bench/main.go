@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit] [-quick]
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs] [-quick] [-trace-out trace.json]
 package main
 
 import (
@@ -19,9 +19,10 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
+	traceOut := flag.String("trace-out", "", "with -exp obs: write a Chrome trace_event JSON of one instrumented run (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	runOne := func(name string) int {
@@ -129,6 +130,33 @@ func run() int {
 				return 1
 			}
 			fmt.Println(rep.String())
+		case "obs":
+			cfg := bench.DefaultObs()
+			if *quick {
+				cfg.Schedules = 5
+			}
+			var traceFile *os.File
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				traceFile = f
+				cfg.TraceOut = f
+			}
+			rep, err := bench.Obs(cfg)
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(rep.String())
+			if *traceOut != "" {
+				fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "privagic-bench: unknown experiment %q\n", name)
 			return 2
@@ -137,7 +165,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit"} {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs"} {
 			if rc := runOne(name); rc != 0 {
 				return rc
 			}

@@ -14,9 +14,14 @@
 // runtime boundary defense to report which crossings the defense covered
 // dynamically.
 //
+// -metrics runs the entries with the observability registry armed and
+// prints the metric snapshot (every name is catalogued in
+// OBSERVABILITY.md) — the quickest way to see what the runtime actually
+// did for a program: chunks executed, waits blocked, messages rejected.
+//
 // Usage:
 //
-//	privagic-explain [-mode hardened|relaxed] [-entries main] [-audit] file.c
+//	privagic-explain [-mode hardened|relaxed] [-entries main] [-audit] [-metrics] file.c
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"privagic"
 	"privagic/internal/audit"
 	"privagic/internal/ir"
+	"privagic/internal/obs"
 )
 
 func main() {
@@ -39,6 +45,7 @@ func run() int {
 	mode := flag.String("mode", "hardened", "compiler mode")
 	entries := flag.String("entries", "", "comma-separated entry points")
 	runtimeAudit := flag.Bool("audit", false, "run the entries under the full boundary defense and report per-load classification")
+	metrics := flag.Bool("metrics", false, "run the entries with the metrics registry armed and print the snapshot (see OBSERVABILITY.md)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: privagic-explain [flags] file.c")
@@ -115,6 +122,41 @@ func run() int {
 		if rc := runAudit(flag.Arg(0), string(src), opts); rc != 0 {
 			return rc
 		}
+	}
+	if *metrics {
+		if len(opts.Entries) == 0 {
+			fmt.Fprintln(os.Stderr, "privagic-explain: -metrics needs -entries to know what to run")
+			return 2
+		}
+		if rc := runMetrics(flag.Arg(0), string(src), opts); rc != 0 {
+			return rc
+		}
+	}
+	return 0
+}
+
+// runMetrics executes every entry with the metrics registry armed and
+// prints the snapshot — each name's semantics are one lookup away in
+// OBSERVABILITY.md's metric catalogue.
+func runMetrics(file, src string, opts privagic.Options) int {
+	prog, err := privagic.Compile(file, src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, entry := range opts.Entries {
+		inst := prog.Instantiate(nil)
+		inst.EnableObservability(privagic.ObservabilityOptions{Metrics: true})
+		ret, err := inst.Call(entry)
+		snap := inst.MetricsSnapshot()
+		inst.Close()
+		fmt.Printf("\nmetrics — entry %s", entry)
+		if err != nil {
+			fmt.Printf(" (failed: %v)\n", err)
+		} else {
+			fmt.Printf(" (ret %d)\n", ret)
+		}
+		fmt.Println(indent(obs.Render(snap), "  "))
 	}
 	return 0
 }

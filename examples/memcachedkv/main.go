@@ -3,19 +3,36 @@
 // here exercised natively to show the substrate itself works end to end.
 //
 //	go run ./examples/memcachedkv
+//
+// -debug-addr starts the opt-in diagnostics endpoint (expvar at
+// /debug/vars, pprof under /debug/pprof/, the metric snapshot at
+// /debug/metrics) and keeps the process serving after the load finishes.
+// -trace-out runs the privagic-compiled memcached core once on the
+// simulated SGX machine with the structured tracer armed and writes the
+// schedule as Chrome trace_event JSON (open in ui.perfetto.dev; see
+// OBSERVABILITY.md).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
+	"privagic"
 	"privagic/internal/memcached"
+	"privagic/internal/obs"
+	"privagic/internal/sources"
 	"privagic/internal/ycsb"
 )
 
 func main() {
+	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof + /debug/metrics on this address (e.g. 127.0.0.1:8080) and stay up after the load")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of one privagic-compiled memcached-core run to this file")
+	flag.Parse()
+
 	store := memcached.NewStore(1<<14, 64<<20)
 	srv, err := memcached.NewServer("127.0.0.1:0", store, 7) // the paper's 7 threads
 	if err != nil {
@@ -23,6 +40,18 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("mini-memcached listening on %s (7 worker threads, 64 MiB LRU)\n", srv.Addr())
+
+	var debug *memcached.DebugServer
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		debug, err = memcached.StartDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer debug.Close()
+		fmt.Printf("diagnostics on http://%s/debug/{vars,pprof/,metrics}\n", debug.Addr())
+	}
 
 	const clients, opsPerClient, valueSize = 6, 2000, 1024
 	value := make([]byte, valueSize)
@@ -93,4 +122,43 @@ func main() {
 		stats["get_hits"], stats["get_misses"], stats["curr_items"], stats["evictions"])
 	fmt.Println("\n(the Figure 8 experiment replays this store's access pattern on the")
 	fmt.Println(" simulated SGX machine: go run ./cmd/privagic-bench -exp fig8)")
+
+	if *traceOut != "" {
+		if err := captureTrace(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chunk schedule trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if debug != nil {
+		fmt.Printf("serving diagnostics on http://%s — interrupt to exit\n", debug.Addr())
+		select {}
+	}
+}
+
+// captureTrace runs the paper's memcached core once as a privagic-compiled
+// partitioned program with the structured tracer armed, and exports the
+// chunk schedule as Chrome trace_event JSON.
+func captureTrace(path string) error {
+	prog, err := privagic.Compile("memcached_core.c", sources.MemcachedCoreColored,
+		privagic.Options{Mode: privagic.Relaxed, Entries: []string{"run_ycsb"}})
+	if err != nil {
+		return err
+	}
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	// Untimed capture run: size the rings to keep the whole schedule
+	// resident (the 1024-event default favors low cache footprint).
+	inst.EnableObservability(privagic.ObservabilityOptions{Metrics: true, Trace: true, TraceBuffer: 1 << 14})
+	if _, err := inst.Call("run_ycsb"); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := inst.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -16,6 +16,11 @@
 // flusher additionally releases held messages after a wall-clock bound so
 // an idle protocol cannot strand them forever; it only affects timing,
 // never the decision sequence.
+//
+// Both adversaries report what they did through the CounterSource
+// interface; when the observability registry is armed their counters
+// appear in snapshots under the inject. and mutate. prefixes (see
+// OBSERVABILITY.md).
 package faults
 
 import (

@@ -298,10 +298,14 @@ func (ip *Interp) Call(entry string, args ...int64) (ret int64, err error) {
 				// A worker-recorded error is the root cause of whatever
 				// the main goroutine then tripped over (a chunk that
 				// aborts mid-protocol starves the join into a timeout):
-				// surface the cause, not the symptom. This also keeps the
-				// stash from leaking into a later Call.
+				// lead with the cause, but keep the symptom joined in —
+				// a *TimeoutError carries the pending tags and queue
+				// depths of the stuck protocol state, which the caller
+				// loses if the cause simply replaces it. errors.Is/As see
+				// through the join to both. Taking the stash also keeps
+				// it from leaking into a later Call.
 				if aerr := ip.takeErr(); aerr != nil {
-					err = aerr
+					err = errors.Join(aerr, re.err)
 				}
 				return
 			}

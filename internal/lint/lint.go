@@ -16,6 +16,10 @@
 //     unstamped message is indistinguishable from attacker injection and
 //     is dropped by the supervised receive path. EnqueueRaw is the
 //     deliberate injection seam for the fault harness and is exempt.
+//
+//   - docmetric: the obs.Catalog literal, the registration call sites,
+//     and the tables in OBSERVABILITY.md must agree on every metric and
+//     trace-event name, in both directions (see docmetric.go).
 package lint
 
 import (
@@ -47,6 +51,7 @@ func (i Issue) String() string {
 func Run(root string) ([]Issue, error) {
 	var issues []Issue
 	fset := token.NewFileSet()
+	dm := newDocmetric()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -74,11 +79,13 @@ func Run(root string) ([]Issue, error) {
 			return perr
 		}
 		issues = append(issues, lintFile(fset, rel, file)...)
+		dm.collect(fset, rel, file)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	issues = append(issues, dm.finalize(root)...)
 	sort.Slice(issues, func(i, j int) bool {
 		if issues[i].Pos.Filename != issues[j].Pos.Filename {
 			return issues[i].Pos.Filename < issues[j].Pos.Filename

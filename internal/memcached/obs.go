@@ -1,0 +1,70 @@
+package memcached
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"privagic/internal/obs"
+)
+
+// RegisterMetrics publishes the server's counters into reg (catalogued in
+// OBSERVABILITY.md). All gauges read counters the server and store
+// maintain anyway; serving traffic pays nothing new.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.Gauge("memcached.shed_ops", s.shedOps.Load)
+	reg.Gauge("memcached.inflight", func() int64 { return int64(s.inflight.Load()) })
+	reg.Gauge("memcached.get_hits", func() int64 { h, _, _ := s.store.Stats(); return int64(h) })
+	reg.Gauge("memcached.get_misses", func() int64 { _, m, _ := s.store.Stats(); return int64(m) })
+	reg.Gauge("memcached.evictions", func() int64 { _, _, e := s.store.Stats(); return int64(e) })
+	reg.Gauge("memcached.curr_items", func() int64 { return int64(s.store.Len()) })
+}
+
+// DebugServer is the opt-in diagnostics HTTP endpoint: expvar at
+// /debug/vars, pprof under /debug/pprof/, and the registry snapshot as
+// sorted text at /debug/metrics. It is deliberately a separate listener
+// from the memcached port — diagnostics must stay reachable when the data
+// plane sheds load, and must be bindable to loopback only.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	once sync.Once
+}
+
+// StartDebug serves the diagnostics endpoint on addr ("127.0.0.1:0" picks
+// a free port). reg may be nil (the /debug/metrics route then reports an
+// empty snapshot). Close the returned server when done.
+func StartDebug(addr string, reg *obs.Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("memcached: debug listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, obs.Render(reg.Snapshot()))
+	})
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the endpoint's listening address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the endpoint. Idempotent.
+func (d *DebugServer) Close() {
+	d.once.Do(func() { _ = d.srv.Close() })
+}

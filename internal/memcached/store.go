@@ -4,6 +4,11 @@
 // the workload substrate of the Figure 8 experiment and of the
 // memcachedkv example; the cost models of internal/bench replay its
 // access patterns on the simulated SGX machine.
+//
+// RegisterMetrics publishes the server's counters as memcached.* gauges
+// and StartDebug serves expvar, pprof and the metric snapshot over a
+// separate diagnostics listener (see OBSERVABILITY.md) — separate so
+// diagnostics stay reachable while the data plane sheds load.
 package memcached
 
 import (

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkRecordBatched is the tracer's high-volume hot path: a batched
+// transport instant, which reuses the shard's last clock sample for all
+// but one in tsBatch events.
+func BenchmarkRecordBatched(b *testing.B) {
+	t := NewTracer(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Record(EvSend, 3, 7, 1, 2, 9)
+	}
+}
+
+// BenchmarkRecordFresh is the unbatched path every rare kind takes: a
+// fresh clock read per event.
+func BenchmarkRecordFresh(b *testing.B) {
+	t := NewTracer(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Record(EvAbort, 3, 7, 1, 2, 9)
+	}
+}
+
+// BenchmarkRecordParallel hammers one tracer from all procs on distinct
+// workers (distinct shards): the no-shared-state claim in the package doc
+// is this benchmark staying close to the serial one.
+func BenchmarkRecordParallel(b *testing.B) {
+	t := NewTracer(4096)
+	var next atomic.Int32
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(next.Add(1))
+		for pb.Next() {
+			t.Record(EvSend, w, 7, 1, 2, 9)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package obs
+
+// MetricDef is one row of the metric catalogue: the machine-readable twin
+// of the table in OBSERVABILITY.md. The docmetric analyzer in
+// internal/lint cross-checks this literal against both the document and
+// every registration call site, so a metric cannot ship undocumented and
+// a documented metric cannot silently stop being exported.
+type MetricDef struct {
+	Name      string // snapshot key (sources contribute prefix.key)
+	Type      string // "counter", "gauge", or "histogram"
+	Unit      string // "1" for dimensionless counts, else e.g. "us", "items"
+	Subsystem string // owning package
+	Help      string // one-line semantics
+}
+
+// Catalog enumerates every metric the runtime can export. Keep it a pure
+// literal: docmetric parses it with go/ast, not by executing it.
+var Catalog = []MetricDef{
+	// prt supervision (gauges over supCounters in internal/prt/supervise.go).
+	{Name: "prt.rejected_spawns", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "spawn messages refused at the admit gate (bad stamp, stale epoch, unknown chunk)"},
+	{Name: "prt.rejected_conts", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "continuation messages refused at the admit gate"},
+	{Name: "prt.hostile_spawns", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "forged spawn messages (authStamp mismatch) dropped before decode"},
+	{Name: "prt.hostile_conts", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "forged continuation messages dropped before decode"},
+	{Name: "prt.hostile_other", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "forged messages of any other kind dropped before decode"},
+	{Name: "prt.dropped_stale", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "messages from a fenced-off epoch discarded (admit gate, stream reset, pending prune)"},
+	{Name: "prt.dropped_duplicates", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "redelivered messages deduplicated by per-stream sequence"},
+	{Name: "prt.aborts", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "chunk executions that panicked and were converted to EnclaveAbort"},
+	{Name: "prt.timeouts", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "waits that exceeded the quiescence window and returned ErrWaitTimeout"},
+	{Name: "prt.drained", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "messages drained during graceful worker shutdown"},
+	{Name: "prt.restarts", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "worker restarts (crash recovery or stuck-worker watchdog)"},
+	{Name: "prt.redelivered", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "in-flight messages re-enqueued across a worker restart"},
+	{Name: "prt.backpressure_waits", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "sends that blocked on a full bounded queue"},
+	{Name: "prt.payload_tampered", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "messages whose FNV-1a payload tag failed verification at the admit gate"},
+	{Name: "prt.stalls", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "watchdog detections of a worker making no progress"},
+
+	// prt recovery journal (gauges over journal counters in internal/prt/journal.go).
+	{Name: "prt.journal.spawns", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "spawns journaled for deterministic replay"},
+	{Name: "prt.journal.commits", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "effect transactions committed before Done was published"},
+	{Name: "prt.journal.replays", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "chunk re-executions driven from the journal after a crash"},
+	{Name: "prt.journal.giveups", Type: "gauge", Unit: "1", Subsystem: "prt", Help: "spawns abandoned after the replay budget was exhausted"},
+
+	// prt transport queues (gauges aggregated across worker queues).
+	{Name: "prt.queue.depth", Type: "gauge", Unit: "items", Subsystem: "queue", Help: "messages currently resident across all worker queues"},
+	{Name: "prt.queue.enqueues", Type: "gauge", Unit: "1", Subsystem: "queue", Help: "total messages enqueued across all worker queues"},
+	{Name: "prt.queue.dequeues", Type: "gauge", Unit: "1", Subsystem: "queue", Help: "total messages dequeued across all worker queues"},
+	{Name: "prt.queue.parks", Type: "gauge", Unit: "1", Subsystem: "queue", Help: "consumer park-sleeps while waiting on an empty queue"},
+	{Name: "prt.queue.full_waits", Type: "gauge", Unit: "1", Subsystem: "queue", Help: "producer waits on a full bounded queue"},
+
+	// prt latency histograms (count/sum/max exported as name.count etc).
+	{Name: "prt.chunk_exec_us", Type: "histogram", Unit: "us", Subsystem: "prt", Help: "wall time of one chunk execution, spawn accept to Done publish"},
+	{Name: "prt.wait_block_us", Type: "histogram", Unit: "us", Subsystem: "prt", Help: "wall time a worker spent blocked in waitTag/join before the tag arrived"},
+
+	// interp effect transactions and boundary defense.
+	{Name: "interp.effect_commits", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "effect-transaction overlays committed to backing memory"},
+	{Name: "interp.effect_discards", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "effect-transaction overlays discarded on abort"},
+	{Name: "interp.boundary.snapshot_copyins", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "U words copied into enclave-private snapshots at barrier entry"},
+	{Name: "interp.boundary.snapshot_served", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "U reads served from a snapshot instead of live U memory"},
+	{Name: "interp.boundary.trusted_loads", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "loads that resolved to S memory and bypassed the defense path"},
+	{Name: "interp.boundary.unsafe_loads", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "loads that touched live U memory under relaxed mode"},
+	{Name: "interp.boundary.sanitize_checks", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "U-sourced pointers validated against the memory map"},
+	{Name: "interp.boundary.violations", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "sanitization failures surfaced as ErrIagoViolation"},
+
+	// fault injection (CounterSource under the "inject" prefix).
+	{Name: "inject.delivered", Type: "counter", Unit: "1", Subsystem: "faults", Help: "messages the injector passed through unmodified"},
+	{Name: "inject.dropped", Type: "counter", Unit: "1", Subsystem: "faults", Help: "messages the injector silently dropped"},
+	{Name: "inject.duplicated", Type: "counter", Unit: "1", Subsystem: "faults", Help: "messages the injector delivered twice"},
+	{Name: "inject.delayed", Type: "counter", Unit: "1", Subsystem: "faults", Help: "messages the injector held back before delivery"},
+	{Name: "inject.reordered", Type: "counter", Unit: "1", Subsystem: "faults", Help: "messages the injector delivered out of order"},
+	{Name: "inject.forged", Type: "counter", Unit: "1", Subsystem: "faults", Help: "hostile messages the injector fabricated"},
+	{Name: "inject.crashes", Type: "counter", Unit: "1", Subsystem: "faults", Help: "enclave crashes the injector forced mid-chunk"},
+	{Name: "inject.retransmitted", Type: "counter", Unit: "1", Subsystem: "faults", Help: "messages re-sent by the injector's retransmit schedule"},
+
+	// U-memory mutator (CounterSource under the "mutate" prefix).
+	{Name: "mutate.flips", Type: "counter", Unit: "1", Subsystem: "faults", Help: "double-fetch word flips inside the TOCTOU window"},
+	{Name: "mutate.smashes", Type: "counter", Unit: "1", Subsystem: "faults", Help: "persistent pointer smashes of live split-struct slots"},
+	{Name: "mutate.payload_mutations", Type: "counter", Unit: "1", Subsystem: "faults", Help: "in-place rewrites of message payload words"},
+	{Name: "mutate.restores", Type: "counter", Unit: "1", Subsystem: "faults", Help: "mutated words restored after the victim read"},
+
+	// memcached server.
+	{Name: "memcached.shed_ops", Type: "gauge", Unit: "1", Subsystem: "memcached", Help: "operations refused with SERVER_ERROR busy under backpressure"},
+	{Name: "memcached.inflight", Type: "gauge", Unit: "items", Subsystem: "memcached", Help: "operations currently admitted and executing"},
+	{Name: "memcached.get_hits", Type: "gauge", Unit: "1", Subsystem: "memcached", Help: "GET operations that found the key"},
+	{Name: "memcached.get_misses", Type: "gauge", Unit: "1", Subsystem: "memcached", Help: "GET operations that missed"},
+	{Name: "memcached.evictions", Type: "gauge", Unit: "1", Subsystem: "memcached", Help: "items evicted by the LRU store"},
+	{Name: "memcached.curr_items", Type: "gauge", Unit: "items", Subsystem: "memcached", Help: "items currently resident in the store"},
+
+	// the tracer's own accounting.
+	{Name: "obs.trace_events", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "trace events recorded since the tracer was armed"},
+	{Name: "obs.trace_dropped", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "recorded events already overwritten by ring wraparound"},
+}
+
+// CatalogNames returns every catalogued metric name, for the docmetric
+// analyzer and tests.
+func CatalogNames() []string {
+	out := make([]string, len(Catalog))
+	for i, d := range Catalog {
+		out[i] = d.Name
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package obs is the runtime observability layer: a low-overhead metrics
+// registry and a structured event tracer, wired through the Privagic
+// runtime stack (prt, interp, queue, faults, memcached) and documented in
+// OBSERVABILITY.md at the repository root.
+//
+// The package is a leaf — it imports only the standard library — so every
+// runtime package can depend on it without cycles. Two design rules keep
+// it out of the hot path:
+//
+//   - Disabled means one branch. Every instrumentation point in the
+//     runtime guards on a nil *Tracer / nil *Histogram, and every method
+//     in this package is nil-receiver safe, so an uninstrumented run pays
+//     a single pointer comparison per site and allocates nothing.
+//
+//   - Enabled means no shared contention. Counters created through the
+//     registry are sharded across cache-line-padded cells (writers pick a
+//     shard by worker index and never contend); the tracer shards its
+//     ring buffers the same way. Most runtime metrics cost even less:
+//     they are gauge closures over counters the subsystems already
+//     maintain, so arming the registry adds no hot-path work at all —
+//     only the Snapshot reader pays.
+//
+// The tracer records fixed-size events (kind, worker, chunk, tag, epoch,
+// one free argument, timestamp, global sequence number) into per-shard
+// ring buffers, keeps exact per-kind totals that survive ring wraparound
+// (the reconciliation surface the nightly soak checks against registry
+// counters), and exports either a Chrome trace_event JSON — loadable in
+// chrome://tracing or https://ui.perfetto.dev — or a text flight-recorder
+// dump of the last N events, which the runtime attaches to EnclaveAbort
+// and wait-timeout errors so a failure ships its own history.
+//
+// The metric and event catalogue lives in catalog.go; the docmetric
+// analyzer in internal/lint enforces that it, OBSERVABILITY.md, and the
+// registration call sites across the repository agree on every name.
+package obs

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// script replays a small deterministic schedule into a tracer via
+// RecordAt, so timestamps (and therefore exports) are fully scripted.
+func script(t *Tracer) {
+	ts := int64(1_000_000_000)
+	at := func(d int64) int64 { return ts + d*1000 }
+	t.RecordAt(at(0), EvSpawn, 1, 10, 0, 1, 0)
+	t.RecordAt(at(1), EvSend, 2, 11, 0, 1, 1)
+	t.RecordAt(at(2), EvWait, 1, 0, 7, 1, 0)
+	t.RecordAt(at(3), EvSpawn, 2, 11, 0, 1, 0)
+	t.RecordAt(at(4), EvSend, 1, 0, 7, 1, 2)
+	t.RecordAt(at(5), EvSpawnEnd, 2, 11, 0, 1, 0)
+	t.RecordAt(at(6), EvJoin, 1, 0, 0, 1, 1)
+	t.RecordAt(at(7), EvAbort, 2, 11, 0, 1, 0)
+	t.RecordAt(at(8), EvReplaySpawn, 2, 11, 0, 1, 1)
+	t.RecordAt(at(9), EvSpawnEnd, 1, 10, 0, 1, 0)
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	const total = 8 + 5
+	for i := 0; i < total; i++ {
+		tr.Record(EvSend, 0, i, 0, 1, 0)
+	}
+	if got := tr.Recorded(); got != total {
+		t.Fatalf("Recorded = %d, want %d", got, total)
+	}
+	if got := tr.Dropped(); got != total-8 {
+		t.Fatalf("Dropped = %d, want %d", got, total-8)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("resident events = %d, want 8", len(evs))
+	}
+	// The resident window is the last 8 records: chunk ids 5..12.
+	for i, ev := range evs {
+		if want := int32(total - 8 + i); ev.Chunk != want {
+			t.Fatalf("event %d chunk = %d, want %d", i, ev.Chunk, want)
+		}
+	}
+	// Counts are exact despite wraparound.
+	if got := tr.Counts()["send"]; got != total {
+		t.Fatalf("Counts[send] = %d, want %d", got, total)
+	}
+}
+
+func TestBufferSizeRoundsUp(t *testing.T) {
+	tr := NewTracer(9) // rounds to 16
+	for i := 0; i < 16; i++ {
+		tr.Record(EvSend, 0, i, 0, 1, 0)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0 (capacity should round 9 up to 16)", got)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	tr := NewTracer(64)
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(EvSend, w, i, 0, 1, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != writers*per {
+		t.Fatalf("Recorded = %d, want %d", got, writers*per)
+	}
+	if got := tr.Counts()["send"]; got != writers*per {
+		t.Fatalf("Counts[send] = %d, want %d", got, writers*per)
+	}
+}
+
+func TestTimestampBatching(t *testing.T) {
+	tr := NewTracer(256)
+	// Batched kinds on one shard share the first read's timestamp until
+	// the batch window closes; a fresh-kind event reopens it.
+	for i := 0; i < 10; i++ {
+		tr.Record(EvSend, 0, i, 0, 1, 0)
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS != evs[0].TS {
+			t.Fatalf("event %d ts %d != batch ts %d within one window", i, evs[i].TS, evs[0].TS)
+		}
+	}
+	// A span boundary always samples fresh and never reuses a stale read.
+	tr2 := NewTracer(256)
+	tr2.RecordAt(42, EvSend, 0, 0, 0, 1, 0)
+	tr2.Record(EvSpawn, 0, 1, 0, 1, 0)
+	evs2 := tr2.Events()
+	if evs2[len(evs2)-1].TS == 42 {
+		t.Fatal("spawn reused a batched timestamp; span boundaries must sample fresh")
+	}
+}
+
+func TestExportDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	tr1 := NewTracer(64)
+	script(tr1)
+	tr2 := NewTracer(64)
+	script(tr2)
+	if err := tr1.WriteChromeTrace(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.WriteChromeTrace(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same scripted schedule differ")
+	}
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	tr := NewTracer(64)
+	script(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden (run with -update to regenerate)\ngot:\n%s", buf.String())
+	}
+	// Whatever the bytes, the export must stay parseable trace_event JSON
+	// with balanced B/E span pairs.
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export does not parse as trace_event JSON: %v", err)
+	}
+	var opens, closes int
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			opens++
+		case "E":
+			closes++
+		}
+	}
+	if opens != 2 || closes != 2 {
+		t.Fatalf("span phases B=%d E=%d, want 2/2", opens, closes)
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := NewTracer(64)
+	script(tr)
+	out := tr.Dump(4)
+	if !strings.Contains(out, "last 4 of 10 events") {
+		t.Fatalf("dump header wrong:\n%s", out)
+	}
+	for _, want := range []string{"abort", "replay.spawn", "spawn.end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, " wait ") {
+		t.Fatalf("dump should hold only the last 4 events:\n%s", out)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvSpawn, 0, 0, 0, 0, 0)
+	tr.RecordAt(1, EvSpawn, 0, 0, 0, 0, 0)
+	tr.RecordOn(0, EvSpawn, 0, 0, 0, 0, 0)
+	if tr.Events() != nil || tr.Counts() != nil || tr.Recorded() != 0 || tr.Dropped() != 0 || tr.Dump(8) != "" {
+		t.Fatal("nil tracer reads must all be empty")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}, false); err == nil {
+		t.Fatal("nil tracer export should error")
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	names := EventKindNames()
+	if len(names) != int(nEventKinds)-1 {
+		t.Fatalf("EventKindNames has %d entries, want %d", len(names), int(nEventKinds)-1)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("kind %d has no name", i+1)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate kind name %q", n)
+		}
+		seen[n] = true
+	}
+	if fmt.Sprint(EventKind(200)) != "event(200)" {
+		t.Fatal("unknown kinds should render as event(N)")
+	}
+}

@@ -41,6 +41,10 @@ type TimeoutError struct {
 	// wedged with work still pending; all-empty means the message is
 	// genuinely lost.
 	QueueDepths []int64
+
+	// flight is the tracer's last-N-events dump captured at expiry
+	// (empty with no tracer armed); see FlightRecord.
+	flight string
 }
 
 func (e *TimeoutError) Error() string {
@@ -65,6 +69,13 @@ func (e *TimeoutError) Error() string {
 // Is lets errors.Is(err, ErrWaitTimeout) match any supervision timeout.
 func (e *TimeoutError) Is(target error) bool { return target == ErrWaitTimeout }
 
+// FlightRecord returns the tracer's flight-recorder dump captured when
+// the timeout fired — the last events the runtime recorded before going
+// quiet (empty when no tracer was armed). Like EnclaveAbort stacks, it is
+// deliberately not part of Error(): flight records are for the operator
+// inspecting a failure, not for the one-line log.
+func (e *TimeoutError) FlightRecord() string { return e.flight }
+
 // EnclaveAbort is the poisoned completion a crashing chunk leaves behind:
 // the simulated analogue of an AEX that kills the enclave thread. Instead
 // of deadlocking the joiner, runSpawn converts the panic into a MsgDone
@@ -78,6 +89,10 @@ type EnclaveAbort struct {
 	// time — the only record of where inside the chunk the crash
 	// happened, since the panic unwinds before the abort is constructed.
 	stack []byte
+
+	// flight is the tracer's last-N-events dump at recover time, ending
+	// with this abort's own event; see FlightRecord.
+	flight string
 }
 
 func (e *EnclaveAbort) Error() string {
@@ -95,6 +110,11 @@ func (e *EnclaveAbort) Is(target error) bool { return target == ErrEnclaveAbort 
 // Error() — stacks are for the operator inspecting a failure, not for the
 // one-line log.
 func (e *EnclaveAbort) Stack() []byte { return e.stack }
+
+// FlightRecord returns the tracer's flight-recorder dump captured when
+// the chunk's panic was recovered; its last line is this abort's own
+// trace event. Empty when no tracer was armed.
+func (e *EnclaveAbort) FlightRecord() string { return e.flight }
 
 // ErrIagoViolation is the sentinel matched (errors.Is) by every runtime
 // boundary-defense detection: a pointer from unsafe memory that failed

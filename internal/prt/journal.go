@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"privagic/internal/obs"
 )
 
 // The journal is the transactional half of recovery: every spawn is
@@ -303,7 +305,7 @@ func (rt *Runtime) retrySpawn(w *Worker, abort *EnclaveAbort) bool {
 		delete(j.inflight, spawnKey{t, abort.Worker, abort.ChunkID})
 		j.mu.Unlock()
 		j.giveups.Add(1)
-		tracef("recovery: chunk %d on w%d exhausted %d attempts", abort.ChunkID, abort.Worker, attempt-1)
+		rt.trace(obs.EvGiveUp, abort.Worker, abort.ChunkID, 0, t.epoch.Load(), int64(attempt-1))
 		return false
 	}
 	rt.jr.replays.Add(1)
@@ -317,7 +319,10 @@ func (rt *Runtime) retrySpawn(w *Worker, abort *EnclaveAbort) bool {
 // current epoch.
 func (rt *Runtime) respawn(t *Thread, rec *spawnRec) {
 	target := t.Worker(rec.toIdx)
-	tracef("recovery: replay chunk %d -> w%d (attempt %d)", rec.chunkID, rec.toIdx, rec.attempts)
+	rec.mu.Lock()
+	attempt := rec.attempts
+	rec.mu.Unlock()
+	rt.trace(obs.EvReplaySpawn, rec.toIdx, rec.chunkID, 0, t.epoch.Load(), int64(attempt))
 	rt.send(rec.replyTo, target, Message{
 		Kind: MsgSpawn, ChunkID: rec.chunkID, Args: rec.args,
 		NeedReply: rec.needReply, ReplyTo: rec.replyTo,

@@ -1,0 +1,122 @@
+package prt
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"privagic/internal/obs"
+)
+
+// trace records one structured runtime event. With no tracer armed the
+// Record call is a nil-receiver no-op (one branch); PRT_TRACE additionally
+// renders the event to stderr, preserving the old printf tracing as a
+// view over the structured stream.
+func (rt *Runtime) trace(kind obs.EventKind, worker, chunk, tag int, epoch uint64, arg int64) {
+	rt.Tracer.Record(kind, worker, chunk, tag, epoch, arg)
+	if traceEnabled {
+		fmt.Fprintf(os.Stderr, "prt: w%d %s chunk=%d tag=%d epoch=%d arg=%d\n",
+			worker, kind, chunk, tag, epoch, arg)
+	}
+}
+
+// traceOn is trace with an explicit shard: events recorded on one
+// worker's goroutine about another worker (message sends) shard by the
+// recording goroutine so the shard lock stays uncontended.
+func (rt *Runtime) traceOn(shard int, kind obs.EventKind, worker, chunk, tag int, epoch uint64, arg int64) {
+	rt.Tracer.RecordOn(shard, kind, worker, chunk, tag, epoch, arg)
+	if traceEnabled {
+		fmt.Fprintf(os.Stderr, "prt: w%d %s chunk=%d tag=%d epoch=%d arg=%d\n",
+			worker, kind, chunk, tag, epoch, arg)
+	}
+}
+
+// traceAt is trace with a clock value the caller already read — the spawn
+// span boundaries reuse the chunk-latency histogram's reads, so a fully
+// instrumented chunk costs two clock samples, not four.
+func (rt *Runtime) traceAt(ts time.Time, kind obs.EventKind, worker, chunk, tag int, epoch uint64, arg int64) {
+	rt.Tracer.RecordAt(ts.UnixNano(), kind, worker, chunk, tag, epoch, arg)
+	if traceEnabled {
+		fmt.Fprintf(os.Stderr, "prt: w%d %s chunk=%d tag=%d epoch=%d arg=%d\n",
+			worker, kind, chunk, tag, epoch, arg)
+	}
+}
+
+// flightDump renders the tracer's last-N events (empty with no tracer) —
+// the flight record attached to aborts and timeouts.
+func (rt *Runtime) flightDump() string {
+	return rt.Tracer.Dump(flightRecordEvents)
+}
+
+// flightRecordEvents is how many trailing events an error's flight record
+// carries: enough to cover the failing protocol phase, small enough to
+// read in a terminal.
+const flightRecordEvents = 64
+
+// RegisterMetrics publishes the runtime's counters into reg (see
+// OBSERVABILITY.md for the catalogue) and arms the latency histograms.
+// Every prt metric is a gauge closure over a counter the runtime already
+// maintains, so registration adds no hot-path work; only the two
+// histograms introduce new instrumentation, each guarded by a nil check.
+// Call it after the runtime is configured; workers created later are
+// covered (the queue gauges aggregate over live threads at read time).
+func (rt *Runtime) RegisterMetrics(reg *obs.Registry) {
+	if rt == nil || reg == nil {
+		return
+	}
+	reg.Gauge("prt.rejected_spawns", rt.stats.rejectedSpawns.Load)
+	reg.Gauge("prt.rejected_conts", rt.stats.rejectedConts.Load)
+	reg.Gauge("prt.hostile_spawns", rt.stats.hostileSpawns.Load)
+	reg.Gauge("prt.hostile_conts", rt.stats.hostileConts.Load)
+	reg.Gauge("prt.hostile_other", rt.stats.hostileOther.Load)
+	reg.Gauge("prt.dropped_stale", rt.stats.droppedStale.Load)
+	reg.Gauge("prt.dropped_duplicates", rt.stats.droppedDuplicates.Load)
+	reg.Gauge("prt.aborts", rt.stats.aborts.Load)
+	reg.Gauge("prt.timeouts", rt.stats.timeouts.Load)
+	reg.Gauge("prt.drained", rt.stats.drained.Load)
+	reg.Gauge("prt.restarts", rt.stats.restarts.Load)
+	reg.Gauge("prt.redelivered", rt.stats.redelivered.Load)
+	reg.Gauge("prt.backpressure_waits", rt.stats.backpressure.Load)
+	reg.Gauge("prt.payload_tampered", rt.stats.payloadTampered.Load)
+	reg.Gauge("prt.stalls", func() int64 {
+		rt.stats.stallMu.Lock()
+		defer rt.stats.stallMu.Unlock()
+		return int64(len(rt.stats.stalls))
+	})
+
+	reg.Gauge("prt.journal.spawns", rt.jr.journaled.Load)
+	reg.Gauge("prt.journal.commits", rt.jr.commits.Load)
+	reg.Gauge("prt.journal.replays", rt.jr.replays.Load)
+	reg.Gauge("prt.journal.giveups", rt.jr.giveups.Load)
+
+	reg.Gauge("prt.queue.depth", func() int64 { return rt.sumQueues(func(d, _, _, _, _ int64) int64 { return d }) })
+	reg.Gauge("prt.queue.enqueues", func() int64 { return rt.sumQueues(func(_, e, _, _, _ int64) int64 { return e }) })
+	reg.Gauge("prt.queue.dequeues", func() int64 { return rt.sumQueues(func(_, _, d, _, _ int64) int64 { return d }) })
+	reg.Gauge("prt.queue.parks", func() int64 { return rt.sumQueues(func(_, _, _, p, _ int64) int64 { return p }) })
+	reg.Gauge("prt.queue.full_waits", func() int64 { return rt.sumQueues(func(_, _, _, _, f int64) int64 { return f }) })
+
+	rt.hChunkUS = reg.Histogram("prt.chunk_exec_us")
+	rt.hWaitUS = reg.Histogram("prt.wait_block_us")
+
+	reg.Gauge("obs.trace_events", func() int64 { return rt.Tracer.Recorded() })
+	reg.Gauge("obs.trace_dropped", func() int64 { return rt.Tracer.Dropped() })
+}
+
+// sumQueues folds one per-queue statistic across every live worker queue
+// of every thread. Snapshot-time only; never on the hot path.
+func (rt *Runtime) sumQueues(pick func(depth, enq, deq, parks, fullWaits int64) int64) int64 {
+	rt.mu.Lock()
+	threads := append([]*Thread(nil), rt.threads...)
+	rt.mu.Unlock()
+	var total int64
+	for _, t := range threads {
+		t.wmu.RLock()
+		workers := append([]*Worker(nil), t.Workers...)
+		t.wmu.RUnlock()
+		for _, w := range workers {
+			enq, deq := w.q.Stats()
+			total += pick(w.q.Depth(), enq, deq, w.q.Parks(), w.q.FullWaits())
+		}
+	}
+	return total
+}

@@ -1,0 +1,116 @@
+package prt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"privagic/internal/obs"
+)
+
+// TestTraceCoversSpawnProtocol runs one spawn/join round trip with the
+// tracer armed and checks the structured stream: spans balance, the
+// transport events carry the receiver, and counts are exact.
+func TestTraceCoversSpawnProtocol(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { return 7 },
+	})
+	rt.Tracer = obs.NewTracer(256)
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	if got, err := u.Join(1); err != nil || got != 7 {
+		t.Fatalf("Join = %v, %v", got, err)
+	}
+	counts := rt.Tracer.Counts()
+	if counts["spawn"] != 1 || counts["spawn.end"] != 1 {
+		t.Fatalf("span counts %v, want one spawn and one spawn.end", counts)
+	}
+	if counts["send"] != 2 { // the spawn out, the done back
+		t.Fatalf("send count %v, want 2", counts)
+	}
+	if counts["join"] != 1 {
+		t.Fatalf("join count %v, want 1", counts)
+	}
+}
+
+// TestAbortCarriesFlightRecord checks the flight recorder: an enclave
+// abort surfaces with the tracer's trailing events attached, and the
+// record's last line is the abort itself.
+func TestAbortCarriesFlightRecord(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any { panic("enclave blew up") },
+	})
+	rt.Tracer = obs.NewTracer(256)
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, true)
+	_, err := u.Join(1)
+	var abort *EnclaveAbort
+	if !errors.As(err, &abort) {
+		t.Fatalf("Join = %v, want *EnclaveAbort", err)
+	}
+	fr := abort.FlightRecord()
+	if fr == "" {
+		t.Fatal("abort has no flight record despite an armed tracer")
+	}
+	lines := strings.Split(strings.TrimRight(fr, "\n"), "\n")
+	if !strings.Contains(lines[len(lines)-1], "abort") {
+		t.Fatalf("flight record's last line is not the abort:\n%s", fr)
+	}
+}
+
+// TestTimeoutCarriesFlightRecord checks the other error surface: a wait
+// timeout's diagnostics include the flight record next to the pending
+// tags and queue depths.
+func TestTimeoutCarriesFlightRecord(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{})
+	rt.Tracer = obs.NewTracer(256)
+	rt.Supervise = Supervision{WaitTimeout: 20 * time.Millisecond}
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	_, err := u.Wait(42) // nobody ever sends tag 42
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("Wait = %v, want *TimeoutError", err)
+	}
+	if te.FlightRecord() == "" {
+		t.Fatal("timeout has no flight record despite an armed tracer")
+	}
+	if !strings.Contains(te.FlightRecord(), "wait") {
+		t.Fatalf("flight record does not show the blocked wait:\n%s", te.FlightRecord())
+	}
+}
+
+// TestWaitHistogramObservesBlockedWaits checks that RegisterMetrics arms
+// the wait-latency histogram and that a satisfied blocking wait lands one
+// sample derived from the admit stamp.
+func TestWaitHistogramObservesBlockedWaits(t *testing.T) {
+	rt := testRT(t, []string{"blue"}, map[int]func(w *Worker, args []any) any{
+		1: func(w *Worker, args []any) any {
+			time.Sleep(2 * time.Millisecond)
+			w.SendCont(0, 5, "done")
+			return nil
+		},
+	})
+	reg := obs.NewRegistry()
+	rt.RegisterMetrics(reg)
+	th := rt.NewThread()
+	defer th.Close()
+	u := th.Normal()
+	u.Spawn(1, 1, nil, false)
+	if got, err := u.Wait(5); err != nil || got != "done" {
+		t.Fatalf("Wait = %v, %v", got, err)
+	}
+	snap := reg.Snapshot()
+	if snap["prt.wait_block_us.count"] != 1 {
+		t.Fatalf("wait histogram count = %d, want 1", snap["prt.wait_block_us.count"])
+	}
+	if snap["prt.chunk_exec_us.count"] != 1 {
+		t.Fatalf("chunk histogram count = %d, want 1", snap["prt.chunk_exec_us.count"])
+	}
+}

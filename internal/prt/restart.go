@@ -1,6 +1,10 @@
 package prt
 
-import "time"
+import (
+	"time"
+
+	"privagic/internal/obs"
+)
 
 // RestartWorker tears down the enclave worker bound to color index idx and
 // re-creates it in a fresh epoch: the replacement gets a new queue and a
@@ -32,7 +36,7 @@ func (t *Thread) RestartWorker(idx int) int {
 	t.Workers[idx] = repl
 	t.wmu.Unlock()
 	rt.stats.restarts.Add(1)
-	tracef("restart: w%d epoch %d -> %d", idx, t.epoch.Load(), t.epoch.Load()+1)
+	rt.trace(obs.EvRestart, idx, 0, 0, t.epoch.Load(), 0)
 
 	// Fence the dead incarnation: everything it still sends (a straggler
 	// Done from a chunk that was mid-run when we gave up on it) carries

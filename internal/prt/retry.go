@@ -9,6 +9,9 @@
 // systems amplify failure domains (every cross-domain call is a new place
 // to wedge); bounding the amplification inside the runtime is what lets
 // every caller stay oblivious.
+//
+// (Not the package comment — that is runtime.go's.)
+
 package prt
 
 import (

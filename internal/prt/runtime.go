@@ -34,19 +34,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privagic/internal/obs"
 	"privagic/internal/queue"
 	"privagic/internal/sgx"
 )
 
-// traceEnabled turns on message tracing via the PRT_TRACE environment
-// variable (debugging aid for generated-protocol issues).
+// traceEnabled turns on stderr rendering of structured trace events via
+// the PRT_TRACE environment variable (debugging aid for generated-protocol
+// issues). The events themselves are recorded by Runtime.Tracer — see
+// internal/obs and OBSERVABILITY.md; PRT_TRACE is just a live text view.
 var traceEnabled = os.Getenv("PRT_TRACE") != ""
-
-func tracef(format string, args ...any) {
-	if traceEnabled {
-		fmt.Fprintf(os.Stderr, "prt: "+format+"\n", args...)
-	}
-}
 
 // MsgKind discriminates runtime messages.
 type MsgKind int
@@ -165,6 +162,17 @@ type Runtime struct {
 	// creating threads; see retry.go and journal.go.
 	Recovery RecoveryPolicy
 
+	// Tracer, when set, records a structured event per runtime decision
+	// (admit-gate rejects, spawns, waits, replays, restarts — see
+	// internal/obs and OBSERVABILITY.md). Nil disables tracing at the
+	// cost of one branch per site. Set it before creating threads.
+	Tracer *obs.Tracer
+
+	// hChunkUS/hWaitUS are the latency histograms RegisterMetrics arms
+	// (nil = no timing instrumentation at all).
+	hChunkUS *obs.Histogram
+	hWaitUS  *obs.Histogram
+
 	// jr is the spawn redo log backing Recovery.
 	jr journal
 
@@ -240,6 +248,11 @@ type Worker struct {
 	reorderBuf map[uint64]Message
 	execEpoch  uint64 // epoch of the spawn currently executing
 	stopping   bool   // a stop was consumed mid-protocol
+	// admitNS is the wall clock of this worker's most recent admitted
+	// message — the per-worker twin of rt.lastAdmit, reusing the same
+	// clock read. The wait-latency histogram derives block durations
+	// from it instead of reading the clock again.
+	admitNS int64
 
 	// curRec is the journal entry of the spawn currently executing on
 	// this worker (nil when recovery is off): the cont replay caches
@@ -492,7 +505,9 @@ func (w *Worker) next(deadline time.Time) (Message, bool) {
 		if msg, ok := w.reorderBuf[w.expect+1]; ok {
 			delete(w.reorderBuf, w.expect+1)
 			w.expect++
-			rt.lastAdmit.Store(time.Now().UnixNano())
+			now := time.Now().UnixNano()
+			rt.lastAdmit.Store(now)
+			w.admitNS = now
 			if w.accept(msg) {
 				return msg, true
 			}
@@ -517,7 +532,7 @@ func (w *Worker) next(deadline time.Time) (Message, bool) {
 			default:
 				rt.stats.hostileOther.Add(1)
 			}
-			tracef("w%d reject forged kind=%d tag=%d", w.Index, msg.Kind, msg.Tag)
+			rt.trace(obs.EvRejectForged, w.Index, msg.ChunkID, msg.Tag, msg.epoch, int64(msg.Kind))
 			continue
 		}
 		if msg.Kind == msgStop {
@@ -526,7 +541,7 @@ func (w *Worker) next(deadline time.Time) (Message, bool) {
 		switch {
 		case msg.epoch < w.ordEpoch:
 			rt.stats.droppedStale.Add(1)
-			tracef("w%d drop stale kind=%d epoch=%d<%d", w.Index, msg.Kind, msg.epoch, w.ordEpoch)
+			rt.trace(obs.EvDropStale, w.Index, msg.ChunkID, msg.Tag, msg.epoch, int64(msg.Kind))
 			continue
 		case msg.epoch > w.ordEpoch:
 			// The thread advanced between our epoch load and this
@@ -536,7 +551,7 @@ func (w *Worker) next(deadline time.Time) (Message, bool) {
 		switch {
 		case msg.strSeq <= w.expect:
 			rt.stats.droppedDuplicates.Add(1)
-			tracef("w%d drop duplicate kind=%d strSeq=%d<=%d", w.Index, msg.Kind, msg.strSeq, w.expect)
+			rt.trace(obs.EvDropDuplicate, w.Index, msg.ChunkID, msg.Tag, msg.epoch, int64(msg.strSeq))
 			continue
 		case msg.strSeq > w.expect+1:
 			if len(w.reorderBuf) < reorderBufCap {
@@ -544,14 +559,16 @@ func (w *Worker) next(deadline time.Time) (Message, bool) {
 					w.reorderBuf = make(map[uint64]Message, 8)
 				}
 				w.reorderBuf[msg.strSeq] = msg
-				tracef("w%d park kind=%d strSeq=%d (expect %d)", w.Index, msg.Kind, msg.strSeq, w.expect+1)
+				rt.trace(obs.EvParkReorder, w.Index, msg.ChunkID, msg.Tag, msg.epoch, int64(msg.strSeq))
 			} else {
 				rt.stats.droppedStale.Add(1)
 			}
 			continue
 		}
 		w.expect++
-		rt.lastAdmit.Store(time.Now().UnixNano())
+		now := time.Now().UnixNano()
+		rt.lastAdmit.Store(now)
+		w.admitNS = now
 		if w.accept(msg) {
 			return msg, true
 		}
@@ -584,12 +601,12 @@ func (w *Worker) accept(msg Message) bool {
 	rt := w.Thread.RT
 	if rt.PayloadTags && msg.paySum != payloadSum(&msg) {
 		rt.stats.payloadTampered.Add(1)
-		tracef("w%d reject mutated payload kind=%d tag=%d", w.Index, msg.Kind, msg.Tag)
+		rt.trace(obs.EvRejectPayload, w.Index, msg.ChunkID, msg.Tag, msg.epoch, int64(msg.Kind))
 		return false
 	}
 	if msg.Kind == MsgCont && rt.ValidateCont != nil && !rt.ValidateCont(msg.Tag) {
 		rt.stats.rejectedConts.Add(1)
-		tracef("w%d reject cont with unknown tag=%d", w.Index, msg.Tag)
+		rt.trace(obs.EvRejectContTag, w.Index, msg.ChunkID, msg.Tag, msg.epoch, 0)
 		return false
 	}
 	return true
@@ -620,7 +637,6 @@ func (w *Worker) prunePending() {
 // MsgDone carrying an *EnclaveAbort, and the worker survives to serve the
 // next request.
 func (w *Worker) runSpawn(msg Message) {
-	tracef("w%d run spawn chunk=%d", w.Index, msg.ChunkID)
 	rt := w.Thread.RT
 	prevEpoch := w.execEpoch
 	w.execEpoch = msg.epoch
@@ -649,6 +665,13 @@ func (w *Worker) runSpawn(msg Message) {
 		w.curRec = nil
 	}
 	defer func() { w.curRec = prevRec }()
+	// One clock read serves both the span-open event and the latency
+	// histogram; with neither armed the spawn path never touches the clock.
+	var started time.Time
+	if rt.hChunkUS != nil || rt.Tracer != nil {
+		started = time.Now()
+	}
+	rt.traceAt(started, obs.EvSpawn, w.Index, msg.ChunkID, 0, msg.epoch, 0)
 	var ret any
 	aborted := func() (aborted bool) {
 		defer func() {
@@ -663,7 +686,10 @@ func (w *Worker) runSpawn(msg Message) {
 					Worker: w.Index, ChunkID: msg.ChunkID, Cause: cause,
 					stack: debug.Stack(),
 				}
-				tracef("w%d abort chunk=%d: %v", w.Index, msg.ChunkID, cause)
+				rt.trace(obs.EvAbort, w.Index, msg.ChunkID, 0, msg.epoch, 0)
+				// Snapshot the flight record after the abort event, so
+				// the record's last line is the abort itself.
+				abort.flight = rt.flightDump()
 				if msg.ReplyTo != nil {
 					rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, From: w.Index, ChunkID: msg.ChunkID, Err: abort})
 				}
@@ -672,6 +698,14 @@ func (w *Worker) runSpawn(msg Message) {
 		ret = rt.Exec(w, msg.ChunkID, msg.Args)
 		return false
 	}()
+	var ended time.Time
+	if rt.hChunkUS != nil || rt.Tracer != nil {
+		ended = time.Now()
+	}
+	if rt.hChunkUS != nil {
+		rt.hChunkUS.Observe(ended.Sub(started).Microseconds())
+	}
+	rt.traceAt(ended, obs.EvSpawnEnd, w.Index, msg.ChunkID, 0, msg.epoch, 0)
 	if !aborted && msg.ReplyTo != nil {
 		rt.send(w, msg.ReplyTo, Message{Kind: MsgDone, Payload: ret, From: w.Index, ChunkID: msg.ChunkID})
 	}
@@ -681,7 +715,6 @@ func (w *Worker) runSpawn(msg Message) {
 // worker (epoch provenance); the interceptor, when installed, owns the
 // actual delivery.
 func (rt *Runtime) send(from, to *Worker, msg Message) {
-	tracef("send -> w%d kind=%d chunk=%d tag=%d", to.Index, msg.Kind, msg.ChunkID, msg.Tag)
 	rt.Meter.ChargeMessage(&rt.Machine.Cost)
 	msg.auth = authStamp
 	if from != nil {
@@ -690,6 +723,15 @@ func (rt *Runtime) send(from, to *Worker, msg Message) {
 		msg.epoch = to.Thread.epoch.Load()
 	}
 	msg.strSeq = to.Thread.nextStrSeq(msg.epoch, to.Index)
+	// Trace after the routing metadata is final: the event carries the
+	// stream position the receiver will reassemble by. Worker = receiver,
+	// but the event lands in the sender's shard — recording is on the
+	// sender's goroutine, and sharding by it keeps the lock uncontended.
+	shard := to.Index
+	if from != nil {
+		shard = from.Index
+	}
+	rt.traceOn(shard, obs.EvSend, to.Index, msg.ChunkID, msg.Tag, msg.epoch, int64(msg.strSeq))
 	if rt.PayloadTags {
 		// Tag after the routing metadata is final: the sum covers epoch
 		// and strSeq too, so a mutated copy cannot borrow a stale tag.
@@ -748,7 +790,7 @@ func (w *Worker) Spawn(colorIdx int, chunkID int, args []any, needReply bool) {
 		// A previous attempt of this chunk already issued this nested
 		// spawn; it is either still in flight or already consumed. A
 		// fresh copy would execute the nested chunk a second time.
-		tracef("w%d suppress replayed spawn chunk=%d", w.Index, chunkID)
+		rt.trace(obs.EvSuppressSpawn, w.Index, chunkID, 0, w.epochNow(), 0)
 		return
 	}
 	if rt.Recovery.Enabled() {
@@ -775,7 +817,7 @@ func (w *Worker) SendCont(colorIdx int, tag int, payload any) {
 		// the peer consumed it. Re-sending would stamp a fresh strSeq
 		// (the admit gate would accept it) and the copy could satisfy a
 		// *later* wait on the same tag — so the replay stays silent.
-		tracef("w%d suppress replayed cont tag=%d", w.Index, tag)
+		w.Thread.RT.trace(obs.EvSuppressCont, w.Index, 0, tag, w.epochNow(), 0)
 		return
 	}
 	w.Thread.RT.send(w, w.Thread.Worker(colorIdx), Message{Kind: MsgCont, Payload: payload, Tag: tag})
@@ -818,13 +860,14 @@ func (w *Worker) WaitTimeout(tag int, d time.Duration) (any, error) {
 }
 
 func (w *Worker) waitTag(tag int, window time.Duration) (any, error) {
-	tracef("w%d wait tag=%d", w.Index, tag)
+	rt := w.Thread.RT
+	rt.trace(obs.EvWait, w.Index, 0, tag, w.epochNow(), 0)
 	w.prunePending()
 	// A replayed chunk re-consumes conts its crashed attempt already took;
 	// the peer will not send them again, so the journal cache serves them.
 	if rec := w.curRec; rec != nil {
 		if msg, ok := rec.cachedCont(tag); ok {
-			tracef("w%d replay cached cont tag=%d", w.Index, tag)
+			rt.trace(obs.EvReplayCachedCont, w.Index, 0, tag, w.epochNow(), 0)
 			return msg.Payload, nil
 		}
 	}
@@ -861,8 +904,9 @@ func (w *Worker) waitTag(tag int, window time.Duration) (any, error) {
 			if w.Thread.RT.sysActiveWithin(window) {
 				continue // the system is alive; only our queue is quiet
 			}
-			w.Thread.RT.stats.timeouts.Add(1)
+			rt.stats.timeouts.Add(1)
 			err := &TimeoutError{Op: "wait", Worker: w.Index, Tag: tag, Elapsed: time.Since(start)}
+			rt.trace(obs.EvTimeout, w.Index, 0, tag, w.epochNow(), err.Elapsed.Microseconds())
 			w.Thread.timeoutDiag(err)
 			return nil, err
 		}
@@ -871,6 +915,13 @@ func (w *Worker) waitTag(tag int, window time.Duration) (any, error) {
 			if msg.Tag == tag {
 				if rec := w.curRec; rec != nil {
 					rec.recordContIn(msg)
+				}
+				if rt.hWaitUS != nil {
+					// Block duration from the admit stamp next() already
+					// took — no clock read on the satisfied-wait path.
+					if d := (w.admitNS - start.UnixNano()) / 1e3; d >= 0 {
+						rt.hWaitUS.Observe(d)
+					}
 				}
 				return msg.Payload, nil
 			}
@@ -930,6 +981,7 @@ func (t *Thread) timeoutDiag(te *TimeoutError) {
 		te.PendingTags = append(te.PendingTags, tag)
 	}
 	sort.Ints(te.PendingTags)
+	te.flight = t.RT.flightDump()
 }
 
 // JoinOne waits for a single spawn completion and returns the whole Done
@@ -951,7 +1003,7 @@ func (w *Worker) joinOne(window time.Duration) (Message, error) {
 	// cache serves them.
 	if rec := w.curRec; rec != nil {
 		if msg, ok := rec.cachedDone(); ok {
-			tracef("w%d replay cached done chunk=%d", w.Index, msg.ChunkID)
+			w.Thread.RT.trace(obs.EvReplayCachedDone, w.Index, msg.ChunkID, 0, w.epochNow(), 0)
 			return msg, nil
 		}
 	}
@@ -979,6 +1031,7 @@ func (w *Worker) joinOne(window time.Duration) (Message, error) {
 			}
 			w.Thread.RT.stats.timeouts.Add(1)
 			err := &TimeoutError{Op: "join-one", Worker: w.Index, Pending: 1, Elapsed: time.Since(start)}
+			w.Thread.RT.trace(obs.EvTimeout, w.Index, 0, 0, w.epochNow(), err.Elapsed.Microseconds())
 			w.Thread.timeoutDiag(err)
 			return Message{}, err
 		}
@@ -1015,7 +1068,7 @@ func (w *Worker) JoinTimeout(n int, d time.Duration) (any, error) {
 }
 
 func (w *Worker) joinN(n int, window time.Duration) (any, error) {
-	tracef("w%d join n=%d", w.Index, n)
+	w.Thread.RT.trace(obs.EvJoin, w.Index, 0, 0, w.epochNow(), int64(n))
 	w.prunePending()
 	var result any
 	var firstErr error
@@ -1034,7 +1087,7 @@ func (w *Worker) joinN(n int, window time.Duration) (any, error) {
 			if !ok {
 				break
 			}
-			tracef("w%d replay cached done chunk=%d", w.Index, msg.ChunkID)
+			w.Thread.RT.trace(obs.EvReplayCachedDone, w.Index, msg.ChunkID, 0, w.epochNow(), 0)
 			take(msg)
 			n--
 		}
@@ -1062,6 +1115,7 @@ func (w *Worker) joinN(n int, window time.Duration) (any, error) {
 			}
 			w.Thread.RT.stats.timeouts.Add(1)
 			err := &TimeoutError{Op: "join", Worker: w.Index, Pending: n, Elapsed: time.Since(start)}
+			w.Thread.RT.trace(obs.EvTimeout, w.Index, 0, 0, w.epochNow(), err.Elapsed.Microseconds())
 			w.Thread.timeoutDiag(err)
 			return result, err
 		}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"privagic/internal/obs"
 )
 
 // Supervision configures the runtime's fault-tolerance layer. The zero
@@ -197,7 +199,7 @@ func (rt *Runtime) watchdog() {
 				if blocked < threshold || !bi.reported.CompareAndSwap(false, true) {
 					continue
 				}
-				tracef("watchdog: w%d stuck in %s tag=%d for %v", w.Index, bi.op, bi.tag, blocked)
+				rt.trace(obs.EvStall, w.Index, 0, bi.tag, t.epoch.Load(), blocked.Microseconds())
 				rt.stats.stallMu.Lock()
 				if len(rt.stats.stalls) < 1024 {
 					rt.stats.stalls = append(rt.stats.stalls, Stall{

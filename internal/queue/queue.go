@@ -7,6 +7,10 @@
 // garbage collector plays the role of the hazard-pointer reclamation scheme
 // of [28], which is exactly the simplification those papers anticipate for
 // managed runtimes.
+//
+// Each queue tracks its own depth, enqueue/dequeue totals, park-sleeps
+// and full-queue waits; the runtime aggregates them across workers into
+// the prt.queue.* gauges (see OBSERVABILITY.md).
 package queue
 
 import (

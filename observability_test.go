@@ -1,0 +1,105 @@
+package privagic
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestObservabilityFacade exercises the public observability surface end
+// to end: arm metrics + tracer, run a partitioned program, and check that
+// the snapshot carries catalogued runtime metrics, the trace exports as
+// parseable Chrome JSON, the flight-record dump renders, and the exact
+// per-kind totals reconcile.
+func TestObservabilityFacade(t *testing.T) {
+	src := `
+int color(blue) blue = 10;
+int f(int y) { return y + blue; }
+entry int main() { return f(32); }
+`
+	prog, err := Compile("obs.c", src, Options{Mode: Relaxed, Entries: []string{"main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	inst.EnableObservability(ObservabilityOptions{Metrics: true, Trace: true})
+	ret, err := inst.Call("main")
+	if err != nil || ret != 42 {
+		t.Fatalf("Call = %d, %v; want 42", ret, err)
+	}
+
+	snap := inst.MetricsSnapshot()
+	if snap == nil {
+		t.Fatal("MetricsSnapshot is nil with metrics enabled")
+	}
+	for _, name := range []string{"prt.chunk_exec_us.count", "prt.queue.enqueues", "obs.trace_events"} {
+		if snap[name] <= 0 {
+			t.Errorf("snapshot[%q] = %d, want > 0 (snapshot: %v)", name, snap[name], snap)
+		}
+	}
+
+	counts := inst.TraceCounts()
+	if counts["spawn"] == 0 || counts["spawn"] != counts["spawn.end"] {
+		t.Fatalf("TraceCounts spans unbalanced: %v", counts)
+	}
+	if snap["obs.trace_events"] != totalOf(counts) {
+		t.Errorf("obs.trace_events = %d, but per-kind totals sum to %d",
+			snap["obs.trace_events"], totalOf(counts))
+	}
+
+	var buf bytes.Buffer
+	if err := inst.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export is empty")
+	}
+
+	dump := inst.TraceDump(8)
+	if dump == "" || !strings.Contains(dump, "spawn") {
+		t.Fatalf("TraceDump does not show the schedule:\n%s", dump)
+	}
+}
+
+func totalOf(counts map[string]int64) int64 {
+	var n int64
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}
+
+// TestObservabilityDisabledIsInert pins the fast path: with nothing
+// enabled every accessor degrades to its zero value instead of panicking.
+func TestObservabilityDisabledIsInert(t *testing.T) {
+	src := `entry int main() { return 1; }`
+	prog, err := Compile("plain.c", src, Options{Mode: Relaxed, Entries: []string{"main"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.Instantiate(nil)
+	defer inst.Close()
+	if _, err := inst.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if snap := inst.MetricsSnapshot(); snap != nil {
+		t.Errorf("MetricsSnapshot = %v with observability off", snap)
+	}
+	if counts := inst.TraceCounts(); counts != nil {
+		t.Errorf("TraceCounts = %v with observability off", counts)
+	}
+	if dump := inst.TraceDump(8); dump != "" {
+		t.Errorf("TraceDump = %q with observability off", dump)
+	}
+	if err := inst.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("WriteChromeTrace must error with no tracer armed")
+	}
+}

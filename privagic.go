@@ -21,6 +21,7 @@ package privagic
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"privagic/internal/audit"
@@ -28,6 +29,7 @@ import (
 	"privagic/internal/interp"
 	"privagic/internal/ir"
 	"privagic/internal/minic"
+	"privagic/internal/obs"
 	"privagic/internal/partition"
 	"privagic/internal/passes"
 	"privagic/internal/prt"
@@ -177,6 +179,11 @@ type Instance struct {
 	ip  *interp.Interp
 	inj *faults.Injector
 	mut *faults.Mutator
+
+	// reg/tracer are the observability layer (nil until
+	// EnableObservability; everything downstream is nil-safe).
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // Instantiate loads the program on a machine (nil means the paper's
@@ -382,6 +389,73 @@ func (i *Instance) BoundaryStats() BoundaryStats {
 	}
 }
 
+// ObservabilityOptions configures the metrics registry and structured
+// tracer (OBSERVABILITY.md is the catalogue of everything they export).
+type ObservabilityOptions struct {
+	// Metrics publishes the runtime's counters into a registry readable
+	// via MetricsSnapshot. Almost free: the metrics are read-on-snapshot
+	// closures over counters the subsystems maintain anyway; only the
+	// two latency histograms add per-event work.
+	Metrics bool
+	// Trace arms the structured event tracer: every runtime decision
+	// (spawn, wait, reject, replay, restart) is recorded into per-worker
+	// ring buffers, exportable as Chrome trace_event JSON via
+	// WriteChromeTrace and attached to aborts/timeouts as a text flight
+	// record. Costs one uncontended mutex acquisition per message event.
+	Trace bool
+	// TraceBuffer is the per-worker-shard ring capacity (0 = 1024
+	// events, sized to keep the rings cache-resident next to a live
+	// workload). The tracer keeps exact per-kind totals even after the
+	// rings wrap; only the exportable event bodies are bounded, so size
+	// this up (e.g. 1<<14) for full-history capture runs.
+	TraceBuffer int
+}
+
+// EnableObservability arms the metrics registry and/or the tracer. Call
+// before the first Call (and before EnableFaultInjection/EnableMutator if
+// their counters should appear in snapshots). Disabled observability
+// costs one branch per instrumentation point.
+func (i *Instance) EnableObservability(o ObservabilityOptions) {
+	if o.Trace {
+		i.tracer = obs.NewTracer(o.TraceBuffer)
+	}
+	if o.Metrics {
+		i.reg = obs.NewRegistry()
+	}
+	i.ip.EnableObservability(i.reg, i.tracer)
+	if i.reg != nil {
+		if i.inj != nil {
+			i.reg.RegisterSource("inject", i.inj)
+		}
+		if i.mut != nil {
+			i.reg.RegisterSource("mutate", i.mut)
+		}
+	}
+}
+
+// MetricsSnapshot flattens the registry into metric name -> value (nil
+// when EnableObservability did not ask for metrics). Names are catalogued
+// in OBSERVABILITY.md.
+func (i *Instance) MetricsSnapshot() map[string]int64 { return i.reg.Snapshot() }
+
+// WriteChromeTrace exports the tracer's resident events as Chrome
+// trace_event JSON — open the output in chrome://tracing or
+// https://ui.perfetto.dev. Errors when no tracer is armed.
+func (i *Instance) WriteChromeTrace(w io.Writer) error {
+	return i.tracer.WriteChromeTrace(w, false)
+}
+
+// TraceDump renders the tracer's last n events as a text flight record
+// (empty when no tracer is armed) — the same format attached to
+// EnclaveAbort and wait-timeout errors.
+func (i *Instance) TraceDump(n int) string { return i.tracer.Dump(n) }
+
+// TraceCounts returns exact per-event-kind totals since the tracer was
+// armed (nil when no tracer). Unlike the exported event bodies these
+// survive ring wraparound, so they are the surface the nightly soak
+// reconciles against MetricsSnapshot.
+func (i *Instance) TraceCounts() map[string]int64 { return i.tracer.Counts() }
+
 // MutatorOptions configures the U-memory mutator adversary (the §4
 // attacker who owns unsafe memory contents, not just the message
 // protocol). Probabilities are per read word / per message, in [0,1].
@@ -421,6 +495,7 @@ func (i *Instance) EnableMutator(o MutatorOptions) {
 		MaxHeld:       o.MaxHeld,
 	})
 	i.ip.SetBoundaryObserver(i.mut)
+	i.reg.RegisterSource("mutate", i.mut)
 }
 
 // MutatorStats snapshots the mutator adversary's counters (zero value
@@ -489,6 +564,9 @@ func (i *Instance) EnableFaultInjection(o FaultOptions) {
 	} else {
 		i.ip.SetCrashPoint(nil)
 	}
+	// Re-arming replaces the previous source: RegisterSource keys by
+	// prefix, so snapshots always read the live injector.
+	i.reg.RegisterSource("inject", i.inj)
 }
 
 // FaultStats snapshots the injector's counters (zero value when fault
