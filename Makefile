@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs fuzz bench fmt
+.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster fuzz bench fmt
 
 tier1: lint
 	$(GO) build ./...
@@ -25,7 +25,7 @@ audit:
 
 tier2: tier1
 	$(GO) vet ./...
-	$(GO) test -race ./internal/prt ./internal/queue ./internal/faults
+	$(GO) test -race ./internal/prt ./internal/queue ./internal/faults ./internal/cluster
 
 # The full 1000+-schedule robustness sweep, race-free build for speed.
 soak:
@@ -52,6 +52,15 @@ tier3-iago:
 tier3-obs:
 	$(GO) test -count=1 -run 'TestSoakTraceReconcile' -v -timeout 30m ./internal/faults
 	$(GO) run ./cmd/privagic-bench -exp obs
+
+# Tier-3: the sharded-cluster chaos soak (500+ seeded schedules of
+# mid-run shard kills/hangs/respawns: every read must be fresh-or-miss,
+# never stale or foreign, with zero deadlocks; the relaxed control —
+# overload without faults — must show zero spurious failovers) plus the
+# scaling/failover-blackout experiment.
+tier3-cluster:
+	$(GO) test -count=1 -run 'TestClusterChaosSoak|TestClusterRelaxedSoak' -v -timeout 30m ./internal/cluster
+	$(GO) run ./cmd/privagic-bench -exp cluster
 
 # 60-second coverage-guided smoke of the memcached protocol fuzzer,
 # starting from the checked-in corpus in

@@ -11,6 +11,10 @@
 // simulated SGX machine with the structured tracer armed and writes the
 // schedule as Chrome trace_event JSON (open in ui.perfetto.dev; see
 // OBSERVABILITY.md).
+// -shards N replaces the single server with an N-shard cluster behind
+// the consistent-hashing router; with N >= 2 a shard is killed and
+// respawned mid-run to demonstrate fencing, retry failover, and
+// readmission (see DESIGN.md §14).
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"privagic"
+	"privagic/internal/cluster"
 	"privagic/internal/memcached"
 	"privagic/internal/obs"
 	"privagic/internal/sources"
@@ -31,7 +36,15 @@ import (
 func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof + /debug/metrics on this address (e.g. 127.0.0.1:8080) and stay up after the load")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of one privagic-compiled memcached-core run to this file")
+	shards := flag.Int("shards", 0, "run an N-shard cluster behind the router instead of one server; N >= 2 also kills a shard mid-run to show failover")
 	flag.Parse()
+
+	if *shards > 0 {
+		if err := runCluster(*shards); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	store := memcached.NewStore(1<<14, 64<<20)
 	srv, err := memcached.NewServer("127.0.0.1:0", store, 7) // the paper's 7 threads
@@ -133,6 +146,104 @@ func main() {
 		fmt.Printf("serving diagnostics on http://%s — interrupt to exit\n", debug.Addr())
 		select {}
 	}
+}
+
+// runCluster drives the same YCSB load against an n-shard cluster through
+// the consistent-hashing router. Each client gets a deterministic disjoint
+// substream via Generator.Split. With n >= 2 a shard is killed mid-run and
+// respawned shortly after: probes fence it, retries ride onto survivors,
+// and the fresh incarnation is readmitted at a higher epoch.
+func runCluster(n int) error {
+	cl, err := cluster.New(cluster.Config{Shards: n})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	rt, err := cluster.NewRouter(cl, cluster.RouterConfig{
+		ProbeInterval: 2 * time.Millisecond,
+		ProbeFails:    2,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	reg := obs.NewRegistry()
+	rt.Instrument(reg, nil)
+	fmt.Printf("%d-shard cluster behind the consistent-hash router (2ms probes, 2-strike fence)\n", n)
+
+	const clients, opsPerClient, records, valueSize = 6, 2000, 2000, 1024
+	value := make([]byte, valueSize)
+	for i := 0; i < records; i++ {
+		if err := rt.Set(fmt.Sprintf("user%d", i), value); err != nil {
+			return err
+		}
+	}
+
+	base, err := ycsb.New(ycsb.Config{
+		Records: records, Mix: ycsb.WorkloadB,
+		Distribution: ycsb.Zipfian, RecordSize: valueSize, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	streams := base.Split(clients)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]int64, clients)
+	for cid := 0; cid < clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			gen := streams[cid]
+			for i := 0; i < opsPerClient; i++ {
+				op := gen.Next()
+				key := fmt.Sprintf("user%d", op.Key)
+				var err error
+				if op.Kind == ycsb.OpRead {
+					_, _, err = rt.Get(key)
+				} else {
+					err = rt.Set(key, value)
+				}
+				if err != nil {
+					errs[cid]++
+				}
+			}
+		}(cid)
+	}
+
+	if n >= 2 {
+		// Kill a shard while the load is in flight, then bring a cold
+		// replacement back; the router should absorb both transitions.
+		time.Sleep(20 * time.Millisecond)
+		fmt.Println("killing shard 0 mid-run...")
+		if err := cl.Kill(0); err != nil {
+			return err
+		}
+		time.Sleep(30 * time.Millisecond)
+		if err := cl.Respawn(0); err != nil {
+			return err
+		}
+		fmt.Println("respawned shard 0 (cold store, new epoch)")
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var failed int64
+	for _, e := range errs {
+		failed += e
+	}
+	cs := rt.Counters()
+	total := clients * opsPerClient
+	fmt.Printf("YCSB-B: %d clients x %d ops in %v  (%.0f ops/s over loopback, %d failed)\n",
+		clients, opsPerClient, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), failed)
+	fmt.Printf("router: routes=%d retries=%d failovers=%d readmits=%d stale_rejects=%d shards_up=%d/%d\n",
+		cs["routes"], cs["retries"], cs["failovers"], cs["readmits"], cs["stale_rejects"], cs["shards_up"], n)
+	if n >= 2 && cs["failovers"] == 0 {
+		fmt.Println("note: the kill landed between probe rounds without a client noticing — rerun to catch a failover")
+	}
+	return nil
 }
 
 // captureTrace runs the paper's memcached core once as a privagic-compiled

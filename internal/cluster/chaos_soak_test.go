@@ -1,0 +1,371 @@
+package cluster_test
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privagic/internal/cluster"
+	"privagic/internal/faults"
+	"privagic/internal/obs"
+	"privagic/internal/retry"
+	"privagic/internal/ycsb"
+)
+
+// The cluster soak is the acceptance test of the failover work: a YCSB
+// workload runs against a 3-shard cluster while a chaos monkey kills,
+// hangs and respawns shards mid-run, across hundreds of seeded schedules.
+// The oracle is fresh-or-miss: every Get must return either a value at
+// least as new as what was acked when the Get started, or a miss — a
+// stale hit is a silent wrong answer and fails the suite. A schedule that
+// exceeds its deadline is a deadlock and fails the suite. The relaxed
+// control sweep runs pure overload (admission sheds, no faults) and must
+// see zero failovers: backpressure must never read as death.
+
+const (
+	soakShards   = 3
+	soakClients  = 3
+	soakRecords  = 60 // divisible by soakClients: the writer remap stays in range
+	soakMinOps   = 40 // per client, before it may stop
+	soakMaxOps   = 4000
+	soakDeadline = 30 * time.Second // per schedule; hit = deadlock
+)
+
+// soakCount mirrors the faults package's tier-1 shrink: -short runs a
+// tenth of the schedules (min 8) so the full sweeps stay nightly-only.
+func soakCount(n int, short bool) int {
+	if short {
+		n /= 10
+		if n < 8 {
+			n = 8
+		}
+	}
+	return n
+}
+
+func soakRouterConfig() cluster.RouterConfig {
+	return cluster.RouterConfig{
+		OpTimeout:     15 * time.Millisecond,
+		ProbeInterval: time.Millisecond,
+		ProbeTimeout:  5 * time.Millisecond,
+		ProbeFails:    2,
+		Retry: retry.Policy{
+			MaxAttempts: 6,
+			Backoff:     200 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+		},
+	}
+}
+
+// checker is the per-schedule oracle. Keys are partitioned by writer
+// (client i owns keys with k%soakClients == i), so attempted sequence
+// numbers are single-writer and strictly ordered; acked is the CAS-max of
+// sequences whose Set was acknowledged. Values encode "key|seq".
+type checker struct {
+	attempted [soakRecords]atomic.Int64
+	acked     [soakRecords]atomic.Int64
+
+	mu         sync.Mutex
+	violations []string
+
+	okOps  atomic.Int64
+	errOps atomic.Int64
+	misses atomic.Int64
+	hits   atomic.Int64
+}
+
+func (c *checker) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) < 10 {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func soakKey(k int) string { return fmt.Sprintf("k%04d", k) }
+
+// write issues one checked Set of key k.
+func (c *checker) write(rt *cluster.Router, k int) {
+	seq := c.attempted[k].Add(1)
+	err := rt.Set(soakKey(k), []byte(fmt.Sprintf("%d|%d", k, seq)))
+	if err != nil {
+		c.errOps.Add(1)
+		return
+	}
+	c.okOps.Add(1)
+	for {
+		cur := c.acked[k].Load()
+		if seq <= cur || c.acked[k].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// read issues one checked Get of key k and applies the fresh-or-miss
+// oracle.
+func (c *checker) read(rt *cluster.Router, k int) {
+	floor := c.acked[k].Load()
+	v, ok, err := rt.Get(soakKey(k))
+	if err != nil {
+		c.errOps.Add(1)
+		return
+	}
+	c.okOps.Add(1)
+	if !ok {
+		c.misses.Add(1) // a cache may always miss
+		return
+	}
+	c.hits.Add(1)
+	kk, seq, perr := parseSoakValue(v)
+	if perr != nil {
+		c.violate("key %d: unparseable value %q", k, v)
+		return
+	}
+	if kk != k {
+		c.violate("key %d: served key %d's value %q (cross-key corruption)", k, kk, v)
+		return
+	}
+	if seq > c.attempted[k].Load() {
+		c.violate("key %d: served seq %d, never attempted", k, seq)
+		return
+	}
+	if seq < floor {
+		c.violate("key %d: served stale seq %d, acked floor was %d at read start", k, seq, floor)
+	}
+}
+
+func parseSoakValue(v []byte) (key int, seq int64, err error) {
+	a, b, found := strings.Cut(string(v), "|")
+	if !found {
+		return 0, 0, fmt.Errorf("no separator")
+	}
+	key, err = strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	seq, err = strconv.ParseInt(b, 10, 64)
+	return key, seq, err
+}
+
+// scheduleResult is everything a schedule reports back for assertion on
+// the test goroutine.
+type scheduleResult struct {
+	violations []string
+	okOps      int64
+	errOps     int64
+	hits       int64
+	router     map[string]int64
+	chaos      map[string]int64
+}
+
+// runClusterSchedule executes one seeded schedule: boot a cluster and
+// router, run soakClients YCSB substreams against it, and (with chaosOn)
+// unleash the shard monkey mid-run. reg/tracer accumulate across
+// schedules.
+func runClusterSchedule(seed int64, chaosOn bool, reg *obs.Registry, tracer *obs.Tracer) (*scheduleResult, error) {
+	cfg := cluster.Config{Shards: soakShards}
+	if !chaosOn {
+		// The relaxed sweep is pure overload: every fifth command finds
+		// the backend saturated and is shed with SERVER_ERROR busy. The
+		// shed rate is high enough that a fence-on-busy bug cannot hide.
+		cfg.MaxInflight = 1
+		cfg.Saturated = func(int) func() bool {
+			var n atomic.Int64
+			return func() bool { return n.Add(1)%5 == 0 }
+		}
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	rt, err := cluster.NewRouter(cl, soakRouterConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	rt.Instrument(reg, tracer)
+
+	var monkey *faults.Chaos
+	if chaosOn {
+		monkey = faults.NewChaos(cl, faults.ChaosConfig{
+			Seed:         seed,
+			Actions:      2,
+			MinDelay:     time.Millisecond,
+			MaxDelay:     4 * time.Millisecond,
+			HangFraction: 0.3,
+			HangFor:      25 * time.Millisecond,
+			RespawnAfter: 8 * time.Millisecond,
+		})
+	}
+
+	base, err := ycsb.New(ycsb.Config{
+		Records:      soakRecords,
+		Mix:          ycsb.WorkloadA,
+		Distribution: ycsb.Zipfian,
+		Seed:         uint64(seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	streams := base.Split(soakClients)
+
+	chk := &checker{}
+	settled := &atomic.Bool{} // chaos injected and cluster whole again
+	if monkey == nil {
+		settled.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < soakClients; i++ {
+		wg.Add(1)
+		go func(id int, gen *ycsb.Generator) {
+			defer wg.Done()
+			for ops := 0; ops < soakMaxOps; ops++ {
+				if ops >= soakMinOps && settled.Load() {
+					return
+				}
+				op := gen.Next()
+				k := int(op.Key % soakRecords)
+				if op.Kind == ycsb.OpRead {
+					chk.read(rt, k)
+				} else {
+					// Remap onto this client's write partition: single
+					// writer per key keeps the oracle's sequences ordered.
+					chk.write(rt, (k/soakClients)*soakClients+id)
+				}
+			}
+		}(i, streams[i])
+	}
+	if monkey != nil {
+		monkey.Start()
+		monkey.Wait()
+		settled.Store(true)
+	}
+	wg.Wait()
+
+	res := &scheduleResult{
+		violations: chk.violations,
+		okOps:      chk.okOps.Load(),
+		errOps:     chk.errOps.Load(),
+		hits:       chk.hits.Load(),
+		router:     rt.Counters(),
+	}
+	if monkey != nil {
+		res.chaos = monkey.Counters()
+	}
+	return res, nil
+}
+
+// runSweep drives n schedules under the per-schedule deadlock watchdog
+// and returns aggregate tallies.
+func runSweep(t *testing.T, n int, chaosOn bool, reg *obs.Registry, tracer *obs.Tracer) (agg struct {
+	okOps, errOps, hits, failovers, readmits, stale, retries, kills, hangs int64
+}) {
+	t.Helper()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		var res *scheduleResult
+		var err error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			res, err = runClusterSchedule(seed, chaosOn, reg, tracer)
+		}()
+		select {
+		case <-done:
+		case <-time.After(soakDeadline):
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("seed %d: deadlock: schedule exceeded %v\n%s", seed, soakDeadline, buf[:m])
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.violations {
+			t.Errorf("seed %d: wrong answer: %s", seed, v)
+		}
+		if res.okOps == 0 {
+			t.Errorf("seed %d: no operation ever succeeded", seed)
+		}
+		if chaosOn && res.chaos["kills"] >= 1 && res.router["failovers"] < 1 {
+			t.Errorf("seed %d: %d kills but no failover (counters %v)", seed, res.chaos["kills"], res.router)
+		}
+		if t.Failed() {
+			t.FailNow() // one schedule's diagnosis is enough; stop the sweep
+		}
+		agg.okOps += res.okOps
+		agg.errOps += res.errOps
+		agg.hits += res.hits
+		agg.failovers += res.router["failovers"]
+		agg.readmits += res.router["readmits"]
+		agg.stale += res.router["stale_rejects"]
+		agg.retries += res.router["retries"]
+		agg.kills += res.chaos["kills"]
+		agg.hangs += res.chaos["hangs"]
+	}
+	return agg
+}
+
+// TestClusterChaosSoak: kill-a-shard schedules. Zero wrong answers, zero
+// deadlocks, failovers actually exercised and detected within budget.
+func TestClusterChaosSoak(t *testing.T) {
+	n := soakCount(faults.Schedules().ClusterChaos, testing.Short())
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(256)
+	agg := runSweep(t, n, true, reg, tracer)
+
+	if agg.kills == 0 {
+		t.Error("chaos sweep never killed a shard; the soak tested nothing")
+	}
+	if agg.failovers == 0 {
+		t.Error("no failover across the whole sweep")
+	}
+	if agg.readmits == 0 {
+		t.Error("no respawned shard was ever readmitted")
+	}
+	// Detection budget: time from first failed probe to fence. With a 1ms
+	// probe interval, 5ms probe timeout and 2-strike fencing the expected
+	// detection is single-digit milliseconds; 250ms catches a stalled
+	// prober with a wide margin for loaded CI.
+	if count, _, max := reg.Histogram("cluster.failover_detect_us").Stats(); count > 0 && max > 250_000 {
+		t.Errorf("slowest failover detection took %dus, over the 250ms budget", max)
+	}
+	// Reconciliation: the trace event stream agrees with the counters.
+	if ev := tracer.Counts()["failover"]; ev != agg.failovers {
+		t.Errorf("tracer saw %d failover events, counters saw %d", ev, agg.failovers)
+	}
+	t.Logf("%d schedules: ops ok=%d err=%d hits=%d | kills=%d hangs=%d failovers=%d readmits=%d stale_rejects=%d retries=%d",
+		n, agg.okOps, agg.errOps, agg.hits, agg.kills, agg.hangs, agg.failovers, agg.readmits, agg.stale, agg.retries)
+}
+
+// TestClusterRelaxedSoak is the control: pure admission-control overload,
+// no faults. Busy must surface as retries and sheds — never as a
+// failover, a readmission, or a stale rejection.
+func TestClusterRelaxedSoak(t *testing.T) {
+	n := soakCount(faults.Schedules().ClusterRelaxed, testing.Short())
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(256)
+	agg := runSweep(t, n, false, reg, tracer)
+
+	if agg.failovers != 0 {
+		t.Errorf("%d spurious failovers under pure overload", agg.failovers)
+	}
+	if agg.readmits != 0 {
+		t.Errorf("%d spurious readmits under pure overload", agg.readmits)
+	}
+	if agg.stale != 0 {
+		t.Errorf("%d stale rejections without any failover", agg.stale)
+	}
+	if agg.hits == 0 {
+		t.Error("the control sweep never hit; the workload tested nothing")
+	}
+	if agg.retries == 0 {
+		t.Error("the control sweep never shed an operation; the overload tested nothing")
+	}
+	t.Logf("%d schedules: ops ok=%d err=%d hits=%d retries=%d", n, agg.okOps, agg.errOps, agg.hits, agg.retries)
+}

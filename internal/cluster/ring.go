@@ -1,0 +1,138 @@
+package cluster
+
+import "sort"
+
+// ring is the consistent-hash routing table with ownership generations —
+// the data structure behind the router's failover fencing.
+//
+// Every shard contributes a fixed set of virtual nodes whose positions
+// depend only on (shard, replica), so the full point set never changes:
+// a dead shard's points stay on the circle, marked down, and a respawned
+// shard reclaims exactly the ranges it had. The gaps between consecutive
+// points are the atomic ownership segments; each segment is owned by the
+// first up shard at or after it (clockwise), and remembers the ring
+// generation at which that owner took over.
+//
+// The generation is the staleness fence. The router stamps every stored
+// value with the generation current at write time; a get whose stored
+// stamp is older than the current owner's acquisition generation proves
+// the value was written under a previous owner's tenure — a survivor's
+// copy from a failover window — and is served as a miss instead of a
+// silently wrong answer. That check is what makes kill → reroute →
+// respawn → re-kill sequences safe without any cross-shard invalidation
+// traffic (see DESIGN.md §14).
+//
+// The ring itself is not goroutine-safe; the Router serializes access.
+type ring struct {
+	replicas int
+	points   []ringPoint // sorted by position, fixed for the ring's lifetime
+	up       []bool      // by shard
+	nUp      int
+	gen      uint64
+	owner    []int    // by segment (segment i ends at points[i])
+	acquired []uint64 // by segment: generation its owner took over
+}
+
+type ringPoint struct {
+	pos   uint64
+	shard int
+}
+
+// newRing builds the table with every shard up, at generation 1.
+func newRing(shards, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 32
+	}
+	r := &ring{
+		replicas: replicas,
+		points:   make([]ringPoint, 0, shards*replicas),
+		up:       make([]bool, shards),
+		nUp:      shards,
+		gen:      1,
+	}
+	for s := 0; s < shards; s++ {
+		r.up[s] = true
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{pos: pointHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	r.owner = make([]int, len(r.points))
+	r.acquired = make([]uint64, len(r.points))
+	for i := range r.points {
+		r.owner[i] = r.ownerAt(i)
+		r.acquired[i] = 1
+	}
+	return r
+}
+
+// pointHash places virtual node v of shard s; splitmix over the pair so
+// the positions are deterministic and well spread.
+func pointHash(s, v int) uint64 {
+	x := uint64(s)*0x9e3779b97f4a7c15 + uint64(v)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ownerAt resolves segment i's owner under the current up set: the first
+// up point at or after i, clockwise. Returns -1 with no shard up.
+func (r *ring) ownerAt(i int) int {
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if r.up[p.shard] {
+			return p.shard
+		}
+	}
+	return -1
+}
+
+// setUp flips a shard's membership and recomputes segment ownership.
+// Segments whose owner changed acquire the new generation; unchanged
+// segments keep their acquisition stamp (their owner's tenure is
+// uninterrupted, so older values there stay valid). Returns the new
+// generation. A no-op flip still returns the current generation.
+func (r *ring) setUp(shard int, up bool) uint64 {
+	if r.up[shard] == up {
+		return r.gen
+	}
+	r.up[shard] = up
+	if up {
+		r.nUp++
+	} else {
+		r.nUp--
+	}
+	r.gen++
+	for i := range r.points {
+		o := r.ownerAt(i)
+		if o != r.owner[i] {
+			r.owner[i] = o
+			r.acquired[i] = r.gen
+		}
+	}
+	return r.gen
+}
+
+// lookup routes a key hash: the owning shard and the generation at which
+// it acquired the key's segment. ok is false when no shard is up.
+func (r *ring) lookup(keyHash uint64) (shard int, acquired uint64, ok bool) {
+	if r.nUp == 0 {
+		return -1, 0, false
+	}
+	// First point at or after the hash, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= keyHash })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.owner[i], r.acquired[i], r.owner[i] >= 0
+}
+
+// keyHash positions a key on the circle (FNV-1a, the repo's standard).
+func keyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingBalance checks that consistent hashing spreads keys reasonably
+// across shards: with 32 vnodes each, no shard should own less than a
+// third of its fair share.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20000
+	r := newRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		s, _, ok := r.lookup(keyHash(fmt.Sprintf("user%d", i)))
+		if !ok {
+			t.Fatal("lookup failed with all shards up")
+		}
+		counts[s]++
+	}
+	fair := keys / shards
+	for s, n := range counts {
+		if n < fair/3 {
+			t.Errorf("shard %d owns %d of %d keys, under a third of fair share %d", s, n, keys, fair)
+		}
+	}
+}
+
+// TestRingFixedPoints: two rings with the same shape place every virtual
+// node identically — the point set is a pure function of (shard, replica),
+// so routers built at different times agree.
+func TestRingFixedPoints(t *testing.T) {
+	a, b := newRing(5, 16), newRing(5, 16)
+	if len(a.points) != len(b.points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.points), len(b.points))
+	}
+	for i := range a.points {
+		if a.points[i] != b.points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.points[i], b.points[i])
+		}
+	}
+}
+
+// TestRingMinimalMovement: fencing one shard must not move any key that a
+// surviving shard already owned.
+func TestRingMinimalMovement(t *testing.T) {
+	const shards, keys = 4, 5000
+	r := newRing(shards, 0)
+	before := make([]int, keys)
+	for i := range before {
+		before[i], _, _ = r.lookup(keyHash(fmt.Sprintf("k%d", i)))
+	}
+	r.setUp(1, false)
+	for i := range before {
+		after, _, ok := r.lookup(keyHash(fmt.Sprintf("k%d", i)))
+		if !ok {
+			t.Fatal("lookup failed with three shards up")
+		}
+		if before[i] != 1 && after != before[i] {
+			t.Fatalf("key k%d moved %d -> %d though its owner survived", i, before[i], after)
+		}
+		if before[i] == 1 && after == 1 {
+			t.Fatalf("key k%d still routed to the fenced shard", i)
+		}
+	}
+}
+
+// findKeyOwnedBy returns a key the ring currently routes to shard.
+func findKeyOwnedBy(t *testing.T, r *ring, shard int) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("probe%d", i)
+		if s, _, _ := r.lookup(keyHash(k)); s == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key routed to shard %d", shard)
+	return ""
+}
+
+// TestRingAcquiredGenerations walks the kill -> failback -> re-kill
+// sequence and checks the staleness arithmetic at each step: a value
+// stamped during a previous owner's tenure must compare below the current
+// acquisition generation exactly when it could be a stale survivor copy.
+func TestRingAcquiredGenerations(t *testing.T) {
+	r := newRing(2, 0)
+	key := findKeyOwnedBy(t, r, 0)
+	h := keyHash(key)
+
+	_, acq, _ := r.lookup(h)
+	if acq != 1 {
+		t.Fatalf("initial acquisition generation = %d, want 1", acq)
+	}
+	stampA := r.gen // value written to shard 0 now
+
+	if g := r.setUp(0, false); g != 2 {
+		t.Fatalf("first fence -> generation %d, want 2", g)
+	}
+	s, acq, _ := r.lookup(h)
+	if s != 0 && acq != 2 {
+		t.Fatalf("failover segment: owner %d acquired %d, want acquired 2", s, acq)
+	}
+	if stampA >= acq {
+		t.Fatalf("shard 0's copy (stamp %d) must look stale to the survivor's tenure (acquired %d)", stampA, acq)
+	}
+	stampB := r.gen // value written to the survivor during the window
+
+	if g := r.setUp(0, true); g != 3 {
+		t.Fatalf("readmit -> generation %d, want 3", g)
+	}
+	s, acq, _ = r.lookup(h)
+	if s != 0 || acq != 3 {
+		t.Fatalf("after readmit owner=%d acquired=%d, want shard 0 acquired 3", s, acq)
+	}
+
+	if g := r.setUp(0, false); g != 4 {
+		t.Fatalf("re-kill -> generation %d, want 4", g)
+	}
+	_, acq, _ = r.lookup(h)
+	if stampB >= acq {
+		t.Fatalf("survivor's window copy (stamp %d) must be fenced by re-acquisition (acquired %d)", stampB, acq)
+	}
+}
+
+// TestRingUnchangedSegmentsKeepStamps: a membership change elsewhere must
+// not invalidate values on segments whose owner did not change.
+func TestRingUnchangedSegmentsKeepStamps(t *testing.T) {
+	r := newRing(4, 0)
+	key := findKeyOwnedBy(t, r, 3)
+	h := keyHash(key)
+	stamp := r.gen
+	r.setUp(1, false) // unrelated shard dies
+	s, acq, _ := r.lookup(h)
+	if s == 3 && stamp < acq {
+		t.Fatalf("shard 3 kept the segment but its old values (stamp %d) would be rejected (acquired %d)", stamp, acq)
+	}
+}
+
+// TestRingAllDown: lookup reports no owner rather than inventing one.
+func TestRingAllDown(t *testing.T) {
+	r := newRing(2, 0)
+	r.setUp(0, false)
+	r.setUp(1, false)
+	if _, _, ok := r.lookup(keyHash("k")); ok {
+		t.Fatal("lookup succeeded with every shard fenced")
+	}
+	r.setUp(0, true)
+	if _, _, ok := r.lookup(keyHash("k")); !ok {
+		t.Fatal("lookup failed after a shard returned")
+	}
+}

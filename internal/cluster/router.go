@@ -1,0 +1,560 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privagic/internal/memcached"
+	"privagic/internal/obs"
+	"privagic/internal/retry"
+)
+
+// Directory is the router's control plane: who the shards are, where the
+// current incarnation of each one listens, and whether it is supposed to
+// be alive. Cluster implements it in-process; the data plane stays real
+// TCP. Addr must be safe for concurrent use.
+type Directory interface {
+	NumShards() int
+	Addr(shard int) (addr string, epoch uint64, running bool)
+}
+
+// ErrNoShards is returned when every shard is fenced: the router degrades
+// into fast explicit failure rather than stalling callers.
+var ErrNoShards = errors.New("cluster: no shards available")
+
+// RouterConfig tunes the client router. Zero values take the documented
+// defaults.
+type RouterConfig struct {
+	// Replicas is the virtual nodes per shard on the hash ring (default 32).
+	Replicas int
+	// PoolConns caps data connections per shard (default 4). Each open
+	// connection pins one shard worker, so PoolConns plus the probe
+	// connection must stay at or below Config.Workers.
+	PoolConns int
+	// OpTimeout bounds one attempt of one operation (default 50ms). A
+	// fired deadline poisons the connection; the router redials.
+	OpTimeout time.Duration
+	// Retry is the per-operation retry budget with exponential backoff and
+	// jitter (the shared internal/retry policy, also used by prt recovery).
+	// A zero policy defaults to 4 attempts with the policy's standard
+	// 100µs-doubling-to-2ms backoff; set MaxAttempts to 1 to disable
+	// retries.
+	Retry retry.Policy
+	// ProbeInterval is the per-shard health-probe period (default 25ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default OpTimeout).
+	ProbeTimeout time.Duration
+	// ProbeFails is how many consecutive probe failures fence a shard
+	// (default 3). Data-path errors never fence directly — they only
+	// schedule an immediate probe — so op timeouts under load cannot
+	// trigger spurious failovers.
+	ProbeFails int
+	// OnFence, when set, is called (outside router locks) after a shard is
+	// fenced — the supervision hook: wire it to Cluster.RespawnAfter to
+	// get automatic replacement shards.
+	OnFence func(shard int, epoch uint64)
+	// DisableProbes turns health probing off (unit tests that drive
+	// fencing by hand).
+	DisableProbes bool
+}
+
+// shardState is the router's view of one shard. Fields are guarded by
+// Router.mu except kick, which is immutable.
+type shardState struct {
+	addr        string
+	epoch       uint64
+	pool        *connPool
+	fenced      bool
+	fencedEpoch uint64
+	fails       int       // consecutive probe failures
+	downSince   time.Time // first failure of the current streak
+	wasDown     bool      // a probe.down was recorded without a probe.up yet
+	kick        chan struct{}
+}
+
+// Router is the consistent-hashing client router: it owns the ring, a
+// bounded connection pool per shard, and one prober goroutine per shard.
+// Operations carry per-attempt deadlines and a bounded retry budget;
+// failover is probe-driven (fence on ProbeFails consecutive failures) and
+// readmission requires a fresh incarnation (directory epoch beyond the
+// fenced one), so a hung shard that wakes up with stale state is never
+// silently re-trusted. All methods are safe for concurrent use.
+//
+// Every Set stamps the value's flags word with the current ring
+// generation; every Get rejects a hit whose stamp predates the owning
+// segment's acquisition generation (see ring). One shared Router per
+// generation space: clients that must agree on staleness must share the
+// instance.
+type Router struct {
+	cfg RouterConfig
+	dir Directory
+
+	mu     sync.Mutex
+	ring   *ring
+	shards []*shardState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	routes        atomic.Int64
+	retries       atomic.Int64
+	sheds         atomic.Int64
+	routeErrors   atomic.Int64
+	staleRejects  atomic.Int64
+	failovers     atomic.Int64
+	readmits      atomic.Int64
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+
+	tracer     *obs.Tracer
+	detectHist *obs.Histogram
+}
+
+// NewRouter builds a router over dir and starts its probers.
+func NewRouter(dir Directory, cfg RouterConfig) (*Router, error) {
+	n := dir.NumShards()
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: directory has no shards")
+	}
+	if cfg.PoolConns <= 0 {
+		cfg.PoolConns = 4
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 50 * time.Millisecond
+	}
+	if !cfg.Retry.Enabled() {
+		cfg.Retry.MaxAttempts = 4
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.OpTimeout
+	}
+	if cfg.ProbeFails <= 0 {
+		cfg.ProbeFails = 3
+	}
+	r := &Router{
+		cfg:    cfg,
+		dir:    dir,
+		ring:   newRing(n, cfg.Replicas),
+		shards: make([]*shardState, n),
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		addr, epoch, running := dir.Addr(i)
+		st := &shardState{addr: addr, epoch: epoch, kick: make(chan struct{}, 1)}
+		st.pool = newConnPool(addr, cfg.PoolConns, cfg.OpTimeout)
+		if !running {
+			st.fenced = true
+			st.fencedEpoch = epoch
+			r.ring.setUp(i, false)
+		}
+		r.shards[i] = st
+	}
+	if !cfg.DisableProbes {
+		for i := 0; i < n; i++ {
+			r.wg.Add(1)
+			go r.prober(i)
+		}
+	}
+	return r, nil
+}
+
+// Close stops the probers and closes pooled connections.
+func (r *Router) Close() {
+	close(r.stop)
+	r.wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, st := range r.shards {
+		st.pool.close()
+	}
+}
+
+// Instrument registers the router's metrics on reg (the cluster.* block
+// of the catalogue: gauges over the router's own atomics plus the
+// failover-detection histogram) and arms trace events on tracer.
+func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
+	r.tracer = tracer
+	r.detectHist = reg.Histogram("cluster.failover_detect_us")
+	reg.Gauge("cluster.routes", r.routes.Load)
+	reg.Gauge("cluster.retries", r.retries.Load)
+	reg.Gauge("cluster.sheds", r.sheds.Load)
+	reg.Gauge("cluster.route_errors", r.routeErrors.Load)
+	reg.Gauge("cluster.stale_rejects", r.staleRejects.Load)
+	reg.Gauge("cluster.failovers", r.failovers.Load)
+	reg.Gauge("cluster.readmits", r.readmits.Load)
+	reg.Gauge("cluster.probes", r.probes.Load)
+	reg.Gauge("cluster.probe_failures", r.probeFailures.Load)
+	reg.Gauge("cluster.shards_up", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.ring.nUp)
+	})
+	reg.Gauge("cluster.ring_generation", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.ring.gen)
+	})
+}
+
+// Counters exposes the router's tallies for tests and reports.
+func (r *Router) Counters() map[string]int64 {
+	r.mu.Lock()
+	up, gen := r.ring.nUp, r.ring.gen
+	r.mu.Unlock()
+	return map[string]int64{
+		"routes":          r.routes.Load(),
+		"retries":         r.retries.Load(),
+		"sheds":           r.sheds.Load(),
+		"route_errors":    r.routeErrors.Load(),
+		"stale_rejects":   r.staleRejects.Load(),
+		"failovers":       r.failovers.Load(),
+		"readmits":        r.readmits.Load(),
+		"probes":          r.probes.Load(),
+		"probe_failures":  r.probeFailures.Load(),
+		"shards_up":       int64(up),
+		"ring_generation": int64(gen),
+	}
+}
+
+// Set stores key=value on its owning shard, stamped with the current ring
+// generation (the staleness fence; generations are tiny relative to the
+// 32-bit flags field).
+func (r *Router) Set(key string, value []byte) error {
+	return r.do(key, func(c *memcached.Client, gen, _ uint64) error {
+		return c.Set(key, value, uint32(gen))
+	})
+}
+
+// Get fetches key from its owning shard. A hit whose generation stamp
+// predates the owner's tenure over the key is a survivor's copy from a
+// failover window: it is purged and served as a miss, never as a value.
+func (r *Router) Get(key string) (value []byte, ok bool, err error) {
+	err = r.do(key, func(c *memcached.Client, _, acquired uint64) error {
+		v, flags, hit, gerr := c.GetFlags(key)
+		if gerr != nil {
+			return gerr
+		}
+		if hit && uint64(flags) < acquired {
+			r.staleRejects.Add(1)
+			_, _ = c.Delete(key) // best-effort purge; rejection alone is safe
+			v, hit = nil, false
+		}
+		value, ok = v, hit
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return value, ok, nil
+}
+
+// Delete removes key from its owning shard.
+func (r *Router) Delete(key string) (found bool, err error) {
+	err = r.do(key, func(c *memcached.Client, _, _ uint64) error {
+		f, derr := c.Delete(key)
+		found = f
+		return derr
+	})
+	return found, err
+}
+
+// Owner reports which shard currently owns key (-1 with every shard
+// fenced) — a read-only routing probe for tests and the failover
+// benchmark.
+func (r *Router) Owner(key string) int {
+	shard, _, _, _, ok := r.route(key)
+	if !ok {
+		return -1
+	}
+	return shard
+}
+
+// route resolves a key to its owning shard under the current ring: the
+// pool to use, the segment's acquisition generation (Get's staleness
+// floor) and the ring generation (Set's stamp).
+func (r *Router) route(key string) (shard int, pool *connPool, acquired, gen uint64, ok bool) {
+	h := keyHash(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, acq, ok := r.ring.lookup(h)
+	if !ok {
+		return -1, nil, 0, 0, false
+	}
+	return s, r.shards[s].pool, acq, r.ring.gen, true
+}
+
+// do runs one operation under the retry budget. Busy responses back off
+// and retry (the connection stays framed); timeouts and transport errors
+// poison the connection, nudge the shard's prober, and retry against
+// whatever the ring then says the owner is — after a fence that is a
+// survivor, so retries are how in-flight operations ride out a failover.
+func (r *Router) do(key string, op func(c *memcached.Client, gen, acquired uint64) error) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			time.Sleep(r.cfg.Retry.Delay(attempt))
+		}
+		shard, pool, acquired, gen, ok := r.route(key)
+		if !ok {
+			lastErr = ErrNoShards
+			continue // a probe may readmit a shard within the budget
+		}
+		if attempt > 0 {
+			r.tracer.Record(obs.EvRouteRetry, shard, 0, 0, gen, int64(attempt))
+		}
+		c, err := pool.get()
+		if err != nil {
+			r.nudge(shard)
+			lastErr = err
+			continue
+		}
+		err = op(c, gen, acquired)
+		switch {
+		case err == nil:
+			pool.put(c)
+			r.routes.Add(1)
+			return nil
+		case errors.Is(err, memcached.ErrBusy):
+			pool.put(c) // shed responses leave the stream framed
+			lastErr = err
+		default:
+			pool.discard(c) // timeout or torn stream: redial next attempt
+			r.nudge(shard)
+			lastErr = err
+		}
+	}
+	if errors.Is(lastErr, memcached.ErrBusy) {
+		r.sheds.Add(1)
+		r.tracer.Record(obs.EvRouteShed, 0, 0, 0, 0, int64(r.cfg.Retry.MaxAttempts))
+	} else {
+		r.routeErrors.Add(1)
+	}
+	return lastErr
+}
+
+// nudge schedules an immediate probe of shard (data-path failures speed
+// detection up but never fence by themselves).
+func (r *Router) nudge(shard int) {
+	select {
+	case r.shards[shard].kick <- struct{}{}:
+	default:
+	}
+}
+
+// prober is shard i's health loop.
+func (r *Router) prober(i int) {
+	defer r.wg.Done()
+	st := r.shards[i]
+	var conn *memcached.Client
+	var connAddr string
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	timer := time.NewTimer(r.cfg.ProbeInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-timer.C:
+		case <-st.kick:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		r.probeOnce(i, &conn, &connAddr)
+		timer.Reset(r.cfg.ProbeInterval)
+	}
+}
+
+// probeOnce sends one health probe to shard i and applies the verdict:
+// consecutive failures fence, success after a fresh incarnation readmits.
+func (r *Router) probeOnce(i int, conn **memcached.Client, connAddr *string) {
+	addr, epoch, running := r.dir.Addr(i)
+	healthy := false
+	r.probes.Add(1)
+	if running {
+		if *conn != nil && *connAddr != addr {
+			(*conn).Close()
+			*conn = nil
+		}
+		if *conn == nil {
+			c, err := memcached.DialTimeout(addr, r.cfg.ProbeTimeout)
+			if err == nil {
+				c.SetTimeout(r.cfg.ProbeTimeout)
+				*conn, *connAddr = c, addr
+			}
+		}
+		if *conn != nil {
+			if _, err := (*conn).Version(); err == nil {
+				healthy = true
+			} else {
+				(*conn).Close()
+				*conn = nil
+			}
+		}
+	} else if *conn != nil {
+		// The directory already declared this incarnation dead.
+		(*conn).Close()
+		*conn = nil
+	}
+
+	var onFence func(int, uint64)
+	var fencedEpoch uint64
+	st := r.shards[i]
+	r.mu.Lock()
+	if healthy {
+		st.fails = 0
+		if st.wasDown {
+			st.wasDown = false
+			r.tracer.Record(obs.EvProbeUp, i, 0, 0, epoch, 0)
+		}
+		switch {
+		case st.fenced && epoch > st.fencedEpoch:
+			// A fresh incarnation (cold store, new epoch) answered: readmit.
+			st.fenced = false
+			st.addr, st.epoch = addr, epoch
+			old := st.pool
+			st.pool = newConnPool(addr, r.cfg.PoolConns, r.cfg.OpTimeout)
+			gen := r.ring.setUp(i, true)
+			r.readmits.Add(1)
+			r.tracer.Record(obs.EvReadmit, i, 0, 0, epoch, int64(gen))
+			r.mu.Unlock()
+			old.close()
+			return
+		case st.fenced:
+			// The fenced incarnation woke up (a hang passing): its store
+			// predates the fence, so it is never re-trusted — only a
+			// respawn (epoch bump) readmits.
+		case epoch != st.epoch:
+			// Replaced under us without the fence ever tripping: adopt the
+			// new incarnation's address; its store is cold, which costs
+			// misses, never wrong answers.
+			st.addr, st.epoch = addr, epoch
+			old := st.pool
+			st.pool = newConnPool(addr, r.cfg.PoolConns, r.cfg.OpTimeout)
+			r.mu.Unlock()
+			old.close()
+			return
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.probeFailures.Add(1)
+	st.fails++
+	if st.fails == 1 {
+		st.downSince = time.Now()
+		if !st.wasDown {
+			st.wasDown = true
+			r.tracer.Record(obs.EvProbeDown, i, 0, 0, st.epoch, 0)
+		}
+	}
+	if !st.fenced && st.fails >= r.cfg.ProbeFails {
+		st.fenced = true
+		st.fencedEpoch = st.epoch
+		fencedEpoch = st.epoch
+		gen := r.ring.setUp(i, false)
+		r.failovers.Add(1)
+		r.detectHist.Observe(time.Since(st.downSince).Microseconds())
+		r.tracer.Record(obs.EvFailover, i, 0, 0, st.epoch, int64(gen))
+		onFence = r.cfg.OnFence
+	}
+	r.mu.Unlock()
+	if onFence != nil {
+		onFence(i, fencedEpoch)
+	}
+}
+
+// connPool is a bounded per-shard connection pool: sem tokens count every
+// live connection (idle or in flight), idle holds the reusable subset.
+type connPool struct {
+	addr    string
+	timeout time.Duration
+	idle    chan *memcached.Client
+	sem     chan struct{}
+	mu      sync.Mutex
+	closed  bool
+}
+
+func newConnPool(addr string, conns int, timeout time.Duration) *connPool {
+	return &connPool{
+		addr:    addr,
+		timeout: timeout,
+		idle:    make(chan *memcached.Client, conns),
+		sem:     make(chan struct{}, conns),
+	}
+}
+
+// get returns an idle connection or dials a new one within the bound.
+// With the pool exhausted it waits for a peer to finish — every holder is
+// under an operation deadline, so the wait is bounded too.
+func (p *connPool) get() (*memcached.Client, error) {
+	select {
+	case c := <-p.idle:
+		return c, nil
+	default:
+	}
+	select {
+	case c := <-p.idle:
+		return c, nil
+	case p.sem <- struct{}{}:
+		c, err := memcached.DialTimeout(p.addr, p.timeout)
+		if err != nil {
+			<-p.sem
+			return nil, err
+		}
+		return c, nil
+	}
+}
+
+// put returns a healthy connection to the pool (or closes it if the pool
+// is full or closed).
+func (p *connPool) put(c *memcached.Client) {
+	p.mu.Lock()
+	if !p.closed {
+		select {
+		case p.idle <- c:
+			p.mu.Unlock()
+			return
+		default:
+		}
+	}
+	p.mu.Unlock()
+	c.Close()
+	<-p.sem
+}
+
+// discard drops a poisoned connection and frees its slot.
+func (p *connPool) discard(c *memcached.Client) {
+	c.Close()
+	<-p.sem
+}
+
+// close marks the pool dead and reaps idle connections; in-flight ones
+// are reaped by put/discard.
+func (p *connPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	for {
+		select {
+		case c := <-p.idle:
+			c.Close()
+			<-p.sem
+		default:
+			p.mu.Unlock()
+			return
+		}
+	}
+}

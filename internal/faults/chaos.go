@@ -1,0 +1,229 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"privagic/internal/obs"
+)
+
+// ShardCluster is the fault surface of a sharded deployment: what the
+// chaos monkey needs to crash, wedge and resurrect whole shards mid-run.
+// internal/cluster.Cluster implements it; declaring the interface here
+// keeps the dependency arrow pointing the same way as the rest of the
+// fault layer (faults knows shapes, never the cluster package).
+type ShardCluster interface {
+	NumShards() int
+	Kill(shard int) error
+	Hang(shard int, d time.Duration) error
+	Respawn(shard int) error
+	Running(shard int) bool
+}
+
+// ChaosConfig tunes the shard-level chaos monkey. The zero value injects
+// one kill with the default timing.
+type ChaosConfig struct {
+	Seed int64
+
+	// Actions is how many shard faults to inject (default 1).
+	Actions int
+
+	// MinDelay/MaxDelay bound the pause before each action (defaults
+	// 1ms/5ms): faults land at seeded-random points of the run, not at
+	// fixed phases.
+	MinDelay, MaxDelay time.Duration
+
+	// HangFraction is the probability an action wedges the shard instead
+	// of killing it (default 0: kills only). Hangs exercise the
+	// fenced-but-alive path — the shard recovers on its own but must stay
+	// quarantined until a respawn.
+	HangFraction float64
+	// HangFor is how long a hung shard stalls (default 20ms). Must exceed
+	// the router's probe budget or the hang is survivable noise.
+	HangFor time.Duration
+
+	// RespawnAfter is how long a disrupted shard stays down before the
+	// monkey resurrects it with a cold store and a fresh epoch (default
+	// 10ms). The respawn is the recovery half of the experiment: it must
+	// trigger readmission, and its cold store must never surface stale
+	// data.
+	RespawnAfter time.Duration
+
+	// MaxDown caps concurrently disrupted shards (default NumShards-1, so
+	// at least one survivor always holds the keyspace).
+	MaxDown int
+}
+
+// Chaos kills, hangs and respawns shards of a ShardCluster at seeded
+// random times. Like the message-level Injector it reports what it did
+// through Counters; unlike the Injector it operates on wall-clock time —
+// shard failure detection is itself a timing phenomenon, so the soak
+// asserts invariants that hold for every interleaving rather than
+// replaying one.
+type Chaos struct {
+	cfg     ChaosConfig
+	cluster ShardCluster
+	rng     *rand.Rand
+
+	mu        sync.Mutex
+	disrupted map[int]bool
+	kills     int64
+	hangs     int64
+	respawns  int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewChaos builds a chaos monkey over cluster. Call Start to unleash it.
+func NewChaos(cluster ShardCluster, cfg ChaosConfig) *Chaos {
+	if cfg.Actions <= 0 {
+		cfg.Actions = 1
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = time.Millisecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = 5 * time.Millisecond
+		if cfg.MaxDelay < cfg.MinDelay {
+			cfg.MaxDelay = cfg.MinDelay
+		}
+	}
+	if cfg.HangFor <= 0 {
+		cfg.HangFor = 20 * time.Millisecond
+	}
+	if cfg.RespawnAfter <= 0 {
+		cfg.RespawnAfter = 10 * time.Millisecond
+	}
+	if cfg.MaxDown <= 0 || cfg.MaxDown >= cluster.NumShards() {
+		cfg.MaxDown = cluster.NumShards() - 1
+		if cfg.MaxDown < 1 {
+			cfg.MaxDown = 1
+		}
+	}
+	return &Chaos{
+		cfg:       cfg,
+		cluster:   cluster,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		disrupted: map[int]bool{},
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+}
+
+// Start launches the chaos loop.
+func (c *Chaos) Start() {
+	go c.run()
+}
+
+// Wait blocks until every configured action has been injected and every
+// scheduled respawn has completed — the cluster is whole again.
+func (c *Chaos) Wait() {
+	<-c.doneCh
+	c.wg.Wait()
+}
+
+// Stop aborts the remaining actions and waits for in-flight respawns, so
+// teardown never races a resurrecting shard.
+func (c *Chaos) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	<-c.doneCh
+	c.wg.Wait()
+}
+
+func (c *Chaos) run() {
+	defer close(c.doneCh)
+	for n := 0; n < c.cfg.Actions; n++ {
+		span := int64(c.cfg.MaxDelay-c.cfg.MinDelay) + 1
+		delay := c.cfg.MinDelay + time.Duration(c.rng.Int63n(span))
+		select {
+		case <-c.stopCh:
+			return
+		case <-time.After(delay):
+		}
+		c.act()
+	}
+}
+
+// act injects one fault against a random undisrupted shard, honoring the
+// survivor floor, and schedules the victim's resurrection.
+func (c *Chaos) act() {
+	hang := c.rng.Float64() < c.cfg.HangFraction
+
+	c.mu.Lock()
+	if len(c.disrupted) >= c.cfg.MaxDown {
+		c.mu.Unlock()
+		return
+	}
+	var candidates []int
+	for i := 0; i < c.cluster.NumShards(); i++ {
+		if !c.disrupted[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	victim := candidates[c.rng.Intn(len(candidates))]
+	c.disrupted[victim] = true
+	c.mu.Unlock()
+
+	var err error
+	if hang {
+		err = c.cluster.Hang(victim, c.cfg.HangFor)
+	} else {
+		err = c.cluster.Kill(victim)
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.disrupted, victim)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	if hang {
+		c.hangs++
+	} else {
+		c.kills++
+	}
+	c.mu.Unlock()
+
+	// Resurrection restores capacity and — because Respawn always means a
+	// cold store at a fresh epoch — is the only path back into the ring.
+	c.wg.Add(1)
+	time.AfterFunc(c.cfg.RespawnAfter, func() {
+		defer c.wg.Done()
+		if c.cluster.Respawn(victim) == nil {
+			c.mu.Lock()
+			c.respawns++
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		delete(c.disrupted, victim)
+		c.mu.Unlock()
+	})
+}
+
+// Counters reports the monkey's activity (CounterSource; snapshots show
+// these under the chaos. prefix).
+func (c *Chaos) Counters() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return map[string]int64{
+		"kills":    c.kills,
+		"hangs":    c.hangs,
+		"respawns": c.respawns,
+	}
+}
+
+// RegisterMetrics folds the monkey's counters into reg under the chaos.
+// prefix (the chaos.* block of the metric catalogue).
+func (c *Chaos) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterSource("chaos", c)
+}
+
+var _ CounterSource = (*Chaos)(nil)

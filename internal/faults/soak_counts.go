@@ -21,6 +21,13 @@ type SoakBudget struct {
 	// hardened mode must return the exact answer or a typed violation.
 	IagoFigure6  int
 	IagoTwoColor int
+
+	// Cluster soak (internal/cluster/chaos_soak_test.go): shard-level
+	// chaos (kill/hang/respawn mid-run) against the router, every Get
+	// must be fresh-or-miss; the relaxed sweep runs overload without
+	// faults and must see zero spurious failovers.
+	ClusterChaos   int
+	ClusterRelaxed int
 }
 
 // Schedules returns the build's soak schedule counts.

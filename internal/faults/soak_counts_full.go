@@ -13,4 +13,7 @@ var soakBudget = SoakBudget{
 
 	IagoFigure6:  700,
 	IagoTwoColor: 320,
+
+	ClusterChaos:   520,
+	ClusterRelaxed: 130,
 }

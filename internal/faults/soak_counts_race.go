@@ -15,4 +15,7 @@ var soakBudget = SoakBudget{
 
 	IagoFigure6:  60,
 	IagoTwoColor: 20,
+
+	ClusterChaos:   32,
+	ClusterRelaxed: 12,
 }

@@ -2,18 +2,38 @@ package memcached
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
+	"time"
 )
 
+// ErrBusy is returned when the server sheds an operation with
+// SERVER_ERROR busy (admission control under overload). It is transient
+// by contract: the connection stays framed and usable, and the caller may
+// retry after backoff — the cluster router does exactly that.
+var ErrBusy = errors.New("memcached: server busy")
+
+// IsTimeout reports whether err is an I/O deadline expiry (the client's
+// per-operation timeout firing). After a timeout the connection is
+// poisoned — the late response, if it ever arrives, would desynchronize
+// the stream — so callers must Close and redial; ErrBusy, by contrast,
+// leaves the connection usable.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Client is a minimal text-protocol client, enough for the YCSB load
-// injector of §9.2 (6 clients × 6 threads over loopback).
+// injector of §9.2 (6 clients × 6 threads over loopback) and for the
+// cluster router's per-shard connections.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
 }
 
 // Dial connects to a server.
@@ -25,6 +45,32 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
+// DialTimeout is Dial with a bound on connection establishment plus a
+// per-operation deadline (see SetTimeout) applied to the new client.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("memcached: dial: %w", err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	c.SetTimeout(d)
+	return c, nil
+}
+
+// SetTimeout bounds every subsequent operation (request write + response
+// read) to d. Zero removes the bound. A fired deadline surfaces as an
+// error satisfying IsTimeout; the connection must then be closed.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// arm applies the per-operation deadline, or clears it when unset.
+func (c *Client) arm() {
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+}
+
 // Close quits and closes the connection.
 func (c *Client) Close() {
 	fmt.Fprint(c.w, "quit\r\n")
@@ -32,8 +78,14 @@ func (c *Client) Close() {
 	_ = c.conn.Close()
 }
 
+// busyLine matches the server's admission-control refusal.
+func busyLine(line string) bool {
+	return strings.HasPrefix(line, "SERVER_ERROR busy")
+}
+
 // Set stores a value.
 func (c *Client) Set(key string, value []byte, flags uint32) error {
+	c.arm()
 	fmt.Fprintf(c.w, "set %s %d 0 %d\r\n", key, flags, len(value))
 	_, _ = c.w.Write(value)
 	fmt.Fprint(c.w, "\r\n")
@@ -44,6 +96,9 @@ func (c *Client) Set(key string, value []byte, flags uint32) error {
 	if err != nil {
 		return err
 	}
+	if busyLine(line) {
+		return fmt.Errorf("memcached: set %s: %w", key, ErrBusy)
+	}
 	if !strings.HasPrefix(line, "STORED") {
 		return fmt.Errorf("memcached: set: %s", strings.TrimSpace(line))
 	}
@@ -52,42 +107,58 @@ func (c *Client) Set(key string, value []byte, flags uint32) error {
 
 // Get fetches a value; ok is false on miss.
 func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	value, _, ok, err = c.GetFlags(key)
+	return value, ok, err
+}
+
+// GetFlags is Get exposing the stored flags word (the cluster router
+// stamps ownership generations into it).
+func (c *Client) GetFlags(key string) (value []byte, flags uint32, ok bool, err error) {
+	c.arm()
 	fmt.Fprintf(c.w, "get %s\r\n", key)
 	if err := c.w.Flush(); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	line = strings.TrimRight(line, "\r\n")
 	if line == "END" {
-		return nil, false, nil
+		return nil, 0, false, nil
+	}
+	if busyLine(line) {
+		return nil, 0, false, fmt.Errorf("memcached: get %s: %w", key, ErrBusy)
 	}
 	fields := strings.Fields(line)
 	if len(fields) != 4 || fields[0] != "VALUE" {
-		return nil, false, fmt.Errorf("memcached: get: unexpected %q", line)
+		return nil, 0, false, fmt.Errorf("memcached: get: unexpected %q", line)
+	}
+	fl, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return nil, 0, false, err
 	}
 	n, err := strconv.Atoi(fields[3])
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	buf := make([]byte, n+2)
 	if _, err := readFull(c.r, buf); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	end, err := c.r.ReadString('\n')
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	if !strings.HasPrefix(end, "END") {
-		return nil, false, fmt.Errorf("memcached: get: missing END, got %q", end)
+		return nil, 0, false, fmt.Errorf("memcached: get: missing END, got %q", end)
 	}
-	return buf[:n], true, nil
+	return buf[:n], uint32(fl), true, nil
 }
 
 // Delete removes a key.
 func (c *Client) Delete(key string) (bool, error) {
+	c.arm()
 	fmt.Fprintf(c.w, "delete %s\r\n", key)
 	if err := c.w.Flush(); err != nil {
 		return false, err
@@ -96,11 +167,35 @@ func (c *Client) Delete(key string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if busyLine(line) {
+		return false, fmt.Errorf("memcached: delete %s: %w", key, ErrBusy)
+	}
 	return strings.HasPrefix(line, "DELETED"), nil
+}
+
+// Version fetches the server's version banner — the health-probe
+// operation: it is answered outside admission control, so it reports
+// liveness even while the data plane sheds.
+func (c *Client) Version() (string, error) {
+	c.arm()
+	fmt.Fprint(c.w, "version\r\n")
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if !strings.HasPrefix(line, "VERSION ") {
+		return "", fmt.Errorf("memcached: version: unexpected %q", line)
+	}
+	return strings.TrimPrefix(line, "VERSION "), nil
 }
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (map[string]int64, error) {
+	c.arm()
 	fmt.Fprint(c.w, "stats\r\n")
 	if err := c.w.Flush(); err != nil {
 		return nil, err

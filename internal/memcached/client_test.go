@@ -1,0 +1,216 @@
+package memcached
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// Direct coverage of the client's failure paths: the per-operation
+// timeout and the SERVER_ERROR busy classification. Before the cluster
+// router these were exercised only indirectly by the soaks; the router
+// leans on both (IsTimeout decides redial-and-retry, ErrBusy decides
+// backoff-without-redial), so each contract gets a test of its own.
+
+// saturatedServer returns a server whose admission control sheds every
+// data operation.
+func saturatedServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", NewStore(64, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.SetAdmission(Admission{Saturated: func() bool { return true }})
+	return srv
+}
+
+// TestClientBusySet: a shed set surfaces errors.Is(err, ErrBusy), the
+// connection stays framed, and nothing was stored.
+func TestClientBusySet(t *testing.T) {
+	srv := saturatedServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v"), 0); !errors.Is(err, ErrBusy) {
+		t.Fatalf("saturated set: err = %v, want ErrBusy", err)
+	}
+	// The connection must still be usable: lift the saturation and the
+	// same client round-trips a set+get.
+	srv.SetAdmission(Admission{})
+	if err := c.Set("k", []byte("v"), 7); err != nil {
+		t.Fatalf("set after busy: %v", err)
+	}
+	v, flags, ok, err := c.GetFlags("k")
+	if err != nil || !ok || string(v) != "v" || flags != 7 {
+		t.Fatalf("get after busy = %q flags=%d ok=%v err=%v", v, flags, ok, err)
+	}
+	if srv.ShedOps() == 0 {
+		t.Error("server recorded no shed ops")
+	}
+}
+
+// TestClientBusyGetDelete: get and delete shed with the same typed error.
+func TestClientBusyGetDelete(t *testing.T) {
+	srv := saturatedServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get("k"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("saturated get: err = %v, want ErrBusy", err)
+	}
+	if _, err := c.Delete("k"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("saturated delete: err = %v, want ErrBusy", err)
+	}
+}
+
+// TestClientBusyIsNotTimeout keeps the two transient classes separate:
+// the router backs off on busy but redials on timeout.
+func TestClientBusyIsNotTimeout(t *testing.T) {
+	srv := saturatedServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Get("k")
+	if !errors.Is(err, ErrBusy) || IsTimeout(err) {
+		t.Fatalf("busy classified wrong: ErrBusy=%v IsTimeout=%v (%v)", errors.Is(err, ErrBusy), IsTimeout(err), err)
+	}
+}
+
+// blackholeServer accepts connections and reads forever without ever
+// answering — the shape of a hung shard.
+func blackholeServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				buf := make([]byte, 256)
+				for {
+					if _, err := r.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientTimeout: an armed deadline converts a hung server into a
+// prompt typed timeout on every operation shape.
+func TestClientTimeout(t *testing.T) {
+	addr := blackholeServer(t)
+	c, err := DialTimeout(addr, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, _, err := c.Get("k"); !IsTimeout(err) {
+		t.Fatalf("hung get: err = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v, deadline did not bound the wait", elapsed)
+	}
+	// The deadline must re-arm per operation, not decay.
+	c2, err := DialTimeout(addr, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Set("k", []byte("v"), 0); !IsTimeout(err) {
+		t.Fatalf("hung set: err = %v, want timeout", err)
+	}
+}
+
+// TestClientTimeoutAgainstPausedServer drives the real server's Pause
+// gate: in-flight operations stall past the client deadline, and after
+// Resume a fresh client is served normally.
+func TestClientTimeoutAgainstPausedServer(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewStore(64, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Pause(200 * time.Millisecond)
+	c.SetTimeout(25 * time.Millisecond)
+	if _, _, err := c.Get("k"); !IsTimeout(err) {
+		t.Fatalf("paused get: err = %v, want timeout", err)
+	}
+	srv.Pause(0)
+	c3, err := DialTimeout(srv.Addr(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if v, _, err := c3.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("get after resume = %q, %v", v, err)
+	}
+}
+
+// TestClientVersionProbe: the probe operation answers even while the
+// data plane sheds — liveness and overload must stay distinguishable.
+func TestClientVersionProbe(t *testing.T) {
+	srv := saturatedServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Version()
+	if err != nil || v == "" {
+		t.Fatalf("version under saturation = %q, %v", v, err)
+	}
+}
+
+// TestServerKillSeversConnections: Kill mid-conversation surfaces a
+// transport error to the client, not a hang.
+func TestServerKillSeversConnections(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewStore(64, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTimeout(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Kill()
+	if _, _, err := c.Get("k"); err == nil {
+		t.Fatal("get against killed server succeeded")
+	}
+	// New connections must fail fast, too (listener closed).
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 100*time.Millisecond); err == nil {
+		t.Error("dial to killed server succeeded")
+	}
+}

@@ -35,8 +35,20 @@ type Server struct {
 	inflight  atomic.Int32
 	shedOps   atomic.Int64
 
-	mu     sync.Mutex
-	closed bool
+	// pausedUntil (UnixNano) stalls every response while set — the
+	// chaos harness's "hung shard": connections stay open, commands are
+	// read, nothing is answered until the deadline passes. 0 = running.
+	pausedUntil atomic.Int64
+
+	// done tears down the accept loop without racing the conns channel
+	// close; active tracks live connections so Kill can sever them.
+	done chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	killed   bool
+	active   map[net.Conn]struct{}
+	acceptWG sync.WaitGroup
 }
 
 // Admission is the server's overload policy. Shedding answers fast and
@@ -114,8 +126,9 @@ func NewServer(addr string, store *Store, workers int) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("memcached: listen: %w", err)
 	}
-	s := &Server{store: store, listener: ln, workers: workers, conns: make(chan net.Conn)}
-	s.wg.Add(1)
+	s := &Server{store: store, listener: ln, workers: workers,
+		conns: make(chan net.Conn), done: make(chan struct{}), active: map[net.Conn]struct{}{}}
+	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -127,35 +140,93 @@ func NewServer(addr string, store *Store, workers int) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the listener and waits for workers to drain.
+// Close stops the listener and waits for workers to drain. In-flight
+// connections are served to completion (their clients quit or EOF).
 func (s *Server) Close() {
+	s.shutdown(false)
+}
+
+// Kill is the chaos-mode crash: it severs every live connection
+// mid-operation, stops the listener, and tears the worker pool down
+// without the graceful drain. Clients see reset/EOF errors, exactly the
+// failure surface a died shard presents to the cluster router.
+func (s *Server) Kill() {
+	s.shutdown(true)
+}
+
+func (s *Server) shutdown(kill bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	s.killed = kill
+	var victims []net.Conn
+	if kill {
+		for c := range s.active {
+			victims = append(victims, c)
+		}
+	}
 	s.mu.Unlock()
+	close(s.done)
 	_ = s.listener.Close()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+	// The accept loop can no longer be mid-send on conns (done is
+	// closed and it exits before sending), so closing the channel is
+	// race-free; workers drain any handed-but-unserved connections.
+	s.acceptWG.Wait()
 	close(s.conns)
 	s.wg.Wait()
 }
 
+// Pause stalls every response for d — the simulated hung shard: commands
+// are still read, connections stay open, nothing is answered until the
+// deadline passes. A second call extends or shortens the stall; Pause(0)
+// resumes immediately.
+func (s *Server) Pause(d time.Duration) {
+	if d <= 0 {
+		s.pausedUntil.Store(0)
+		return
+	}
+	s.pausedUntil.Store(time.Now().Add(d).UnixNano())
+}
+
+// gate blocks while the server is paused, waking periodically so a
+// concurrent Kill still tears the worker down promptly.
+func (s *Server) gate() {
+	for {
+		until := s.pausedUntil.Load()
+		if until == 0 {
+			return
+		}
+		now := time.Now().UnixNano()
+		if until <= now {
+			return
+		}
+		d := time.Duration(until - now)
+		if d > 2*time.Millisecond {
+			d = 2 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
 func (s *Server) acceptLoop() {
-	defer s.wg.Done()
+	defer s.acceptWG.Done()
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		s.mu.Lock()
-		closed := s.closed
-		s.mu.Unlock()
-		if closed {
+		select {
+		case s.conns <- conn:
+		case <-s.done:
 			_ = conn.Close()
 			return
 		}
-		s.conns <- conn
 	}
 }
 
@@ -172,7 +243,20 @@ const maxLineLen = 8 << 10
 
 // serve handles one connection until quit, EOF, or a deadline expiry.
 func (s *Server) serve(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.active[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.active, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -181,6 +265,7 @@ func (s *Server) serve(conn net.Conn) {
 		if err != nil || len(line) > maxLineLen {
 			return
 		}
+		s.gate()
 		line = strings.TrimRight(line, "\r\n")
 		fields := strings.Fields(line)
 		if len(fields) == 0 {

@@ -84,6 +84,26 @@ var Catalog = []MetricDef{
 	{Name: "memcached.evictions", Type: "gauge", Unit: "1", Subsystem: "memcached", Help: "items evicted by the LRU store"},
 	{Name: "memcached.curr_items", Type: "gauge", Unit: "items", Subsystem: "memcached", Help: "items currently resident in the store"},
 
+	// cluster router and shard lifecycle (gauges over the router's own
+	// atomics in internal/cluster; see DESIGN.md §14).
+	{Name: "cluster.routes", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "operations routed to an owning shard"},
+	{Name: "cluster.retries", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "operation attempts re-sent after a transient failure (backoff applied)"},
+	{Name: "cluster.sheds", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "operations surfaced to the caller as busy after the retry budget"},
+	{Name: "cluster.route_errors", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "operations surfaced to the caller as transport errors after the retry budget"},
+	{Name: "cluster.stale_rejects", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "gets whose stored ownership generation predates the owner's tenure, served as misses"},
+	{Name: "cluster.failovers", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "shards declared dead: epoch fenced, key ranges re-routed to survivors"},
+	{Name: "cluster.readmits", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "respawned shards readmitted to the ring at a fresh epoch"},
+	{Name: "cluster.probes", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "health probes sent (version command, outside admission control)"},
+	{Name: "cluster.probe_failures", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "health probes that errored or timed out"},
+	{Name: "cluster.shards_up", Type: "gauge", Unit: "items", Subsystem: "cluster", Help: "shards currently in the ring"},
+	{Name: "cluster.ring_generation", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "ownership generation, bumped on every ring membership change"},
+	{Name: "cluster.failover_detect_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "time from first observed failure of a shard to its fence"},
+
+	// shard chaos monkey (CounterSource under the "chaos" prefix).
+	{Name: "chaos.kills", Type: "counter", Unit: "1", Subsystem: "faults", Help: "shards killed mid-run (connections severed, listener closed)"},
+	{Name: "chaos.hangs", Type: "counter", Unit: "1", Subsystem: "faults", Help: "shards hung mid-run (responses stalled past client deadlines)"},
+	{Name: "chaos.respawns", Type: "counter", Unit: "1", Subsystem: "faults", Help: "killed shards respawned with a cold store and a fresh epoch"},
+
 	// the tracer's own accounting.
 	{Name: "obs.trace_events", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "trace events recorded since the tracer was armed"},
 	{Name: "obs.trace_dropped", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "recorded events already overwritten by ring wraparound"},

@@ -42,6 +42,14 @@ const (
 	EvGiveUp
 	EvRestart
 	EvStall
+	EvRouteRetry
+	EvRouteShed
+	EvFailover
+	EvReadmit
+	EvProbeDown
+	EvProbeUp
+	EvShardKill
+	EvShardRespawn
 	nEventKinds
 )
 
@@ -69,6 +77,14 @@ var kindNames = [nEventKinds]string{
 	EvGiveUp:           "replay.giveup",
 	EvRestart:          "restart",
 	EvStall:            "stall",
+	EvRouteRetry:       "route.retry",
+	EvRouteShed:        "route.shed",
+	EvFailover:         "failover",
+	EvReadmit:          "readmit",
+	EvProbeDown:        "probe.down",
+	EvProbeUp:          "probe.up",
+	EvShardKill:        "shard.kill",
+	EvShardRespawn:     "shard.respawn",
 }
 
 func (k EventKind) String() string {

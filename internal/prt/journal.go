@@ -309,7 +309,7 @@ func (rt *Runtime) retrySpawn(w *Worker, abort *EnclaveAbort) bool {
 		return false
 	}
 	rt.jr.replays.Add(1)
-	time.Sleep(rt.Recovery.delay(attempt))
+	time.Sleep(rt.Recovery.Delay(attempt))
 	rt.respawn(t, rec)
 	return true
 }

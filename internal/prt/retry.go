@@ -10,73 +10,18 @@
 // to wedge); bounding the amplification inside the runtime is what lets
 // every caller stay oblivious.
 //
+// The backoff schedule itself lives in internal/retry: the cluster router
+// re-sends failed shard requests under the same policy, so the doubling,
+// cap and jitter semantics are defined (and tested) exactly once.
+//
 // (Not the package comment — that is runtime.go's.)
 
 package prt
 
-import (
-	"math/rand"
-	"sync"
-	"time"
-)
+import "privagic/internal/retry"
 
 // RecoveryPolicy bounds the runtime's restart/replay behavior. The zero
-// value disables recovery (PR 1's surface-the-error behavior).
-type RecoveryPolicy struct {
-	// MaxAttempts is how many times a failed spawn is replayed before its
-	// typed error is surfaced to the joiner. 0 disables recovery; the
-	// budget is per spawn, so an unlucky request costs at most
-	// MaxAttempts+1 executions — bounded recovery, never a retry loop.
-	MaxAttempts int
-	// Backoff is the delay before the first replay (default 100µs). Each
-	// further replay doubles it up to MaxBackoff (default 2ms). The
-	// defaults sit well inside a sane supervision window: replay traffic
-	// restarts the inactivity window, so backoff never reads as a stall.
-	Backoff    time.Duration
-	MaxBackoff time.Duration
-	// Jitter randomizes each delay by ±Jitter fraction (default 0.2),
-	// decorrelating the replays of independent threads so a mass failure
-	// does not re-spawn in lockstep.
-	Jitter float64
-}
-
-// Enabled reports whether the policy performs any recovery.
-func (p RecoveryPolicy) Enabled() bool { return p.MaxAttempts > 0 }
-
-// jitterRng decorrelates replay delays. Jitter is deliberately outside
-// the deterministic fault-schedule RNG: it perturbs timing only, never a
-// protocol decision.
-var (
-	jitterMu  sync.Mutex
-	jitterRng = rand.New(rand.NewSource(1))
-)
-
-// delay computes the backoff before replay number attempt (1-based).
-func (p RecoveryPolicy) delay(attempt int) time.Duration {
-	base := p.Backoff
-	if base <= 0 {
-		base = 100 * time.Microsecond
-	}
-	maxB := p.MaxBackoff
-	if maxB <= 0 {
-		maxB = 2 * time.Millisecond
-	}
-	d := base
-	for i := 1; i < attempt && d < maxB; i++ {
-		d *= 2
-	}
-	if d > maxB {
-		d = maxB
-	}
-	jit := p.Jitter
-	if jit <= 0 {
-		jit = 0.2
-	}
-	if jit > 1 {
-		jit = 1
-	}
-	jitterMu.Lock()
-	f := 1 + jit*(2*jitterRng.Float64()-1)
-	jitterMu.Unlock()
-	return time.Duration(float64(d) * f)
-}
+// value disables recovery (PR 1's surface-the-error behavior). It is the
+// shared retry.Policy: MaxAttempts is the per-spawn replay budget,
+// Backoff/MaxBackoff/Jitter shape the delay before each replay.
+type RecoveryPolicy = retry.Policy

@@ -1,0 +1,74 @@
+// Package retry is the one bounded retry-with-backoff policy the runtime
+// shares: the recovery layer replays crashed spawns with it (internal/prt)
+// and the cluster router re-sends failed shard requests with it
+// (internal/cluster). Extracting it keeps the two consumers honest — one
+// implementation, one set of tests, one place where "exponential backoff
+// with decorrelating jitter, bounded attempts" is defined.
+package retry
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy bounds retry behavior. The zero value disables retries.
+type Policy struct {
+	// MaxAttempts is how many times a failed operation is retried before
+	// its error is surfaced. 0 disables retries; the budget is per
+	// operation, so an unlucky one costs at most MaxAttempts+1
+	// executions — bounded recovery, never a retry loop.
+	MaxAttempts int
+	// Backoff is the delay before the first retry (default 100µs). Each
+	// further retry doubles it up to MaxBackoff (default 2ms). The
+	// defaults sit well inside a sane supervision window: retry traffic
+	// restarts the inactivity window, so backoff never reads as a stall.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2),
+	// decorrelating the retries of independent threads so a mass failure
+	// does not re-issue in lockstep.
+	Jitter float64
+}
+
+// Enabled reports whether the policy performs any retries.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 0 }
+
+// jitterRng decorrelates retry delays. Jitter is deliberately outside
+// any deterministic fault-schedule RNG: it perturbs timing only, never a
+// protocol decision.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(1))
+)
+
+// Delay computes the backoff before retry number attempt (1-based):
+// Backoff doubled attempt-1 times, capped at MaxBackoff, jittered.
+func (p Policy) Delay(attempt int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 100 * time.Microsecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	jit := p.Jitter
+	if jit <= 0 {
+		jit = 0.2
+	}
+	if jit > 1 {
+		jit = 1
+	}
+	jitterMu.Lock()
+	f := 1 + jit*(2*jitterRng.Float64()-1)
+	jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,77 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayDoublesAndCaps pins the deterministic part of the schedule:
+// base doubling per attempt, capped at MaxBackoff, for a jitter small
+// enough to bound each sample.
+func TestDelayDoublesAndCaps(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Jitter: 0.01}
+	want := []time.Duration{
+		1 * time.Millisecond, // attempt 1
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		4 * time.Millisecond, // capped
+		4 * time.Millisecond,
+	}
+	for i, base := range want {
+		got := p.Delay(i + 1)
+		lo := time.Duration(float64(base) * 0.98)
+		hi := time.Duration(float64(base) * 1.02)
+		if got < lo || got > hi {
+			t.Errorf("Delay(%d) = %v, want %v ±1%%", i+1, got, base)
+		}
+	}
+}
+
+// TestDelayDefaults exercises the zero-value knobs: 100µs base, 2ms cap,
+// ±20% jitter.
+func TestDelayDefaults(t *testing.T) {
+	var p Policy
+	d1 := p.Delay(1)
+	if d1 < 80*time.Microsecond || d1 > 120*time.Microsecond {
+		t.Errorf("default first delay %v outside 100µs ±20%%", d1)
+	}
+	// Far beyond the doubling horizon the cap holds.
+	d9 := p.Delay(9)
+	if d9 < 1600*time.Microsecond || d9 > 2400*time.Microsecond {
+		t.Errorf("default capped delay %v outside 2ms ±20%%", d9)
+	}
+}
+
+// TestJitterSpreads asserts the jitter actually decorrelates: over many
+// samples the delays are not all identical.
+func TestJitterSpreads(t *testing.T) {
+	p := Policy{MaxAttempts: 1, Backoff: time.Millisecond, MaxBackoff: time.Millisecond, Jitter: 0.5}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[p.Delay(1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 jittered delays collapsed to %d distinct value(s)", len(seen))
+	}
+}
+
+// TestJitterClamped: a Jitter above 1 is clamped so a delay can never go
+// negative.
+func TestJitterClamped(t *testing.T) {
+	p := Policy{MaxAttempts: 1, Backoff: time.Millisecond, Jitter: 50}
+	for i := 0; i < 64; i++ {
+		if d := p.Delay(1); d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	}
+}
+
+// TestEnabled pins the zero-value-disables contract.
+func TestEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if !(Policy{MaxAttempts: 1}).Enabled() {
+		t.Error("MaxAttempts=1 reports disabled")
+	}
+}

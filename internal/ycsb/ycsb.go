@@ -96,6 +96,45 @@ type Generator struct {
 	rng     splitMix64
 	zipf    *zipfGen
 	records uint64
+
+	// Substream state (Split): child i of n draws inserts from the
+	// disjoint arithmetic block {insertNext, insertNext+insertStride, …}
+	// above the preloaded key range, so concurrent clients never collide
+	// on a freshly inserted key. insertStride == 0 marks an unsplit
+	// generator, which keeps the original grow-the-keyspace behavior.
+	insertNext   uint64
+	insertStride uint64
+}
+
+// Split derives n deterministic substreams for concurrent clients. Each
+// child's RNG is seeded from (Config.Seed, child index) only — the same
+// configuration always yields the same n streams, regardless of how many
+// operations the parent has already drawn — and the children's insert
+// keys partition the space above Records (child i takes Records+i,
+// Records+i+n, …), so the streams are disjoint where they must be and
+// reproducible everywhere. Reads/updates keep drawing from the shared
+// preloaded range [0, Records): substreams model independent clients of
+// one keyspace, not separate keyspaces.
+func (g *Generator) Split(n int) []*Generator {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*Generator, n)
+	for i := 0; i < n; i++ {
+		child := &Generator{
+			cfg:          g.cfg,
+			records:      uint64(g.cfg.Records),
+			zipf:         g.zipf, // stateless between draws; shareable
+			insertNext:   uint64(g.cfg.Records) + uint64(i),
+			insertStride: uint64(n),
+		}
+		// Decorrelate the child seed from both the parent seed and the
+		// sibling index with one splitmix round each.
+		s := splitMix64{state: g.cfg.Seed ^ 0x9e3779b97f4a7c15}
+		child.rng = splitMix64{state: s.next() ^ fnvMix(uint64(i)+1)}
+		out[i] = child
+	}
+	return out
 }
 
 // New builds a generator; it validates the mix.
@@ -136,8 +175,15 @@ func (g *Generator) Next() Op {
 	}
 	op := Op{Kind: kind, Key: g.nextKey()}
 	if kind == OpInsert {
-		g.records++
-		op.Key = g.records - 1
+		if g.insertStride > 0 {
+			// Substream: take the next key of this child's disjoint
+			// block; the read range stays the preloaded keyspace.
+			op.Key = g.insertNext
+			g.insertNext += g.insertStride
+		} else {
+			g.records++
+			op.Key = g.records - 1
+		}
 	}
 	if kind == OpScan {
 		op.ScanLen = 1 + int(g.rng.next()%100)

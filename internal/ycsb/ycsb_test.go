@@ -136,3 +136,108 @@ func TestKeyBytes(t *testing.T) {
 		t.Errorf("KeyBytes wrong: %v", b)
 	}
 }
+
+// drain collects n ops from a generator.
+func drain(g *Generator, n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// TestSplitDeterminism: splitting the same configuration twice yields
+// byte-identical substreams, even when one parent has already been
+// consumed — the children depend only on (seed, index).
+func TestSplitDeterminism(t *testing.T) {
+	cfg := Config{Records: 500, Mix: WorkloadA, Distribution: Zipfian, Seed: 11}
+	a := gen(t, cfg).Split(4)
+	parent := gen(t, cfg)
+	drain(parent, 333) // advance the parent; must not perturb the split
+	b := parent.Split(4)
+	for i := range a {
+		sa, sb := drain(a[i], 2000), drain(b[i], 2000)
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("substream %d diverged at op %d: %+v vs %+v", i, j, sa[j], sb[j])
+			}
+		}
+	}
+}
+
+// TestSplitStreamsDiffer: siblings draw distinct streams (they model
+// independent clients), and each differs from an unsplit generator.
+func TestSplitStreamsDiffer(t *testing.T) {
+	cfg := Config{Records: 500, Mix: WorkloadA, Distribution: Uniform, Seed: 11}
+	subs := gen(t, cfg).Split(3)
+	solo := drain(gen(t, cfg), 200)
+	streams := make([][]Op, len(subs))
+	for i, s := range subs {
+		streams[i] = drain(s, 200)
+	}
+	same := func(x, y []Op) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range streams {
+		if same(streams[i], solo) {
+			t.Errorf("substream %d equals the unsplit stream", i)
+		}
+		for j := i + 1; j < len(streams); j++ {
+			if same(streams[i], streams[j]) {
+				t.Errorf("substreams %d and %d are identical", i, j)
+			}
+		}
+	}
+}
+
+// TestSplitInsertKeysDisjoint: concurrent clients must never collide on
+// a freshly inserted key — child i owns the arithmetic block
+// records+i, records+i+n, … — while reads stay inside the preloaded
+// range.
+func TestSplitInsertKeysDisjoint(t *testing.T) {
+	const records, n = 100, 4
+	subs := gen(t, Config{Records: records, Mix: WorkloadD, Distribution: Uniform, Seed: 23}).Split(n)
+	owner := map[uint64]int{}
+	for i, s := range subs {
+		for _, op := range drain(s, 5000) {
+			if op.Kind == OpInsert {
+				if op.Key < records {
+					t.Fatalf("substream %d inserted into the preloaded range: key %d", i, op.Key)
+				}
+				if int((op.Key-records)%n) != i {
+					t.Fatalf("substream %d inserted key %d outside its block", i, op.Key)
+				}
+				if prev, dup := owner[op.Key]; dup {
+					t.Fatalf("key %d inserted by both %d and %d", op.Key, prev, i)
+				}
+				owner[op.Key] = i
+			} else if op.Key >= records {
+				t.Fatalf("substream %d read key %d outside the preloaded range", i, op.Key)
+			}
+		}
+	}
+	if len(owner) == 0 {
+		t.Fatal("no inserts drawn")
+	}
+}
+
+// TestSplitCoverage: the union of substream reads still covers the
+// keyspace (no child is boxed into a corner of it).
+func TestSplitCoverage(t *testing.T) {
+	const records = 200
+	subs := gen(t, Config{Records: records, Mix: WorkloadC, Distribution: Uniform, Seed: 31}).Split(4)
+	seen := map[uint64]bool{}
+	for _, s := range subs {
+		for _, op := range drain(s, 2000) {
+			seen[op.Key] = true
+		}
+	}
+	if len(seen) < records*9/10 {
+		t.Errorf("substreams covered only %d/%d keys", len(seen), records)
+	}
+}

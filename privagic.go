@@ -328,6 +328,14 @@ func (i *Instance) RecoveryStats() RecoveryStats {
 // timeouts, drained messages, and watchdog stalls.
 func (i *Instance) SupervisionStats() prt.SupStats { return i.ip.RT.SupervisionStats() }
 
+// Saturated reports whether any bounded runtime worker queue is at
+// capacity right now (needs SupervisionOptions.QueueCapacity). It is the
+// backend-pressure probe behind memcached.Admission.Saturated and
+// cluster.Config.Saturated: wiring it there makes a congested partitioned
+// backend shed at the network edge with SERVER_ERROR busy instead of
+// queueing without bound.
+func (i *Instance) Saturated() bool { return i.ip.RT.Saturated() }
+
 // Typed failure sentinels, for errors.Is against Call's error: a bounded
 // wait that gave up, a chunk that crashed inside its enclave (the
 // simulated AEX), a call interrupted by shutdown, and a runtime boundary
