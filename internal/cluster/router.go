@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,6 +25,14 @@ type Directory interface {
 // ErrNoShards is returned when every shard is fenced: the router degrades
 // into fast explicit failure rather than stalling callers.
 var ErrNoShards = errors.New("cluster: no shards available")
+
+// ErrBreakerOpen is returned (after the retry budget) when the owning
+// shard's circuit breaker is refusing requests: the data path has failed
+// enough consecutive times that further attempts would only burn their
+// full timeout against a known-bad wire. Explicit fast failure — the
+// breaker half-opens after its cooldown and live traffic resumes once a
+// trial succeeds.
+var ErrBreakerOpen = errors.New("cluster: shard circuit breaker open")
 
 // RouterConfig tunes the client router. Zero values take the documented
 // defaults.
@@ -59,10 +68,46 @@ type RouterConfig struct {
 	// DisableProbes turns health probing off (unit tests that drive
 	// fencing by hand).
 	DisableProbes bool
+
+	// Breaker tunes the per-shard circuit breaker over the data path.
+	// Consecutive data-path failures (timeouts, transport errors,
+	// protocol violations) trip it; busy responses count as successes —
+	// a shedding shard is alive, so pure overload can never trip the
+	// breaker. Defaults: 8 consecutive failures, cooldown 4×ProbeInterval,
+	// one half-open trial.
+	Breaker retry.BreakerConfig
+
+	// SlowRTT and FastRTT are the latency-health thresholds over each
+	// shard's EWMA of data-path RTT. A shard whose EWMA stays above
+	// SlowRTT for DemoteStrikes consecutive probe rounds is demoted out
+	// of the ring — even while its version probes answer, which is
+	// exactly the slow-but-alive gray failure fencing cannot see. A
+	// demoted shard whose EWMA falls back below FastRTT (hysteresis) for
+	// PromoteStrikes rounds, with its breaker closed, is promoted back;
+	// generation stamps make the round trip safe without invalidation.
+	// Defaults: SlowRTT = OpTimeout/2, FastRTT = SlowRTT/4.
+	SlowRTT time.Duration
+	FastRTT time.Duration
+	// DemoteStrikes / PromoteStrikes are the consecutive-evaluation
+	// requirements (defaults 3 / 2): one scheduler hiccup never flips
+	// membership.
+	DemoteStrikes  int
+	PromoteStrikes int
+
+	// HedgeDelay controls hedged Gets: a Get whose primary attempt has
+	// not answered after this long launches a second identical request
+	// on a spare connection to the same shard, first answer wins, loser
+	// canceled. 0 means adaptive — max(8× the shard's EWMA RTT,
+	// OpTimeout/4), so hedges fire on genuine stalls, not on every
+	// routine fluctuation. Negative disables hedging. Only Gets hedge:
+	// they are idempotent, a duplicated Set or Delete is not harmless.
+	HedgeDelay time.Duration
 }
 
 // shardState is the router's view of one shard. Fields are guarded by
-// Router.mu except kick, which is immutable.
+// Router.mu except kick and breaker (immutable pointers, internally
+// synchronized) and rtt/dataDown (atomics sampled lock-free on the data
+// path).
 type shardState struct {
 	addr        string
 	epoch       uint64
@@ -73,6 +118,27 @@ type shardState struct {
 	downSince   time.Time // first failure of the current streak
 	wasDown     bool      // a probe.down was recorded without a probe.up yet
 	kick        chan struct{}
+
+	// Gray-failure defenses (DESIGN.md §15). demoted is the
+	// latency-health twin of fenced: the shard is out of the ring but
+	// its incarnation is still trusted, so promotion back at the same
+	// epoch is safe (generation stamps fence staleness). slowStrikes /
+	// fastStrikes count consecutive over/under-threshold probe-round
+	// evaluations; slowSince anchors the demote-detection histogram.
+	breaker     *retry.Breaker
+	demoted     bool
+	slowStrikes int
+	fastStrikes int
+	slowSince   time.Time
+
+	// rtt is the EWMA of data-path RTT in µs (float bits; 0 = no samples
+	// yet). Updated with a benign racy read-modify-write: losing a
+	// concurrent sample shifts an estimate, never corrupts state.
+	rtt atomic.Uint64
+	// dataDown is the UnixNano of the first failure of the current
+	// data-path failure streak (0 = healthy) — the detection-latency
+	// anchor for breaker-driven demotions.
+	dataDown atomic.Int64
 }
 
 // Router is the consistent-hashing client router: it owns the ring, a
@@ -96,8 +162,10 @@ type Router struct {
 	ring   *ring
 	shards []*shardState
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	routes        atomic.Int64
 	retries       atomic.Int64
@@ -109,8 +177,19 @@ type Router struct {
 	probes        atomic.Int64
 	probeFailures atomic.Int64
 
+	demotions       atomic.Int64
+	promotions      atomic.Int64
+	breakerTrips    atomic.Int64
+	breakerFastfail atomic.Int64
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
+	corruptRejects  atomic.Int64
+	writeFences     atomic.Int64
+
 	tracer     *obs.Tracer
 	detectHist *obs.Histogram
+	demoteHist *obs.Histogram
+	rttHist    *obs.Histogram
 }
 
 // NewRouter builds a router over dir and starts its probers.
@@ -137,6 +216,24 @@ func NewRouter(dir Directory, cfg RouterConfig) (*Router, error) {
 	if cfg.ProbeFails <= 0 {
 		cfg.ProbeFails = 3
 	}
+	if cfg.Breaker.Failures <= 0 {
+		cfg.Breaker.Failures = 8
+	}
+	if cfg.Breaker.Cooldown <= 0 {
+		cfg.Breaker.Cooldown = 4 * cfg.ProbeInterval
+	}
+	if cfg.SlowRTT <= 0 {
+		cfg.SlowRTT = cfg.OpTimeout / 2
+	}
+	if cfg.FastRTT <= 0 {
+		cfg.FastRTT = cfg.SlowRTT / 4
+	}
+	if cfg.DemoteStrikes <= 0 {
+		cfg.DemoteStrikes = 3
+	}
+	if cfg.PromoteStrikes <= 0 {
+		cfg.PromoteStrikes = 2
+	}
 	r := &Router{
 		cfg:    cfg,
 		dir:    dir,
@@ -144,9 +241,11 @@ func NewRouter(dir Directory, cfg RouterConfig) (*Router, error) {
 		shards: make([]*shardState, n),
 		stop:   make(chan struct{}),
 	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
 	for i := 0; i < n; i++ {
 		addr, epoch, running := dir.Addr(i)
 		st := &shardState{addr: addr, epoch: epoch, kick: make(chan struct{}, 1)}
+		st.breaker = retry.NewBreaker(cfg.Breaker)
 		st.pool = newConnPool(addr, cfg.PoolConns, cfg.OpTimeout)
 		if !running {
 			st.fenced = true
@@ -164,8 +263,10 @@ func NewRouter(dir Directory, cfg RouterConfig) (*Router, error) {
 	return r, nil
 }
 
-// Close stops the probers and closes pooled connections.
+// Close stops the probers and closes pooled connections. Operations
+// sleeping in a retry backoff wake immediately (context-aware Sleep).
 func (r *Router) Close() {
+	r.cancel()
 	close(r.stop)
 	r.wg.Wait()
 	r.mu.Lock()
@@ -181,6 +282,16 @@ func (r *Router) Close() {
 func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	r.tracer = tracer
 	r.detectHist = reg.Histogram("cluster.failover_detect_us")
+	r.demoteHist = reg.Histogram("cluster.demote_detect_us")
+	r.rttHist = reg.Histogram("cluster.data_rtt_us")
+	reg.Gauge("cluster.demotions", r.demotions.Load)
+	reg.Gauge("cluster.promotions", r.promotions.Load)
+	reg.Gauge("cluster.breaker_trips", r.breakerTrips.Load)
+	reg.Gauge("cluster.breaker_fastfails", r.breakerFastfail.Load)
+	reg.Gauge("cluster.hedges", r.hedges.Load)
+	reg.Gauge("cluster.hedge_wins", r.hedgeWins.Load)
+	reg.Gauge("cluster.corrupt_rejects", r.corruptRejects.Load)
+	reg.Gauge("cluster.write_fences", r.writeFences.Load)
 	reg.Gauge("cluster.routes", r.routes.Load)
 	reg.Gauge("cluster.retries", r.retries.Load)
 	reg.Gauge("cluster.sheds", r.sheds.Load)
@@ -208,55 +319,67 @@ func (r *Router) Counters() map[string]int64 {
 	up, gen := r.ring.nUp, r.ring.gen
 	r.mu.Unlock()
 	return map[string]int64{
-		"routes":          r.routes.Load(),
-		"retries":         r.retries.Load(),
-		"sheds":           r.sheds.Load(),
-		"route_errors":    r.routeErrors.Load(),
-		"stale_rejects":   r.staleRejects.Load(),
-		"failovers":       r.failovers.Load(),
-		"readmits":        r.readmits.Load(),
-		"probes":          r.probes.Load(),
-		"probe_failures":  r.probeFailures.Load(),
-		"shards_up":       int64(up),
-		"ring_generation": int64(gen),
+		"routes":            r.routes.Load(),
+		"retries":           r.retries.Load(),
+		"sheds":             r.sheds.Load(),
+		"route_errors":      r.routeErrors.Load(),
+		"stale_rejects":     r.staleRejects.Load(),
+		"failovers":         r.failovers.Load(),
+		"readmits":          r.readmits.Load(),
+		"probes":            r.probes.Load(),
+		"probe_failures":    r.probeFailures.Load(),
+		"demotions":         r.demotions.Load(),
+		"promotions":        r.promotions.Load(),
+		"breaker_trips":     r.breakerTrips.Load(),
+		"breaker_fastfails": r.breakerFastfail.Load(),
+		"hedges":            r.hedges.Load(),
+		"hedge_wins":        r.hedgeWins.Load(),
+		"corrupt_rejects":   r.corruptRejects.Load(),
+		"write_fences":      r.writeFences.Load(),
+		"shards_up":         int64(up),
+		"ring_generation":   int64(gen),
 	}
 }
 
 // Set stores key=value on its owning shard, stamped with the current ring
 // generation (the staleness fence; generations are tiny relative to the
-// 32-bit flags field).
+// 32-bit flags field) and sealed with an end-to-end integrity tag over
+// (key, generation, value) — wire corruption anywhere in the store/fetch
+// path is then detected at Get time instead of becoming a wrong answer.
 func (r *Router) Set(key string, value []byte) error {
-	return r.do(key, func(c *memcached.Client, gen, _ uint64) error {
-		return c.Set(key, value, uint32(gen))
+	// fenceOnPoison: a Set whose attempt dies on a poisoned connection
+	// may still be delivered by the network later (the zombie write); the
+	// segment fence ages its stamp out so it can never overwrite forward
+	// progress. Deletes don't fence — a zombie delete only costs a miss.
+	return r.doOp(key, true, func(c *memcached.Client, gen, _ uint64) error {
+		return c.Set(key, sealValue(key, uint32(gen), value), uint32(gen))
 	})
 }
 
-// Get fetches key from its owning shard. A hit whose generation stamp
-// predates the owner's tenure over the key is a survivor's copy from a
-// failover window: it is purged and served as a miss, never as a value.
+// Get fetches key from its owning shard, hedging the attempt when the
+// primary stalls (see RouterConfig.HedgeDelay). A hit whose generation
+// stamp predates the owner's tenure over the key is a survivor's copy
+// from a failover window; a hit whose integrity tag does not verify was
+// corrupted somewhere between the original Set and this read. Both are
+// purged and served as misses, never as values.
 func (r *Router) Get(key string) (value []byte, ok bool, err error) {
-	err = r.do(key, func(c *memcached.Client, _, acquired uint64) error {
-		v, flags, hit, gerr := c.GetFlags(key)
-		if gerr != nil {
-			return gerr
+	var out getRes
+	err = r.doAttempts(key, func(shard int, st *shardState, pool *connPool, gen, acquired uint64) error {
+		res := r.getAttempt(shard, st, pool, acquired, key)
+		if res.err == nil {
+			out = res
 		}
-		if hit && uint64(flags) < acquired {
-			r.staleRejects.Add(1)
-			_, _ = c.Delete(key) // best-effort purge; rejection alone is safe
-			v, hit = nil, false
-		}
-		value, ok = v, hit
-		return nil
+		return res.err
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	return value, ok, nil
+	return out.v, out.hit, nil
 }
 
 // Delete removes key from its owning shard.
 func (r *Router) Delete(key string) (found bool, err error) {
-	err = r.do(key, func(c *memcached.Client, _, _ uint64) error {
+	err = r.doOp(key, false, func(c *memcached.Client, _, _ uint64) error {
 		f, derr := c.Delete(key)
 		found = f
 		return derr
@@ -289,17 +412,72 @@ func (r *Router) route(key string) (shard int, pool *connPool, acquired, gen uin
 	return s, r.shards[s].pool, acq, r.ring.gen, true
 }
 
-// do runs one operation under the retry budget. Busy responses back off
-// and retry (the connection stays framed); timeouts and transport errors
-// poison the connection, nudge the shard's prober, and retry against
-// whatever the ring then says the owner is — after a fence that is a
-// survivor, so retries are how in-flight operations ride out a failover.
-func (r *Router) do(key string, op func(c *memcached.Client, gen, acquired uint64) error) error {
+// doOp runs one single-connection operation under the retry budget. Busy
+// responses back off and retry (the connection stays framed); timeouts,
+// transport errors and protocol violations poison the connection, feed
+// the shard's breaker and latency health, nudge the prober, and retry
+// against whatever the ring then says the owner is — after a fence or
+// demotion that is a survivor, so retries are how in-flight operations
+// ride out a failover. With fenceOnPoison, a poisoned attempt also
+// fences the key's ring segment before the retry (see Set).
+func (r *Router) doOp(key string, fenceOnPoison bool, op func(c *memcached.Client, gen, acquired uint64) error) error {
+	return r.doAttempts(key, func(shard int, st *shardState, pool *connPool, gen, acquired uint64) error {
+		c, err := pool.get()
+		if err != nil {
+			r.sample(shard, st, r.cfg.OpTimeout, false)
+			r.nudge(shard)
+			return err
+		}
+		start := time.Now()
+		err = op(c, gen, acquired)
+		rtt := time.Since(start)
+		switch {
+		case err == nil:
+			pool.put(c)
+			r.sample(shard, st, rtt, true)
+		case errors.Is(err, memcached.ErrBusy):
+			pool.put(c) // shed responses leave the stream framed
+			r.sample(shard, st, rtt, true)
+		default:
+			pool.discard(c) // timeout or torn stream: redial next attempt
+			if fenceOnPoison {
+				r.fenceWrite(shard, key)
+			}
+			r.sample(shard, st, r.cfg.OpTimeout, false)
+			r.nudge(shard)
+		}
+		return err
+	})
+}
+
+// fenceWrite ages out the ring segment owning key after a write attempt
+// died on a poisoned connection: the attempt's bytes may still be in
+// flight, and if the network ever delivers them the stale stamp must
+// lose to the fence.
+func (r *Router) fenceWrite(shard int, key string) {
+	r.mu.Lock()
+	gen := r.ring.fenceKey(keyHash(key))
+	r.mu.Unlock()
+	r.writeFences.Add(1)
+	r.tracer.Record(obs.EvWriteFence, shard, 0, 0, 0, int64(gen))
+}
+
+// doAttempts is the shared retry loop: route, breaker admission, one
+// attemptFn per try, terminal-error accounting. attemptFn owns its
+// connection handling and MUST report each attempt's outcome through
+// sample() — that is what completes a half-open breaker trial.
+func (r *Router) doAttempts(key string, attemptFn func(shard int, st *shardState, pool *connPool, gen, acquired uint64) error) error {
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			r.retries.Add(1)
-			time.Sleep(r.cfg.Retry.Delay(attempt))
+			if serr := r.cfg.Retry.Sleep(r.ctx, attempt); serr != nil {
+				// Router closed mid-backoff: surface what we know.
+				if lastErr == nil {
+					lastErr = serr
+				}
+				break
+			}
 		}
 		shard, pool, acquired, gen, ok := r.route(key)
 		if !ok {
@@ -309,26 +487,21 @@ func (r *Router) do(key string, op func(c *memcached.Client, gen, acquired uint6
 		if attempt > 0 {
 			r.tracer.Record(obs.EvRouteRetry, shard, 0, 0, gen, int64(attempt))
 		}
-		c, err := pool.get()
-		if err != nil {
-			r.nudge(shard)
-			lastErr = err
+		st := r.shards[shard]
+		if !st.breaker.Allow() {
+			// Known-bad data path: fail this attempt instantly instead
+			// of burning a timeout. The ring usually no longer routes
+			// here (trip demotes), so this is the last-shard-up case.
+			r.breakerFastfail.Add(1)
+			lastErr = fmt.Errorf("cluster: shard %d: %w", shard, ErrBreakerOpen)
 			continue
 		}
-		err = op(c, gen, acquired)
-		switch {
-		case err == nil:
-			pool.put(c)
+		err := attemptFn(shard, st, pool, gen, acquired)
+		if err == nil {
 			r.routes.Add(1)
 			return nil
-		case errors.Is(err, memcached.ErrBusy):
-			pool.put(c) // shed responses leave the stream framed
-			lastErr = err
-		default:
-			pool.discard(c) // timeout or torn stream: redial next attempt
-			r.nudge(shard)
-			lastErr = err
 		}
+		lastErr = err
 	}
 	if errors.Is(lastErr, memcached.ErrBusy) {
 		r.sheds.Add(1)
@@ -337,6 +510,18 @@ func (r *Router) do(key string, op func(c *memcached.Client, gen, acquired uint6
 		r.routeErrors.Add(1)
 	}
 	return lastErr
+}
+
+// resetHealthLocked clears a shard's gray-failure state when its
+// incarnation changes (readmit or adopt): the new process shares no
+// history with the wire that earned the old one its demotion, strikes,
+// latency estimate, or breaker debt. Caller holds r.mu.
+func (r *Router) resetHealthLocked(st *shardState) {
+	st.demoted = false
+	st.slowStrikes, st.fastStrikes = 0, 0
+	st.rtt.Store(0)
+	st.dataDown.Store(0)
+	st.breaker.Reset()
 }
 
 // nudge schedules an immediate probe of shard (data-path failures speed
@@ -354,9 +539,17 @@ func (r *Router) prober(i int) {
 	st := r.shards[i]
 	var conn *memcached.Client
 	var connAddr string
+	// dconn is the canary's persistent data-path connection, distinct
+	// from the version-probe conn: an asymmetric partition can leave one
+	// path up and the other down, so each is measured on its own socket.
+	var dconn *memcached.Client
+	var dconnAddr string
 	defer func() {
 		if conn != nil {
 			conn.Close()
+		}
+		if dconn != nil {
+			dconn.Close()
 		}
 	}()
 	timer := time.NewTimer(r.cfg.ProbeInterval)
@@ -375,6 +568,7 @@ func (r *Router) prober(i int) {
 			}
 		}
 		r.probeOnce(i, &conn, &connAddr)
+		r.canaryOnce(i, &dconn, &dconnAddr)
 		timer.Reset(r.cfg.ProbeInterval)
 	}
 }
@@ -426,6 +620,7 @@ func (r *Router) probeOnce(i int, conn **memcached.Client, connAddr *string) {
 			// A fresh incarnation (cold store, new epoch) answered: readmit.
 			st.fenced = false
 			st.addr, st.epoch = addr, epoch
+			r.resetHealthLocked(st)
 			old := st.pool
 			st.pool = newConnPool(addr, r.cfg.PoolConns, r.cfg.OpTimeout)
 			gen := r.ring.setUp(i, true)
@@ -443,6 +638,10 @@ func (r *Router) probeOnce(i int, conn **memcached.Client, connAddr *string) {
 			// new incarnation's address; its store is cold, which costs
 			// misses, never wrong answers.
 			st.addr, st.epoch = addr, epoch
+			if st.demoted {
+				r.ring.setUp(i, true)
+			}
+			r.resetHealthLocked(st)
 			old := st.pool
 			st.pool = newConnPool(addr, r.cfg.PoolConns, r.cfg.OpTimeout)
 			r.mu.Unlock()
@@ -516,6 +715,28 @@ func (p *connPool) get() (*memcached.Client, error) {
 			return nil, err
 		}
 		return c, nil
+	}
+}
+
+// tryGet is get without the wait: an idle connection or an instant dial
+// if a slot is free, else (nil, false). The hedge path uses it so a
+// hedge can never block behind — or starve — primary traffic.
+func (p *connPool) tryGet() (*memcached.Client, bool) {
+	select {
+	case c := <-p.idle:
+		return c, true
+	default:
+	}
+	select {
+	case p.sem <- struct{}{}:
+		c, err := memcached.DialTimeout(p.addr, p.timeout)
+		if err != nil {
+			<-p.sem
+			return nil, false
+		}
+		return c, true
+	default:
+		return nil, false
 	}
 }
 

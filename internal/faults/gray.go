@@ -1,0 +1,258 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"privagic/internal/netfaults"
+	"privagic/internal/obs"
+)
+
+// GrayChaos is the network-level twin of the shard-level Chaos monkey:
+// instead of killing processes it degrades wires. It arms seeded-random
+// gray faults — latency spikes, bandwidth throttles, asymmetric
+// partitions, mid-message resets, byte corruption — on the
+// fault-injecting links in front of a cluster's shards, then heals them
+// after a bounded dwell. Every shard stays alive the whole time; only
+// the network lies. The gray soak runs the router's traffic through
+// these links and asserts the same oracle as the crash soak: every read
+// fresh-or-miss, every failure typed, never a wrong answer.
+type GrayChaos struct {
+	cfg   GrayChaosConfig
+	links []*netfaults.Link
+	rng   *rand.Rand
+
+	mu               sync.Mutex
+	degraded         map[int]bool
+	latencySpikes    int64
+	throttles        int64
+	partitions       int64
+	resetsArmed      int64
+	corruptionsArmed int64
+	heals            int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// GrayChaosConfig tunes the gray monkey. The zero value arms one fault
+// with the default timing and magnitudes.
+type GrayChaosConfig struct {
+	Seed int64
+
+	// Actions is how many gray faults to arm (default 1).
+	Actions int
+
+	// MinDelay/MaxDelay bound the pause before each action (defaults
+	// 1ms/5ms), so faults land at seeded-random points of the run.
+	MinDelay, MaxDelay time.Duration
+
+	// HealAfter is how long an armed fault dwells before the link is
+	// healed (default 15ms). Dwell must comfortably exceed the router's
+	// probe interval or the degradation is survivable noise that never
+	// exercises demotion.
+	HealAfter time.Duration
+
+	// MaxDegraded caps concurrently degraded links (default NumLinks-1,
+	// so at least one clean path always exists).
+	MaxDegraded int
+
+	// Latency/Jitter are the magnitude of an armed latency spike
+	// (defaults 10ms / Latency/2). Spikes are armed on the data class
+	// only: the probe path answering while data crawls is the definition
+	// of the gray failure under test.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// BytesPerSec is the armed throttle rate (default 8 KiB/s — slow
+	// enough that a multi-hundred-byte response visibly stretches).
+	BytesPerSec int
+
+	// ResetEvery / CorruptEvery are the per-chunk periods of armed
+	// reset and corruption faults (defaults 3 / 3).
+	ResetEvery   int
+	CorruptEvery int
+}
+
+// NewGrayChaos builds a gray monkey over links. Call Start to unleash it.
+func NewGrayChaos(links []*netfaults.Link, cfg GrayChaosConfig) *GrayChaos {
+	if cfg.Actions <= 0 {
+		cfg.Actions = 1
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = time.Millisecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = 5 * time.Millisecond
+		if cfg.MaxDelay < cfg.MinDelay {
+			cfg.MaxDelay = cfg.MinDelay
+		}
+	}
+	if cfg.HealAfter <= 0 {
+		cfg.HealAfter = 15 * time.Millisecond
+	}
+	if cfg.MaxDegraded <= 0 || cfg.MaxDegraded >= len(links) {
+		cfg.MaxDegraded = len(links) - 1
+		if cfg.MaxDegraded < 1 {
+			cfg.MaxDegraded = 1
+		}
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 10 * time.Millisecond
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = cfg.Latency / 2
+	}
+	if cfg.BytesPerSec <= 0 {
+		cfg.BytesPerSec = 8 << 10
+	}
+	if cfg.ResetEvery <= 0 {
+		cfg.ResetEvery = 3
+	}
+	if cfg.CorruptEvery <= 0 {
+		cfg.CorruptEvery = 3
+	}
+	return &GrayChaos{
+		cfg:      cfg,
+		links:    links,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		degraded: map[int]bool{},
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// Start launches the gray loop.
+func (g *GrayChaos) Start() {
+	go g.run()
+}
+
+// Wait blocks until every configured fault has been armed and every
+// scheduled heal has completed — the network is clean again.
+func (g *GrayChaos) Wait() {
+	<-g.doneCh
+	g.wg.Wait()
+}
+
+// Stop aborts the remaining actions and waits for in-flight heals, so
+// teardown never races a healing link.
+func (g *GrayChaos) Stop() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+	<-g.doneCh
+	g.wg.Wait()
+}
+
+func (g *GrayChaos) run() {
+	defer close(g.doneCh)
+	for n := 0; n < g.cfg.Actions; n++ {
+		span := int64(g.cfg.MaxDelay-g.cfg.MinDelay) + 1
+		delay := g.cfg.MinDelay + time.Duration(g.rng.Int63n(span))
+		select {
+		case <-g.stopCh:
+			return
+		case <-time.After(delay):
+		}
+		g.act()
+	}
+}
+
+// act arms one gray fault against a random clean link, honoring the
+// clean-path floor, and schedules the link's heal.
+func (g *GrayChaos) act() {
+	g.mu.Lock()
+	if len(g.degraded) >= g.cfg.MaxDegraded {
+		g.mu.Unlock()
+		return
+	}
+	var candidates []int
+	for i := range g.links {
+		if !g.degraded[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	victim := candidates[g.rng.Intn(len(candidates))]
+	g.degraded[victim] = true
+	kind := g.rng.Intn(5)
+	g.mu.Unlock()
+
+	link := g.links[victim]
+	switch kind {
+	case 0:
+		// Latency spike on the data class only: probes answer instantly
+		// while data crawls — the canonical gray failure.
+		link.SetFaults(netfaults.Data, netfaults.Faults{
+			Latency: g.cfg.Latency,
+			Jitter:  g.cfg.Jitter,
+		})
+		g.count(&g.latencySpikes)
+	case 1:
+		link.SetFaults(netfaults.Data, netfaults.Faults{BytesPerSec: g.cfg.BytesPerSec})
+		g.count(&g.throttles)
+	case 2:
+		// Asymmetric partition, three flavors: answers lost, requests
+		// lost, or the probe path dead while data flows (the router must
+		// not confuse any of them with overload or a crash).
+		f := netfaults.Faults{DropS2C: true}
+		class := netfaults.Data
+		switch g.rng.Intn(3) {
+		case 1:
+			f = netfaults.Faults{DropC2S: true}
+		case 2:
+			class = netfaults.Probe
+		}
+		link.SetFaults(class, f)
+		g.count(&g.partitions)
+	case 3:
+		link.SetFaults(netfaults.Data, netfaults.Faults{ResetEvery: g.cfg.ResetEvery})
+		g.count(&g.resetsArmed)
+	case 4:
+		link.SetFaults(netfaults.Data, netfaults.Faults{CorruptEvery: g.cfg.CorruptEvery})
+		g.count(&g.corruptionsArmed)
+	}
+
+	g.wg.Add(1)
+	time.AfterFunc(g.cfg.HealAfter, func() {
+		defer g.wg.Done()
+		link.Heal()
+		g.mu.Lock()
+		g.heals++
+		delete(g.degraded, victim)
+		g.mu.Unlock()
+	})
+}
+
+func (g *GrayChaos) count(c *int64) {
+	g.mu.Lock()
+	*c++
+	g.mu.Unlock()
+}
+
+// Counters reports the monkey's activity (CounterSource; snapshots show
+// these under the gray. prefix).
+func (g *GrayChaos) Counters() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return map[string]int64{
+		"latency_spikes":    g.latencySpikes,
+		"throttles":         g.throttles,
+		"partitions":        g.partitions,
+		"resets_armed":      g.resetsArmed,
+		"corruptions_armed": g.corruptionsArmed,
+		"heals":             g.heals,
+	}
+}
+
+// RegisterMetrics folds the monkey's counters into reg under the gray.
+// prefix (the gray.* block of the metric catalogue).
+func (g *GrayChaos) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterSource("gray", g)
+}
+
+var _ CounterSource = (*GrayChaos)(nil)

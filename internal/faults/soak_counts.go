@@ -28,6 +28,15 @@ type SoakBudget struct {
 	// faults and must see zero spurious failovers.
 	ClusterChaos   int
 	ClusterRelaxed int
+
+	// Gray-failure soak (internal/cluster/grayfail_soak_test.go):
+	// network-level degradation (latency spikes, asymmetric partitions,
+	// resets, corruption) through fault-injecting proxies while every
+	// shard stays alive; every Get fresh-or-miss, every failure typed.
+	// The control sweep runs the same traffic through clean proxies and
+	// must see zero breaker trips and zero demotions.
+	GrayChaos   int
+	GrayControl int
 }
 
 // Schedules returns the build's soak schedule counts.

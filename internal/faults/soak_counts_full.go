@@ -16,4 +16,7 @@ var soakBudget = SoakBudget{
 
 	ClusterChaos:   520,
 	ClusterRelaxed: 130,
+
+	GrayChaos:   520,
+	GrayControl: 130,
 }

@@ -18,4 +18,7 @@ var soakBudget = SoakBudget{
 
 	ClusterChaos:   32,
 	ClusterRelaxed: 12,
+
+	GrayChaos:   24,
+	GrayControl: 10,
 }

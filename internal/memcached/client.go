@@ -16,6 +16,17 @@ import (
 // retry after backoff — the cluster router does exactly that.
 var ErrBusy = errors.New("memcached: server busy")
 
+// ErrProtocol marks a response the client could not parse as the text
+// protocol it expects: a garbled status line, a VALUE header echoing the
+// wrong key, unparsable length/flags digits, a missing END terminator.
+// It is how wire corruption (bit flips, truncation, stream desync after
+// a partial read) surfaces as a *typed* failure instead of a wrong
+// answer or an anonymous string error — the gray-failure soak counts
+// any non-typed failure as a bug. A protocol error poisons the
+// connection exactly like a timeout does: the stream framing can no
+// longer be trusted, so callers must Close and redial.
+var ErrProtocol = errors.New("memcached: protocol violation")
+
 // IsTimeout reports whether err is an I/O deadline expiry (the client's
 // per-operation timeout firing). After a timeout the connection is
 // poisoned — the late response, if it ever arrives, would desynchronize
@@ -78,6 +89,14 @@ func (c *Client) Close() {
 	_ = c.conn.Close()
 }
 
+// Abort severs the transport immediately, without the quit handshake and
+// without touching the client's buffers — unlike Close it is safe to
+// call from another goroutine while an operation is in flight, which is
+// how the cluster router cancels the loser of a hedged read: the blocked
+// read fails at once with a connection error. The client is poisoned
+// afterwards; its owner must still discard it.
+func (c *Client) Abort() { _ = c.conn.Close() }
+
 // busyLine matches the server's admission-control refusal.
 func busyLine(line string) bool {
 	return strings.HasPrefix(line, "SERVER_ERROR busy")
@@ -100,7 +119,7 @@ func (c *Client) Set(key string, value []byte, flags uint32) error {
 		return fmt.Errorf("memcached: set %s: %w", key, ErrBusy)
 	}
 	if !strings.HasPrefix(line, "STORED") {
-		return fmt.Errorf("memcached: set: %s", strings.TrimSpace(line))
+		return fmt.Errorf("memcached: set: %s: %w", strings.TrimSpace(line), ErrProtocol)
 	}
 	return nil
 }
@@ -132,15 +151,22 @@ func (c *Client) GetFlags(key string) (value []byte, flags uint32, ok bool, err 
 	}
 	fields := strings.Fields(line)
 	if len(fields) != 4 || fields[0] != "VALUE" {
-		return nil, 0, false, fmt.Errorf("memcached: get: unexpected %q", line)
+		return nil, 0, false, fmt.Errorf("memcached: get: unexpected %q: %w", line, ErrProtocol)
+	}
+	// Key echo check: a VALUE header naming any key but the one asked
+	// for means the stream is answering someone else's request (desync)
+	// or the key bytes were corrupted in flight — either way the value
+	// below it must not be attributed to this key.
+	if fields[1] != key {
+		return nil, 0, false, fmt.Errorf("memcached: get %s: VALUE echoes key %q: %w", key, fields[1], ErrProtocol)
 	}
 	fl, err := strconv.ParseUint(fields[2], 10, 32)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, false, fmt.Errorf("memcached: get: bad flags %q: %w", fields[2], ErrProtocol)
 	}
 	n, err := strconv.Atoi(fields[3])
-	if err != nil {
-		return nil, 0, false, err
+	if err != nil || n < 0 {
+		return nil, 0, false, fmt.Errorf("memcached: get: bad length %q: %w", fields[3], ErrProtocol)
 	}
 	buf := make([]byte, n+2)
 	if _, err := readFull(c.r, buf); err != nil {
@@ -151,7 +177,7 @@ func (c *Client) GetFlags(key string) (value []byte, flags uint32, ok bool, err 
 		return nil, 0, false, err
 	}
 	if !strings.HasPrefix(end, "END") {
-		return nil, 0, false, fmt.Errorf("memcached: get: missing END, got %q", end)
+		return nil, 0, false, fmt.Errorf("memcached: get: missing END, got %q: %w", end, ErrProtocol)
 	}
 	return buf[:n], uint32(fl), true, nil
 }
@@ -170,7 +196,15 @@ func (c *Client) Delete(key string) (bool, error) {
 	if busyLine(line) {
 		return false, fmt.Errorf("memcached: delete %s: %w", key, ErrBusy)
 	}
-	return strings.HasPrefix(line, "DELETED"), nil
+	switch {
+	case strings.HasPrefix(line, "DELETED"):
+		return true, nil
+	case strings.HasPrefix(line, "NOT_FOUND"):
+		return false, nil
+	}
+	// Anything else (ERROR from a corrupted command line, a desynced
+	// response) is a protocol violation, not a quiet no-op.
+	return false, fmt.Errorf("memcached: delete %s: unexpected %q: %w", key, strings.TrimSpace(line), ErrProtocol)
 }
 
 // Version fetches the server's version banner — the health-probe
@@ -188,7 +222,7 @@ func (c *Client) Version() (string, error) {
 	}
 	line = strings.TrimRight(line, "\r\n")
 	if !strings.HasPrefix(line, "VERSION ") {
-		return "", fmt.Errorf("memcached: version: unexpected %q", line)
+		return "", fmt.Errorf("memcached: version: unexpected %q: %w", line, ErrProtocol)
 	}
 	return strings.TrimPrefix(line, "VERSION "), nil
 }

@@ -1,0 +1,111 @@
+package memcached
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lateServer answers the first get only after delay — past the client's
+// deadline — and then serves every subsequent request promptly. It is
+// the trap a timed-out-but-reused connection walks into: the late
+// response is still queued in the stream when the next request's reply
+// is read.
+func lateServer(t *testing.T, delay time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				first := true
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					fields := strings.Fields(line)
+					if len(fields) < 2 || fields[0] != "get" {
+						return
+					}
+					if first {
+						time.Sleep(delay)
+						first = false
+					}
+					fmt.Fprintf(conn, "VALUE %s 0 5\r\nhello\r\nEND\r\n", fields[1])
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTimeoutPoisonsConnection is the poisoning contract made concrete:
+// after an operation times out, the connection MUST be closed, because
+// the late response is still in flight. A caller that reuses it anyway
+// reads that stale response as the answer to its next request — and the
+// client's key-echo check must surface the desync as ErrProtocol, never
+// as a wrong answer attributed to the new key.
+func TestTimeoutPoisonsConnection(t *testing.T) {
+	addr := lateServer(t, 80*time.Millisecond)
+	c, err := DialTimeout(addr, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.Get("k1"); !IsTimeout(err) {
+		t.Fatalf("first get: err = %v, want timeout", err)
+	}
+
+	// Contract violation on purpose: reuse without Close. The late k1
+	// response arrives and is read as k2's answer.
+	time.Sleep(100 * time.Millisecond) // let the stale response land
+	c.SetTimeout(200 * time.Millisecond)
+	v, _, ok, err := c.GetFlags("k2")
+	if err == nil && ok {
+		t.Fatalf("poisoned reuse returned a value (%q) — desync served a wrong answer", v)
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("poisoned reuse: err = %v, want ErrProtocol (typed desync)", err)
+	}
+}
+
+// TestAbortUnblocksInflightOperation: Abort from another goroutine makes
+// a blocked operation fail promptly with a transport error — the hedge
+// loser's cancellation path.
+func TestAbortUnblocksInflightOperation(t *testing.T) {
+	addr := blackholeServer(t)
+	c, err := DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get("k")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the get block in its read
+	c.Abort()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted get returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort did not unblock the in-flight get")
+	}
+}

@@ -1,0 +1,431 @@
+// Package netfaults is a fault-injecting TCP proxy for gray-failure
+// testing: a Link sits between the cluster router and one shard's real
+// listener and degrades the wire the way production networks do — added
+// latency and jitter, bandwidth throttling, asymmetric blackholes (probe
+// path up while the data path is dark, or the reverse), mid-message
+// connection resets, and byte corruption. Faults are armed per traffic
+// class, so a schedule can break exactly the path it means to break.
+//
+// The package deliberately knows nothing about memcached beyond one
+// sniffable fact: the router's health prober opens connections whose
+// first bytes are "version", while data connections open with
+// get/set/delete. That single prefix check splits each accepted
+// connection into the Probe or Data class for the rest of its life,
+// which is what makes asymmetric partitions — the defining gray failure
+// — expressible: version probes keep answering while every data chunk
+// is blackholed.
+//
+// Like the other fault layers (internal/faults), a Link is seeded and
+// reports everything it did through Counters, exported under the
+// netfault. prefix of the metric catalogue.
+package netfaults
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privagic/internal/obs"
+)
+
+// Class is the traffic class of one proxied connection, fixed at accept
+// time by sniffing the first client bytes.
+type Class int
+
+const (
+	// Data is everything that carries keys and values: get/set/delete.
+	Data Class = iota
+	// Probe is the router's health-check path (the version command).
+	Probe
+	nClasses
+)
+
+func (c Class) String() string {
+	if c == Probe {
+		return "probe"
+	}
+	return "data"
+}
+
+// Faults is the degradation armed on one (link, class) pair. The zero
+// value is a clean wire. Fields compose: a link can be slow AND lossy
+// AND corrupting at once.
+type Faults struct {
+	// Latency delays every forwarded chunk in both directions; Jitter
+	// adds a seeded-uniform extra in [0, Jitter). One request/response
+	// round trip therefore stretches by ≥ 2×Latency.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// BytesPerSec throttles forwarding bandwidth (0 = unthrottled): a
+	// chunk of n bytes is held n/BytesPerSec before delivery.
+	BytesPerSec int
+
+	// DropC2S / DropS2C blackhole one direction: bytes are consumed and
+	// silently discarded, the connection stays open. Dropping only S2C
+	// models "request delivered, answer lost" — the nastiest ack-loss
+	// ambiguity the router must survive.
+	DropC2S bool
+	DropS2C bool
+
+	// ResetEvery resets the connection on every Nth forwarded chunk
+	// (counted per direction), after delivering only half of it — a
+	// mid-message RST. 0 disables.
+	ResetEvery int
+
+	// CorruptEvery XORs one seeded-random byte of every Nth forwarded
+	// chunk with CorruptXOR (default 0xFF) before delivery. 0 disables.
+	// The protocol layer must surface this as a typed error, never a
+	// wrong answer — that is precisely what the soak checks.
+	CorruptEvery int
+	CorruptXOR   byte
+}
+
+func (f Faults) clean() bool { return f == Faults{} }
+
+// Config builds a Link.
+type Config struct {
+	// Target resolves the backing shard listener. Returning ok=false
+	// (shard down) makes the proxy refuse the connection, like a closed
+	// port. Resolved per accepted connection, so a respawned shard with
+	// a new address is picked up without rebuilding the link.
+	Target func() (addr string, ok bool)
+
+	// Seed drives jitter magnitudes and corruption positions. Same seed,
+	// same schedule of applied faults for a deterministic byte stream.
+	Seed int64
+
+	// Classify overrides the traffic-class sniffer (default: first bytes
+	// "version" → Probe, else Data).
+	Classify func(first []byte) Class
+
+	// DialTimeout bounds the proxy→shard dial (default 1s).
+	DialTimeout time.Duration
+}
+
+// Link is one fault-injecting proxy in front of one shard. Safe for
+// concurrent use; fault arming is atomic per class and takes effect on
+// the next forwarded chunk of every live connection.
+type Link struct {
+	cfg Config
+	ln  net.Listener
+
+	faults [nClasses]atomic.Pointer[Faults]
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	conns     atomic.Int64
+	delayed   atomic.Int64
+	dropped   atomic.Int64
+	resets    atomic.Int64
+	corrupted atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	liveMu sync.Mutex
+	live   map[net.Conn]struct{}
+}
+
+// NewLink starts a proxy listening on a fresh loopback port.
+func NewLink(cfg Config) (*Link, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = func(first []byte) Class {
+			if bytes.HasPrefix(first, []byte("version")) {
+				return Probe
+			}
+			return Data
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{
+		cfg:  cfg,
+		ln:   ln,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		live: map[net.Conn]struct{}{},
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr is the proxy's listen address — what the router should be told
+// the shard lives at.
+func (l *Link) Addr() string { return l.ln.Addr().String() }
+
+// SetFaults arms f on class (replacing whatever was armed). Arming the
+// zero Faults heals the class.
+func (l *Link) SetFaults(class Class, f Faults) {
+	if class < 0 || class >= nClasses {
+		return
+	}
+	if f.CorruptEvery > 0 && f.CorruptXOR == 0 {
+		f.CorruptXOR = 0xFF
+	}
+	l.faults[class].Store(&f)
+}
+
+// Heal clears every armed fault on both classes.
+func (l *Link) Heal() {
+	for c := Class(0); c < nClasses; c++ {
+		l.faults[c].Store(nil)
+	}
+}
+
+// Close stops the listener, severs every proxied connection and waits
+// for the pump goroutines — teardown never leaks a blocked forwarder.
+func (l *Link) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := l.ln.Close()
+	l.liveMu.Lock()
+	for c := range l.live {
+		c.Close()
+	}
+	l.liveMu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+func (l *Link) track(c net.Conn) bool {
+	l.liveMu.Lock()
+	defer l.liveMu.Unlock()
+	if l.closed.Load() {
+		return false
+	}
+	l.live[c] = struct{}{}
+	return true
+}
+
+func (l *Link) untrack(c net.Conn) {
+	l.liveMu.Lock()
+	delete(l.live, c)
+	l.liveMu.Unlock()
+}
+
+func (l *Link) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go l.serve(c)
+	}
+}
+
+// sniffTimeout bounds how long a fresh connection may sit silent before
+// classification gives up and drops it — a stuck dial-and-idle client
+// must not pin a goroutine forever.
+const sniffTimeout = 2 * time.Second
+
+func (l *Link) serve(client net.Conn) {
+	defer l.wg.Done()
+	if !l.track(client) {
+		client.Close()
+		return
+	}
+	defer l.untrack(client)
+	defer client.Close()
+
+	// Classify on the first client bytes. The memcached protocol is
+	// client-speaks-first, so this read always has something to wait for.
+	buf := make([]byte, 4096)
+	client.SetReadDeadline(time.Now().Add(sniffTimeout))
+	n, err := client.Read(buf)
+	if err != nil || n == 0 {
+		return
+	}
+	client.SetReadDeadline(time.Time{})
+	class := l.cfg.Classify(buf[:n])
+
+	addr, ok := l.cfg.Target()
+	if !ok {
+		return // shard down: refuse, like a closed port
+	}
+	shard, err := net.DialTimeout("tcp", addr, l.cfg.DialTimeout)
+	if err != nil {
+		return
+	}
+	if !l.track(shard) {
+		shard.Close()
+		return
+	}
+	defer l.untrack(shard)
+	defer shard.Close()
+
+	l.conns.Add(1)
+
+	// The sniffed bytes are the first client→shard chunk; they go
+	// through the same fault pipeline as everything after them.
+	c2s := &pipe{link: l, class: class, src: client, dst: shard, c2s: true}
+	s2c := &pipe{link: l, class: class, src: shard, dst: client, c2s: false}
+	if !c2s.forward(buf[:n]) {
+		return
+	}
+	done := make(chan struct{}, 2)
+	go func() { c2s.run(buf); done <- struct{}{} }()
+	go func() { s2c.run(make([]byte, 4096)); done <- struct{}{} }()
+	// When either direction dies, sever both: a half-open proxy
+	// connection would stall the peer instead of erroring it.
+	<-done
+}
+
+// pipe forwards one direction of one proxied connection, applying the
+// currently armed faults chunk by chunk. A chunk is one Read's worth of
+// bytes — on loopback with the small memcached protocol, one request or
+// response line lands in one chunk, so per-chunk faults read as
+// per-message faults.
+type pipe struct {
+	link    *Link
+	class   Class
+	src     net.Conn
+	dst     net.Conn
+	c2s     bool
+	nChunks int
+}
+
+func (p *pipe) run(buf []byte) {
+	for {
+		n, err := p.src.Read(buf)
+		if n > 0 {
+			if !p.forward(buf[:n]) {
+				return
+			}
+		}
+		if err != nil {
+			// Propagate EOF/reset to the other side.
+			p.dst.Close()
+			p.src.Close()
+			return
+		}
+	}
+}
+
+// forward delivers one chunk through the fault pipeline. Returns false
+// when the connection was reset or the write failed.
+func (p *pipe) forward(chunk []byte) bool {
+	l := p.link
+	p.nChunks++
+	f := l.faults[p.class].Load()
+	if f != nil && !f.clean() {
+		// Mid-message reset: deliver half, then sever both directions.
+		if f.ResetEvery > 0 && p.nChunks%f.ResetEvery == 0 {
+			half := chunk[:len(chunk)/2]
+			if len(half) > 0 {
+				p.dst.Write(half)
+			}
+			l.resets.Add(1)
+			p.dst.Close()
+			p.src.Close()
+			return false
+		}
+		// Directional blackhole: consume silently, connection stays up.
+		if (p.c2s && f.DropC2S) || (!p.c2s && f.DropS2C) {
+			l.dropped.Add(1)
+			return true
+		}
+		// Latency, jitter and bandwidth compose into one hold.
+		var hold time.Duration
+		if f.Latency > 0 {
+			hold += f.Latency
+		}
+		if f.Jitter > 0 {
+			l.rngMu.Lock()
+			hold += time.Duration(l.rng.Int63n(int64(f.Jitter)))
+			l.rngMu.Unlock()
+		}
+		if f.BytesPerSec > 0 {
+			hold += time.Duration(int64(len(chunk)) * int64(time.Second) / int64(f.BytesPerSec))
+		}
+		if hold > 0 {
+			l.delayed.Add(1)
+			time.Sleep(hold)
+			if l.closed.Load() {
+				return false
+			}
+		}
+		// Byte corruption: flip one seeded-random byte in place.
+		if f.CorruptEvery > 0 && p.nChunks%f.CorruptEvery == 0 {
+			l.rngMu.Lock()
+			i := l.rng.Intn(len(chunk))
+			l.rngMu.Unlock()
+			chunk[i] ^= f.CorruptXOR
+			l.corrupted.Add(1)
+		}
+	}
+	_, err := p.dst.Write(chunk)
+	return err == nil
+}
+
+// Counters reports the link's activity (CounterSource shape; snapshots
+// show these under the netfault. prefix).
+func (l *Link) Counters() map[string]int64 {
+	return map[string]int64{
+		"conns":            l.conns.Load(),
+		"delayed_chunks":   l.delayed.Load(),
+		"dropped_chunks":   l.dropped.Load(),
+		"resets":           l.resets.Load(),
+		"corrupted_chunks": l.corrupted.Load(),
+	}
+}
+
+// Group aggregates the links of one proxied cluster so a single metric
+// source covers every shard's wire.
+type Group struct {
+	mu    sync.Mutex
+	links []*Link
+}
+
+// NewGroup collects links into one closable, registrable unit.
+func NewGroup(links ...*Link) *Group {
+	return &Group{links: links}
+}
+
+// Links returns the member links, shard-indexed as passed to NewGroup.
+func (g *Group) Links() []*Link {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Link(nil), g.links...)
+}
+
+// Close closes every member link.
+func (g *Group) Close() {
+	for _, l := range g.Links() {
+		l.Close()
+	}
+}
+
+// Counters sums the member links' counters.
+func (g *Group) Counters() map[string]int64 {
+	out := map[string]int64{}
+	for _, l := range g.Links() {
+		for k, v := range l.Counters() {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// RegisterMetrics folds the group's counters into reg under the
+// netfault. prefix (the netfault.* block of the metric catalogue).
+func (g *Group) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterSource("netfault", g)
+}
+
+var (
+	_ obs.CounterSource = (*Link)(nil)
+	_ obs.CounterSource = (*Group)(nil)
+)

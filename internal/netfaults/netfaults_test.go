@@ -1,0 +1,313 @@
+package netfaults
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer is a minimal client-speaks-first backend: every received
+// chunk is echoed back verbatim. Enough to observe what the proxy did to
+// each direction.
+type echoServer struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+func newEchoServer(t *testing.T) *echoServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &echoServer{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); s.wg.Wait() })
+	return s
+}
+
+func newTestLink(t *testing.T, backend string) *Link {
+	t.Helper()
+	l, err := NewLink(Config{
+		Seed:   1,
+		Target: func() (string, bool) { return backend, true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip writes msg and reads one echoed chunk back (with deadline).
+func roundTrip(t *testing.T, c net.Conn, msg string, deadline time.Duration) (string, error) {
+	t.Helper()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	c.SetReadDeadline(time.Now().Add(deadline))
+	buf := make([]byte, 4096)
+	n, err := c.Read(buf)
+	return string(buf[:n]), err
+}
+
+// TestCleanPassthrough: no faults armed, bytes flow unchanged both ways.
+func TestCleanPassthrough(t *testing.T) {
+	s := newEchoServer(t)
+	l := newTestLink(t, s.ln.Addr().String())
+	c := dial(t, l.Addr())
+	got, err := roundTrip(t, c, "get foo\r\n", time.Second)
+	if err != nil || got != "get foo\r\n" {
+		t.Fatalf("roundTrip = %q, %v; want clean echo", got, err)
+	}
+	if n := l.Counters()["conns"]; n != 1 {
+		t.Fatalf("conns = %d, want 1", n)
+	}
+}
+
+// TestLatencyInjection: armed latency stretches the round trip by at
+// least 2×Latency (one hold per direction).
+func TestLatencyInjection(t *testing.T) {
+	s := newEchoServer(t)
+	l := newTestLink(t, s.ln.Addr().String())
+	l.SetFaults(Data, Faults{Latency: 30 * time.Millisecond})
+	c := dial(t, l.Addr())
+	start := time.Now()
+	if _, err := roundTrip(t, c, "get foo\r\n", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("round trip %v, want ≥ 60ms under 30ms/direction latency", elapsed)
+	}
+	if l.Counters()["delayed_chunks"] < 2 {
+		t.Fatalf("delayed_chunks = %d, want ≥ 2", l.Counters()["delayed_chunks"])
+	}
+}
+
+// TestAsymmetricBlackhole: data class blackholed S2C while the probe
+// class keeps answering — the defining gray failure.
+func TestAsymmetricBlackhole(t *testing.T) {
+	s := newEchoServer(t)
+	l := newTestLink(t, s.ln.Addr().String())
+	l.SetFaults(Data, Faults{DropS2C: true})
+
+	probe := dial(t, l.Addr())
+	if got, err := roundTrip(t, probe, "version\r\n", time.Second); err != nil || got != "version\r\n" {
+		t.Fatalf("probe path broken: %q, %v", got, err)
+	}
+
+	data := dial(t, l.Addr())
+	if _, err := roundTrip(t, data, "get foo\r\n", 50*time.Millisecond); err == nil {
+		t.Fatal("data response delivered through an S2C blackhole")
+	}
+	if l.Counters()["dropped_chunks"] == 0 {
+		t.Fatal("no dropped chunks counted")
+	}
+}
+
+// TestCorruption: a corrupted chunk reaches the server with a flipped
+// byte; the connection itself stays healthy. The assertion is on what
+// the server received (the C2S flip is always visible there) rather
+// than the echoed bytes — the S2C pass corrupts again on the way back,
+// and for some (seed, length) pairs the two flips land on the same
+// index and cancel.
+func TestCorruption(t *testing.T) {
+	var mu sync.Mutex
+	var received []byte
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4096)
+		n, _ := c.Read(buf)
+		mu.Lock()
+		received = append([]byte(nil), buf[:n]...)
+		mu.Unlock()
+		c.Write(buf[:n])
+	}()
+
+	l := newTestLink(t, ln.Addr().String())
+	l.SetFaults(Data, Faults{CorruptEvery: 1})
+	c := dial(t, l.Addr())
+	msg := "get aaaaaaaaaaaaaaaa\r\n"
+	if _, err := roundTrip(t, c, msg, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := string(received)
+	mu.Unlock()
+	if got == msg {
+		t.Fatalf("request survived C2S corruption unchanged: %q", got)
+	}
+	if len(got) != len(msg) {
+		t.Fatalf("corruption changed length: %d != %d", len(got), len(msg))
+	}
+	if l.Counters()["corrupted_chunks"] == 0 {
+		t.Fatal("no corrupted chunks counted")
+	}
+}
+
+// TestMidMessageReset: ResetEvery severs the connection after a partial
+// delivery; the client sees a hard error, not a stall.
+func TestMidMessageReset(t *testing.T) {
+	s := newEchoServer(t)
+	l := newTestLink(t, s.ln.Addr().String())
+	l.SetFaults(Data, Faults{ResetEvery: 1})
+	c := dial(t, l.Addr())
+	c.Write([]byte("get foo\r\n"))
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 4096)
+	// The reset fires on the first (sniffed) C2S chunk: half is
+	// delivered, then both sides are severed — the read must error.
+	for {
+		if _, err := c.Read(buf); err != nil {
+			break
+		}
+	}
+	if l.Counters()["resets"] == 0 {
+		t.Fatal("no resets counted")
+	}
+}
+
+// TestTargetDownRefuses: a Target reporting down closes the client
+// connection instead of forwarding.
+func TestTargetDownRefuses(t *testing.T) {
+	s := newEchoServer(t)
+	up := true
+	var mu sync.Mutex
+	l, err := NewLink(Config{
+		Seed: 1,
+		Target: func() (string, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			return s.ln.Addr().String(), up
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	mu.Lock()
+	up = false
+	mu.Unlock()
+	c := dial(t, l.Addr())
+	if _, err := roundTrip(t, c, "get foo\r\n", 500*time.Millisecond); err == nil {
+		t.Fatal("request served while target down")
+	}
+
+	mu.Lock()
+	up = true
+	mu.Unlock()
+	c2 := dial(t, l.Addr())
+	if got, err := roundTrip(t, c2, "get foo\r\n", time.Second); err != nil || got != "get foo\r\n" {
+		t.Fatalf("recovered target not served: %q, %v", got, err)
+	}
+}
+
+// TestHealClearsFaults: Heal restores a clean wire on a live link.
+func TestHealClearsFaults(t *testing.T) {
+	s := newEchoServer(t)
+	l := newTestLink(t, s.ln.Addr().String())
+	l.SetFaults(Data, Faults{DropS2C: true})
+	l.Heal()
+	c := dial(t, l.Addr())
+	if got, err := roundTrip(t, c, "get foo\r\n", time.Second); err != nil || got != "get foo\r\n" {
+		t.Fatalf("healed link still faulty: %q, %v", got, err)
+	}
+}
+
+// TestBandwidthThrottle: a throttled link holds a chunk proportionally
+// to its size.
+func TestBandwidthThrottle(t *testing.T) {
+	s := newEchoServer(t)
+	l := newTestLink(t, s.ln.Addr().String())
+	l.SetFaults(Data, Faults{BytesPerSec: 10_000}) // 1000 bytes ≈ 100ms
+	c := dial(t, l.Addr())
+	msg := strings.Repeat("x", 1000)
+	start := time.Now()
+	if _, err := roundTrip(t, c, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("1000-byte round trip took %v under a 10kB/s throttle, want ≥ 150ms", elapsed)
+	}
+}
+
+// TestGroupAggregates: group counters sum member links.
+func TestGroupAggregates(t *testing.T) {
+	s := newEchoServer(t)
+	l1 := newTestLink(t, s.ln.Addr().String())
+	l2 := newTestLink(t, s.ln.Addr().String())
+	g := NewGroup(l1, l2)
+	for _, l := range g.Links() {
+		c := dial(t, l.Addr())
+		if _, err := roundTrip(t, c, "get foo\r\n", time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := g.Counters()["conns"]; n != 2 {
+		t.Fatalf("group conns = %d, want 2", n)
+	}
+}
+
+// TestCloseSeversLiveConns: Close must not leave a pump blocked — a
+// client mid-conversation sees its connection die promptly.
+func TestCloseSeversLiveConns(t *testing.T) {
+	s := newEchoServer(t)
+	l, err := NewLink(Config{Seed: 1, Target: func() (string, bool) { return s.ln.Addr().String(), true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, l.Addr())
+	if _, err := roundTrip(t, c, "get foo\r\n", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { l.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked with a live proxied connection")
+	}
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	var buf [16]byte
+	if _, err := c.Read(buf[:]); err == nil {
+		t.Fatal("severed connection still readable")
+	}
+}

@@ -99,6 +99,33 @@ var Catalog = []MetricDef{
 	{Name: "cluster.ring_generation", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "ownership generation, bumped on every ring membership change"},
 	{Name: "cluster.failover_detect_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "time from first observed failure of a shard to its fence"},
 
+	// cluster gray-failure defenses (gauges over router atomics; DESIGN.md §15).
+	{Name: "cluster.demotions", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "slow-but-alive shards demoted out of the ring by latency health scoring"},
+	{Name: "cluster.promotions", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "demoted shards promoted back after their data-path RTT recovered"},
+	{Name: "cluster.breaker_trips", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "per-shard circuit breakers tripped open by consecutive data-path failures"},
+	{Name: "cluster.breaker_fastfails", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "operation attempts refused instantly by an open breaker (no wire I/O)"},
+	{Name: "cluster.hedges", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hedge gets launched after the adaptive delay with no primary response"},
+	{Name: "cluster.hedge_wins", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hedged gets where the hedge answered before the primary"},
+	{Name: "cluster.corrupt_rejects", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "gets whose end-to-end integrity tag failed verification, purged and served as misses"},
+	{Name: "cluster.write_fences", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "ring segments aged out after a set attempt died on a poisoned connection (zombie-write fence)"},
+	{Name: "cluster.demote_detect_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "time from a shard's first over-threshold latency evaluation to its demotion"},
+	{Name: "cluster.data_rtt_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "data-path round-trip time of successful shard operations"},
+
+	// network fault proxy (CounterSource under the "netfault" prefix).
+	{Name: "netfault.conns", Type: "counter", Unit: "1", Subsystem: "netfaults", Help: "connections accepted and proxied to the backing shard listener"},
+	{Name: "netfault.delayed_chunks", Type: "counter", Unit: "1", Subsystem: "netfaults", Help: "forwarded chunks held back by injected latency or bandwidth throttling"},
+	{Name: "netfault.dropped_chunks", Type: "counter", Unit: "1", Subsystem: "netfaults", Help: "forwarded chunks blackholed by a directional partition"},
+	{Name: "netfault.resets", Type: "counter", Unit: "1", Subsystem: "netfaults", Help: "proxied connections reset mid-message by the fault schedule"},
+	{Name: "netfault.corrupted_chunks", Type: "counter", Unit: "1", Subsystem: "netfaults", Help: "forwarded chunks with injected byte corruption"},
+
+	// gray-failure chaos monkey (CounterSource under the "gray" prefix).
+	{Name: "gray.latency_spikes", Type: "counter", Unit: "1", Subsystem: "faults", Help: "per-link latency/jitter spikes injected by the gray chaos schedule"},
+	{Name: "gray.throttles", Type: "counter", Unit: "1", Subsystem: "faults", Help: "per-link bandwidth throttles injected"},
+	{Name: "gray.partitions", Type: "counter", Unit: "1", Subsystem: "faults", Help: "asymmetric blackholes injected (probe path up/data path down or the reverse)"},
+	{Name: "gray.resets_armed", Type: "counter", Unit: "1", Subsystem: "faults", Help: "mid-message reset faults armed on a link"},
+	{Name: "gray.corruptions_armed", Type: "counter", Unit: "1", Subsystem: "faults", Help: "byte-corruption faults armed on a link"},
+	{Name: "gray.heals", Type: "counter", Unit: "1", Subsystem: "faults", Help: "links restored to a clean fault-free state"},
+
 	// shard chaos monkey (CounterSource under the "chaos" prefix).
 	{Name: "chaos.kills", Type: "counter", Unit: "1", Subsystem: "faults", Help: "shards killed mid-run (connections severed, listener closed)"},
 	{Name: "chaos.hangs", Type: "counter", Unit: "1", Subsystem: "faults", Help: "shards hung mid-run (responses stalled past client deadlines)"},

@@ -50,6 +50,14 @@ const (
 	EvProbeUp
 	EvShardKill
 	EvShardRespawn
+	EvDemote
+	EvPromote
+	EvBreakerOpen
+	EvBreakerClose
+	EvHedge
+	EvHedgeWin
+	EvCorruptReject
+	EvWriteFence
 	nEventKinds
 )
 
@@ -85,6 +93,14 @@ var kindNames = [nEventKinds]string{
 	EvProbeUp:          "probe.up",
 	EvShardKill:        "shard.kill",
 	EvShardRespawn:     "shard.respawn",
+	EvDemote:           "health.demote",
+	EvPromote:          "health.promote",
+	EvBreakerOpen:      "breaker.open",
+	EvBreakerClose:     "breaker.close",
+	EvHedge:            "hedge",
+	EvHedgeWin:         "hedge.win",
+	EvCorruptReject:    "corrupt.reject",
+	EvWriteFence:       "fence.write",
 }
 
 func (k EventKind) String() string {

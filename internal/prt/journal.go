@@ -3,7 +3,6 @@ package prt
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"privagic/internal/obs"
 )
@@ -308,8 +307,13 @@ func (rt *Runtime) retrySpawn(w *Worker, abort *EnclaveAbort) bool {
 		rt.trace(obs.EvGiveUp, abort.Worker, abort.ChunkID, 0, t.epoch.Load(), int64(attempt-1))
 		return false
 	}
+	// Context-aware backoff: a Close during the wait cuts it short and
+	// surfaces the abort instead of replaying into a dead thread. The
+	// replay is counted only after the sleep commits to it.
+	if err := rt.Recovery.Sleep(t.ctx, attempt); err != nil {
+		return false
+	}
 	rt.jr.replays.Add(1)
-	time.Sleep(rt.Recovery.Delay(attempt))
 	rt.respawn(t, rec)
 	return true
 }

@@ -26,6 +26,7 @@
 package prt
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime/debug"
@@ -297,6 +298,12 @@ type Thread struct {
 	// reconstructs exactly this order regardless of delivery order.
 	sendMu   sync.Mutex
 	sendSeqs map[uint64][]uint64
+
+	// ctx is canceled by Close so goroutines sleeping inside a recovery
+	// backoff (retry.Policy.Sleep) wake immediately instead of serving
+	// out the delay against a thread that is already shutting down.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // nextStrSeq allocates the next stream position for a message to the
@@ -337,6 +344,7 @@ func (rt *Runtime) newWorkerQueue() *queue.Queue[Message] {
 // enclave goroutines.
 func (rt *Runtime) NewThread() *Thread {
 	t := &Thread{RT: rt}
+	t.ctx, t.cancel = context.WithCancel(context.Background())
 	for i := 0; i <= len(rt.Colors); i++ {
 		w := &Worker{
 			Thread:  t,
@@ -373,6 +381,9 @@ func (t *Thread) AdvanceEpoch() { t.epoch.Add(1) }
 func (t *Thread) Close() {
 	if !t.closed.CompareAndSwap(false, true) {
 		return
+	}
+	if t.cancel != nil {
+		t.cancel()
 	}
 	t.wmu.RLock()
 	workers := append([]*Worker(nil), t.Workers...)

@@ -7,6 +7,9 @@
 package retry
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"time"
@@ -36,11 +39,33 @@ func (p Policy) Enabled() bool { return p.MaxAttempts > 0 }
 
 // jitterRng decorrelates retry delays. Jitter is deliberately outside
 // any deterministic fault-schedule RNG: it perturbs timing only, never a
-// protocol decision.
+// protocol decision. It is seeded from entropy — jitter exists so that
+// independent processes do NOT back off in lockstep, which a constant
+// seed would reintroduce across every process running this code.
 var (
 	jitterMu  sync.Mutex
-	jitterRng = rand.New(rand.NewSource(1))
+	jitterRng = rand.New(rand.NewSource(entropySeed()))
 )
+
+// entropySeed draws a jitter seed from the OS entropy pool, falling back
+// to the wall clock if that fails (timing decorrelation still beats a
+// constant).
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return int64(binary.LittleEndian.Uint64(b[:]))
+	}
+	return time.Now().UnixNano()
+}
+
+// SeedJitter re-seeds the jitter RNG deterministically — for soak tests
+// that want reproducible backoff timing within one process. Production
+// code should never call it.
+func SeedJitter(seed int64) {
+	jitterMu.Lock()
+	jitterRng = rand.New(rand.NewSource(seed))
+	jitterMu.Unlock()
+}
 
 // Delay computes the backoff before retry number attempt (1-based):
 // Backoff doubled attempt-1 times, capped at MaxBackoff, jittered.
@@ -71,4 +96,26 @@ func (p Policy) Delay(attempt int) time.Duration {
 	f := 1 + jit*(2*jitterRng.Float64()-1)
 	jitterMu.Unlock()
 	return time.Duration(float64(d) * f)
+}
+
+// Sleep blocks for Delay(attempt), returning early with ctx.Err() when
+// ctx is canceled first — a caller shutting down must not serve out the
+// full backoff before noticing. A nil ctx sleeps unconditionally.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt)
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

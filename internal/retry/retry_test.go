@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -73,5 +74,120 @@ func TestEnabled(t *testing.T) {
 	}
 	if !(Policy{MaxAttempts: 1}).Enabled() {
 		t.Error("MaxAttempts=1 reports disabled")
+	}
+}
+
+// TestDelayBackoffAboveCap: a misconfigured Backoff > MaxBackoff must
+// clamp to the cap from attempt 1, not serve the oversized base.
+func TestDelayBackoffAboveCap(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Backoff: 10 * time.Millisecond, MaxBackoff: time.Millisecond, Jitter: 0.01}
+	for attempt := 1; attempt <= 4; attempt++ {
+		got := p.Delay(attempt)
+		hi := time.Duration(float64(time.Millisecond) * 1.02)
+		if got > hi {
+			t.Errorf("Delay(%d) = %v, want ≤ MaxBackoff(1ms)+jitter", attempt, got)
+		}
+		if got <= 0 {
+			t.Errorf("Delay(%d) = %v, want positive", attempt, got)
+		}
+	}
+}
+
+// TestDelayHugeAttempt: astronomically large attempt numbers must not
+// overflow the doubling loop — the cap short-circuits it.
+func TestDelayHugeAttempt(t *testing.T) {
+	p := Policy{MaxAttempts: 1 << 30, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Jitter: 0.01}
+	for _, attempt := range []int{64, 1 << 20, 1 << 30, int(^uint(0) >> 1)} {
+		got := p.Delay(attempt)
+		lo := time.Duration(float64(8*time.Millisecond) * 0.98)
+		hi := time.Duration(float64(8*time.Millisecond) * 1.02)
+		if got < lo || got > hi {
+			t.Errorf("Delay(%d) = %v, want 8ms ±1%%", attempt, got)
+		}
+	}
+}
+
+// TestJitterBounds: every sample must land inside base·(1±Jitter),
+// for several jitter fractions.
+func TestJitterBounds(t *testing.T) {
+	base := time.Millisecond
+	for _, jit := range []float64{0.1, 0.2, 0.5, 1.0} {
+		p := Policy{MaxAttempts: 1, Backoff: base, MaxBackoff: base, Jitter: jit}
+		lo := time.Duration(float64(base) * (1 - jit))
+		hi := time.Duration(float64(base) * (1 + jit))
+		for i := 0; i < 256; i++ {
+			if d := p.Delay(1); d < lo || d > hi {
+				t.Fatalf("Jitter=%v: Delay(1) = %v outside [%v, %v]", jit, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSeedJitterDeterministic: SeedJitter makes the delay stream
+// reproducible — the soak-test override contract.
+func TestSeedJitterDeterministic(t *testing.T) {
+	p := Policy{MaxAttempts: 1, Backoff: time.Millisecond, MaxBackoff: time.Millisecond, Jitter: 0.5}
+	sample := func() []time.Duration {
+		SeedJitter(42)
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = p.Delay(1)
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: %v != %v after identical SeedJitter", i, a[i], b[i])
+		}
+	}
+	// Restore entropy seeding for the rest of the test binary.
+	SeedJitter(entropySeed())
+}
+
+// TestSleepCancellation: a canceled context must cut the backoff short
+// and surface ctx.Err() — shutdown must not serve out the full delay.
+func TestSleepCancellation(t *testing.T) {
+	p := Policy{MaxAttempts: 1, Backoff: time.Minute, MaxBackoff: time.Minute, Jitter: 0.01}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Sleep(ctx, 1)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Sleep took %v after cancel, want prompt return", elapsed)
+	}
+}
+
+// TestSleepAlreadyCanceled: a pre-canceled context returns immediately
+// without sleeping at all.
+func TestSleepAlreadyCanceled(t *testing.T) {
+	p := Policy{MaxAttempts: 1, Backoff: time.Minute, MaxBackoff: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.Sleep(ctx, 1); err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-canceled Sleep took %v", elapsed)
+	}
+}
+
+// TestSleepCompletes: an un-canceled Sleep serves the full delay and
+// returns nil; a nil context is accepted.
+func TestSleepCompletes(t *testing.T) {
+	p := Policy{MaxAttempts: 1, Backoff: time.Millisecond, MaxBackoff: time.Millisecond, Jitter: 0.01}
+	if err := p.Sleep(context.Background(), 1); err != nil {
+		t.Fatalf("Sleep = %v, want nil", err)
+	}
+	if err := p.Sleep(nil, 1); err != nil {
+		t.Fatalf("Sleep(nil ctx) = %v, want nil", err)
 	}
 }
