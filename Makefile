@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster tier3-grayfail fuzz bench fmt
+.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster tier3-grayfail tier3-replication fuzz bench fmt
 
 tier1: lint
 	$(GO) build ./...
@@ -54,23 +54,35 @@ tier3-obs:
 	$(GO) run ./cmd/privagic-bench -exp obs
 
 # Tier-3: the sharded-cluster chaos soak (500+ seeded schedules of
-# mid-run shard kills/hangs/respawns: every read must be fresh-or-miss,
-# never stale or foreign, with zero deadlocks; the relaxed control —
-# overload without faults — must show zero spurious failovers) plus the
-# scaling/failover-blackout experiment.
+# mid-run shard kills/hangs/respawns under R=2 with a one-fault budget:
+# every acknowledged write must stay readable — zero loss, never stale
+# or foreign, with zero deadlocks; the relaxed control — overload
+# without faults — must show zero spurious failovers, handoffs, or
+# read-repairs) plus the scaling/failover-blackout experiment.
 tier3-cluster:
 	$(GO) test -count=1 -run 'TestClusterChaosSoak|TestClusterRelaxedSoak' -v -timeout 30m ./internal/cluster
 	$(GO) run ./cmd/privagic-bench -exp cluster
 
 # Tier-3: the gray-failure chaos soak (500+ seeded schedules of latency
 # spikes, asymmetric partitions, connection resets and wire corruption
-# through fault-injecting proxies: every read must be fresh-or-miss with
-# only typed failures and zero deadlocks; the relaxed control — clean
-# proxies — must show zero spurious breaker trips or demotions) plus the
-# demotion-latency / hedged-read experiment.
+# through fault-injecting proxies, under R=2 with a one-fault budget:
+# every acknowledged write must stay readable — zero loss, only typed
+# failures, zero deadlocks; the relaxed control — clean proxies — must
+# show zero spurious breaker trips, demotions, handoffs, or
+# read-repairs) plus the demotion-latency / hedged-read experiment.
 tier3-grayfail:
 	$(GO) test -count=1 -run 'TestClusterGrayFailSoak|TestClusterGrayControlSoak' -v -timeout 30m ./internal/cluster
 	$(GO) run ./cmd/privagic-bench -exp grayfail
+
+# Tier-3: the replication acceptance pass. The deterministic replication
+# suite (write-through fan-out, fallback reads, read-repair, tombstone
+# zombie-refusal, readmission ordering, handoff overflow) plus the
+# replication experiment: R=2 vs R=1 tax within 35%, a zero-loss outage
+# drill, and every defense counter nonzero. The randomized zero-loss
+# soaks themselves run under tier3-cluster and tier3-grayfail.
+tier3-replication:
+	$(GO) test -count=1 -run 'TestRouter|TestHandoff|TestRing|TestStoreRangeDigest' -v -timeout 30m ./internal/cluster
+	$(GO) run ./cmd/privagic-bench -exp replication
 
 # 60-second coverage-guided smoke of the memcached protocol fuzzer,
 # starting from the checked-in corpus in

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs|cluster|grayfail] [-quick] [-trace-out trace.json]
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs|cluster|replication|grayfail] [-quick] [-trace-out trace.json]
 package main
 
 import (
@@ -19,7 +19,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs, cluster, grayfail")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs, cluster, replication, grayfail")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
 	traceOut := flag.String("trace-out", "", "with -exp obs: write a Chrome trace_event JSON of one instrumented run (open in chrome://tracing or Perfetto)")
@@ -143,6 +143,20 @@ func run() int {
 				return 1
 			}
 			fmt.Println(rep.String())
+		case "replication":
+			cfg := bench.DefaultReplication()
+			if *quick {
+				cfg.Ops = 4000
+				cfg.Reps = 5
+				cfg.Outages = 2
+				cfg.KeysPerOutage = 20
+			}
+			rep, err := bench.Replication(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println(rep.String())
 		case "grayfail":
 			cfg := bench.DefaultGrayFail()
 			if *quick {
@@ -190,7 +204,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs", "cluster", "grayfail"} {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs", "cluster", "replication", "grayfail"} {
 			if rc := runOne(name); rc != 0 {
 				return rc
 			}

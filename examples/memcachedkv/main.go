@@ -14,7 +14,11 @@
 // -shards N replaces the single server with an N-shard cluster behind
 // the consistent-hashing router; with N >= 2 a shard is killed and
 // respawned mid-run to demonstrate fencing, retry failover, and
-// readmission (see DESIGN.md §14).
+// readmission (see DESIGN.md §14). -replicas R (default 2 when sharded)
+// sets the replication factor: writes go through every in-ring member
+// of a key's replica set before acknowledging, reads fall back across
+// the set, and a kill mid-run loses no acknowledged write (DESIGN.md
+// §16). -replicas 1 reverts to the unreplicated PR-6 router.
 package main
 
 import (
@@ -37,10 +41,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof + /debug/metrics on this address (e.g. 127.0.0.1:8080) and stay up after the load")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of one privagic-compiled memcached-core run to this file")
 	shards := flag.Int("shards", 0, "run an N-shard cluster behind the router instead of one server; N >= 2 also kills a shard mid-run to show failover")
+	replicas := flag.Int("replicas", 2, "replication factor with -shards: each key's writes ack on R ring members (1 disables replication)")
 	flag.Parse()
 
 	if *shards > 0 {
-		if err := runCluster(*shards); err != nil {
+		if err := runCluster(*shards, *replicas); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -149,11 +154,14 @@ func main() {
 }
 
 // runCluster drives the same YCSB load against an n-shard cluster through
-// the consistent-hashing router. Each client gets a deterministic disjoint
-// substream via Generator.Split. With n >= 2 a shard is killed mid-run and
-// respawned shortly after: probes fence it, retries ride onto survivors,
-// and the fresh incarnation is readmitted at a higher epoch.
-func runCluster(n int) error {
+// the consistent-hashing router at replication factor r. Each client gets
+// a deterministic disjoint substream via Generator.Split. With n >= 2 a
+// shard is killed mid-run and respawned shortly after: probes fence it,
+// retries ride onto survivors, writes during the outage queue hinted
+// handoffs, and the fresh incarnation is readmitted only after an
+// anti-entropy sync — at r >= 2 no acknowledged write is lost across
+// the cycle.
+func runCluster(n, r int) error {
 	cl, err := cluster.New(cluster.Config{Shards: n})
 	if err != nil {
 		return err
@@ -162,6 +170,7 @@ func runCluster(n int) error {
 	rt, err := cluster.NewRouter(cl, cluster.RouterConfig{
 		ProbeInterval: 2 * time.Millisecond,
 		ProbeFails:    2,
+		Replication:   r,
 	})
 	if err != nil {
 		return err
@@ -169,7 +178,7 @@ func runCluster(n int) error {
 	defer rt.Close()
 	reg := obs.NewRegistry()
 	rt.Instrument(reg, nil)
-	fmt.Printf("%d-shard cluster behind the consistent-hash router (2ms probes, 2-strike fence)\n", n)
+	fmt.Printf("%d-shard cluster behind the consistent-hash router (R=%d, 2ms probes, 2-strike fence)\n", n, r)
 
 	const clients, opsPerClient, records, valueSize = 6, 2000, 2000, 1024
 	value := make([]byte, valueSize)
@@ -229,6 +238,18 @@ func runCluster(n int) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	if n >= 2 && r >= 2 {
+		// At R >= 2 the respawned shard re-enters only after its
+		// anti-entropy sync proves its store complete — a cold store
+		// pulling every segment while the load runs can outlast the run
+		// itself. The load is done now, so give the sync a moment to
+		// land and the counters below tell the whole story.
+		deadline := time.Now().Add(3 * time.Second)
+		for !rt.InRing(0) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
 	var failed int64
 	for _, e := range errs {
 		failed += e
@@ -240,6 +261,11 @@ func runCluster(n int) error {
 		float64(total)/elapsed.Seconds(), failed)
 	fmt.Printf("router: routes=%d retries=%d failovers=%d readmits=%d stale_rejects=%d shards_up=%d/%d\n",
 		cs["routes"], cs["retries"], cs["failovers"], cs["readmits"], cs["stale_rejects"], cs["shards_up"], n)
+	if r >= 2 {
+		fmt.Printf("replication: replica_writes=%d fallback_reads=%d hints_queued=%d hints_drained=%d syncs=%d read_repairs=%d\n",
+			cs["repl.replica_writes"], cs["repl.fallback_reads"], cs["repl.hints_queued"],
+			cs["repl.hints_drained"], cs["repl.syncs"], cs["repl.read_repairs"])
+	}
 	if n >= 2 && cs["failovers"] == 0 {
 		fmt.Println("note: the kill landed between probe rounds without a client noticing — rerun to catch a failover")
 	}

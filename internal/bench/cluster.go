@@ -103,6 +103,11 @@ func benchRouterConfig() cluster.RouterConfig {
 		ProbeInterval: 25 * time.Millisecond,
 		ProbeTimeout:  5 * time.Millisecond,
 		ProbeFails:    2,
+		// Pinned to R=1: this experiment prices the ROUTER (hash, pool,
+		// stamps, seal, health hooks) against a raw connection, and its
+		// scaling curve assumes each op costs one server op. The write
+		// amplification of R=2 is priced separately by -exp replication.
+		Replication: 1,
 		Retry: retry.Policy{
 			MaxAttempts: 6,
 			Backoff:     200 * time.Microsecond,

@@ -68,6 +68,8 @@ type Cluster struct {
 	hangs    atomic.Int64
 	respawns atomic.Int64
 
+	counterList []obs.NamedCounter
+
 	tracer *obs.Tracer
 
 	closed atomic.Bool
@@ -85,6 +87,11 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.StoreBuckets = 1 << 12
 	}
 	c := &Cluster{cfg: cfg, shards: make([]*shardSlot, cfg.Shards)}
+	c.counterList = []obs.NamedCounter{
+		{Name: "kills", Load: c.kills.Load},
+		{Name: "hangs", Load: c.hangs.Load},
+		{Name: "respawns", Load: c.respawns.Load},
+	}
 	for i := range c.shards {
 		c.shards[i] = &shardSlot{}
 		if err := c.start(i); err != nil {
@@ -260,11 +267,8 @@ func (c *Cluster) ShedOps() int64 {
 	return total
 }
 
-// Counters is the chaos-visible lifecycle tally (CounterSource shape).
+// Counters is the chaos-visible lifecycle tally (CounterSource shape;
+// obs.SnapshotCounters over the static list built in New).
 func (c *Cluster) Counters() map[string]int64 {
-	return map[string]int64{
-		"kills":    c.kills.Load(),
-		"hangs":    c.hangs.Load(),
-		"respawns": c.respawns.Load(),
-	}
+	return obs.SnapshotCounters(c.counterList)
 }

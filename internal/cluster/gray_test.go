@@ -149,15 +149,15 @@ func TestRouterCorruptValueServedAsMiss(t *testing.T) {
 	if err := r.Set("k", []byte("payload")); err != nil {
 		t.Fatalf("Set: %v", err)
 	}
-	// Damage the sealed value directly in the shard's store.
-	stored, _, ok := c.Store(0).Get("k")
+	// Damage the sealed value directly in the shard's store, keeping its
+	// stamp so the reject is the integrity check, not the staleness fence.
+	stored, flags, ok := c.Store(0).Get("k")
 	if !ok {
 		t.Fatal("stored value missing")
 	}
 	bad := append([]byte(nil), stored...)
 	bad[len(bad)-1] ^= 0xFF
-	gen := r.Counters()["ring_generation"]
-	c.Store(0).Set("k", bad, uint32(gen))
+	c.Store(0).Set("k", bad, flags)
 
 	v, ok, err := r.Get("k")
 	if err != nil {
@@ -169,9 +169,23 @@ func TestRouterCorruptValueServedAsMiss(t *testing.T) {
 	if got := r.Counters()["corrupt_rejects"]; got < 1 {
 		t.Fatalf("corrupt_rejects = %d, want >= 1", got)
 	}
-	// The purge made it a clean miss for later readers too.
-	if _, _, ok := c.Store(0).Get("k"); ok {
-		t.Fatal("corrupt value not purged")
+	// The reject never deletes: the stored copy may be the genuine newest
+	// value with only its transit bytes flipped, and erasing it would let
+	// an older zombie write win the LWW register. It stays, is re-rejected
+	// on every read, and only a write (or repair) overwrites it.
+	if _, _, ok := c.Store(0).Get("k"); !ok {
+		t.Fatal("corrupt value was deleted; rejects must leave the LWW register intact")
+	}
+	if _, ok, _ := r.Get("k"); ok {
+		t.Fatal("corrupt value served on second read")
+	}
+	// A fresh write mints a higher stamp and reclaims the key.
+	if err := r.Set("k", []byte("anew")); err != nil {
+		t.Fatalf("Set after reject: %v", err)
+	}
+	v, ok, err = r.Get("k")
+	if err != nil || !ok || string(v) != "anew" {
+		t.Fatalf("Get after rewrite = %q, %v, %v; want fresh hit", v, ok, err)
 	}
 }
 

@@ -2,9 +2,11 @@ package cluster_test
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -25,14 +27,17 @@ import (
 // stays alive behind a fault-injecting proxy while seeded schedules mix
 // latency spikes, bandwidth throttles, asymmetric partitions (probe path
 // up / data path down and vice versa), mid-message resets and byte
-// corruption. Three invariants, every schedule:
+// corruption. Under replication (R=2, one degraded link at a time) the
+// oracle is zero-loss, every schedule:
 //
-//  1. fresh-or-miss — a corrupted or delayed wire may cost latency or a
-//     miss, never a wrong answer;
+//  1. zero loss — every acknowledged write stays readable and fresh: a
+//     corrupted or delayed wire may cost latency or a typed error, never
+//     a wrong answer and never a miss on an acked key;
 //  2. zero deadlocks — every schedule finishes inside its deadline;
 //  3. zero untyped failures — every error reaching the application is
 //     one of the typed vocabulary (busy, timeout, protocol violation,
-//     breaker open, no shards, transport), never an anonymous surprise.
+//     breaker open, CAS conflict, no shards, transport), never an
+//     anonymous surprise.
 //
 // The control sweep runs identical traffic through clean proxies and
 // must see zero breaker trips and zero demotions: gray defenses must not
@@ -88,6 +93,7 @@ func typedErr(err error) bool {
 	case err == nil,
 		errors.Is(err, memcached.ErrBusy),
 		errors.Is(err, memcached.ErrProtocol),
+		errors.Is(err, memcached.ErrCasConflict),
 		errors.Is(err, cluster.ErrNoShards),
 		errors.Is(err, cluster.ErrBreakerOpen),
 		memcached.IsTimeout(err),
@@ -156,6 +162,21 @@ func runGraySchedule(seed int64, grayOn bool, reg *obs.Registry, tracer *obs.Tra
 			HealAfter: 50 * time.Millisecond, // dwell ≫ strike budget: demotions must fire
 			Latency:   20 * time.Millisecond, // > OpTimeout: spikes must hurt
 			Jitter:    10 * time.Millisecond,
+			// Zero-loss discipline: the oracle below assumes at most R-1=1
+			// replica is unavailable at a time, so the monkey degrades one
+			// link at a time and holds the next fault until every shard is
+			// back in the ring — a probe-path partition fences its shard,
+			// and a second fault during its readmission sync would exceed
+			// the single-failure budget.
+			MaxDegraded: 1,
+			SettleFunc: func() bool {
+				for s := 0; s < soakShards; s++ {
+					if !rt.InRing(s) {
+						return false
+					}
+				}
+				return true
+			},
 		})
 	}
 
@@ -170,7 +191,22 @@ func runGraySchedule(seed int64, grayOn bool, reg *obs.Registry, tracer *obs.Tra
 	}
 	streams := base.Split(soakClients)
 
-	chk := &checker{}
+	chk := &checker{zeroLoss: true}
+	// On a lost-write violation, capture every replica's copy of the key
+	// and the router counters — the only evidence that distinguishes "a
+	// member served a miss it should not have trusted" from "no member
+	// holds the value at all".
+	chk.diag = func(k int) string {
+		var sb strings.Builder
+		key := soakKey(k)
+		for s := 0; s < soakShards; s++ {
+			v, fl, okv := cl.Store(s).Get(key)
+			fmt.Fprintf(&sb, " | shard%d inring=%v hit=%v flags=%x gen=%d len=%d", s, rt.InRing(s), okv, fl, (fl>>16)&0x7fff, len(v))
+		}
+		c := rt.Counters()
+		fmt.Fprintf(&sb, " | ringgen=%d up=%d stale=%d corrupt=%d repairs=%d", c["ring_generation"], c["shards_up"], c["stale_rejects"], c["corrupt_rejects"], c["repl.read_repairs"])
+		return sb.String()
+	}
 	var untyped atomic.Int64
 	settled := &atomic.Bool{}
 	if monkey == nil {
@@ -234,6 +270,7 @@ type grayAgg struct {
 	demotions, promotions, trips, fastfails  int64
 	hedges, hedgeWins, corrupt, stale        int64
 	failovers, readmits                      int64
+	repairs, hints, drained, fallbacks       int64
 	spikes, throttles, partitions, resetsArm int64
 	corruptArm, heals                        int64
 }
@@ -286,6 +323,10 @@ func runGraySweep(t *testing.T, n int, grayOn bool, reg *obs.Registry, tracer *o
 		agg.stale += res.router["stale_rejects"]
 		agg.failovers += res.router["failovers"]
 		agg.readmits += res.router["readmits"]
+		agg.repairs += res.router["repl.read_repairs"]
+		agg.hints += res.router["repl.hints_queued"]
+		agg.drained += res.router["repl.hints_drained"]
+		agg.fallbacks += res.router["repl.fallback_reads"]
 		agg.spikes += res.chaos["latency_spikes"]
 		agg.throttles += res.chaos["throttles"]
 		agg.partitions += res.chaos["partitions"]
@@ -335,10 +376,11 @@ func TestClusterGrayFailSoak(t *testing.T) {
 	if ev := tracer.Counts()["health.promote"]; ev != agg.promotions {
 		t.Errorf("tracer saw %d promote events, counters saw %d", ev, agg.promotions)
 	}
-	t.Logf("%d schedules: ops ok=%d err=%d hits=%d | faults: spikes=%d throttles=%d partitions=%d resets=%d corruptions=%d heals=%d | defenses: demotions=%d promotions=%d trips=%d fastfails=%d hedges=%d hedge_wins=%d corrupt_rejects=%d stale_rejects=%d failovers=%d readmits=%d",
+	t.Logf("%d schedules: ops ok=%d err=%d hits=%d | faults: spikes=%d throttles=%d partitions=%d resets=%d corruptions=%d heals=%d | defenses: demotions=%d promotions=%d trips=%d fastfails=%d hedges=%d hedge_wins=%d corrupt_rejects=%d stale_rejects=%d failovers=%d readmits=%d repairs=%d hints=%d drained=%d fallbacks=%d",
 		n, agg.okOps, agg.errOps, agg.hits,
 		agg.spikes, agg.throttles, agg.partitions, agg.resetsArm, agg.corruptArm, agg.heals,
-		agg.demotions, agg.promotions, agg.trips, agg.fastfails, agg.hedges, agg.hedgeWins, agg.corrupt, agg.stale, agg.failovers, agg.readmits)
+		agg.demotions, agg.promotions, agg.trips, agg.fastfails, agg.hedges, agg.hedgeWins, agg.corrupt, agg.stale, agg.failovers, agg.readmits,
+		agg.repairs, agg.hints, agg.drained, agg.fallbacks)
 }
 
 // TestClusterGrayControlSoak is the relaxed control: identical traffic
@@ -361,6 +403,15 @@ func TestClusterGrayControlSoak(t *testing.T) {
 	}
 	if agg.failovers != 0 {
 		t.Errorf("%d spurious failovers on a healthy network", agg.failovers)
+	}
+	if agg.repairs != 0 {
+		t.Errorf("%d spurious read-repairs on a healthy network", agg.repairs)
+	}
+	if agg.hints != 0 {
+		t.Errorf("%d spurious hinted handoffs on a healthy network", agg.hints)
+	}
+	if agg.stale != 0 {
+		t.Errorf("%d stale rejects on a healthy network", agg.stale)
 	}
 	if agg.untyped != 0 {
 		t.Errorf("%d untyped failures on a healthy network", agg.untyped)

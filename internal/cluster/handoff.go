@@ -1,0 +1,95 @@
+package cluster
+
+import "errors"
+
+// Hinted handoff (DESIGN.md §16). While a replica is down, writes that
+// would have landed on it are queued as hints — the sealed value plus
+// its stamp — so readmission can replay exactly what the shard missed
+// instead of digesting every segment. The queues are bounded with
+// explicit backpressure: an overflow drops the shard's whole queue,
+// records the loss in counters, and flags the shard for a forced full
+// segment sync, so a long outage degrades into a wider (but still
+// complete) readmission, never into an unbounded queue or a silent gap.
+
+// ErrHandoffOverflow is the typed signal that a shard's hint queue hit
+// its bound: the queue was discarded and the shard now requires a full
+// anti-entropy sync (no digest shortcut) before re-entering the ring.
+var ErrHandoffOverflow = errors.New("cluster: hinted-handoff queue overflow")
+
+// hint is one queued write for a down replica: the sealed value exactly
+// as live members stored it, under its stamped flags word.
+type hint struct {
+	key    string
+	sealed []byte
+	flags  uint32
+}
+
+// handoff holds the per-shard hint queues. Not goroutine-safe: the
+// Router's mutex guards it, and enqueue is called under that mutex at
+// write-routing time — which is what makes the readmission check
+// ("queue drained?") atomic with ring entry.
+type handoff struct {
+	limit    int
+	queues   []map[string]hint // by shard; per-key dedup, newest stamp wins
+	fullSync []bool            // overflow happened; digest shortcut forbidden
+}
+
+func newHandoff(shards, limit int) *handoff {
+	return &handoff{
+		limit:    limit,
+		queues:   make([]map[string]hint, shards),
+		fullSync: make([]bool, shards),
+	}
+}
+
+// enqueue queues one write for a down shard. A hint for a key already
+// queued replaces it (per-key stamps are monotonic, so the newcomer is
+// newer and replay order stops mattering). At the bound the queue
+// overflows: every queued hint is discarded — counted, never silent —
+// and the shard is flagged for a forced full sync. Returns the number
+// of hints discarded (0 normally) and ErrHandoffOverflow on overflow.
+func (h *handoff) enqueue(shard int, hn hint) (discarded int, err error) {
+	q := h.queues[shard]
+	if q == nil {
+		q = make(map[string]hint)
+		h.queues[shard] = q
+	}
+	if _, dup := q[hn.key]; !dup && len(q) >= h.limit {
+		n := len(q)
+		h.queues[shard] = nil
+		h.fullSync[shard] = true
+		return n, ErrHandoffOverflow
+	}
+	q[hn.key] = hn
+	return 0, nil
+}
+
+// take removes and returns up to max queued hints for shard (all of
+// them when max <= 0). The anti-entropy loop drains in batches so the
+// router mutex is never held across the network replay.
+func (h *handoff) take(shard, max int) []hint {
+	q := h.queues[shard]
+	if len(q) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(q) {
+		max = len(q)
+	}
+	out := make([]hint, 0, max)
+	for k, hn := range q {
+		out = append(out, hn)
+		delete(q, k)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// pending reports how many hints are queued for shard.
+func (h *handoff) pending(shard int) int { return len(h.queues[shard]) }
+
+// needsFullSync reports whether shard overflowed since the last sync;
+// clearFullSync resets the flag once a full sync has completed.
+func (h *handoff) needsFullSync(shard int) bool { return h.fullSync[shard] }
+func (h *handoff) clearFullSync(shard int)      { h.fullSync[shard] = false }

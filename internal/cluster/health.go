@@ -138,9 +138,16 @@ func (r *Router) evaluateHealth(i int) {
 		if st.fastStrikes >= r.cfg.PromoteStrikes {
 			st.demoted = false
 			st.slowStrikes, st.fastStrikes = 0, 0
-			gen := r.ring.setUp(i, true)
-			r.promotions.Add(1)
-			r.tracer.Record(obs.EvPromote, i, 0, 0, st.epoch, int64(gen))
+			if r.cfg.Replication > 1 {
+				// The store missed every write acked while the shard was
+				// demoted; under replication it must sync before serving
+				// (promotions ticks at ring entry, see antientropy.go).
+				st.syncPending = syncPromote
+			} else {
+				gen := r.ring.setUp(i, true)
+				r.promotions.Add(1)
+				r.tracer.Record(obs.EvPromote, i, 0, 0, st.epoch, int64(gen))
+			}
 		}
 	} else {
 		st.fastStrikes = 0

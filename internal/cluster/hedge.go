@@ -28,8 +28,27 @@ var errHedgeCanceled = errors.New("cluster: hedged attempt canceled")
 type getRes struct {
 	v      []byte
 	hit    bool
+	tomb   bool   // a trusted tombstone: the key was deleted — authoritative miss
+	stamp  uint32 // the served value's generation stamp (for read-repair)
 	err    error
 	hedged bool // true for the hedge (second) request of a pair
+}
+
+// hedgeTarget names the replica a stalled read hedges against. With
+// replication the hedge goes to the NEXT set member (different shard,
+// pool, and trust floor) instead of a second connection to the same
+// shard — a stalled primary is exactly when the backup should answer.
+type hedgeTarget struct {
+	shard    int
+	st       *shardState
+	pool     *connPool
+	acquired uint64
+	// cross is true when the target is a different shard than the
+	// primary. A cross-replica hedge may win only with a hit or a
+	// trusted tombstone: its miss is not the primary's miss (the
+	// replica may have joined the set later), so adopting it could
+	// turn a primary hit into a served miss — a zero-loss violation.
+	cross bool
 }
 
 // hedgeCtl lets getAttempt abort whichever half of a hedged pair loses.
@@ -107,13 +126,10 @@ type hedgePair struct {
 	timer          *time.Timer
 
 	// Armed per call, before timer.Reset.
-	r        *Router
-	shard    int
-	st       *shardState
-	pool     *connPool
-	acquired uint64
-	key      string
-	delay    time.Duration
+	r      *Router
+	target hedgeTarget // where the hedge fires (the next replica, or the primary's own shard)
+	key    string
+	delay  time.Duration
 }
 
 var hedgePairPool = sync.Pool{New: func() any { return newHedgePair() }}
@@ -134,16 +150,20 @@ func newHedgePair() *hedgePair {
 // forever.
 func (p *hedgePair) fire() {
 	r := p.r
-	hc, ok := p.pool.tryGet()
+	t := p.target
+	hc, ok := t.pool.tryGet()
 	if !ok {
 		p.ch <- getRes{err: errHedgeCanceled, hedged: true}
 		return
 	}
 	r.hedges.Add(1)
-	r.tracer.Record(obs.EvHedge, p.shard, 0, 0, 0, p.delay.Microseconds())
-	res := r.getOnConn(p.shard, p.st, p.pool, p.acquired, p.key, hc, &p.hedge, true)
+	r.tracer.Record(obs.EvHedge, t.shard, 0, 0, 0, p.delay.Microseconds())
+	res := r.getOnConn(t.shard, t.st, t.pool, t.acquired, p.key, hc, &p.hedge, true)
 	p.ch <- res
-	if res.err == nil {
+	// A cross-replica hedge may only preempt the primary with a hit or a
+	// trusted tombstone (see hedgeTarget.cross); a same-shard hedge keeps
+	// the original any-success-wins semantics.
+	if res.err == nil && (!t.cross || res.hit || res.tomb) {
 		p.primary.cancel()
 	}
 }
@@ -155,7 +175,7 @@ func (p *hedgePair) fire() {
 func (p *hedgePair) release() {
 	p.primary.conn, p.primary.finished, p.primary.canceled = nil, false, false
 	p.hedge.conn, p.hedge.finished, p.hedge.canceled = nil, false, false
-	p.r, p.st, p.pool, p.key = nil, nil, nil, ""
+	p.r, p.target, p.key = nil, hedgeTarget{}, ""
 	hedgePairPool.Put(p)
 }
 
@@ -172,7 +192,7 @@ func (p *hedgePair) release() {
 // buffered channel. A pair whose timer fired is never re-pooled — fire
 // may still be settling it — and is left to the collector; those Gets
 // already cost a multi-millisecond stall, so the garbage is noise.
-func (r *Router) getAttempt(shard int, st *shardState, pool *connPool, acquired uint64, key string) getRes {
+func (r *Router) getAttempt(shard int, st *shardState, pool *connPool, acquired uint64, key string, alt *hedgeTarget) getRes {
 	delay := r.hedgeDelay(st)
 	if delay < 0 || delay >= r.cfg.OpTimeout {
 		// Disabled, or the primary would time out before the hedge ever
@@ -180,13 +200,23 @@ func (r *Router) getAttempt(shard int, st *shardState, pool *connPool, acquired 
 		return r.getOnce(shard, st, pool, acquired, key, nil, false)
 	}
 	p := hedgePairPool.Get().(*hedgePair)
-	p.r, p.shard, p.st, p.pool, p.acquired, p.key, p.delay =
-		r, shard, st, pool, acquired, key, delay
+	p.r, p.key, p.delay = r, key, delay
+	if alt != nil {
+		p.target = *alt
+	} else {
+		p.target = hedgeTarget{shard: shard, st: st, pool: pool, acquired: acquired}
+	}
 	p.timer.Reset(delay)
 	res := r.getOnce(shard, st, pool, acquired, key, &p.primary, false)
 	if p.timer.Stop() {
 		p.release()
 		return res // fast path: the hedge never launched
+	}
+	adopt := func(hres getRes) bool {
+		// A failed primary adopts any hedge answer from its own shard,
+		// but from another replica only a hit or tombstone (its miss
+		// proves nothing about the primary's keyspace history).
+		return hres.err == nil && (!p.target.cross || hres.hit || hres.tomb)
 	}
 	if !errors.Is(res.err, errHedgeCanceled) {
 		// The primary settled on its own. If the hedge raced it to a
@@ -194,9 +224,9 @@ func (r *Router) getAttempt(shard int, st *shardState, pool *connPool, acquired 
 		if res.err != nil {
 			select {
 			case hres := <-p.ch:
-				if hres.err == nil {
+				if adopt(hres) {
 					r.hedgeWins.Add(1)
-					r.tracer.Record(obs.EvHedgeWin, shard, 0, 0, 0, delay.Microseconds())
+					r.tracer.Record(obs.EvHedgeWin, p.target.shard, 0, 0, 0, delay.Microseconds())
 					return hres
 				}
 			default:
@@ -210,7 +240,7 @@ func (r *Router) getAttempt(shard int, st *shardState, pool *connPool, acquired 
 	hres := <-p.ch
 	if hres.err == nil {
 		r.hedgeWins.Add(1)
-		r.tracer.Record(obs.EvHedgeWin, shard, 0, 0, 0, delay.Microseconds())
+		r.tracer.Record(obs.EvHedgeWin, p.target.shard, 0, 0, 0, delay.Microseconds())
 	}
 	return hres
 }
@@ -255,41 +285,37 @@ func (r *Router) getOnConn(shard int, st *shardState, pool *connPool, acquired u
 		return getRes{err: err, hedged: hedged}
 	}
 	res := getRes{hedged: hedged}
-	poisoned := false
 	if hit {
-		if uint64(flags) < acquired {
-			// A survivor's copy from before the current owner acquired
-			// the segment: failover-window staleness, served as a miss.
+		if stampGen(flags) < acquired {
+			// A survivor's copy from before the serving member (re)joined
+			// the replica set: failover-window staleness, served as a
+			// miss. The tombstone bit is excluded — the stamp alone
+			// orders the value against the member's tenure.
 			r.staleRejects.Add(1)
-			poisoned = r.purge(c, key)
 		} else if payload, okv := openValue(key, flags, stored); !okv {
 			// The integrity tag does not verify: the bytes were damaged
-			// somewhere between the original Set and this read. Never an
-			// answer — purge and miss.
+			// somewhere between the original Set and this read — possibly
+			// only on the wire, with the stored copy intact. Served as a
+			// miss, never deleted: a reject may name the GENUINE newest
+			// value whose transit copy got flipped, and deleting it would
+			// erase the LWW register's memory — a delayed zombie write or
+			// a racing repair could then resurrect an older value.
+			// Rejected values are instead overwritten in place by
+			// read-repair (equal or older stamps lose to the served copy)
+			// or by the next write's higher stamp.
 			r.corruptRejects.Add(1)
 			r.tracer.Record(obs.EvCorruptReject, shard, 0, 0, uint64(flags), int64(len(stored)))
-			poisoned = r.purge(c, key)
+		} else if flags&tombBit != 0 {
+			// A trusted tombstone: the key was deleted, and the stamp
+			// proves no newer write exists here — an authoritative miss
+			// that stops the replica fallback. The tombstone is what keeps
+			// a zombie of the deleted write out.
+			res.tomb, res.stamp = true, flags
 		} else {
-			res.v, res.hit = payload, true
+			res.v, res.hit, res.stamp = payload, true, flags
 		}
 	}
-	if poisoned {
-		// The best-effort purge itself timed out or tore the stream;
-		// pooling the connection now would hand the next caller a
-		// desynced wire.
-		pool.discard(c)
-	} else {
-		pool.put(c)
-	}
+	pool.put(c)
 	r.sample(shard, st, rtt, true)
 	return res
-}
-
-// purge best-effort deletes a rejected (stale or corrupt) value so later
-// reads miss cleanly. It reports whether the delete poisoned the
-// connection; busy is fine (the rejection alone is safe — the value
-// stays, and every future read re-rejects it).
-func (r *Router) purge(c *memcached.Client, key string) (poisoned bool) {
-	_, err := c.Delete(key)
-	return err != nil && !errors.Is(err, memcached.ErrBusy)
 }

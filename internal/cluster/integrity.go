@@ -1,56 +1,19 @@
 package cluster
 
-import (
-	"encoding/binary"
-	"hash/fnv"
-)
+import "privagic/internal/memcached"
 
-// End-to-end value integrity (DESIGN.md §15). The memcached text
-// protocol frames messages but does not checksum them, so a bit flip on
-// the wire that survives parsing — a damaged payload byte, a mutated
-// flags digit, a VALUE header echoing a different (existing) key — would
-// otherwise come back as a plausible wrong answer. The router therefore
-// seals every stored value with an 8-byte tag binding the payload to the
-// key and the generation-bearing flags word, and verifies the tag on
-// every read. A mismatch is reported as a typed corruption rejection and
-// served as a miss: fresh-or-miss, never wrong.
+// End-to-end value integrity (DESIGN.md §15, §16). The seal primitive
+// lives in internal/memcached (seal.go) because both ends of the
+// replica trust boundary verify it: the router seals on write and
+// verifies on every read, and the server's replicated-write verb (setx)
+// verifies at the store boundary so a payload corrupted in transit is
+// refused instead of acknowledged. The router-side aliases below keep
+// the call sites readable.
 
-// tagLen is the size of the integrity tag prefixed to stored values.
-const tagLen = 8
-
-// valueTag computes the FNV-1a-64 tag over (key, NUL, flags
-// little-endian, payload). Including the key catches cross-key serving
-// that defeats the header echo check (a corrupted key that happens to
-// name another live key); including flags catches a generation stamp
-// damaged in flight, which would otherwise let a stale value masquerade
-// as fresh.
-func valueTag(key string, flags uint32, payload []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	_, _ = h.Write([]byte{0, byte(flags), byte(flags >> 8), byte(flags >> 16), byte(flags >> 24)})
-	_, _ = h.Write(payload)
-	return h.Sum64()
-}
-
-// sealValue prefixes payload with its integrity tag for storage.
 func sealValue(key string, flags uint32, payload []byte) []byte {
-	out := make([]byte, tagLen+len(payload))
-	binary.BigEndian.PutUint64(out, valueTag(key, flags, payload))
-	copy(out[tagLen:], payload)
-	return out
+	return memcached.SealValue(key, flags, payload)
 }
 
-// openValue verifies and strips the tag from a stored value. ok is false
-// when the value is too short to carry a tag or the tag does not match —
-// both mean the bytes cannot be trusted as an answer for key.
 func openValue(key string, flags uint32, stored []byte) (payload []byte, ok bool) {
-	if len(stored) < tagLen {
-		return nil, false
-	}
-	tag := binary.BigEndian.Uint64(stored)
-	payload = stored[tagLen:]
-	if tag != valueTag(key, flags, payload) {
-		return nil, false
-	}
-	return payload, true
+	return memcached.OpenValue(key, flags, stored)
 }

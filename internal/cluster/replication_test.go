@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"privagic/internal/memcached"
+)
+
+// Replication lifecycle tests (DESIGN.md §16): write-through fan-out,
+// read fallback, read-repair, tombstones, readmission ordering, and
+// hinted-handoff overflow. The seeded soaks cover these paths under
+// adversarial schedules; the tests here pin each mechanism in
+// isolation so a regression names the broken part instead of a seed.
+
+// replicaSetOf resolves key's current replica set from the router's
+// ring (primary first).
+func replicaSetOf(r *Router, key string) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seg, ok := r.ring.lookupSet(keyHash(key))
+	if !ok {
+		return nil
+	}
+	out := make([]int, seg.n)
+	for k := 0; k < seg.n; k++ {
+		out[k] = seg.shard[k]
+	}
+	return out
+}
+
+// TestRouterWriteThroughAllReplicas: a Set lands the sealed value on
+// every member of the key's replica set, not just the primary — the
+// ack-all contract zero-loss rests on.
+func TestRouterWriteThroughAllReplicas(t *testing.T) {
+	c := newTestCluster(t, 3)
+	r := newTestRouter(t, c, fastProbes())
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("wt%d", i)
+		if err := r.Set(key, []byte("v")); err != nil {
+			t.Fatalf("Set %s: %v", key, err)
+		}
+		set := replicaSetOf(r, key)
+		if len(set) != 2 {
+			t.Fatalf("key %s: replica set %v, want 2 members", key, set)
+		}
+		for _, s := range set {
+			if _, _, ok := c.Store(s).Get(key); !ok {
+				t.Fatalf("key %s: member shard %d does not hold the value after ack", key, s)
+			}
+		}
+	}
+	if n := r.Counters()["repl.replica_writes"]; n == 0 {
+		t.Fatal("no replica write was ever counted")
+	}
+}
+
+// TestRouterFallbackRead: with the primary dead but not yet fenced,
+// a Get answers from the successor replica — no fence required, no
+// miss invented.
+func TestRouterFallbackRead(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cfg := fastProbes()
+	cfg.DisableProbes = true // keep the primary in the ring while dead
+	r := newTestRouter(t, c, cfg)
+	if err := r.Set("fb", []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	set := replicaSetOf(r, "fb")
+	if err := c.Kill(set[0]); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	v, ok, err := r.Get("fb")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get with dead primary = %q ok=%v err=%v, want hit", v, ok, err)
+	}
+	if n := r.Counters()["repl.fallback_reads"]; n == 0 {
+		t.Fatal("hit served without a fallback read being counted")
+	}
+}
+
+// TestRouterReadRepair: a member that lost its copy (simulated local
+// damage) is refilled at read time from the member that still answers,
+// CAS-guarded, byte-identical.
+func TestRouterReadRepair(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cfg := fastProbes()
+	cfg.HedgeDelay = -1 // keep the read path deterministic: primary, then fallback
+	r := newTestRouter(t, c, cfg)
+	if err := r.Set("rr", []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	set := replicaSetOf(r, "rr")
+	if !c.Store(set[0]).Delete("rr") {
+		t.Fatal("primary copy missing before the test even started")
+	}
+	v, ok, err := r.Get("rr")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q ok=%v err=%v, want hit via the successor", v, ok, err)
+	}
+	waitFor(t, time.Second, "read-repair of the primary", func() bool {
+		_, _, ok := c.Store(set[0]).Get("rr")
+		return ok
+	})
+	if n := r.Counters()["repl.read_repairs"]; n != 1 {
+		t.Fatalf("repl.read_repairs = %d, want exactly 1", n)
+	}
+	// The repaired copy must verify end to end: a second read served by
+	// the primary again returns the value, not a corrupt reject.
+	if v, ok, err := r.Get("rr"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after repair = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestRouterTombstoneReplicated: Delete replicates a tombstone to every
+// set member, reads turn into authoritative misses, and a zombie of the
+// deleted write (a late-delivered older stamp) loses the LWW comparison
+// on every member instead of resurrecting the value.
+func TestRouterTombstoneReplicated(t *testing.T) {
+	c := newTestCluster(t, 3)
+	r := newTestRouter(t, c, fastProbes())
+	if err := r.Set("tz", []byte("doomed")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	// Capture the live value's stamped flags — the zombie replays these.
+	set := replicaSetOf(r, "tz")
+	sealed, oldFlags, ok := c.Store(set[0]).Get("tz")
+	if !ok {
+		t.Fatal("value missing after ack")
+	}
+	if found, err := r.Delete("tz"); err != nil || !found {
+		t.Fatalf("Delete: found=%v err=%v", found, err)
+	}
+	for _, s := range set {
+		_, flags, ok := c.Store(s).Get("tz")
+		if !ok {
+			t.Fatalf("shard %d: tombstone missing (a plain delete would let zombies resurrect)", s)
+		}
+		if flags&tombBit == 0 {
+			t.Fatalf("shard %d: post-delete record has no tombstone bit (flags %x)", s, flags)
+		}
+	}
+	if _, ok, err := r.Get("tz"); err != nil || ok {
+		t.Fatalf("Get after delete: ok=%v err=%v, want authoritative miss", ok, err)
+	}
+	// The zombie: deliver the old write again, directly through the LWW
+	// register, on every member. Each must refuse it.
+	for _, s := range set {
+		if c.Store(s).SetLWW("tz", sealed, oldFlags) {
+			t.Fatalf("shard %d: zombie write with stamp %x beat the tombstone", s, oldFlags)
+		}
+	}
+	if _, ok, _ := r.Get("tz"); ok {
+		t.Fatal("zombie write resurrected a deleted key")
+	}
+	if n := r.Counters()["repl.tombstones"]; n != 1 {
+		t.Fatalf("repl.tombstones = %d, want 1", n)
+	}
+}
+
+// TestRouterReadmissionOrdering is the readmission-ordering invariant
+// (satellite of DESIGN.md §16): a respawned shard stays OUT of the ring
+// until its anti-entropy sync completes and its hint queue drains —
+// traffic during the window routes around it, and writes that race the
+// window are visible after entry, never dropped in the gap between
+// "sync finished" and "in the ring".
+func TestRouterReadmissionOrdering(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cfg := fastProbes()
+	hold := make(chan struct{})
+	entered := make(chan int, 1)
+	cfg.SyncHook = func(shard int) {
+		entered <- shard
+		<-hold
+	}
+	r := newTestRouter(t, c, cfg)
+	for i := 0; i < 30; i++ {
+		if err := r.Set(fmt.Sprintf("ro%d", i), []byte("pre")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if err := c.Kill(1); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	waitFor(t, time.Second, "fence", func() bool { return r.Counters()["failovers"] >= 1 })
+	// Writes during the outage: acked off the live members, hinted for 1.
+	for i := 0; i < 30; i++ {
+		if err := r.Set(fmt.Sprintf("ro%d", i), []byte("during")); err != nil {
+			t.Fatalf("Set during outage: %v", err)
+		}
+	}
+	if err := c.Respawn(1); err != nil {
+		t.Fatalf("Respawn: %v", err)
+	}
+	// The sync runs and blocks in the hook — after reconcile and drain,
+	// before ring entry. The shard must still be invisible to routing.
+	<-entered
+	if r.InRing(1) {
+		t.Fatal("shard entered the ring while its sync window was still open")
+	}
+	if n := r.Counters()["readmits"]; n != 0 {
+		t.Fatalf("readmits = %d with the sync window held open", n)
+	}
+	// Traffic during the held window routes around the syncing shard and
+	// keeps queueing hints for it.
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("ro%d", i)
+		if err := r.Set(key, []byte("window")); err != nil {
+			t.Fatalf("Set during sync window: %v", err)
+		}
+		if v, ok, err := r.Get(key); err != nil || !ok || string(v) != "window" {
+			t.Fatalf("Get during sync window = %q ok=%v err=%v", v, ok, err)
+		}
+	}
+	close(hold)
+	waitFor(t, time.Second, "readmission", func() bool { return r.InRing(1) })
+	if n := r.Counters()["repl.hints_drained"]; n == 0 {
+		t.Fatal("no hint was drained into the readmitted shard")
+	}
+	// Everything written while the shard was out — including during the
+	// held window — is on its store before it serves a single read.
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("ro%d", i)
+		sealed, flags, ok := c.Store(1).Get(key)
+		if !ok {
+			t.Fatalf("readmitted shard missing %s", key)
+		}
+		if v, okv := memcached.OpenValue(key, flags, sealed); !okv || string(v) != "window" {
+			t.Fatalf("readmitted shard holds %q for %s, want the window write", v, key)
+		}
+		if v, ok, err := r.Get(key); err != nil || !ok || string(v) != "window" {
+			t.Fatalf("Get after readmit = %q ok=%v err=%v", v, ok, err)
+		}
+	}
+}
+
+// TestHandoffOverflowTypedError pins the hint queue's backpressure
+// contract: the bound trips into the typed ErrHandoffOverflow, the
+// queue is discarded with the loss counted, and the shard is flagged
+// for a forced full sync. Per-key dedup means only distinct keys count
+// against the bound.
+func TestHandoffOverflowTypedError(t *testing.T) {
+	h := newHandoff(2, 3)
+	for i := 0; i < 3; i++ {
+		if d, err := h.enqueue(1, hint{key: fmt.Sprintf("k%d", i)}); err != nil || d != 0 {
+			t.Fatalf("enqueue %d: discarded=%d err=%v", i, d, err)
+		}
+	}
+	// Same-key updates replace in place — no growth, no overflow.
+	if d, err := h.enqueue(1, hint{key: "k0", flags: 7}); err != nil || d != 0 {
+		t.Fatalf("dedup enqueue: discarded=%d err=%v", d, err)
+	}
+	if n := h.pending(1); n != 3 {
+		t.Fatalf("pending = %d after dedup, want 3", n)
+	}
+	d, err := h.enqueue(1, hint{key: "k3"})
+	if !errors.Is(err, ErrHandoffOverflow) {
+		t.Fatalf("overflow enqueue err = %v, want ErrHandoffOverflow", err)
+	}
+	if d != 3 {
+		t.Fatalf("overflow discarded %d hints, want the whole queue of 3", d)
+	}
+	if h.pending(1) != 0 {
+		t.Fatal("queue not flushed on overflow")
+	}
+	if !h.needsFullSync(1) {
+		t.Fatal("overflow did not flag the shard for a forced full sync")
+	}
+	if h.needsFullSync(0) {
+		t.Fatal("overflow leaked onto an unrelated shard")
+	}
+	h.clearFullSync(1)
+	if h.needsFullSync(1) {
+		t.Fatal("clearFullSync did not reset the flag")
+	}
+}
+
+// TestRouterHandoffOverflowForcesFullSync: a long outage overflows the
+// hint queue; readmission must then take the full-segment pull (no
+// digest shortcut) and still end zero-loss — every key written during
+// the outage is on the readmitted shard.
+func TestRouterHandoffOverflowForcesFullSync(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cfg := fastProbes()
+	cfg.HandoffLimit = 4
+	r := newTestRouter(t, c, cfg)
+	if err := c.Kill(1); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	waitFor(t, time.Second, "fence", func() bool { return r.Counters()["failovers"] >= 1 })
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := r.Set(fmt.Sprintf("of%d", i), []byte("v")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	cs := r.Counters()
+	if cs["repl.hint_overflows"] == 0 {
+		t.Fatalf("no overflow after %d writes against a %d-hint bound (counters %v)", n, cfg.HandoffLimit, cs)
+	}
+	if cs["repl.hints_discarded"] == 0 {
+		t.Fatal("overflow discarded nothing — the loss went uncounted")
+	}
+	if err := c.Respawn(1); err != nil {
+		t.Fatalf("Respawn: %v", err)
+	}
+	waitFor(t, time.Second, "readmission", func() bool { return r.InRing(1) })
+	if got := r.Counters()["repl.full_syncs"]; got == 0 {
+		t.Fatal("overflowed shard readmitted without a forced full sync")
+	}
+	// Zero-loss despite the discarded hints: the full pull recovered
+	// every key the queue could no longer bound.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("of%d", i)
+		if v, ok, err := r.Get(key); err != nil || !ok || string(v) != "v" {
+			t.Fatalf("Get %s after full-sync readmission = %q ok=%v err=%v", key, v, ok, err)
+		}
+	}
+}

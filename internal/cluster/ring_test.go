@@ -10,7 +10,7 @@ import (
 // third of its fair share.
 func TestRingBalance(t *testing.T) {
 	const shards, keys = 4, 20000
-	r := newRing(shards, 0)
+	r := newRing(shards, 0, 1)
 	counts := make([]int, shards)
 	for i := 0; i < keys; i++ {
 		s, _, ok := r.lookup(keyHash(fmt.Sprintf("user%d", i)))
@@ -31,7 +31,7 @@ func TestRingBalance(t *testing.T) {
 // node identically — the point set is a pure function of (shard, replica),
 // so routers built at different times agree.
 func TestRingFixedPoints(t *testing.T) {
-	a, b := newRing(5, 16), newRing(5, 16)
+	a, b := newRing(5, 16, 1), newRing(5, 16, 1)
 	if len(a.points) != len(b.points) {
 		t.Fatalf("point counts differ: %d vs %d", len(a.points), len(b.points))
 	}
@@ -46,7 +46,7 @@ func TestRingFixedPoints(t *testing.T) {
 // surviving shard already owned.
 func TestRingMinimalMovement(t *testing.T) {
 	const shards, keys = 4, 5000
-	r := newRing(shards, 0)
+	r := newRing(shards, 0, 1)
 	before := make([]int, keys)
 	for i := range before {
 		before[i], _, _ = r.lookup(keyHash(fmt.Sprintf("k%d", i)))
@@ -84,7 +84,7 @@ func findKeyOwnedBy(t *testing.T, r *ring, shard int) string {
 // stamped during a previous owner's tenure must compare below the current
 // acquisition generation exactly when it could be a stale survivor copy.
 func TestRingAcquiredGenerations(t *testing.T) {
-	r := newRing(2, 0)
+	r := newRing(2, 0, 1)
 	key := findKeyOwnedBy(t, r, 0)
 	h := keyHash(key)
 
@@ -126,7 +126,7 @@ func TestRingAcquiredGenerations(t *testing.T) {
 // TestRingUnchangedSegmentsKeepStamps: a membership change elsewhere must
 // not invalidate values on segments whose owner did not change.
 func TestRingUnchangedSegmentsKeepStamps(t *testing.T) {
-	r := newRing(4, 0)
+	r := newRing(4, 0, 1)
 	key := findKeyOwnedBy(t, r, 3)
 	h := keyHash(key)
 	stamp := r.gen
@@ -137,9 +137,135 @@ func TestRingUnchangedSegmentsKeepStamps(t *testing.T) {
 	}
 }
 
+// TestRingReplicaSets: with rf=2 every segment's set is two distinct up
+// shards, primary first, and fencing a member replaces only it — the
+// survivor keeps both its slot and its tenure stamp.
+func TestRingReplicaSets(t *testing.T) {
+	r := newRing(3, 0, 2)
+	for i := range r.segs {
+		seg := r.segs[i]
+		if seg.n != 2 {
+			t.Fatalf("segment %d has %d members, want 2", i, seg.n)
+		}
+		if seg.shard[0] == seg.shard[1] {
+			t.Fatalf("segment %d lists shard %d twice", i, seg.shard[0])
+		}
+		if seg.joined[0] != 1 || seg.joined[1] != 1 {
+			t.Fatalf("segment %d initial tenures %v, want full trust", i, seg.joined[:2])
+		}
+	}
+	r.setUp(1, false)
+	for i := range r.segs {
+		seg := r.segs[i]
+		if seg.n != 2 {
+			t.Fatalf("segment %d has %d members after one fence of three, want 2", i, seg.n)
+		}
+		for k := 0; k < seg.n; k++ {
+			if seg.shard[k] == 1 {
+				t.Fatalf("segment %d still lists the fenced shard", i)
+			}
+			// A member that was already in this set keeps joined=1; a
+			// reshuffle-joiner carries the fresh generation (distrusted
+			// for values stamped before it).
+			if seg.joined[k] != 1 && seg.joined[k] != r.gen {
+				t.Fatalf("segment %d member %d joined=%d, want 1 (tenure kept) or %d (fresh)", i, seg.shard[k], seg.joined[k], r.gen)
+			}
+		}
+	}
+}
+
+// TestRingEnterFullTrust: a shard admitted through enter (anti-entropy
+// proven) joins every set with stamp 1, so its pre-outage values are
+// honored; the same shard admitted through setUp is distrusted at the
+// fresh generation.
+func TestRingEnterFullTrust(t *testing.T) {
+	a, b := newRing(3, 0, 2), newRing(3, 0, 2)
+	a.setUp(0, false)
+	b.setUp(0, false)
+	a.enter(0)
+	b.setUp(0, true)
+	for i := range a.segs {
+		for k := 0; k < a.segs[i].n; k++ {
+			if a.segs[i].shard[k] == 0 && a.segs[i].joined[k] != 1 {
+				t.Fatalf("entered shard joined segment %d at %d, want full trust 1", i, a.segs[i].joined[k])
+			}
+		}
+	}
+	distrusted := false
+	for i := range b.segs {
+		for k := 0; k < b.segs[i].n; k++ {
+			if b.segs[i].shard[k] == 0 && b.segs[i].joined[k] == b.gen {
+				distrusted = true
+			}
+		}
+	}
+	if !distrusted {
+		t.Fatal("setUp-admitted shard was never stamped with the fresh generation")
+	}
+}
+
+// TestRingHintTargets: hintFor names exactly the down members of a
+// key's converged (all-up) replica set — the shards a write routed now
+// must queue hints for.
+func TestRingHintTargets(t *testing.T) {
+	r := newRing(3, 0, 2)
+	r.setUp(1, false)
+	var buf [maxReplication]int
+	sawHint := false
+	for i := 0; i < 2000; i++ {
+		h := keyHash(fmt.Sprintf("hint%d", i))
+		full := r.hypothetical(r.segIndex(h))
+		inFull := false
+		for k := 0; k < full.n; k++ {
+			if full.shard[k] == 1 {
+				inFull = true
+			}
+		}
+		hints := r.hintFor(h, buf[:0])
+		if inFull {
+			if len(hints) != 1 || hints[0] != 1 {
+				t.Fatalf("key in shard 1's converged set got hints %v, want [1]", hints)
+			}
+			sawHint = true
+		} else if len(hints) != 0 {
+			t.Fatalf("key outside shard 1's converged set got hints %v", hints)
+		}
+	}
+	if !sawHint {
+		t.Fatal("no key's converged set ever included the down shard")
+	}
+}
+
+// TestRingWouldServe: the sync plan covers exactly the segments the
+// entering shard will serve, and every planned arc routes to that
+// segment (the store-digest bounds line up with segIndex).
+func TestRingWouldServe(t *testing.T) {
+	r := newRing(3, 0, 2)
+	r.setUp(2, false)
+	plan := r.wouldServe(2)
+	if len(plan) == 0 {
+		t.Fatal("empty sync plan for a returning shard")
+	}
+	for _, arc := range plan {
+		seg := r.membersAt(arc.seg, 2)
+		found := false
+		for k := 0; k < seg.n; k++ {
+			if seg.shard[k] == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("planned segment %d would not include the entering shard", arc.seg)
+		}
+		if got := r.segIndex(arc.hi); got != arc.seg {
+			t.Fatalf("arc hi bound %d routes to segment %d, want %d", arc.hi, got, arc.seg)
+		}
+	}
+}
+
 // TestRingAllDown: lookup reports no owner rather than inventing one.
 func TestRingAllDown(t *testing.T) {
-	r := newRing(2, 0)
+	r := newRing(2, 0, 1)
 	r.setUp(0, false)
 	r.setUp(1, false)
 	if _, _, ok := r.lookup(keyHash("k")); ok {

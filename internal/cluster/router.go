@@ -101,7 +101,27 @@ type RouterConfig struct {
 	// OpTimeout/4), so hedges fire on genuine stalls, not on every
 	// routine fluctuation. Negative disables hedging. Only Gets hedge:
 	// they are idempotent, a duplicated Set or Delete is not harmless.
+	// With Replication ≥ 2 the hedge targets the next replica instead
+	// of duplicating against the primary (see hedge.go).
 	HedgeDelay time.Duration
+
+	// Replication is the replica-set size R per ring segment (DESIGN.md
+	// §16): a primary plus R−1 successors. Writes go through to every
+	// in-ring set member and acknowledge only when all stored; reads
+	// fall back across the set. Default 2, clamped to the shard count
+	// (and to 4, the fixed routing-array bound). 1 reproduces the
+	// pre-replication fresh-or-miss behavior exactly.
+	Replication int
+	// HandoffLimit bounds each down shard's hinted-handoff queue
+	// (default 1024 keys). Overflow is explicit backpressure: the
+	// queue's hints are discarded (counted, never silent), the shard is
+	// marked for a forced full sync at readmission, and writes keep
+	// acknowledging off the live members — never a stall.
+	HandoffLimit int
+	// SyncHook, when set, is called after a shard's anti-entropy sync
+	// completes but before it re-enters the ring — a test seam to hold
+	// the readmission window open and observe pre-entry routing.
+	SyncHook func(shard int)
 }
 
 // shardState is the router's view of one shard. Fields are guarded by
@@ -130,6 +150,12 @@ type shardState struct {
 	slowStrikes int
 	fastStrikes int
 	slowSince   time.Time
+
+	// syncPending arms the prober's anti-entropy flow: the shard is out
+	// of the ring awaiting sync-then-enter (see antientropy.go). Why it
+	// is pending (readmit / promote / adopt) picks the counter bumped at
+	// entry.
+	syncPending int
 
 	// rtt is the EWMA of data-path RTT in µs (float bits; 0 = no samples
 	// yet). Updated with a benign racy read-modify-write: losing a
@@ -184,12 +210,55 @@ type Router struct {
 	hedges          atomic.Int64
 	hedgeWins       atomic.Int64
 	corruptRejects  atomic.Int64
-	writeFences     atomic.Int64
+
+	// Replication counters (DESIGN.md §16).
+	replicaWrites      atomic.Int64
+	replicaWriteErrors atomic.Int64
+	lwwRefused         atomic.Int64
+	fallbackReads      atomic.Int64
+	readRepairs        atomic.Int64
+	repairConflicts    atomic.Int64
+	tombstones         atomic.Int64
+	hintsQueued        atomic.Int64
+	hintOverflows      atomic.Int64
+	hintsDrained       atomic.Int64
+	hintsDiscarded     atomic.Int64
+	syncs              atomic.Int64
+	syncRetries        atomic.Int64
+	syncSegments       atomic.Int64
+	syncDivergent      atomic.Int64
+	syncKeys           atomic.Int64
+	fullSyncs          atomic.Int64
+
+	// stamps is the per-key write-stamp oracle: every Set/Delete is
+	// stamped max(ring generation, last stamp for the key + 1), so the
+	// stamps of one key's writes are strictly increasing and the
+	// stores' last-write-wins register (setx) totally orders them — a
+	// zombie write the network delivers late can never overwrite newer
+	// forward progress, which retires PR-7's segment-aging write fence
+	// along with its collateral misses. Guarded by mu.
+	stamps map[string]uint32
+	// writing counts in-flight write loops per key (guarded by mu).
+	// Read-repair consults it to stand down while the key's writer is
+	// still fanning out: a member that looks behind mid-fan-out is not
+	// divergent, just not-yet-reached, and the ack-all contract means
+	// the writer itself converges the set (or retries). Without this,
+	// reads racing their own keys' writes register spurious repairs —
+	// which the clean-control soak asserts never happen.
+	writing map[string]int
+	// hints is the bounded hinted-handoff ledger for down shards;
+	// enqueues happen under mu, atomically with route resolution, so
+	// ring entry can prove the queue is drained (see handoff.go).
+	hints *handoff
+
+	counterList []obs.NamedCounter
 
 	tracer     *obs.Tracer
 	detectHist *obs.Histogram
 	demoteHist *obs.Histogram
 	rttHist    *obs.Histogram
+	syncHist   *obs.Histogram
+	drainHist  *obs.Histogram
 }
 
 // NewRouter builds a router over dir and starts its probers.
@@ -234,13 +303,29 @@ func NewRouter(dir Directory, cfg RouterConfig) (*Router, error) {
 	if cfg.PromoteStrikes <= 0 {
 		cfg.PromoteStrikes = 2
 	}
-	r := &Router{
-		cfg:    cfg,
-		dir:    dir,
-		ring:   newRing(n, cfg.Replicas),
-		shards: make([]*shardState, n),
-		stop:   make(chan struct{}),
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
 	}
+	if cfg.Replication > n {
+		cfg.Replication = n
+	}
+	if cfg.Replication > maxReplication {
+		cfg.Replication = maxReplication
+	}
+	if cfg.HandoffLimit <= 0 {
+		cfg.HandoffLimit = 1024
+	}
+	r := &Router{
+		cfg:     cfg,
+		dir:     dir,
+		ring:    newRing(n, cfg.Replicas, cfg.Replication),
+		shards:  make([]*shardState, n),
+		stamps:  map[string]uint32{},
+		writing: map[string]int{},
+		hints:   newHandoff(n, cfg.HandoffLimit),
+		stop:    make(chan struct{}),
+	}
+	r.counterList = r.namedCounters()
 	r.ctx, r.cancel = context.WithCancel(context.Background())
 	for i := 0; i < n; i++ {
 		addr, epoch, running := dir.Addr(i)
@@ -284,6 +369,8 @@ func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	r.detectHist = reg.Histogram("cluster.failover_detect_us")
 	r.demoteHist = reg.Histogram("cluster.demote_detect_us")
 	r.rttHist = reg.Histogram("cluster.data_rtt_us")
+	r.syncHist = reg.Histogram("repl.sync_us")
+	r.drainHist = reg.Histogram("repl.handoff_drain_us")
 	reg.Gauge("cluster.demotions", r.demotions.Load)
 	reg.Gauge("cluster.promotions", r.promotions.Load)
 	reg.Gauge("cluster.breaker_trips", r.breakerTrips.Load)
@@ -291,7 +378,6 @@ func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	reg.Gauge("cluster.hedges", r.hedges.Load)
 	reg.Gauge("cluster.hedge_wins", r.hedgeWins.Load)
 	reg.Gauge("cluster.corrupt_rejects", r.corruptRejects.Load)
-	reg.Gauge("cluster.write_fences", r.writeFences.Load)
 	reg.Gauge("cluster.routes", r.routes.Load)
 	reg.Gauge("cluster.retries", r.retries.Load)
 	reg.Gauge("cluster.sheds", r.sheds.Load)
@@ -301,6 +387,23 @@ func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	reg.Gauge("cluster.readmits", r.readmits.Load)
 	reg.Gauge("cluster.probes", r.probes.Load)
 	reg.Gauge("cluster.probe_failures", r.probeFailures.Load)
+	reg.Gauge("repl.replica_writes", r.replicaWrites.Load)
+	reg.Gauge("repl.replica_write_errors", r.replicaWriteErrors.Load)
+	reg.Gauge("repl.lww_refused", r.lwwRefused.Load)
+	reg.Gauge("repl.fallback_reads", r.fallbackReads.Load)
+	reg.Gauge("repl.read_repairs", r.readRepairs.Load)
+	reg.Gauge("repl.repair_conflicts", r.repairConflicts.Load)
+	reg.Gauge("repl.tombstones", r.tombstones.Load)
+	reg.Gauge("repl.hints_queued", r.hintsQueued.Load)
+	reg.Gauge("repl.hint_overflows", r.hintOverflows.Load)
+	reg.Gauge("repl.hints_drained", r.hintsDrained.Load)
+	reg.Gauge("repl.hints_discarded", r.hintsDiscarded.Load)
+	reg.Gauge("repl.syncs", r.syncs.Load)
+	reg.Gauge("repl.sync_retries", r.syncRetries.Load)
+	reg.Gauge("repl.sync_segments", r.syncSegments.Load)
+	reg.Gauge("repl.sync_divergent", r.syncDivergent.Load)
+	reg.Gauge("repl.sync_keys", r.syncKeys.Load)
+	reg.Gauge("repl.full_syncs", r.fullSyncs.Load)
 	reg.Gauge("cluster.shards_up", func() int64 {
 		r.mu.Lock()
 		defer r.mu.Unlock()
@@ -313,196 +416,110 @@ func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	})
 }
 
-// Counters exposes the router's tallies for tests and reports.
+// namedCounters is the single authoritative list behind Counters and
+// Instrument; the repl.* entries keep their catalogue prefix, the rest
+// are bare (Counters keys) and gain the cluster. prefix when
+// registered.
+func (r *Router) namedCounters() []obs.NamedCounter {
+	return []obs.NamedCounter{
+		{Name: "routes", Load: r.routes.Load},
+		{Name: "retries", Load: r.retries.Load},
+		{Name: "sheds", Load: r.sheds.Load},
+		{Name: "route_errors", Load: r.routeErrors.Load},
+		{Name: "stale_rejects", Load: r.staleRejects.Load},
+		{Name: "failovers", Load: r.failovers.Load},
+		{Name: "readmits", Load: r.readmits.Load},
+		{Name: "probes", Load: r.probes.Load},
+		{Name: "probe_failures", Load: r.probeFailures.Load},
+		{Name: "demotions", Load: r.demotions.Load},
+		{Name: "promotions", Load: r.promotions.Load},
+		{Name: "breaker_trips", Load: r.breakerTrips.Load},
+		{Name: "breaker_fastfails", Load: r.breakerFastfail.Load},
+		{Name: "hedges", Load: r.hedges.Load},
+		{Name: "hedge_wins", Load: r.hedgeWins.Load},
+		{Name: "corrupt_rejects", Load: r.corruptRejects.Load},
+		{Name: "repl.replica_writes", Load: r.replicaWrites.Load},
+		{Name: "repl.replica_write_errors", Load: r.replicaWriteErrors.Load},
+		{Name: "repl.lww_refused", Load: r.lwwRefused.Load},
+		{Name: "repl.fallback_reads", Load: r.fallbackReads.Load},
+		{Name: "repl.read_repairs", Load: r.readRepairs.Load},
+		{Name: "repl.repair_conflicts", Load: r.repairConflicts.Load},
+		{Name: "repl.tombstones", Load: r.tombstones.Load},
+		{Name: "repl.hints_queued", Load: r.hintsQueued.Load},
+		{Name: "repl.hint_overflows", Load: r.hintOverflows.Load},
+		{Name: "repl.hints_drained", Load: r.hintsDrained.Load},
+		{Name: "repl.hints_discarded", Load: r.hintsDiscarded.Load},
+		{Name: "repl.syncs", Load: r.syncs.Load},
+		{Name: "repl.sync_retries", Load: r.syncRetries.Load},
+		{Name: "repl.sync_segments", Load: r.syncSegments.Load},
+		{Name: "repl.sync_divergent", Load: r.syncDivergent.Load},
+		{Name: "repl.sync_keys", Load: r.syncKeys.Load},
+		{Name: "repl.full_syncs", Load: r.fullSyncs.Load},
+		{Name: "shards_up", Load: func() int64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return int64(r.ring.nUp)
+		}},
+		{Name: "ring_generation", Load: func() int64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return int64(r.ring.gen)
+		}},
+	}
+}
+
+// Counters exposes the router's tallies for tests and reports (one
+// obs.SnapshotCounters over the same list Instrument registers).
 func (r *Router) Counters() map[string]int64 {
-	r.mu.Lock()
-	up, gen := r.ring.nUp, r.ring.gen
-	r.mu.Unlock()
-	return map[string]int64{
-		"routes":            r.routes.Load(),
-		"retries":           r.retries.Load(),
-		"sheds":             r.sheds.Load(),
-		"route_errors":      r.routeErrors.Load(),
-		"stale_rejects":     r.staleRejects.Load(),
-		"failovers":         r.failovers.Load(),
-		"readmits":          r.readmits.Load(),
-		"probes":            r.probes.Load(),
-		"probe_failures":    r.probeFailures.Load(),
-		"demotions":         r.demotions.Load(),
-		"promotions":        r.promotions.Load(),
-		"breaker_trips":     r.breakerTrips.Load(),
-		"breaker_fastfails": r.breakerFastfail.Load(),
-		"hedges":            r.hedges.Load(),
-		"hedge_wins":        r.hedgeWins.Load(),
-		"corrupt_rejects":   r.corruptRejects.Load(),
-		"write_fences":      r.writeFences.Load(),
-		"shards_up":         int64(up),
-		"ring_generation":   int64(gen),
-	}
-}
-
-// Set stores key=value on its owning shard, stamped with the current ring
-// generation (the staleness fence; generations are tiny relative to the
-// 32-bit flags field) and sealed with an end-to-end integrity tag over
-// (key, generation, value) — wire corruption anywhere in the store/fetch
-// path is then detected at Get time instead of becoming a wrong answer.
-func (r *Router) Set(key string, value []byte) error {
-	// fenceOnPoison: a Set whose attempt dies on a poisoned connection
-	// may still be delivered by the network later (the zombie write); the
-	// segment fence ages its stamp out so it can never overwrite forward
-	// progress. Deletes don't fence — a zombie delete only costs a miss.
-	return r.doOp(key, true, func(c *memcached.Client, gen, _ uint64) error {
-		return c.Set(key, sealValue(key, uint32(gen), value), uint32(gen))
-	})
-}
-
-// Get fetches key from its owning shard, hedging the attempt when the
-// primary stalls (see RouterConfig.HedgeDelay). A hit whose generation
-// stamp predates the owner's tenure over the key is a survivor's copy
-// from a failover window; a hit whose integrity tag does not verify was
-// corrupted somewhere between the original Set and this read. Both are
-// purged and served as misses, never as values.
-func (r *Router) Get(key string) (value []byte, ok bool, err error) {
-	var out getRes
-	err = r.doAttempts(key, func(shard int, st *shardState, pool *connPool, gen, acquired uint64) error {
-		res := r.getAttempt(shard, st, pool, acquired, key)
-		if res.err == nil {
-			out = res
-		}
-		return res.err
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	return out.v, out.hit, nil
-}
-
-// Delete removes key from its owning shard.
-func (r *Router) Delete(key string) (found bool, err error) {
-	err = r.doOp(key, false, func(c *memcached.Client, _, _ uint64) error {
-		f, derr := c.Delete(key)
-		found = f
-		return derr
-	})
-	return found, err
+	return obs.SnapshotCounters(r.counterList)
 }
 
 // Owner reports which shard currently owns key (-1 with every shard
 // fenced) — a read-only routing probe for tests and the failover
-// benchmark.
+// benchmark. With replication, "owns" means primary: the first member
+// of the key's replica set.
 func (r *Router) Owner(key string) int {
-	shard, _, _, _, ok := r.route(key)
-	if !ok {
-		return -1
-	}
-	return shard
-}
-
-// route resolves a key to its owning shard under the current ring: the
-// pool to use, the segment's acquisition generation (Get's staleness
-// floor) and the ring generation (Set's stamp).
-func (r *Router) route(key string) (shard int, pool *connPool, acquired, gen uint64, ok bool) {
 	h := keyHash(key)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s, acq, ok := r.ring.lookup(h)
+	s, _, ok := r.ring.lookup(h)
 	if !ok {
-		return -1, nil, 0, 0, false
+		return -1
 	}
-	return s, r.shards[s].pool, acq, r.ring.gen, true
+	return s
 }
 
-// doOp runs one single-connection operation under the retry budget. Busy
-// responses back off and retry (the connection stays framed); timeouts,
-// transport errors and protocol violations poison the connection, feed
-// the shard's breaker and latency health, nudge the prober, and retry
-// against whatever the ring then says the owner is — after a fence or
-// demotion that is a survivor, so retries are how in-flight operations
-// ride out a failover. With fenceOnPoison, a poisoned attempt also
-// fences the key's ring segment before the retry (see Set).
-func (r *Router) doOp(key string, fenceOnPoison bool, op func(c *memcached.Client, gen, acquired uint64) error) error {
-	return r.doAttempts(key, func(shard int, st *shardState, pool *connPool, gen, acquired uint64) error {
-		c, err := pool.get()
-		if err != nil {
-			r.sample(shard, st, r.cfg.OpTimeout, false)
-			r.nudge(shard)
-			return err
-		}
-		start := time.Now()
-		err = op(c, gen, acquired)
-		rtt := time.Since(start)
-		switch {
-		case err == nil:
-			pool.put(c)
-			r.sample(shard, st, rtt, true)
-		case errors.Is(err, memcached.ErrBusy):
-			pool.put(c) // shed responses leave the stream framed
-			r.sample(shard, st, rtt, true)
-		default:
-			pool.discard(c) // timeout or torn stream: redial next attempt
-			if fenceOnPoison {
-				r.fenceWrite(shard, key)
-			}
-			r.sample(shard, st, r.cfg.OpTimeout, false)
-			r.nudge(shard)
-		}
-		return err
-	})
-}
-
-// fenceWrite ages out the ring segment owning key after a write attempt
-// died on a poisoned connection: the attempt's bytes may still be in
-// flight, and if the network ever delivers them the stale stamp must
-// lose to the fence.
-func (r *Router) fenceWrite(shard int, key string) {
+// InRing reports whether shard is currently a routable ring member —
+// false while it is fenced, demoted, or mid-anti-entropy. The chaos
+// monkey's settle gate polls it so MaxDown accounting covers shards
+// that respawned but have not finished readmission.
+func (r *Router) InRing(shard int) bool {
 	r.mu.Lock()
-	gen := r.ring.fenceKey(keyHash(key))
-	r.mu.Unlock()
-	r.writeFences.Add(1)
-	r.tracer.Record(obs.EvWriteFence, shard, 0, 0, 0, int64(gen))
+	defer r.mu.Unlock()
+	return r.ring.up[shard]
 }
 
-// doAttempts is the shared retry loop: route, breaker admission, one
-// attemptFn per try, terminal-error accounting. attemptFn owns its
-// connection handling and MUST report each attempt's outcome through
-// sample() — that is what completes a half-open breaker trial.
-func (r *Router) doAttempts(key string, attemptFn func(shard int, st *shardState, pool *connPool, gen, acquired uint64) error) error {
-	var lastErr error
-	for attempt := 0; attempt < r.cfg.Retry.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			r.retries.Add(1)
-			if serr := r.cfg.Retry.Sleep(r.ctx, attempt); serr != nil {
-				// Router closed mid-backoff: surface what we know.
-				if lastErr == nil {
-					lastErr = serr
-				}
-				break
-			}
-		}
-		shard, pool, acquired, gen, ok := r.route(key)
-		if !ok {
-			lastErr = ErrNoShards
-			continue // a probe may readmit a shard within the budget
-		}
-		if attempt > 0 {
-			r.tracer.Record(obs.EvRouteRetry, shard, 0, 0, gen, int64(attempt))
-		}
-		st := r.shards[shard]
-		if !st.breaker.Allow() {
-			// Known-bad data path: fail this attempt instantly instead
-			// of burning a timeout. The ring usually no longer routes
-			// here (trip demotes), so this is the last-shard-up case.
-			r.breakerFastfail.Add(1)
-			lastErr = fmt.Errorf("cluster: shard %d: %w", shard, ErrBreakerOpen)
-			continue
-		}
-		err := attemptFn(shard, st, pool, gen, acquired)
-		if err == nil {
-			r.routes.Add(1)
-			return nil
-		}
-		lastErr = err
+// routeSet resolves a key's full replica set (primary first) plus the
+// member pools, snapshotted under one lock so the set and the pools
+// belong to the same ring instant.
+func (r *Router) routeSet(key string) (seg segment, pools [maxReplication]*connPool, ok bool) {
+	h := keyHash(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seg, ok = r.ring.lookupSet(h)
+	if !ok {
+		return segment{}, pools, false
 	}
+	for k := 0; k < seg.n; k++ {
+		pools[k] = r.shards[seg.shard[k]].pool
+	}
+	return seg, pools, true
+}
+
+// finishAttempts applies the shared terminal accounting of a retry
+// loop: an exhausted budget ending in busy is a shed, anything else a
+// route error.
+func (r *Router) finishAttempts(lastErr error) error {
 	if errors.Is(lastErr, memcached.ErrBusy) {
 		r.sheds.Add(1)
 		r.tracer.Record(obs.EvRouteShed, 0, 0, 0, 0, int64(r.cfg.Retry.MaxAttempts))
@@ -569,6 +586,12 @@ func (r *Router) prober(i int) {
 		}
 		r.probeOnce(i, &conn, &connAddr)
 		r.canaryOnce(i, &dconn, &dconnAddr)
+		r.mu.Lock()
+		pending := st.syncPending != syncNone && !st.fenced
+		r.mu.Unlock()
+		if pending {
+			r.antiEntropy(i)
+		}
 		timer.Reset(r.cfg.ProbeInterval)
 	}
 }
@@ -617,15 +640,23 @@ func (r *Router) probeOnce(i int, conn **memcached.Client, connAddr *string) {
 		}
 		switch {
 		case st.fenced && epoch > st.fencedEpoch:
-			// A fresh incarnation (cold store, new epoch) answered: readmit.
+			// A fresh incarnation (cold store, new epoch) answered. With
+			// replication the epoch fence is only the first gate: the cold
+			// store must complete anti-entropy before re-entering the ring
+			// (readmits ticks at entry, not here). R=1 has no live member
+			// to sync from, so it re-enters directly as before.
 			st.fenced = false
 			st.addr, st.epoch = addr, epoch
 			r.resetHealthLocked(st)
 			old := st.pool
 			st.pool = newConnPool(addr, r.cfg.PoolConns, r.cfg.OpTimeout)
-			gen := r.ring.setUp(i, true)
-			r.readmits.Add(1)
-			r.tracer.Record(obs.EvReadmit, i, 0, 0, epoch, int64(gen))
+			if r.cfg.Replication > 1 {
+				st.syncPending = syncReadmit
+			} else {
+				gen := r.ring.setUp(i, true)
+				r.readmits.Add(1)
+				r.tracer.Record(obs.EvReadmit, i, 0, 0, epoch, int64(gen))
+			}
 			r.mu.Unlock()
 			old.close()
 			return
@@ -635,10 +666,15 @@ func (r *Router) probeOnce(i int, conn **memcached.Client, connAddr *string) {
 			// respawn (epoch bump) readmits.
 		case epoch != st.epoch:
 			// Replaced under us without the fence ever tripping: adopt the
-			// new incarnation's address; its store is cold, which costs
-			// misses, never wrong answers.
+			// new incarnation's address. Its store is cold; under
+			// replication it leaves the ring for a sync first (a cold
+			// in-ring member would serve false authoritative misses), at
+			// R=1 cold costs misses, never wrong answers.
 			st.addr, st.epoch = addr, epoch
-			if st.demoted {
+			if r.cfg.Replication > 1 {
+				r.ring.setUp(i, false)
+				st.syncPending = syncAdopt
+			} else if st.demoted {
 				r.ring.setUp(i, true)
 			}
 			r.resetHealthLocked(st)
@@ -663,6 +699,7 @@ func (r *Router) probeOnce(i int, conn **memcached.Client, connAddr *string) {
 	if !st.fenced && st.fails >= r.cfg.ProbeFails {
 		st.fenced = true
 		st.fencedEpoch = st.epoch
+		st.syncPending = syncNone // a mid-sync death restarts from respawn
 		fencedEpoch = st.epoch
 		gen := r.ring.setUp(i, false)
 		r.failovers.Add(1)

@@ -53,6 +53,16 @@ type ChaosConfig struct {
 	// MaxDown caps concurrently disrupted shards (default NumShards-1, so
 	// at least one survivor always holds the keyspace).
 	MaxDown int
+
+	// SettleFunc, when set, gates the release of a victim's MaxDown
+	// budget after its respawn: the monkey polls it until true before
+	// counting the shard recovered. Replication soaks wire it to the
+	// router's ring membership, so MaxDown bounds shards missing from
+	// the ROUTER's view — a respawned shard still waiting on
+	// anti-entropy readmission holds its budget, keeping the injected
+	// faults inside the failure model the zero-loss oracle assumes
+	// (R replicas tolerate R-1 concurrent losses).
+	SettleFunc func(shard int) bool
 }
 
 // Chaos kills, hangs and respawns shards of a ShardCluster at seeded
@@ -71,6 +81,8 @@ type Chaos struct {
 	kills     int64
 	hangs     int64
 	respawns  int64
+
+	counterList []obs.NamedCounter
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -104,13 +116,28 @@ func NewChaos(cluster ShardCluster, cfg ChaosConfig) *Chaos {
 			cfg.MaxDown = 1
 		}
 	}
-	return &Chaos{
+	c := &Chaos{
 		cfg:       cfg,
 		cluster:   cluster,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		disrupted: map[int]bool{},
 		stopCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
+	}
+	c.counterList = []obs.NamedCounter{
+		{Name: "kills", Load: c.locked(&c.kills)},
+		{Name: "hangs", Load: c.locked(&c.hangs)},
+		{Name: "respawns", Load: c.locked(&c.respawns)},
+	}
+	return c
+}
+
+// locked adapts a mutex-guarded tally to the NamedCounter Load shape.
+func (c *Chaos) locked(v *int64) func() int64 {
+	return func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return *v
 	}
 }
 
@@ -202,6 +229,24 @@ func (c *Chaos) act() {
 			c.respawns++
 			c.mu.Unlock()
 		}
+		// A respawned shard is not recovered until it settles: with
+		// replication the router readmits it only after anti-entropy
+		// sync, and releasing the MaxDown budget before that would let
+		// the monkey take down a second shard while this one is still
+		// outside the ring — silently exceeding the failure model the
+		// zero-loss oracle assumes.
+		if c.cfg.SettleFunc != nil {
+			for !c.cfg.SettleFunc(victim) {
+				select {
+				case <-c.stopCh:
+					c.mu.Lock()
+					delete(c.disrupted, victim)
+					c.mu.Unlock()
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}
 		c.mu.Lock()
 		delete(c.disrupted, victim)
 		c.mu.Unlock()
@@ -209,15 +254,10 @@ func (c *Chaos) act() {
 }
 
 // Counters reports the monkey's activity (CounterSource; snapshots show
-// these under the chaos. prefix).
+// these under the chaos. prefix — obs.SnapshotCounters over the static
+// list built in NewChaos).
 func (c *Chaos) Counters() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return map[string]int64{
-		"kills":    c.kills,
-		"hangs":    c.hangs,
-		"respawns": c.respawns,
-	}
+	return obs.SnapshotCounters(c.counterList)
 }
 
 // RegisterMetrics folds the monkey's counters into reg under the chaos.

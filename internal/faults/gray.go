@@ -32,6 +32,8 @@ type GrayChaos struct {
 	corruptionsArmed int64
 	heals            int64
 
+	counterList []obs.NamedCounter
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	doneCh   chan struct{}
@@ -75,6 +77,15 @@ type GrayChaosConfig struct {
 	// reset and corruption faults (defaults 3 / 3).
 	ResetEvery   int
 	CorruptEvery int
+
+	// SettleFunc, when set, gates each action: the monkey polls it until
+	// true before arming the next fault. Replication soaks wire it to
+	// "every shard is back in the router's ring", so a second gray fault
+	// never lands while a fenced-and-respawned shard is still syncing —
+	// a link heal alone does not mean the system recovered, and without
+	// the gate sequential faults can compound past the single-failure
+	// budget the zero-loss oracle assumes.
+	SettleFunc func() bool
 }
 
 // NewGrayChaos builds a gray monkey over links. Call Start to unleash it.
@@ -115,13 +126,31 @@ func NewGrayChaos(links []*netfaults.Link, cfg GrayChaosConfig) *GrayChaos {
 	if cfg.CorruptEvery <= 0 {
 		cfg.CorruptEvery = 3
 	}
-	return &GrayChaos{
+	g := &GrayChaos{
 		cfg:      cfg,
 		links:    links,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		degraded: map[int]bool{},
 		stopCh:   make(chan struct{}),
 		doneCh:   make(chan struct{}),
+	}
+	g.counterList = []obs.NamedCounter{
+		{Name: "latency_spikes", Load: g.locked(&g.latencySpikes)},
+		{Name: "throttles", Load: g.locked(&g.throttles)},
+		{Name: "partitions", Load: g.locked(&g.partitions)},
+		{Name: "resets_armed", Load: g.locked(&g.resetsArmed)},
+		{Name: "corruptions_armed", Load: g.locked(&g.corruptionsArmed)},
+		{Name: "heals", Load: g.locked(&g.heals)},
+	}
+	return g
+}
+
+// locked adapts a mutex-guarded tally to the NamedCounter Load shape.
+func (g *GrayChaos) locked(v *int64) func() int64 {
+	return func() int64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return *v
 	}
 }
 
@@ -154,6 +183,15 @@ func (g *GrayChaos) run() {
 		case <-g.stopCh:
 			return
 		case <-time.After(delay):
+		}
+		if g.cfg.SettleFunc != nil {
+			for !g.cfg.SettleFunc() {
+				select {
+				case <-g.stopCh:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
 		}
 		g.act()
 	}
@@ -235,18 +273,10 @@ func (g *GrayChaos) count(c *int64) {
 }
 
 // Counters reports the monkey's activity (CounterSource; snapshots show
-// these under the gray. prefix).
+// these under the gray. prefix — obs.SnapshotCounters over the static
+// list built in NewGrayChaos).
 func (g *GrayChaos) Counters() map[string]int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return map[string]int64{
-		"latency_spikes":    g.latencySpikes,
-		"throttles":         g.throttles,
-		"partitions":        g.partitions,
-		"resets_armed":      g.resetsArmed,
-		"corruptions_armed": g.corruptionsArmed,
-		"heals":             g.heals,
-	}
+	return obs.SnapshotCounters(g.counterList)
 }
 
 // RegisterMetrics folds the monkey's counters into reg under the gray.

@@ -1,0 +1,158 @@
+package memcached
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestStoreCas exercises the token lifecycle: a fresh token swaps, a
+// stale token answers EXISTS, a deleted key answers NOT_FOUND.
+func TestStoreCas(t *testing.T) {
+	s := NewStore(16, 0)
+	s.Set("k", []byte("v1"), 1)
+	_, _, tok, ok := s.Gets("k")
+	if !ok {
+		t.Fatal("Gets missed a present key")
+	}
+	if res := s.Cas("k", []byte("v2"), 2, tok); res != CasStored {
+		t.Fatalf("Cas with fresh token = %v, want CasStored", res)
+	}
+	if v, flags, _ := s.Get("k"); string(v) != "v2" || flags != 2 {
+		t.Fatalf("after Cas: (%q, %d)", v, flags)
+	}
+	// The same token again must conflict: the swap minted a new one.
+	if res := s.Cas("k", []byte("v3"), 3, tok); res != CasExists {
+		t.Fatalf("Cas with stale token = %v, want CasExists", res)
+	}
+	if v, _, _ := s.Get("k"); string(v) != "v2" {
+		t.Fatalf("conflicting Cas mutated the value to %q", v)
+	}
+	s.Delete("k")
+	if res := s.Cas("k", []byte("v4"), 4, tok); res != CasNotFound {
+		t.Fatalf("Cas on deleted key = %v, want CasNotFound", res)
+	}
+}
+
+// TestStoreCasTokenAdvancesOnSet: a plain Set invalidates outstanding
+// tokens, so a repairer holding a pre-Set snapshot cannot clobber it.
+func TestStoreCasTokenAdvancesOnSet(t *testing.T) {
+	s := NewStore(16, 0)
+	s.Set("k", []byte("old"), 0)
+	_, _, tok, _ := s.Gets("k")
+	s.Set("k", []byte("new"), 0)
+	if res := s.Cas("k", []byte("stomp"), 0, tok); res != CasExists {
+		t.Fatalf("Cas after intervening Set = %v, want CasExists", res)
+	}
+	if v, _, _ := s.Get("k"); string(v) != "new" {
+		t.Fatalf("intervening write lost: %q", v)
+	}
+}
+
+// TestStoreAdd: add wins only on absence.
+func TestStoreAdd(t *testing.T) {
+	s := NewStore(16, 0)
+	if !s.Add("k", []byte("v1"), 0) {
+		t.Fatal("Add to empty store refused")
+	}
+	if s.Add("k", []byte("v2"), 0) {
+		t.Fatal("Add over a present key succeeded")
+	}
+	if v, _, _ := s.Get("k"); string(v) != "v1" {
+		t.Fatalf("losing Add mutated the value to %q", v)
+	}
+	s.Delete("k")
+	if !s.Add("k", []byte("v3"), 0) {
+		t.Fatal("Add after delete refused")
+	}
+}
+
+// newCasPair spins up a server and a connected client for wire tests.
+func newCasPair(t *testing.T) (*Store, *Client) {
+	t.Helper()
+	store := NewStore(64, 0)
+	srv, err := NewServer("127.0.0.1:0", store, 2)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	cl, err := DialTimeout(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return store, cl
+}
+
+// TestClientGetsCas covers the wire round trip of the token: gets
+// returns it, cas with it stores, cas with a stale one is the typed
+// ErrCasConflict, cas on a missing key is the typed ErrNotFound.
+func TestClientGetsCas(t *testing.T) {
+	_, cl := newCasPair(t)
+	if err := cl.Set("k", []byte("v1"), 9); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, flags, tok, ok, err := cl.Gets("k")
+	if err != nil || !ok || string(v) != "v1" || flags != 9 {
+		t.Fatalf("Gets = (%q, %d, %d, %v, %v)", v, flags, tok, ok, err)
+	}
+	if err := cl.Cas("k", []byte("v2"), 10, tok); err != nil {
+		t.Fatalf("Cas with fresh token: %v", err)
+	}
+	if err := cl.Cas("k", []byte("v3"), 11, tok); !errors.Is(err, ErrCasConflict) {
+		t.Fatalf("Cas with stale token = %v, want ErrCasConflict", err)
+	}
+	if v, _, ok, _ := cl.GetFlags("k"); !ok || string(v) != "v2" {
+		t.Fatalf("conflicting Cas visible: %q", v)
+	}
+	if err := cl.Cas("absent", []byte("v"), 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cas on absent key = %v, want ErrNotFound", err)
+	}
+	if _, _, _, ok, err := cl.Gets("absent"); ok || err != nil {
+		t.Fatalf("Gets on absent key: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestClientAdd covers the wire add: wins on absence, loses on presence.
+func TestClientAdd(t *testing.T) {
+	_, cl := newCasPair(t)
+	if ok, err := cl.Add("k", []byte("first"), 0); err != nil || !ok {
+		t.Fatalf("Add to empty: ok=%v err=%v", ok, err)
+	}
+	if ok, err := cl.Add("k", []byte("second"), 0); err != nil || ok {
+		t.Fatalf("Add over present: ok=%v err=%v", ok, err)
+	}
+	if v, ok, _ := cl.Get("k"); !ok || string(v) != "first" {
+		t.Fatalf("losing Add visible: %q", v)
+	}
+}
+
+// TestClientDigestAndKeys round-trips the anti-entropy commands over
+// the wire and checks they agree with the store's own fold.
+func TestClientDigestAndKeys(t *testing.T) {
+	store, cl := newCasPair(t)
+	for i := 0; i < 50; i++ {
+		if err := cl.Set(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i)), uint32(i)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	const lo, hi = uint64(1) << 62, uint64(3) << 62
+	wantD, wantN := store.RangeDigest(lo, hi)
+	d, n, err := cl.Digest(lo, hi)
+	if err != nil || d != wantD || n != wantN {
+		t.Fatalf("Digest = (%d, %d, %v), want (%d, %d)", d, n, err, wantD, wantN)
+	}
+	keys, err := cl.RangeKeys(lo, hi)
+	if err != nil {
+		t.Fatalf("RangeKeys: %v", err)
+	}
+	if len(keys) != wantN {
+		t.Fatalf("RangeKeys returned %d keys, digest counted %d", len(keys), wantN)
+	}
+	for _, ki := range keys {
+		if h := KeyHash(ki.Key); h < lo || h > hi {
+			t.Fatalf("key %q hashes to %d, outside [%d, %d]", ki.Key, h, lo, hi)
+		}
+	}
+}

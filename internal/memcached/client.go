@@ -27,6 +27,17 @@ var ErrBusy = errors.New("memcached: server busy")
 // longer be trusted, so callers must Close and redial.
 var ErrProtocol = errors.New("memcached: protocol violation")
 
+// ErrCasConflict is returned by Cas when the item changed since its CAS
+// token was read (the server answered EXISTS). The caller must re-Gets
+// and decide whether its update still applies — read-repair treats it
+// as "a newer write won; stand down".
+var ErrCasConflict = errors.New("memcached: cas conflict")
+
+// ErrNotFound is returned by Cas when the key is absent (the server
+// answered NOT_FOUND): the token refers to an item that has since been
+// deleted or evicted.
+var ErrNotFound = errors.New("memcached: not found")
+
 // IsTimeout reports whether err is an I/O deadline expiry (the client's
 // per-operation timeout firing). After a timeout the connection is
 // poisoned — the late response, if it ever arrives, would desynchronize
@@ -180,6 +191,240 @@ func (c *Client) GetFlags(key string) (value []byte, flags uint32, ok bool, err 
 		return nil, 0, false, fmt.Errorf("memcached: get: missing END, got %q: %w", end, ErrProtocol)
 	}
 	return buf[:n], uint32(fl), true, nil
+}
+
+// Gets is GetFlags plus the item's CAS token for a later Cas call.
+func (c *Client) Gets(key string) (value []byte, flags uint32, casid uint64, ok bool, err error) {
+	c.arm()
+	fmt.Fprintf(c.w, "gets %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "END" {
+		return nil, 0, 0, false, nil
+	}
+	if busyLine(line) {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets %s: %w", key, ErrBusy)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[0] != "VALUE" {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets: unexpected %q: %w", line, ErrProtocol)
+	}
+	if fields[1] != key {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets %s: VALUE echoes key %q: %w", key, fields[1], ErrProtocol)
+	}
+	fl, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets: bad flags %q: %w", fields[2], ErrProtocol)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets: bad length %q: %w", fields[3], ErrProtocol)
+	}
+	cas, err := strconv.ParseUint(fields[4], 10, 64)
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets: bad cas %q: %w", fields[4], ErrProtocol)
+	}
+	buf := make([]byte, n+2)
+	if _, err := readFull(c.r, buf); err != nil {
+		return nil, 0, 0, false, err
+	}
+	end, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if !strings.HasPrefix(end, "END") {
+		return nil, 0, 0, false, fmt.Errorf("memcached: gets: missing END, got %q: %w", end, ErrProtocol)
+	}
+	return buf[:n], uint32(fl), cas, true, nil
+}
+
+// Cas stores value only if the item's CAS token still equals casid.
+// EXISTS surfaces as ErrCasConflict and NOT_FOUND as ErrNotFound, both
+// typed so callers can distinguish "a newer write won" from transport
+// failure.
+func (c *Client) Cas(key string, value []byte, flags uint32, casid uint64) error {
+	c.arm()
+	fmt.Fprintf(c.w, "cas %s %d 0 %d %d\r\n", key, flags, len(value), casid)
+	_, _ = c.w.Write(value)
+	fmt.Fprint(c.w, "\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasPrefix(line, "STORED"):
+		return nil
+	case strings.HasPrefix(line, "EXISTS"):
+		return fmt.Errorf("memcached: cas %s: %w", key, ErrCasConflict)
+	case strings.HasPrefix(line, "NOT_FOUND"):
+		return fmt.Errorf("memcached: cas %s: %w", key, ErrNotFound)
+	case busyLine(line):
+		return fmt.Errorf("memcached: cas %s: %w", key, ErrBusy)
+	}
+	return fmt.Errorf("memcached: cas %s: unexpected %q: %w", key, strings.TrimSpace(line), ErrProtocol)
+}
+
+// SetX is the last-writer-wins set ("setx"): the server stores only
+// when the stamp carried in flags is not older than what it holds.
+// stored=false is the LWW refusal — the replica already has a newer
+// value, which the replicated write path counts as success (the newer
+// write subsumes this one).
+//
+// The server's response echoes the FNV-64 hash of the key and the
+// flags word it stored against, and SetX verifies both before counting
+// the ack. Without the echo, a bit flip in the request's key field can
+// produce a well-formed command the server stores under a different
+// key and honestly answers STORED — a fabricated durability ack for
+// this key. The echo makes the ack self-certifying: any mismatch
+// (request corrupted, echo corrupted, stream desynced) is a typed
+// protocol error, and the caller retries instead of trusting a write
+// that never landed.
+func (c *Client) SetX(key string, value []byte, flags uint32) (stored bool, err error) {
+	if err := c.SetXSend(key, value, flags); err != nil {
+		return false, err
+	}
+	return c.SetXRecv(key, flags)
+}
+
+// SetXSend writes a setx request and flushes it without waiting for the
+// reply. Pair with SetXRecv. Splitting the round trip lets a replicated
+// write pipeline its fan-out from one goroutine: send to every member,
+// then collect every ack — both wires carry requests concurrently with
+// no per-write goroutine. Between Send and Recv the connection must not
+// be used for anything else.
+func (c *Client) SetXSend(key string, value []byte, flags uint32) error {
+	c.arm()
+	fmt.Fprintf(c.w, "setx %s %d 0 %d\r\n", key, flags, len(value))
+	_, _ = c.w.Write(value)
+	fmt.Fprint(c.w, "\r\n")
+	return c.w.Flush()
+}
+
+// SetXRecv reads and verifies the reply to a prior SetXSend, including
+// the self-certifying key-hash/flags echo.
+func (c *Client) SetXRecv(key string, flags uint32) (stored bool, err error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if busyLine(line) {
+		return false, fmt.Errorf("memcached: setx %s: %w", key, ErrBusy)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || (fields[0] != "STORED" && fields[0] != "NOT_STORED") {
+		return false, fmt.Errorf("memcached: setx %s: unexpected %q: %w", key, line, ErrProtocol)
+	}
+	h, err1 := strconv.ParseUint(fields[1], 10, 64)
+	fl, err2 := strconv.ParseUint(fields[2], 10, 32)
+	if err1 != nil || err2 != nil {
+		return false, fmt.Errorf("memcached: setx %s: bad echo %q: %w", key, line, ErrProtocol)
+	}
+	if h != KeyHash(key) || uint32(fl) != flags {
+		return false, fmt.Errorf("memcached: setx %s: echo names hash %d flags %d, want %d %d: %w",
+			key, h, fl, KeyHash(key), flags, ErrProtocol)
+	}
+	return fields[0] == "STORED", nil
+}
+
+// Add stores value only if the key is absent; ok reports whether it won.
+func (c *Client) Add(key string, value []byte, flags uint32) (ok bool, err error) {
+	c.arm()
+	fmt.Fprintf(c.w, "add %s %d 0 %d\r\n", key, flags, len(value))
+	_, _ = c.w.Write(value)
+	fmt.Fprint(c.w, "\r\n")
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case strings.HasPrefix(line, "STORED"):
+		return true, nil
+	case strings.HasPrefix(line, "NOT_STORED"):
+		return false, nil
+	case busyLine(line):
+		return false, fmt.Errorf("memcached: add %s: %w", key, ErrBusy)
+	}
+	return false, fmt.Errorf("memcached: add %s: unexpected %q: %w", key, strings.TrimSpace(line), ErrProtocol)
+}
+
+// Digest asks the server for its order-independent fold over the keys
+// hashing into [lo, hi] (wrap-aware) plus the item count.
+func (c *Client) Digest(lo, hi uint64) (digest uint64, n int, err error) {
+	c.arm()
+	fmt.Fprintf(c.w, "digest %d %d\r\n", lo, hi)
+	if err := c.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, 0, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if busyLine(line) {
+		return 0, 0, fmt.Errorf("memcached: digest: %w", ErrBusy)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "DIGEST" {
+		return 0, 0, fmt.Errorf("memcached: digest: unexpected %q: %w", line, ErrProtocol)
+	}
+	d, err1 := strconv.ParseUint(fields[1], 10, 64)
+	cnt, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || cnt < 0 {
+		return 0, 0, fmt.Errorf("memcached: digest: bad fields %q: %w", line, ErrProtocol)
+	}
+	return d, cnt, nil
+}
+
+// KeyInfo is one entry of a RangeKeys listing: a key plus its stored
+// flags word (which carries the cluster's generation stamp).
+type KeyInfo struct {
+	Key   string
+	Flags uint32
+}
+
+// RangeKeys lists the keys (with flags) hashing into [lo, hi].
+func (c *Client) RangeKeys(lo, hi uint64) ([]KeyInfo, error) {
+	c.arm()
+	fmt.Fprintf(c.w, "keys %d %d\r\n", lo, hi)
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []KeyInfo
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		if busyLine(line) {
+			return nil, fmt.Errorf("memcached: keys: %w", ErrBusy)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "KEY" {
+			return nil, fmt.Errorf("memcached: keys: unexpected %q: %w", line, ErrProtocol)
+		}
+		fl, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("memcached: keys: bad flags %q: %w", fields[2], ErrProtocol)
+		}
+		out = append(out, KeyInfo{Key: fields[1], Flags: uint32(fl)})
+	}
 }
 
 // Delete removes a key.

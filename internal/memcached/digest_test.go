@@ -1,0 +1,116 @@
+package memcached
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRangeDigestOrderIndependent is the property anti-entropy depends
+// on: two stores holding the same (key, flags, value) set must digest
+// identically no matter the insertion order, bucket layout, or
+// intervening churn.
+func TestRangeDigestOrderIndependent(t *testing.T) {
+	type kv struct {
+		key   string
+		value string
+		flags uint32
+	}
+	var items []kv
+	for i := 0; i < 200; i++ {
+		items = append(items, kv{fmt.Sprintf("key%d", i), fmt.Sprintf("val%d", i), uint32(i * 3)})
+	}
+	// a: forward insertion into many buckets. b: shuffled insertion into
+	// few buckets (different chain layout) with churn — extra keys
+	// written then deleted, and each real key overwritten twice.
+	a := NewStore(1024, 0)
+	for _, it := range items {
+		a.Set(it.key, []byte(it.value), it.flags)
+	}
+	b := NewStore(4, 0)
+	rng := rand.New(rand.NewSource(42))
+	for _, i := range rng.Perm(len(items)) {
+		it := items[i]
+		b.Set(it.key, []byte("garbage"), 999)
+		b.Set("ephemeral"+it.key, []byte("x"), 0)
+		b.Set(it.key, []byte(it.value), it.flags)
+	}
+	for _, it := range items {
+		b.Delete("ephemeral" + it.key)
+	}
+	da, na := a.RangeDigest(0, ^uint64(0))
+	db, nb := b.RangeDigest(0, ^uint64(0))
+	if na != len(items) || nb != len(items) {
+		t.Fatalf("counts = %d, %d, want %d", na, nb, len(items))
+	}
+	if da != db {
+		t.Fatalf("equal contents digest differently: %d vs %d", da, db)
+	}
+}
+
+// TestRangeDigestDetectsDivergence: any single-key difference in
+// presence, value, or flags must flip the digest.
+func TestRangeDigestDetectsDivergence(t *testing.T) {
+	build := func() *Store {
+		s := NewStore(64, 0)
+		for i := 0; i < 50; i++ {
+			s.Set(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i)), uint32(i))
+		}
+		return s
+	}
+	base, _ := build().RangeDigest(0, ^uint64(0))
+
+	missing := build()
+	missing.Delete("key7")
+	if d, _ := missing.RangeDigest(0, ^uint64(0)); d == base {
+		t.Fatal("missing key not reflected in digest")
+	}
+	mutated := build()
+	mutated.Set("key7", []byte("other"), 7)
+	if d, _ := mutated.RangeDigest(0, ^uint64(0)); d == base {
+		t.Fatal("changed value not reflected in digest")
+	}
+	restamped := build()
+	restamped.Set("key7", []byte("val7"), 99)
+	if d, _ := restamped.RangeDigest(0, ^uint64(0)); d == base {
+		t.Fatal("changed flags (generation stamp) not reflected in digest")
+	}
+}
+
+// TestRangeDigestWrapAround: a lo > hi range wraps the top of the hash
+// space, and the wrapped range plus its complement partition the keys.
+func TestRangeDigestWrapAround(t *testing.T) {
+	s := NewStore(64, 0)
+	for i := 0; i < 300; i++ {
+		s.Set(fmt.Sprintf("key%d", i), []byte("v"), 0)
+	}
+	const cut1, cut2 = uint64(1) << 61, uint64(1) << 63
+	_, inside := s.RangeDigest(cut1, cut2)
+	_, wrapped := s.RangeDigest(cut2+1, cut1-1)
+	if inside+wrapped != s.Len() {
+		t.Fatalf("range %d + complement %d != total %d", inside, wrapped, s.Len())
+	}
+	if wrapped == 0 {
+		t.Fatal("wrapped range matched nothing; test is vacuous")
+	}
+	dAll, nAll := s.RangeDigest(0, ^uint64(0))
+	if nAll != s.Len() {
+		t.Fatalf("full range counted %d of %d", nAll, s.Len())
+	}
+	dIn, _ := s.RangeDigest(cut1, cut2)
+	dWrap, _ := s.RangeDigest(cut2+1, cut1-1)
+	if dIn^dWrap != dAll {
+		t.Fatal("XOR fold of a partition does not recompose the full digest")
+	}
+}
+
+// TestKeyHashMatchesStoreBuckets: the exported KeyHash is the store's
+// own bucket hash, so external range arithmetic (ring segments) aligns
+// with RangeDigest/RangeKeys.
+func TestKeyHashMatchesStoreBuckets(t *testing.T) {
+	for _, k := range []string{"", "a", "user1234", "key\x00with\xffbytes"} {
+		if KeyHash(k) != hashKey(k) {
+			t.Fatalf("KeyHash(%q) diverges from hashKey", k)
+		}
+	}
+}

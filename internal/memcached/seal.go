@@ -1,0 +1,56 @@
+package memcached
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Value sealing — the end-to-end integrity tag shared by the cluster
+// router (which seals on write and verifies on read, DESIGN.md §15) and
+// the server's replicated-write verb (which verifies at the store
+// boundary, §16). The text protocol frames messages but does not
+// checksum them, so a bit flip on the wire that survives parsing would
+// otherwise come back as a plausible wrong answer — or, on the write
+// path, land as a corrupt copy the server honestly acknowledges. Every
+// crossing between trust domains re-verifies the same tag: client to
+// primary, primary to replica, replica back to client.
+
+// TagLen is the size of the integrity tag prefixed to sealed values.
+const TagLen = 8
+
+// ValueTag computes the FNV-1a-64 tag over (key, NUL, flags
+// little-endian, payload). Including the key catches cross-key serving
+// that defeats the header echo check (a corrupted key that happens to
+// name another live key); including flags catches a generation stamp
+// damaged in flight, which would otherwise let a stale value masquerade
+// as fresh.
+func ValueTag(key string, flags uint32, payload []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0, byte(flags), byte(flags >> 8), byte(flags >> 16), byte(flags >> 24)})
+	_, _ = h.Write(payload)
+	return h.Sum64()
+}
+
+// SealValue prefixes payload with its integrity tag for storage.
+func SealValue(key string, flags uint32, payload []byte) []byte {
+	out := make([]byte, TagLen+len(payload))
+	binary.BigEndian.PutUint64(out, ValueTag(key, flags, payload))
+	copy(out[TagLen:], payload)
+	return out
+}
+
+// OpenValue verifies and strips the tag from a sealed value. ok is
+// false when the value is too short to carry a tag or the tag does not
+// match — both mean the bytes cannot be trusted as an answer for key.
+func OpenValue(key string, flags uint32, sealed []byte) (payload []byte, ok bool) {
+	if len(sealed) < TagLen {
+		return nil, false
+	}
+	tag := binary.BigEndian.Uint64(sealed)
+	payload = sealed[TagLen:]
+	if tag != ValueTag(key, flags, payload) {
+		return nil, false
+	}
+	return payload, true
+}

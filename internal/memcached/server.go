@@ -279,9 +279,9 @@ func (s *Server) serve(conn net.Conn) {
 				break
 			}
 			s.inflight.Add(1)
-			s.handleGet(w, fields[1:])
+			s.handleGet(w, fields[1:], fields[0] == "gets")
 			s.inflight.Add(-1)
-		case "set":
+		case "set", "cas", "add", "setx":
 			if !s.admit() {
 				s.shedOps.Add(1)
 				if !s.shedSet(conn, r, w, fields[1:]) {
@@ -291,7 +291,7 @@ func (s *Server) serve(conn net.Conn) {
 				break
 			}
 			s.inflight.Add(1)
-			ok := s.handleSet(conn, r, w, fields[1:])
+			ok := s.handleStore(conn, r, w, fields[0], fields[1:])
 			s.inflight.Add(-1)
 			if !ok {
 				_ = w.Flush()
@@ -309,6 +309,24 @@ func (s *Server) serve(conn net.Conn) {
 			} else {
 				fmt.Fprint(w, "NOT_FOUND\r\n")
 			}
+			s.inflight.Add(-1)
+		case "digest":
+			if !s.admit() {
+				s.shedOps.Add(1)
+				fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+				break
+			}
+			s.inflight.Add(1)
+			s.handleDigest(w, fields[1:])
+			s.inflight.Add(-1)
+		case "keys":
+			if !s.admit() {
+				s.shedOps.Add(1)
+				fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+				break
+			}
+			s.inflight.Add(1)
+			s.handleKeys(w, fields[1:])
 			s.inflight.Add(-1)
 		case "stats":
 			hits, misses, evictions := s.store.Stats()
@@ -329,8 +347,16 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-func (s *Server) handleGet(w *bufio.Writer, keys []string) {
+func (s *Server) handleGet(w *bufio.Writer, keys []string, withCas bool) {
 	for _, key := range keys {
+		if withCas {
+			if v, flags, casid, ok := s.store.Gets(key); ok {
+				fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", key, flags, len(v), casid)
+				_, _ = w.Write(v)
+				fmt.Fprint(w, "\r\n")
+			}
+			continue
+		}
 		if v, flags, ok := s.store.Get(key); ok {
 			fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(v))
 			_, _ = w.Write(v)
@@ -340,16 +366,53 @@ func (s *Server) handleGet(w *bufio.Writer, keys []string) {
 	fmt.Fprint(w, "END\r\n")
 }
 
+// handleDigest answers "digest <lo> <hi>" with "DIGEST <fold> <count>" —
+// the order-independent segment digest anti-entropy compares.
+func (s *Server) handleDigest(w *bufio.Writer, args []string) {
+	if len(args) != 2 {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	lo, err1 := strconv.ParseUint(args[0], 10, 64)
+	hi, err2 := strconv.ParseUint(args[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	d, n := s.store.RangeDigest(lo, hi)
+	fmt.Fprintf(w, "DIGEST %d %d\r\n", d, n)
+}
+
+// handleKeys answers "keys <lo> <hi>" with one "KEY <key> <flags>" line
+// per item in the hash range, terminated by END.
+func (s *Server) handleKeys(w *bufio.Writer, args []string) {
+	if len(args) != 2 {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	lo, err1 := strconv.ParseUint(args[0], 10, 64)
+	hi, err2 := strconv.ParseUint(args[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	for _, it := range s.store.RangeKeys(lo, hi) {
+		fmt.Fprintf(w, "KEY %s %d\r\n", it.Key, it.Flags)
+	}
+	fmt.Fprint(w, "END\r\n")
+}
+
 // maxItemSize caps a set body (the classic 8 MiB item limit).
 const maxItemSize = 8 << 20
 
-// handleSet parses "set <key> <flags> <exptime> <bytes>" plus the data
-// block; returns false on a connection-fatal error. Malformed commands
-// answer CLIENT_ERROR; the connection only closes when the stream can no
+// handleStore parses "set|add <key> <flags> <exptime> <bytes>" or
+// "cas <key> <flags> <exptime> <bytes> <casid>" plus the data block;
+// returns false on a connection-fatal error. Malformed commands answer
+// CLIENT_ERROR; the connection only closes when the stream can no
 // longer be framed (unparseable or oversized length, truncated body) —
 // anything else would let this worker serve garbage forever.
-func (s *Server) handleSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
-	if len(args) < 4 {
+func (s *Server) handleStore(conn net.Conn, r *bufio.Reader, w *bufio.Writer, verb string, args []string) bool {
+	if len(args) < 4 || (verb == "cas" && len(args) < 5) {
 		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
 		return true
 	}
@@ -369,6 +432,11 @@ func (s *Server) handleSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args
 	}
 	flags, flagsErr := strconv.ParseUint(args[1], 10, 32)
 	_, expErr := strconv.Atoi(args[2])
+	var casid uint64
+	var casErr error
+	if verb == "cas" {
+		casid, casErr = strconv.ParseUint(args[4], 10, 64)
+	}
 	data := make([]byte, n+2)
 	s.armRead(conn)
 	if _, err := readFull(r, data); err != nil {
@@ -379,8 +447,55 @@ func (s *Server) handleSet(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args
 		// The framed bytes exist but the terminator is wrong; the
 		// stream stays aligned, so keep the connection.
 		fmt.Fprint(w, "CLIENT_ERROR bad data chunk\r\n")
-	case flagsErr != nil || expErr != nil:
+	case flagsErr != nil || expErr != nil || casErr != nil:
 		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+	case verb == "cas":
+		switch s.store.Cas(args[0], data[:n], uint32(flags), casid) {
+		case CasStored:
+			fmt.Fprint(w, "STORED\r\n")
+		case CasExists:
+			fmt.Fprint(w, "EXISTS\r\n")
+		default:
+			fmt.Fprint(w, "NOT_FOUND\r\n")
+		}
+	case verb == "add":
+		if s.store.Add(args[0], data[:n], uint32(flags)) {
+			fmt.Fprint(w, "STORED\r\n")
+		} else {
+			fmt.Fprint(w, "NOT_STORED\r\n")
+		}
+	case verb == "setx":
+		// Last-writer-wins set: stores only when the stamp in flags is
+		// not older than what is held (see Store.SetLWW). NOT_STORED is
+		// the LWW refusal, not an error — the replica already holds a
+		// newer value.
+		//
+		// The response echoes the FNV-64 hash of the key and the flags
+		// word as stored. A bit flip in the request's key or flags field
+		// can still yield a well-formed command — the server then stores
+		// under the wrong key (or the wrong stamp) and, without the echo,
+		// answers a bare STORED that the client must take as a durable
+		// ack for a write that never landed where it believes. The echo
+		// lets the client verify what was actually stored; a mismatch
+		// (or a corrupted echo) surfaces as a typed protocol error and
+		// the write is retried, never falsely acked.
+		//
+		// The body is verified against its integrity seal before it is
+		// stored: a payload flipped in transit (key and flags line
+		// intact, so the echo alone would pass) must be refused, not
+		// acknowledged — an acked-but-corrupt copy is a latent loss that
+		// surfaces when the good replica dies and anti-entropy clones
+		// the bad one. Refusal keeps the stream framed; the client sees
+		// a typed error and retries with a fresh stamp.
+		if _, okSeal := OpenValue(args[0], uint32(flags), data[:n]); !okSeal {
+			fmt.Fprint(w, "CLIENT_ERROR bad seal\r\n")
+			break
+		}
+		if s.store.SetLWW(args[0], data[:n], uint32(flags)) {
+			fmt.Fprintf(w, "STORED %d %d\r\n", KeyHash(args[0]), uint32(flags))
+		} else {
+			fmt.Fprintf(w, "NOT_STORED %d %d\r\n", KeyHash(args[0]), uint32(flags))
+		}
 	default:
 		s.store.Set(args[0], data[:n], uint32(flags))
 		fmt.Fprint(w, "STORED\r\n")

@@ -21,11 +21,21 @@ type Item struct {
 	Value []byte
 	Flags uint32
 
-	next       *Item // hash chain
+	casid      uint64 // unique per mutation; the compare-and-swap token
+	next       *Item  // hash chain
 	lruPrev    *Item
 	lruNext    *Item
 	bucketHint uint64
 }
+
+// CAS outcomes for Store.Cas (mirroring the text protocol's replies).
+type CasResult int
+
+const (
+	CasStored   CasResult = iota // token matched; the value was replaced
+	CasExists                    // the item changed since the token was read
+	CasNotFound                  // the key is absent
+)
 
 // Store is the central map of memcached: a chained hash table guarded by a
 // lock, plus an LRU list bounded by a byte capacity — the data structure
@@ -40,6 +50,7 @@ type Store struct {
 	capacity int64
 	lruHead  *Item // most recently used
 	lruTail  *Item // least recently used
+	casSeq   uint64
 
 	hits, misses, evictions uint64
 	// OnAccess observes the simulated memory footprint of each
@@ -65,6 +76,12 @@ func hashKey(k string) uint64 {
 	}
 	return h
 }
+
+// KeyHash exposes the store's key hash (FNV-1a, 64-bit). The cluster
+// router hashes keys onto its ring with the same function, so ring
+// segment boundaries translate directly into Store hash ranges — which
+// is what lets anti-entropy digest exactly one segment at a time.
+func KeyHash(k string) uint64 { return hashKey(k) }
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key string) ([]byte, uint32, bool) {
@@ -104,6 +121,8 @@ func (s *Store) Set(key string, value []byte, flags uint32) {
 			s.bytes += int64(len(value)) - int64(len(it.Value))
 			it.Value = value
 			it.Flags = flags
+			s.casSeq++
+			it.casid = s.casSeq
 			s.lruTouch(it)
 			s.evictIfNeeded()
 			if s.OnAccess != nil {
@@ -112,7 +131,14 @@ func (s *Store) Set(key string, value []byte, flags uint32) {
 			return
 		}
 	}
-	it := &Item{Key: key, Value: value, Flags: flags, bucketHint: b}
+	s.insertLocked(key, value, flags, b, chain)
+}
+
+// insertLocked appends a fresh item; the caller holds s.mu and has
+// verified the key is absent from bucket b (chain items scanned).
+func (s *Store) insertLocked(key string, value []byte, flags uint32, b uint64, chain int) {
+	s.casSeq++
+	it := &Item{Key: key, Value: value, Flags: flags, casid: s.casSeq, bucketHint: b}
 	it.next = s.buckets[b]
 	s.buckets[b] = it
 	s.size++
@@ -122,6 +148,119 @@ func (s *Store) Set(key string, value []byte, flags uint32) {
 	if s.OnAccess != nil {
 		s.OnAccess(chain+1, len(value))
 	}
+}
+
+// Gets is Get plus the item's CAS token, for later Cas.
+func (s *Store) Gets(key string) (value []byte, flags uint32, casid uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	chain := 0
+	for it := s.buckets[b]; it != nil; it = it.next {
+		chain++
+		if it.Key == key {
+			s.hits++
+			s.lruTouch(it)
+			if s.OnAccess != nil {
+				s.OnAccess(chain, len(it.Value))
+			}
+			out := make([]byte, len(it.Value))
+			copy(out, it.Value)
+			return out, it.Flags, it.casid, true
+		}
+	}
+	s.misses++
+	if s.OnAccess != nil {
+		s.OnAccess(chain, 0)
+	}
+	return nil, 0, 0, false
+}
+
+// Cas replaces key only if its CAS token still equals casid — the
+// compare-and-swap that read-repair leans on so a concurrent newer
+// write is never clobbered by a repairer holding an old snapshot.
+func (s *Store) Cas(key string, value []byte, flags uint32, casid uint64) CasResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	chain := 0
+	for it := s.buckets[b]; it != nil; it = it.next {
+		chain++
+		if it.Key == key {
+			if it.casid != casid {
+				return CasExists
+			}
+			s.bytes += int64(len(value)) - int64(len(it.Value))
+			it.Value = value
+			it.Flags = flags
+			s.casSeq++
+			it.casid = s.casSeq
+			s.lruTouch(it)
+			s.evictIfNeeded()
+			if s.OnAccess != nil {
+				s.OnAccess(chain, len(value))
+			}
+			return CasStored
+		}
+	}
+	return CasNotFound
+}
+
+// Add inserts key only if it is absent, reporting whether it stored.
+func (s *Store) Add(key string, value []byte, flags uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	chain := 0
+	for it := s.buckets[b]; it != nil; it = it.next {
+		chain++
+		if it.Key == key {
+			return false
+		}
+	}
+	s.insertLocked(key, value, flags, b, chain)
+	return true
+}
+
+// lwwStampMask selects the generation-stamp bits of the flags word for
+// SetLWW's comparison. Bit 31 is the cluster's tombstone marker: a
+// delete and the write it supersedes carry the same stamp, and the
+// tombstone must win, so the marker is excluded from the ordering.
+const lwwStampMask = 1<<31 - 1
+
+// SetLWW inserts or replaces key only when the incoming stamp (the
+// flags word, tombstone bit masked) is at least the stored one — the
+// last-writer-wins register behind the replicated write path ("setx" on
+// the wire). A late duplicate of an already-superseded write is refused
+// instead of clobbering newer progress, which is what makes zombie
+// writes (timed-out attempts the network delivers anyway) harmless.
+// Reports whether the value was stored.
+func (s *Store) SetLWW(key string, value []byte, flags uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := hashKey(key) & s.mask
+	chain := 0
+	for it := s.buckets[b]; it != nil; it = it.next {
+		chain++
+		if it.Key == key {
+			if flags&lwwStampMask < it.Flags&lwwStampMask {
+				return false
+			}
+			s.bytes += int64(len(value)) - int64(len(it.Value))
+			it.Value = value
+			it.Flags = flags
+			s.casSeq++
+			it.casid = s.casSeq
+			s.lruTouch(it)
+			s.evictIfNeeded()
+			if s.OnAccess != nil {
+				s.OnAccess(chain, len(value))
+			}
+			return true
+		}
+	}
+	s.insertLocked(key, value, flags, b, chain)
+	return true
 }
 
 // Delete removes key, reporting whether it existed.
@@ -161,6 +300,78 @@ func (s *Store) Stats() (hits, misses, evictions uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses, s.evictions
+}
+
+// inRange reports whether hash h falls in [lo, hi]; lo > hi denotes a
+// range that wraps around the top of the hash space, matching ring
+// segments that straddle zero.
+func inRange(h, lo, hi uint64) bool {
+	if lo <= hi {
+		return h >= lo && h <= hi
+	}
+	return h >= lo || h <= hi
+}
+
+// itemDigest folds one item into a single word: FNV-1a over
+// key ‖ NUL ‖ flags(LE) ‖ value. The flags carry the cluster's
+// generation stamp and the value carries its integrity tag, so two
+// stores agree on a digest exactly when they agree on (generation, tag,
+// payload) for every key.
+func itemDigest(it *Item) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(it.Key); i++ {
+		mix(it.Key[i])
+	}
+	mix(0)
+	f := it.Flags
+	mix(byte(f))
+	mix(byte(f >> 8))
+	mix(byte(f >> 16))
+	mix(byte(f >> 24))
+	for i := 0; i < len(it.Value); i++ {
+		mix(it.Value[i])
+	}
+	return h
+}
+
+// RangeDigest folds every item whose key hash lands in [lo, hi]
+// (wrap-aware) into an order-independent digest: per-item FNV words
+// combined by XOR, so insertion order and hash-chain layout cannot
+// perturb the result. Returns the digest and the item count — two
+// replicas hold identical segment contents iff both match.
+func (s *Store) RangeDigest(lo, hi uint64) (digest uint64, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, head := range s.buckets {
+		for it := head; it != nil; it = it.next {
+			if inRange(hashKey(it.Key), lo, hi) {
+				digest ^= itemDigest(it)
+				n++
+			}
+		}
+	}
+	return digest, n
+}
+
+// RangeKeys lists the keys (with their flags, i.e. generation stamps)
+// whose hash lands in [lo, hi], wrap-aware. Anti-entropy uses it to
+// enumerate a divergent segment; values are fetched per key afterwards.
+func (s *Store) RangeKeys(lo, hi uint64) []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Item
+	for _, head := range s.buckets {
+		for it := head; it != nil; it = it.next {
+			if inRange(hashKey(it.Key), lo, hi) {
+				out = append(out, Item{Key: it.Key, Flags: it.Flags})
+			}
+		}
+	}
+	return out
 }
 
 // lruPush inserts at the head (most recent).

@@ -107,9 +107,30 @@ var Catalog = []MetricDef{
 	{Name: "cluster.hedges", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hedge gets launched after the adaptive delay with no primary response"},
 	{Name: "cluster.hedge_wins", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hedged gets where the hedge answered before the primary"},
 	{Name: "cluster.corrupt_rejects", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "gets whose end-to-end integrity tag failed verification, purged and served as misses"},
-	{Name: "cluster.write_fences", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "ring segments aged out after a set attempt died on a poisoned connection (zombie-write fence)"},
 	{Name: "cluster.demote_detect_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "time from a shard's first over-threshold latency evaluation to its demotion"},
 	{Name: "cluster.data_rtt_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "data-path round-trip time of successful shard operations"},
+
+	// cluster replication: replica write-through, hinted handoff, and
+	// anti-entropy readmission (gauges over router atomics; DESIGN.md §16).
+	{Name: "repl.replica_writes", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "backup-member setx writes completed by the replicated write path"},
+	{Name: "repl.replica_write_errors", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "backup-member setx attempts that failed (the write retries until all members hold it)"},
+	{Name: "repl.lww_refused", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "setx attempts refused by a member's last-writer-wins register (a newer stamp was present)"},
+	{Name: "repl.fallback_reads", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "gets answered by a non-primary replica after the primary was skipped, erred, or trusted-missed"},
+	{Name: "repl.read_repairs", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "divergent replicas repaired at read time with the served value (CAS-guarded)"},
+	{Name: "repl.repair_conflicts", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "read-repairs that stood down because a newer write won the CAS race"},
+	{Name: "repl.tombstones", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "deletes replicated as stamped tombstones across the replica set"},
+	{Name: "repl.hints_queued", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "writes queued as hinted handoff for a down replica-set member"},
+	{Name: "repl.hint_overflows", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hint-queue overflows (queue discarded, shard flagged for forced full sync)"},
+	{Name: "repl.hints_drained", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "queued hints replayed into a readmitting shard before ring entry"},
+	{Name: "repl.hints_discarded", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hints dropped by queue overflow (recovered by the forced full sync, never silently)"},
+	{Name: "repl.syncs", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "anti-entropy syncs completed (shard entered the ring with full trust)"},
+	{Name: "repl.sync_retries", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "sync passes restarted because ring membership moved mid-sync"},
+	{Name: "repl.sync_segments", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "ring segments digest-compared during anti-entropy syncs"},
+	{Name: "repl.sync_divergent", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "segment/source pairs that diverged (or were force-pulled) and were copied key by key"},
+	{Name: "repl.sync_keys", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "keys copied into an entering shard by anti-entropy pulls"},
+	{Name: "repl.full_syncs", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "syncs that ran with the digest shortcut forbidden after a hint-queue overflow"},
+	{Name: "repl.sync_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "wall time of one completed anti-entropy sync, start to ring entry"},
+	{Name: "repl.handoff_drain_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "wall time to replay one batch of queued hints into a readmitting shard"},
 
 	// network fault proxy (CounterSource under the "netfault" prefix).
 	{Name: "netfault.conns", Type: "counter", Unit: "1", Subsystem: "netfaults", Help: "connections accepted and proxied to the backing shard listener"},

@@ -1,0 +1,23 @@
+package obs
+
+// NamedCounter binds a counter name to its lock-free loader. Components
+// that expose a Counters() map (the CounterSource surface) build one
+// static []NamedCounter at construction and snapshot it per call,
+// instead of hand-writing the name→atomic plumbing three times over —
+// the cluster router, the shard cluster, and the chaos monkeys all
+// shared that copy-paste before this helper deduped them.
+type NamedCounter struct {
+	Name string
+	Load func() int64
+}
+
+// SnapshotCounters materializes a counter list into the CounterSource
+// map shape. Each Load is invoked exactly once; the result is a fresh
+// map the caller owns.
+func SnapshotCounters(list []NamedCounter) map[string]int64 {
+	out := make(map[string]int64, len(list))
+	for _, c := range list {
+		out[c.Name] = c.Load()
+	}
+	return out
+}

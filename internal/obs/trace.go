@@ -57,7 +57,14 @@ const (
 	EvHedge
 	EvHedgeWin
 	EvCorruptReject
-	EvWriteFence
+	EvReplHint
+	EvReplDrain
+	EvReplOverflow
+	EvReplSyncStart
+	EvReplSyncDone
+	EvReplRepair
+	EvReplFallback
+	EvReplTombstone
 	nEventKinds
 )
 
@@ -100,7 +107,14 @@ var kindNames = [nEventKinds]string{
 	EvHedge:            "hedge",
 	EvHedgeWin:         "hedge.win",
 	EvCorruptReject:    "corrupt.reject",
-	EvWriteFence:       "fence.write",
+	EvReplHint:         "repl.hint",
+	EvReplDrain:        "repl.drain",
+	EvReplOverflow:     "repl.overflow",
+	EvReplSyncStart:    "repl.sync.start",
+	EvReplSyncDone:     "repl.sync.done",
+	EvReplRepair:       "repl.repair",
+	EvReplFallback:     "repl.fallback",
+	EvReplTombstone:    "repl.tombstone",
 }
 
 func (k EventKind) String() string {
