@@ -67,6 +67,7 @@ func (r *Router) antiEntropy(shard int) {
 		gen := r.ring.gen
 		plan := r.syncPlanLocked(shard)
 		full := r.hints.needsFullSync(shard)
+		ovf := r.hints.overflowEpoch(shard)
 		pool := st.pool
 		r.mu.Unlock()
 
@@ -89,6 +90,17 @@ func (r *Router) antiEntropy(shard int) {
 		if r.ring.gen != gen {
 			// Membership moved while syncing: the plan may be stale
 			// (segments gained or lost) — replan and re-verify.
+			r.syncRetries.Add(1)
+			r.mu.Unlock()
+			continue
+		}
+		if r.hints.overflowEpoch(shard) != ovf {
+			// The hint queue overflowed during the unlocked sync window:
+			// enqueue discarded the whole queue, so the pending==0 check
+			// below would read a wiped queue as a clean drain and enter
+			// the ring while the discarded writes are missing. The epoch
+			// exposes the wipe; another round re-reads needsFullSync and
+			// re-pulls every segment with the digest shortcut forbidden.
 			r.syncRetries.Add(1)
 			r.mu.Unlock()
 			continue
@@ -255,7 +267,13 @@ func (r *Router) pullSegment(shard int, pool *connPool, src syncSource) bool {
 			r.tracer.Record(obs.EvCorruptReject, shard, 0, 0, uint64(flags), int64(len(raw)))
 			continue
 		}
-		if _, serr := dc.SetX(ki.Key, raw, flags); serr != nil {
+		// Forced store: a pull may legitimately carry a stamp below the
+		// destination's tombstone floor (an old key never rewritten since
+		// the last purge). The floor exists to refuse zombies — values no
+		// live member holds — and this value was just read off a live
+		// member, so the floor must not turn the copy into a permanent
+		// trusted miss on the entering shard.
+		if _, serr := dc.SetXForce(ki.Key, raw, flags); serr != nil {
 			ok = false
 			break
 		}

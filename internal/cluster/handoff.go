@@ -32,13 +32,20 @@ type handoff struct {
 	limit    int
 	queues   []map[string]hint // by shard; per-key dedup, newest stamp wins
 	fullSync []bool            // overflow happened; digest shortcut forbidden
+	// overflows counts overflow events per shard, monotonically. The
+	// anti-entropy loop snapshots it at round start and re-reads it under
+	// the pre-entry mutex: an overflow during the unlocked sync window
+	// empties the queue, so "pending == 0" alone cannot distinguish a
+	// clean drain from a discarded one — the epoch can.
+	overflows []uint64
 }
 
 func newHandoff(shards, limit int) *handoff {
 	return &handoff{
-		limit:    limit,
-		queues:   make([]map[string]hint, shards),
-		fullSync: make([]bool, shards),
+		limit:     limit,
+		queues:    make([]map[string]hint, shards),
+		fullSync:  make([]bool, shards),
+		overflows: make([]uint64, shards),
 	}
 }
 
@@ -58,6 +65,7 @@ func (h *handoff) enqueue(shard int, hn hint) (discarded int, err error) {
 		n := len(q)
 		h.queues[shard] = nil
 		h.fullSync[shard] = true
+		h.overflows[shard]++
 		return n, ErrHandoffOverflow
 	}
 	q[hn.key] = hn
@@ -93,3 +101,6 @@ func (h *handoff) pending(shard int) int { return len(h.queues[shard]) }
 // clearFullSync resets the flag once a full sync has completed.
 func (h *handoff) needsFullSync(shard int) bool { return h.fullSync[shard] }
 func (h *handoff) clearFullSync(shard int)      { h.fullSync[shard] = false }
+
+// overflowEpoch returns the shard's monotonic overflow count.
+func (h *handoff) overflowEpoch(shard int) uint64 { return h.overflows[shard] }

@@ -54,6 +54,18 @@ func stampGen(flags uint32) uint64 {
 	return uint64((flags & stampMask) >> stampSeqBits)
 }
 
+// genFloor is the smallest stamp a write minted at ring generation g can
+// carry (the generation saturates at stampGenMax; see the lifetime note
+// on stampSeqBits). Both the stamp oracle and the generation-floor GC
+// derive their floors from it, so "prunable" and "re-mintable above"
+// agree by construction.
+func genFloor(g uint64) uint32 {
+	if g > uint64(stampGenMax) {
+		g = uint64(stampGenMax)
+	}
+	return uint32(g) << stampSeqBits
+}
+
 // writePlan is one write attempt's routing snapshot: the replica set,
 // its pools, the stamped flags word, and the sealed bytes — resolved
 // atomically under the router mutex (prepareWrite) so the stamp, the
@@ -87,16 +99,24 @@ func (r *Router) prepareWrite(key string, value []byte, tomb bool) (writePlan, b
 	// writes). A sequence overflow carries into the generation bits,
 	// which only ever makes a value look newer — safe for LWW, and
 	// 65k same-generation writes to one key away from mattering.
-	g := r.ring.gen
-	if g > uint64(stampGenMax) {
-		g = uint64(stampGenMax) // saturate; see the lifetime note on stampSeqBits
-	}
-	stamp := uint32(g) << stampSeqBits
-	if s := r.stamps[key] + 1; s > stamp {
+	prev := r.stamps[key]
+	stamp := genFloor(r.ring.gen)
+	if s := prev + 1; s > stamp {
 		stamp = s
 	}
 	if stamp > stampMask {
 		stamp = stampMask
+	}
+	if stamp <= prev {
+		// The stamp space is exhausted for this key (prev already sat at
+		// stampMask): strict per-key ordering has stopped and the LWW
+		// register's >= comparison now lets the last arrival win — the
+		// zombie-write guarantee is gone for this key. Degrade loudly,
+		// never silently: a long-lived router approaching the 32k
+		// membership-change bound shows up in this counter long before
+		// it misorders a write.
+		r.stampClamps.Add(1)
+		r.tracer.Record(obs.EvReplStampClamp, seg.shard[0], 0, 0, r.ring.gen, int64(stamp))
 	}
 	r.stamps[key] = stamp
 	flags := stamp

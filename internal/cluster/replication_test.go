@@ -319,3 +319,150 @@ func TestRouterHandoffOverflowForcesFullSync(t *testing.T) {
 		}
 	}
 }
+
+// TestRouterOverflowDuringSyncWindow: the hint queue overflows INSIDE a
+// readmission's unlocked sync window (after reconcile and drain, before
+// the pre-entry checks). The wipe leaves pending==0, so without the
+// overflow-epoch re-check the shard would pass the queue-empty gate and
+// enter the ring missing every acked write the queue discarded. The
+// epoch re-check must force another round, which re-reads the full-sync
+// flag and re-pulls — zero-loss holds.
+func TestRouterOverflowDuringSyncWindow(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cfg := fastProbes()
+	cfg.HandoffLimit = 4
+	const n = 40
+	var r *Router // assigned before Kill, so before any sync can run
+	cfg.SyncHook = func(shard int) {
+		// Runs on shard 1's prober goroutine with the queue just drained:
+		// acked writes from here overflow the 4-hint bound mid-window.
+		for i := 0; i < n; i++ {
+			if err := r.Set(fmt.Sprintf("sw%d", i), []byte("w")); err != nil {
+				t.Errorf("Set during sync window: %v", err)
+			}
+		}
+	}
+	r = newTestRouter(t, c, cfg)
+	if err := c.Kill(1); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	waitFor(t, time.Second, "fence", func() bool { return r.Counters()["failovers"] >= 1 })
+	if err := c.Respawn(1); err != nil {
+		t.Fatalf("Respawn: %v", err)
+	}
+	waitFor(t, 2*time.Second, "readmission", func() bool { return r.InRing(1) })
+	cs := r.Counters()
+	if cs["repl.hint_overflows"] == 0 {
+		t.Fatalf("the sync-window writes never overflowed the %d-hint bound (counters %v)", cfg.HandoffLimit, cs)
+	}
+	if cs["repl.sync_retries"] == 0 {
+		t.Fatal("mid-window overflow did not force another sync round — the wiped queue read as a clean drain")
+	}
+	if cs["repl.full_syncs"] == 0 {
+		t.Fatal("shard entered the ring without the forced full sync the overflow demands")
+	}
+	// Zero-loss: every write acked during the window is on the
+	// readmitted shard's store wherever the ring makes it a member.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("sw%d", i)
+		if v, ok, err := r.Get(key); err != nil || !ok || string(v) != "w" {
+			t.Fatalf("Get %s after readmission = %q ok=%v err=%v", key, v, ok, err)
+		}
+		for _, s := range replicaSetOf(r, key) {
+			if s == 1 {
+				if _, _, ok := c.Store(1).Get(key); !ok {
+					t.Fatalf("readmitted shard is a member for %s but does not hold it", key)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterGenerationGC: a ring-generation advance lets the router's
+// maintain sweep reclaim both unbounded stores — per-key stamps-map
+// entries below the new generation floor and tombstones on every shard
+// — while the stamp-floor rule keeps a zombie of a purged delete from
+// re-inserting, and legitimate data survives untouched.
+func TestRouterGenerationGC(t *testing.T) {
+	c := newTestCluster(t, 3)
+	r := newTestRouter(t, c, fastProbes())
+	const total, deleted = 20, 10
+	for i := 0; i < total; i++ {
+		if err := r.Set(fmt.Sprintf("gc%d", i), []byte("v")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	// Capture one victim's stored bytes pre-delete: the zombie is this
+	// exact write arriving late, after its tombstone has been purged.
+	set := replicaSetOf(r, "gc0")
+	sealed, oldFlags, ok := c.Store(set[0]).Get("gc0")
+	if !ok {
+		t.Fatal("acked write missing from its primary")
+	}
+	for i := 0; i < deleted; i++ {
+		if _, err := r.Delete(fmt.Sprintf("gc%d", i)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	// Tombstones are physically present until a generation advance.
+	if _, flags, ok := c.Store(set[0]).Get("gc0"); !ok || flags&tombBit == 0 {
+		t.Fatalf("no tombstone on the primary before GC: ok=%v flags=%x", ok, flags)
+	}
+	// Bounce a shard: fence + readmit advances the generation past the
+	// floor every pre-bounce stamp was minted under.
+	if err := c.Kill(1); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	waitFor(t, time.Second, "fence", func() bool { return r.Counters()["failovers"] >= 1 })
+	if err := c.Respawn(1); err != nil {
+		t.Fatalf("Respawn: %v", err)
+	}
+	waitFor(t, 2*time.Second, "readmission", func() bool { return r.InRing(1) })
+	waitFor(t, 2*time.Second, "generation-floor sweep", func() bool {
+		return r.Counters()["repl.tombs_purged"] > 0
+	})
+	if n := r.Counters()["repl.stamps_pruned"]; n != total {
+		t.Fatalf("repl.stamps_pruned = %d, want %d (every pre-bounce key)", n, total)
+	}
+	r.mu.Lock()
+	left := len(r.stamps)
+	r.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("stamps map still holds %d entries after the sweep", left)
+	}
+	// Tombstones are gone from every store...
+	for s := 0; s < c.NumShards(); s++ {
+		if _, flags, ok := c.Store(s).Get("gc0"); ok {
+			t.Fatalf("shard %d still holds gc0 (flags %x) after the purge", s, flags)
+		}
+	}
+	// ...yet the zombie still cannot re-insert: the purge recorded the
+	// floor on each store, and the late write's stamp sits below it.
+	for s := 0; s < c.NumShards(); s++ {
+		if c.Store(s).SetLWW("gc0", sealed, oldFlags) {
+			t.Fatalf("shard %d: zombie write with stamp %x re-inserted after its tombstone was purged", s, oldFlags)
+		}
+	}
+	if _, ok, _ := r.Get("gc0"); ok {
+		t.Fatal("zombie resurrected a deleted key after tombstone GC")
+	}
+	// Legitimate state survives the sweep: kept keys read back, deleted
+	// keys stay authoritative misses, and new writes land normally.
+	for i := deleted; i < total; i++ {
+		key := fmt.Sprintf("gc%d", i)
+		if v, ok, err := r.Get(key); err != nil || !ok || string(v) != "v" {
+			t.Fatalf("Get %s after GC = %q ok=%v err=%v", key, v, ok, err)
+		}
+	}
+	for i := 0; i < deleted; i++ {
+		if _, ok, _ := r.Get(fmt.Sprintf("gc%d", i)); ok {
+			t.Fatalf("deleted key gc%d visible after GC", i)
+		}
+	}
+	if err := r.Set("gc0", []byte("v2")); err != nil {
+		t.Fatalf("Set after GC: %v", err)
+	}
+	if v, ok, err := r.Get("gc0"); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("rewrite after GC = %q ok=%v err=%v", v, ok, err)
+	}
+}

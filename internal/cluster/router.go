@@ -229,6 +229,9 @@ type Router struct {
 	syncDivergent      atomic.Int64
 	syncKeys           atomic.Int64
 	fullSyncs          atomic.Int64
+	stampClamps        atomic.Int64
+	stampsPruned       atomic.Int64
+	tombsPurged        atomic.Int64
 
 	// stamps is the per-key write-stamp oracle: every Set/Delete is
 	// stamped max(ring generation, last stamp for the key + 1), so the
@@ -250,6 +253,11 @@ type Router struct {
 	// enqueues happen under mu, atomically with route resolution, so
 	// ring entry can prove the queue is drained (see handoff.go).
 	hints *handoff
+	// gcGen is the ring generation the last generation-floor sweep ran
+	// at (see maintain); guarded by mu. The sweep reclaims stamps-map
+	// entries and shard tombstones that the current generation floor
+	// has made redundant, so neither grows without bound.
+	gcGen uint64
 
 	counterList []obs.NamedCounter
 
@@ -323,6 +331,7 @@ func NewRouter(dir Directory, cfg RouterConfig) (*Router, error) {
 		stamps:  map[string]uint32{},
 		writing: map[string]int{},
 		hints:   newHandoff(n, cfg.HandoffLimit),
+		gcGen:   1, // the ring's starting generation: nothing to sweep yet
 		stop:    make(chan struct{}),
 	}
 	r.counterList = r.namedCounters()
@@ -404,6 +413,9 @@ func (r *Router) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	reg.Gauge("repl.sync_divergent", r.syncDivergent.Load)
 	reg.Gauge("repl.sync_keys", r.syncKeys.Load)
 	reg.Gauge("repl.full_syncs", r.fullSyncs.Load)
+	reg.Gauge("repl.stamp_clamps", r.stampClamps.Load)
+	reg.Gauge("repl.stamps_pruned", r.stampsPruned.Load)
+	reg.Gauge("repl.tombs_purged", r.tombsPurged.Load)
 	reg.Gauge("cluster.shards_up", func() int64 {
 		r.mu.Lock()
 		defer r.mu.Unlock()
@@ -455,6 +467,9 @@ func (r *Router) namedCounters() []obs.NamedCounter {
 		{Name: "repl.sync_divergent", Load: r.syncDivergent.Load},
 		{Name: "repl.sync_keys", Load: r.syncKeys.Load},
 		{Name: "repl.full_syncs", Load: r.fullSyncs.Load},
+		{Name: "repl.stamp_clamps", Load: r.stampClamps.Load},
+		{Name: "repl.stamps_pruned", Load: r.stampsPruned.Load},
+		{Name: "repl.tombs_purged", Load: r.tombsPurged.Load},
 		{Name: "shards_up", Load: func() int64 {
 			r.mu.Lock()
 			defer r.mu.Unlock()
@@ -541,6 +556,77 @@ func (r *Router) resetHealthLocked(st *shardState) {
 	st.breaker.Reset()
 }
 
+// maintain is the generation-floor garbage sweep (DESIGN.md §16). Both
+// per-key state stores grow with key cardinality: the router's stamps
+// map keeps one entry per key ever written, and every shard store keeps
+// tombstones forever (evicting one via LRU would quietly re-open the
+// key to zombie resurrection). A ring-generation advance makes both
+// reclaimable below the new generation floor: a stamps entry below the
+// floor is redundant (the next mint starts at the floor, which already
+// exceeds it), and a tombstone below the floor can be purged once every
+// store also refuses to re-insert absent keys below that floor — the
+// stamp-floor rule that keeps an expired tombstone from being outrun by
+// a zombie of the write it retired (memcached.Store.PurgeTombstones).
+//
+// The sweep runs only while the cluster is converged — every shard in
+// the ring, no hints queued, no overflow flags — so every member holds
+// (and then atomically drops + floors) the tombstones being retired; a
+// member that is down keeps its tombstones and therefore its
+// protection. Purges are best-effort per shard: a failed round trip
+// leaves that shard's tombstones (still safe, just unreclaimed) until
+// the next generation advance. Every prober calls maintain each round;
+// the gcGen gate makes all but the first a mutex-bounce no-op.
+func (r *Router) maintain() {
+	r.mu.Lock()
+	gen := r.ring.gen
+	if gen <= r.gcGen || r.ring.nUp != len(r.shards) {
+		r.mu.Unlock()
+		return
+	}
+	for i := range r.shards {
+		if r.hints.pending(i) > 0 || r.hints.needsFullSync(i) {
+			r.mu.Unlock()
+			return
+		}
+	}
+	floor := genFloor(gen)
+	pruned := 0
+	for k, s := range r.stamps {
+		if s < floor {
+			delete(r.stamps, k)
+			pruned++
+		}
+	}
+	pools := make([]*connPool, len(r.shards))
+	for i, st := range r.shards {
+		pools[i] = st.pool
+	}
+	r.gcGen = gen
+	r.mu.Unlock()
+	if pruned > 0 {
+		r.stampsPruned.Add(int64(pruned))
+	}
+	for i, pool := range pools {
+		c, err := pool.get()
+		if err != nil {
+			continue
+		}
+		n, perr := c.PurgeTombstones(floor)
+		switch {
+		case perr == nil:
+			pool.put(c)
+			if n > 0 {
+				r.tombsPurged.Add(int64(n))
+				r.tracer.Record(obs.EvReplPurge, i, 0, 0, uint64(floor), int64(n))
+			}
+		case errors.Is(perr, memcached.ErrBusy):
+			pool.put(c)
+		default:
+			pool.discard(c)
+		}
+	}
+}
+
 // nudge schedules an immediate probe of shard (data-path failures speed
 // detection up but never fence by themselves).
 func (r *Router) nudge(shard int) {
@@ -592,6 +678,7 @@ func (r *Router) prober(i int) {
 		if pending {
 			r.antiEntropy(i)
 		}
+		r.maintain()
 		timer.Reset(r.cfg.ProbeInterval)
 	}
 }

@@ -87,7 +87,9 @@ func newCasPair(t *testing.T) (*Store, *Client) {
 
 // TestClientGetsCas covers the wire round trip of the token: gets
 // returns it, cas with it stores, cas with a stale one is the typed
-// ErrCasConflict, cas on a missing key is the typed ErrNotFound.
+// ErrCasConflict, cas on a missing key is the typed ErrNotFound. cas
+// bodies must be sealed: the verb exists for the cluster's read-repair
+// write-back, and the server verifies the integrity tag before storing.
 func TestClientGetsCas(t *testing.T) {
 	_, cl := newCasPair(t)
 	if err := cl.Set("k", []byte("v1"), 9); err != nil {
@@ -97,16 +99,17 @@ func TestClientGetsCas(t *testing.T) {
 	if err != nil || !ok || string(v) != "v1" || flags != 9 {
 		t.Fatalf("Gets = (%q, %d, %d, %v, %v)", v, flags, tok, ok, err)
 	}
-	if err := cl.Cas("k", []byte("v2"), 10, tok); err != nil {
+	if err := cl.Cas("k", SealValue("k", 10, []byte("v2")), 10, tok); err != nil {
 		t.Fatalf("Cas with fresh token: %v", err)
 	}
-	if err := cl.Cas("k", []byte("v3"), 11, tok); !errors.Is(err, ErrCasConflict) {
+	if err := cl.Cas("k", SealValue("k", 11, []byte("v3")), 11, tok); !errors.Is(err, ErrCasConflict) {
 		t.Fatalf("Cas with stale token = %v, want ErrCasConflict", err)
 	}
-	if v, _, ok, _ := cl.GetFlags("k"); !ok || string(v) != "v2" {
-		t.Fatalf("conflicting Cas visible: %q", v)
+	raw, _, ok, _ := cl.GetFlags("k")
+	if v, okSeal := OpenValue("k", 10, raw); !ok || !okSeal || string(v) != "v2" {
+		t.Fatalf("conflicting Cas visible: %q (seal ok=%v)", raw, okSeal)
 	}
-	if err := cl.Cas("absent", []byte("v"), 0, 1); !errors.Is(err, ErrNotFound) {
+	if err := cl.Cas("absent", SealValue("absent", 0, []byte("v")), 0, 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Cas on absent key = %v, want ErrNotFound", err)
 	}
 	if _, _, _, ok, err := cl.Gets("absent"); ok || err != nil {
@@ -115,16 +118,48 @@ func TestClientGetsCas(t *testing.T) {
 }
 
 // TestClientAdd covers the wire add: wins on absence, loses on presence.
+// Like cas, add is a read-repair verb, so bodies carry the seal.
 func TestClientAdd(t *testing.T) {
 	_, cl := newCasPair(t)
-	if ok, err := cl.Add("k", []byte("first"), 0); err != nil || !ok {
+	if ok, err := cl.Add("k", SealValue("k", 0, []byte("first")), 0); err != nil || !ok {
 		t.Fatalf("Add to empty: ok=%v err=%v", ok, err)
 	}
-	if ok, err := cl.Add("k", []byte("second"), 0); err != nil || ok {
+	if ok, err := cl.Add("k", SealValue("k", 0, []byte("second")), 0); err != nil || ok {
 		t.Fatalf("Add over present: ok=%v err=%v", ok, err)
 	}
-	if v, ok, _ := cl.Get("k"); !ok || string(v) != "first" {
-		t.Fatalf("losing Add visible: %q", v)
+	raw, ok, _ := cl.Get("k")
+	if v, okSeal := OpenValue("k", 0, raw); !ok || !okSeal || string(v) != "first" {
+		t.Fatalf("losing Add visible: %q (seal ok=%v)", raw, okSeal)
+	}
+}
+
+// TestClientCasAddBadSeal: a cas or add body that fails seal
+// verification is refused with a typed protocol error and never stored.
+func TestClientCasAddBadSeal(t *testing.T) {
+	store, cl := newCasPair(t)
+	if err := cl.Set("k", []byte("v1"), 9); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	_, _, tok, _, err := cl.Gets("k")
+	if err != nil {
+		t.Fatalf("Gets: %v", err)
+	}
+	bad := SealValue("k", 10, []byte("v2"))
+	bad[len(bad)-1] ^= 0x01 // flip one payload bit: tag no longer matches
+	if err := cl.Cas("k", bad, 10, tok); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Cas with corrupt seal = %v, want ErrProtocol", err)
+	}
+	if v, _, _ := store.Get("k"); string(v) != "v1" {
+		t.Fatalf("corrupt cas body stored: %q", v)
+	}
+	if err := cl.Cas("k", SealValue("other", 10, []byte("v2")), 10, tok); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Cas sealed for the wrong key = %v, want ErrProtocol", err)
+	}
+	if _, err := cl.Add("fresh", []byte("unsealed"), 0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Add with unsealed body = %v, want ErrProtocol", err)
+	}
+	if _, _, ok := store.Get("fresh"); ok {
+		t.Fatal("unsealed add body stored")
 	}
 }
 

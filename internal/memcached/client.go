@@ -295,6 +295,21 @@ func (c *Client) SetX(key string, value []byte, flags uint32) (stored bool, err 
 	return c.SetXRecv(key, flags)
 }
 
+// SetXForce is SetX with the server's tombstone stamp floor bypassed.
+// Only the anti-entropy pull path uses it: a pulled value is proven to
+// exist on a live replica, so its stamp may legitimately predate the
+// destination's last tombstone purge.
+func (c *Client) SetXForce(key string, value []byte, flags uint32) (stored bool, err error) {
+	c.arm()
+	fmt.Fprintf(c.w, "setx %s %d 0 %d force\r\n", key, flags, len(value))
+	_, _ = c.w.Write(value)
+	fmt.Fprint(c.w, "\r\n")
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	return c.SetXRecv(key, flags)
+}
+
 // SetXSend writes a setx request and flushes it without waiting for the
 // reply. Pair with SetXRecv. Splitting the round trip lets a replicated
 // write pipeline its fan-out from one goroutine: send to every member,
@@ -386,6 +401,34 @@ func (c *Client) Digest(lo, hi uint64) (digest uint64, n int, err error) {
 		return 0, 0, fmt.Errorf("memcached: digest: bad fields %q: %w", line, ErrProtocol)
 	}
 	return d, cnt, nil
+}
+
+// PurgeTombstones asks the server to drop every tombstone stamped below
+// floor and to refuse future below-floor inserts of absent keys (the
+// zombie-write guard). Returns the number of tombstones removed.
+func (c *Client) PurgeTombstones(floor uint32) (purged int, err error) {
+	c.arm()
+	fmt.Fprintf(c.w, "purgetomb %d\r\n", floor)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if busyLine(line) {
+		return 0, fmt.Errorf("memcached: purgetomb: %w", ErrBusy)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != "PURGED" {
+		return 0, fmt.Errorf("memcached: purgetomb: unexpected %q: %w", line, ErrProtocol)
+	}
+	n, perr := strconv.Atoi(fields[1])
+	if perr != nil || n < 0 {
+		return 0, fmt.Errorf("memcached: purgetomb: bad count %q: %w", line, ErrProtocol)
+	}
+	return n, nil
 }
 
 // KeyInfo is one entry of a RangeKeys listing: a key plus its stored

@@ -1,0 +1,97 @@
+package memcached
+
+import (
+	"testing"
+)
+
+// TestStorePurgeTombstones: the generation-floor sweep removes only
+// tombstones stamped below the floor, raises the floor atomically so
+// absent-key inserts beneath it are refused (the zombie guard), and
+// leaves live values, above-floor tombstones, and present-key LWW
+// updates untouched.
+func TestStorePurgeTombstones(t *testing.T) {
+	s := NewStore(16, 0)
+	s.SetLWW("live", []byte("v"), 5)
+	s.SetLWW("oldtomb", nil, lwwTombBit|3)
+	s.SetLWW("newtomb", nil, lwwTombBit|20)
+
+	if n := s.PurgeTombstones(10); n != 1 {
+		t.Fatalf("PurgeTombstones(10) removed %d, want 1", n)
+	}
+	if _, _, ok := s.Get("oldtomb"); ok {
+		t.Fatal("below-floor tombstone survived the purge")
+	}
+	if _, flags, ok := s.Get("newtomb"); !ok || flags != lwwTombBit|20 {
+		t.Fatalf("above-floor tombstone lost or mutated: ok=%v flags=%d", ok, flags)
+	}
+	if v, _, ok := s.Get("live"); !ok || string(v) != "v" {
+		t.Fatal("live value lost to the purge (its stamp is below the floor but it is not a tombstone)")
+	}
+
+	// The floor refuses a zombie: an absent-key insert stamped below 10.
+	if s.SetLWW("oldtomb", []byte("zombie"), 3) {
+		t.Fatal("below-floor insert of an absent key accepted")
+	}
+	if _, _, ok := s.Get("oldtomb"); ok {
+		t.Fatal("zombie visible after refused insert")
+	}
+	// ... but force bypasses it: an anti-entropy pull of a legitimately
+	// old value must land.
+	if !s.SetLWWForce("pulled", []byte("old"), 2) {
+		t.Fatal("forced below-floor insert refused")
+	}
+	// Present keys are governed by the LWW comparison, not the floor: a
+	// below-floor update of a below-floor value still applies.
+	if !s.SetLWW("live", []byte("v2"), 6) {
+		t.Fatal("below-floor update of a present key refused")
+	}
+	// An at-or-above-floor insert of an absent key is not a zombie.
+	if !s.SetLWW("fresh", []byte("v"), 10) {
+		t.Fatal("at-floor insert of an absent key refused")
+	}
+
+	// The floor only ratchets upward: a purge with a lower floor still
+	// sweeps with the floor already recorded.
+	if !s.SetLWWForce("tomb7", nil, lwwTombBit|7) {
+		t.Fatal("forced tombstone insert refused")
+	}
+	if n := s.PurgeTombstones(4); n != 1 {
+		t.Fatalf("PurgeTombstones(4) under a ratcheted floor of 10 removed %d, want 1", n)
+	}
+	if _, _, ok := s.Get("tomb7"); ok {
+		t.Fatal("tombstone below the ratcheted floor survived a lower purge")
+	}
+}
+
+// TestClientPurgeTombWire round-trips "purgetomb" and the setx "force"
+// token over the wire.
+func TestClientPurgeTombWire(t *testing.T) {
+	store, cl := newCasPair(t)
+	sealTomb := func(key string, stamp uint32) []byte {
+		return SealValue(key, lwwTombBit|stamp, nil)
+	}
+	if ok, err := cl.SetX("t1", sealTomb("t1", 3), lwwTombBit|3); err != nil || !ok {
+		t.Fatalf("SetX tombstone: ok=%v err=%v", ok, err)
+	}
+	if ok, err := cl.SetX("t2", sealTomb("t2", 20), lwwTombBit|20); err != nil || !ok {
+		t.Fatalf("SetX tombstone: ok=%v err=%v", ok, err)
+	}
+	n, err := cl.PurgeTombstones(10)
+	if err != nil || n != 1 {
+		t.Fatalf("PurgeTombstones = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, _, ok := store.Get("t1"); ok {
+		t.Fatal("below-floor tombstone survived wire purge")
+	}
+	// A plain setx below the floor is the zombie: refused as NOT_STORED.
+	if ok, err := cl.SetX("z", SealValue("z", 3, []byte("v")), 3); err != nil || ok {
+		t.Fatalf("below-floor SetX = (%v, %v), want refused", ok, err)
+	}
+	// The force variant is the anti-entropy pull: it lands.
+	if ok, err := cl.SetXForce("z", SealValue("z", 3, []byte("v")), 3); err != nil || !ok {
+		t.Fatalf("below-floor SetXForce = (%v, %v), want stored", ok, err)
+	}
+	if v, _, ok := store.Get("z"); !ok || string(v) != string(SealValue("z", 3, []byte("v"))) {
+		t.Fatal("forced pull not visible")
+	}
+}

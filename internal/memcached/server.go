@@ -328,6 +328,15 @@ func (s *Server) serve(conn net.Conn) {
 			s.inflight.Add(1)
 			s.handleKeys(w, fields[1:])
 			s.inflight.Add(-1)
+		case "purgetomb":
+			if !s.admit() {
+				s.shedOps.Add(1)
+				fmt.Fprint(w, "SERVER_ERROR busy\r\n")
+				break
+			}
+			s.inflight.Add(1)
+			s.handlePurgeTomb(w, fields[1:])
+			s.inflight.Add(-1)
 		case "stats":
 			hits, misses, evictions := s.store.Stats()
 			fmt.Fprintf(w, "STAT get_hits %d\r\nSTAT get_misses %d\r\nSTAT evictions %d\r\nSTAT curr_items %d\r\nSTAT shed_ops %d\r\nEND\r\n",
@@ -364,6 +373,24 @@ func (s *Server) handleGet(w *bufio.Writer, keys []string, withCas bool) {
 		}
 	}
 	fmt.Fprint(w, "END\r\n")
+}
+
+// handlePurgeTomb answers "purgetomb <floor>" with "PURGED <n>": it
+// removes every tombstone whose stamp is below the floor and raises the
+// store's tombstone floor so zombie writes below it cannot re-insert
+// (see Store.PurgeTombstones). Sent only by the router's generation-floor
+// sweep when the whole replica set is converged.
+func (s *Server) handlePurgeTomb(w *bufio.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	floor, err := strconv.ParseUint(args[0], 10, 32)
+	if err != nil {
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	fmt.Fprintf(w, "PURGED %d\r\n", s.store.PurgeTombstones(uint32(floor)))
 }
 
 // handleDigest answers "digest <lo> <hi>" with "DIGEST <fold> <count>" —
@@ -450,6 +477,17 @@ func (s *Server) handleStore(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ve
 	case flagsErr != nil || expErr != nil || casErr != nil:
 		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
 	case verb == "cas":
+		// cas carries sealed cluster-path bodies only (read-repair's CAS
+		// write-back): verify the integrity tag at the store boundary
+		// exactly as setx does. Without this, a repair payload corrupted
+		// in transit is acknowledged and stored, caught only at the next
+		// read — which triggers another repair of the same key, and the
+		// corrupt copy can ping-pong. Every trust-domain crossing
+		// re-verifies.
+		if _, okSeal := OpenValue(args[0], uint32(flags), data[:n]); !okSeal {
+			fmt.Fprint(w, "CLIENT_ERROR bad seal\r\n")
+			break
+		}
 		switch s.store.Cas(args[0], data[:n], uint32(flags), casid) {
 		case CasStored:
 			fmt.Fprint(w, "STORED\r\n")
@@ -459,6 +497,13 @@ func (s *Server) handleStore(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ve
 			fmt.Fprint(w, "NOT_FOUND\r\n")
 		}
 	case verb == "add":
+		// Same contract as cas: add is the other read-repair store verb
+		// (refilling a member that lost its copy), so its body is sealed
+		// and must verify before it is acknowledged.
+		if _, okSeal := OpenValue(args[0], uint32(flags), data[:n]); !okSeal {
+			fmt.Fprint(w, "CLIENT_ERROR bad seal\r\n")
+			break
+		}
 		if s.store.Add(args[0], data[:n], uint32(flags)) {
 			fmt.Fprint(w, "STORED\r\n")
 		} else {
@@ -491,7 +536,19 @@ func (s *Server) handleStore(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ve
 			fmt.Fprint(w, "CLIENT_ERROR bad seal\r\n")
 			break
 		}
-		if s.store.SetLWW(args[0], data[:n], uint32(flags)) {
+		//
+		// The optional trailing "force" token bypasses the tombstone
+		// stamp floor (see Store.SetLWWForce): it is sent only by the
+		// anti-entropy pull path, which copies values proven to exist on
+		// a live replica and may legitimately carry stamps from before
+		// the last tombstone purge.
+		var stored bool
+		if len(args) >= 5 && args[4] == "force" {
+			stored = s.store.SetLWWForce(args[0], data[:n], uint32(flags))
+		} else {
+			stored = s.store.SetLWW(args[0], data[:n], uint32(flags))
+		}
+		if stored {
 			fmt.Fprintf(w, "STORED %d %d\r\n", KeyHash(args[0]), uint32(flags))
 		} else {
 			fmt.Fprintf(w, "NOT_STORED %d %d\r\n", KeyHash(args[0]), uint32(flags))

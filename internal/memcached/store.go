@@ -53,6 +53,11 @@ type Store struct {
 	casSeq   uint64
 
 	hits, misses, evictions uint64
+	// tombFloor is the stamp floor left behind by PurgeTombstones: every
+	// tombstone below it has been reclaimed, so SetLWW refuses to insert
+	// an *absent* key below it — a zombie of a write those tombstones
+	// retired must keep losing even after its tombstone is gone.
+	tombFloor uint32
 	// OnAccess observes the simulated memory footprint of each
 	// operation (fed to the cache model by the benchmarks); may be nil.
 	OnAccess func(chainLen int, valueBytes int)
@@ -223,10 +228,14 @@ func (s *Store) Add(key string, value []byte, flags uint32) bool {
 }
 
 // lwwStampMask selects the generation-stamp bits of the flags word for
-// SetLWW's comparison. Bit 31 is the cluster's tombstone marker: a
-// delete and the write it supersedes carry the same stamp, and the
-// tombstone must win, so the marker is excluded from the ordering.
-const lwwStampMask = 1<<31 - 1
+// SetLWW's comparison. Bit 31 (lwwTombBit) is the cluster's tombstone
+// marker: a delete and the write it supersedes carry the same stamp,
+// and the tombstone must win, so the marker is excluded from the
+// ordering.
+const (
+	lwwTombBit   = uint32(1) << 31
+	lwwStampMask = lwwTombBit - 1
+)
 
 // SetLWW inserts or replaces key only when the incoming stamp (the
 // flags word, tombstone bit masked) is at least the stored one — the
@@ -234,8 +243,24 @@ const lwwStampMask = 1<<31 - 1
 // the wire). A late duplicate of an already-superseded write is refused
 // instead of clobbering newer progress, which is what makes zombie
 // writes (timed-out attempts the network delivers anyway) harmless.
-// Reports whether the value was stored.
+// An *absent* key is inserted only at or above the tombstone floor
+// (see PurgeTombstones): below it, the value may be a zombie of a
+// write whose reclaimed tombstone would have beaten it. Reports
+// whether the value was stored.
 func (s *Store) SetLWW(key string, value []byte, flags uint32) bool {
+	return s.setLWW(key, value, flags, false)
+}
+
+// SetLWWForce is SetLWW without the tombstone-floor insert check — the
+// anti-entropy pull path uses it to copy a value that provably exists
+// on a live replica (an old stamp there is a legitimate never-rewritten
+// value, not a zombie). The LWW comparison against a present item still
+// applies; force never overwrites newer progress.
+func (s *Store) SetLWWForce(key string, value []byte, flags uint32) bool {
+	return s.setLWW(key, value, flags, true)
+}
+
+func (s *Store) setLWW(key string, value []byte, flags uint32, force bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := hashKey(key) & s.mask
@@ -259,8 +284,42 @@ func (s *Store) SetLWW(key string, value []byte, flags uint32) bool {
 			return true
 		}
 	}
+	if !force && flags&lwwStampMask < s.tombFloor {
+		return false
+	}
 	s.insertLocked(key, value, flags, b, chain)
 	return true
+}
+
+// PurgeTombstones reclaims every tombstone (lwwTombBit set) whose stamp
+// is below floor and records floor so SetLWW refuses future inserts
+// beneath it. The removal and the floor are one atomic step per store:
+// at no point is a key unprotected — either its tombstone is still
+// present and wins the LWW comparison, or the floor refuses the
+// zombie's insert outright. Returns the number of tombstones removed.
+// The floor only ratchets upward; a purge below the current floor
+// removes nothing it hasn't already covered.
+func (s *Store) PurgeTombstones(floor uint32) (purged int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if floor > s.tombFloor {
+		s.tombFloor = floor
+	}
+	for b := range s.buckets {
+		for p := &s.buckets[b]; *p != nil; {
+			it := *p
+			if it.Flags&lwwTombBit != 0 && it.Flags&lwwStampMask < s.tombFloor {
+				*p = it.next
+				s.size--
+				s.bytes -= int64(len(it.Key) + len(it.Value))
+				s.lruRemove(it)
+				purged++
+				continue
+			}
+			p = &it.next
+		}
+	}
+	return purged
 }
 
 // Delete removes key, reporting whether it existed.

@@ -124,11 +124,14 @@ var Catalog = []MetricDef{
 	{Name: "repl.hints_drained", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "queued hints replayed into a readmitting shard before ring entry"},
 	{Name: "repl.hints_discarded", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "hints dropped by queue overflow (recovered by the forced full sync, never silently)"},
 	{Name: "repl.syncs", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "anti-entropy syncs completed (shard entered the ring with full trust)"},
-	{Name: "repl.sync_retries", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "sync passes restarted because ring membership moved mid-sync"},
+	{Name: "repl.sync_retries", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "sync passes restarted because ring membership moved or the hint queue overflowed mid-sync"},
 	{Name: "repl.sync_segments", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "ring segments digest-compared during anti-entropy syncs"},
 	{Name: "repl.sync_divergent", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "segment/source pairs that diverged (or were force-pulled) and were copied key by key"},
 	{Name: "repl.sync_keys", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "keys copied into an entering shard by anti-entropy pulls"},
 	{Name: "repl.full_syncs", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "syncs that ran with the digest shortcut forbidden after a hint-queue overflow"},
+	{Name: "repl.stamp_clamps", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "writes whose per-key stamp saturated at the stamp-space ceiling (strict LWW ordering lost for that key; the router needs a wider stamp split)"},
+	{Name: "repl.stamps_pruned", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "per-key stamp-oracle entries reclaimed by the generation-floor sweep (redundant below the current ring-generation floor)"},
+	{Name: "repl.tombs_purged", Type: "gauge", Unit: "1", Subsystem: "cluster", Help: "tombstones purged from shard stores by the generation-floor sweep (each store records the floor so zombies below it cannot re-insert)"},
 	{Name: "repl.sync_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "wall time of one completed anti-entropy sync, start to ring entry"},
 	{Name: "repl.handoff_drain_us", Type: "histogram", Unit: "us", Subsystem: "cluster", Help: "wall time to replay one batch of queued hints into a readmitting shard"},
 

@@ -65,6 +65,8 @@ const (
 	EvReplRepair
 	EvReplFallback
 	EvReplTombstone
+	EvReplStampClamp
+	EvReplPurge
 	nEventKinds
 )
 
@@ -115,6 +117,8 @@ var kindNames = [nEventKinds]string{
 	EvReplRepair:       "repl.repair",
 	EvReplFallback:     "repl.fallback",
 	EvReplTombstone:    "repl.tombstone",
+	EvReplStampClamp:   "repl.stamp_clamp",
+	EvReplPurge:        "repl.purge",
 }
 
 func (k EventKind) String() string {
