@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs|cluster|replication|grayfail] [-quick] [-trace-out trace.json]
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs|cluster|replication|grayfail|crossopt] [-quick] [-json] [-trace-out trace.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +20,27 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs, cluster, replication, grayfail")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs, cluster, replication, grayfail, crossopt")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
+	jsonOut := flag.Bool("json", false, "emit the report struct as indented JSON instead of a table (crossopt/cluster/replication)")
 	traceOut := flag.String("trace-out", "", "with -exp obs: write a Chrome trace_event JSON of one instrumented run (open in chrome://tracing or Perfetto)")
 	flag.Parse()
+
+	// emit prints rep as a table, or as indented JSON under -json.
+	emit := func(rep interface{ String() string }) int {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return 0
+		}
+		fmt.Println(rep.String())
+		return 0
+	}
 
 	runOne := func(name string) int {
 		switch name {
@@ -142,7 +159,7 @@ func run() int {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
-			fmt.Println(rep.String())
+			return emit(rep)
 		case "replication":
 			cfg := bench.DefaultReplication()
 			if *quick {
@@ -156,7 +173,18 @@ func run() int {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
-			fmt.Println(rep.String())
+			return emit(rep)
+		case "crossopt":
+			cfg := bench.DefaultCrossOpt()
+			if *quick {
+				cfg.Iters = 200
+			}
+			rep, err := bench.CrossOpt(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return emit(rep)
 		case "grayfail":
 			cfg := bench.DefaultGrayFail()
 			if *quick {
@@ -204,7 +232,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs", "cluster", "replication", "grayfail"} {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs", "cluster", "replication", "grayfail", "crossopt"} {
 			if rc := runOne(name); rc != 0 {
 				return rc
 			}

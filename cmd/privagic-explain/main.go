@@ -35,6 +35,7 @@ import (
 	"privagic/internal/audit"
 	"privagic/internal/ir"
 	"privagic/internal/obs"
+	"privagic/internal/passes/crossing"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run() int {
 	entries := flag.String("entries", "", "comma-separated entry points")
 	runtimeAudit := flag.Bool("audit", false, "run the entries under the full boundary defense and report per-load classification")
 	metrics := flag.Bool("metrics", false, "run the entries with the metrics registry armed and print the snapshot (see OBSERVABILITY.md)")
+	crossings := flag.Bool("crossings", false, "print the static crossing-cost report per entry (every spawn/cont/barrier edge weighted by loop depth and trip count); with -entries, also run each entry under the tracer and print the measured crossings/op next to the prediction")
+	optimize := flag.Bool("optimize", false, "apply the crossing optimizer (fuse/coalesce/merge) before reporting; implies strict re-validation of the rewritten plan")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: privagic-explain [flags] file.c")
@@ -131,6 +134,59 @@ func run() int {
 		if rc := runMetrics(flag.Arg(0), string(src), opts); rc != 0 {
 			return rc
 		}
+	}
+	if *crossings {
+		if rc := runCrossings(flag.Arg(0), string(src), opts, *optimize); rc != 0 {
+			return rc
+		}
+	}
+	return 0
+}
+
+// runCrossings prints the interprocedural crossing-cost report: every
+// boundary edge of every entry with its static predicted crossings/op,
+// and — when entries are runnable — the tracer-measured figure beside it.
+func runCrossings(file, src string, opts privagic.Options, optimize bool) int {
+	opts.OptimizeCrossings = optimize
+	prog, err := privagic.Compile(file, src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if optimize {
+		fmt.Printf("\ncrossing optimizer: %s\n", prog.CrossingOpt.Summary())
+	}
+	reports := prog.CrossingReports(nil)
+	names := make([]string, 0, len(reports))
+	for n := range reports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	runnable := map[string]bool{}
+	for _, e := range opts.Entries {
+		runnable[e] = true
+	}
+	for _, n := range names {
+		rep := reports[n]
+		var measured map[crossing.EdgeKey]float64
+		if runnable[n] {
+			inst := prog.Instantiate(nil)
+			inst.EnableObservability(privagic.ObservabilityOptions{Trace: true, TraceBuffer: 1 << 14})
+			_, callErr := inst.Call(n)
+			if callErr == nil {
+				var sends []crossing.TraceSend
+				for _, ev := range inst.TraceEvents() {
+					if ev.Kind == obs.EvSend {
+						sends = append(sends, crossing.TraceSend{Chunk: int(ev.Chunk), Tag: int(ev.Tag), Dst: int(ev.Worker)})
+					}
+				}
+				measured = crossing.MeasuredEdges(sends, rep.OpsPerCall)
+			}
+			inst.Close()
+		}
+		fmt.Printf("\ncrossing report — entry %s (%.0f ops/call modeled)\n", n, rep.OpsPerCall)
+		fmt.Print(indent(rep.Table(measured), "  "))
+		fmt.Println()
 	}
 	return 0
 }

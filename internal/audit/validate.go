@@ -372,12 +372,12 @@ func (st *chunkState) callResultColor(c *ir.Call) ir.Color {
 		return untrusted()
 	}
 	switch callee.FName {
-	case partition.IntrWait, partition.IntrJoin:
+	case partition.IntrWait, partition.IntrJoin, partition.IntrWaitV, partition.IntrElem:
 		// Queue payloads are runtime-authenticated (integrity stamps);
 		// statically they are sanctioned crossings recorded in the
 		// boundary report, and their content is treated as Free.
 		return ir.F
-	case partition.IntrSpawn, partition.IntrSend:
+	case partition.IntrSpawn, partition.IntrSend, partition.IntrSendV:
 		return ir.F // void
 	}
 	if tch := st.v.chunkOf[callee]; tch != nil {
@@ -522,12 +522,24 @@ func (st *chunkState) checkCall(call *ir.Call, pos ir.Pos, key, name string) {
 		st.checkSend(call, pos, key, name)
 	case partition.IntrSpawn:
 		st.checkSpawn(call, pos, key, name)
-	case partition.IntrWait:
+	case partition.IntrSendV:
+		st.checkSendV(call, pos, key, name)
+	case partition.IntrWait, partition.IntrWaitV:
 		if tag, ok := constArg(call, 0); !ok {
-			v.errorf(ErrPlan, pos, key, name, nil, "__pv_wait with a non-constant tag")
+			v.errorf(ErrPlan, pos, key, name, nil, "%s with a non-constant tag", callee.FName)
 		} else if tag < 1 || int(tag) > v.maxTag {
 			v.errorf(ErrPlan, pos, key, name, nil,
-				"__pv_wait tag %d outside the allocated range [1, %d]", tag, v.maxTag)
+				"%s tag %d outside the allocated range [1, %d]", callee.FName, tag, v.maxTag)
+		}
+	case partition.IntrElem:
+		if tag, ok := constArg(call, 0); !ok {
+			v.errorf(ErrPlan, pos, key, name, nil, "__pv_elem with a non-constant tag")
+		} else if tag < 1 || int(tag) > v.maxTag {
+			v.errorf(ErrPlan, pos, key, name, nil,
+				"__pv_elem tag %d outside the allocated range [1, %d]", tag, v.maxTag)
+		}
+		if idx, ok := constArg(call, 1); !ok || idx < 0 {
+			v.errorf(ErrPlan, pos, key, name, nil, "__pv_elem index must be a non-negative constant")
 		}
 	case partition.IntrJoin:
 		if n, ok := constArg(call, 0); !ok || n < 1 {
@@ -536,9 +548,11 @@ func (st *chunkState) checkCall(call *ir.Call, pos ir.Pos, key, name string) {
 	default:
 		if tch := v.chunkOf[callee]; tch != nil {
 			if tch.Color != c && !tch.Part.Replicated {
-				v.errorf(ErrPlan, pos, key, name, nil,
-					"chunk of color %s direct-calls chunk %s of color %s; direct calls stay within a color (§7.3.2)",
-					c, tch.Name(), tch.Color)
+				if reason := v.fusedCallBlocker(tch); reason != "" {
+					v.errorf(ErrPlan, pos, key, name, nil,
+						"chunk of color %s direct-calls chunk %s of color %s; direct calls stay within a color unless the callee is a fused message-free unsafe chunk (%s) (§7.3.2)",
+						c, tch.Name(), tch.Color, reason)
+				}
 			}
 			return
 		}
@@ -586,6 +600,86 @@ func (st *chunkState) checkSend(call *ir.Call, pos ir.Pos, key, name string) {
 				call.Args[2].Name(), pc)
 		}
 	}
+}
+
+// checkSendV re-proves one vectored cont-message construction: the same
+// rules as __pv_send, applied to every element of the vector payload.
+func (st *chunkState) checkSendV(call *ir.Call, pos ir.Pos, key, name string) {
+	v := st.v
+	if v.prog.Mode == typing.Hardened {
+		v.errorf(ErrPlan, pos, key, name, nil,
+			"hardened chunk emits a vectored cont message; cont messages cannot carry Free values in hardened mode (§7.3.2)")
+	}
+	dst, ok := constArg(call, 0)
+	if !ok {
+		v.errorf(ErrPlan, pos, key, name, nil, "__pv_sendv with a non-constant destination")
+	} else if dst < 0 || int(dst) > len(v.prog.Colors) {
+		v.errorf(ErrPlan, pos, key, name, nil,
+			"__pv_sendv destination %d outside the color range [0, %d]", dst, len(v.prog.Colors))
+	}
+	if tag, tok := constArg(call, 1); !tok {
+		v.errorf(ErrPlan, pos, key, name, nil, "__pv_sendv with a non-constant tag")
+	} else if tag < 1 || int(tag) > v.maxTag {
+		v.errorf(ErrPlan, pos, key, name, nil,
+			"__pv_sendv tag %d outside the allocated range [1, %d]", tag, v.maxTag)
+	}
+	if len(call.Args) < 3 {
+		v.errorf(ErrPlan, pos, key, name, nil, "__pv_sendv carries an empty vector; a plain __pv_send would do")
+	}
+	for i, arg := range call.Args[2:] {
+		if pc := st.colorOf(arg); pc.IsEnclave() {
+			v.errorf(ErrConfidentiality, pos, key, name, st.trace(arg, pc,
+				fmt.Sprintf("sink: %s-colored payload placed in a vectored cont message", pc)),
+				"vectored cont message element %d (%s) carries enclave color %s; messages travel through untrusted queues (§7.3.2)",
+				i, arg.Name(), pc)
+		}
+	}
+}
+
+// fusedCallBlocker independently re-proves the fused-call exception to
+// the stay-within-a-color rule: a cross-color direct call is legal only
+// in relaxed mode, only onto an unsafe chunk, and only when that chunk's
+// body provably exchanges no messages of its own — no intrinsics, no
+// calls into other chunks, no sanctioned boundary copies, no split
+// allocations. The optimizer derives the same fact before fusing; this
+// is the translation validator's own derivation, not a shared one.
+func (v *validator) fusedCallBlocker(tch *partition.Chunk) string {
+	if v.prog.Mode == typing.Hardened {
+		return "fused calls are illegal in hardened mode"
+	}
+	if !tch.Color.IsUntrusted() {
+		return fmt.Sprintf("callee runs in enclave %s", tch.Color)
+	}
+	blocked := ""
+	tch.Fn.Instrs(func(_ *ir.Block, in ir.Instr) {
+		if blocked != "" {
+			return
+		}
+		switch x := in.(type) {
+		case *ir.Call:
+			fn, direct := x.Callee.(*ir.Function)
+			if !direct {
+				blocked = "callee body contains an indirect call"
+				return
+			}
+			switch fn.FName {
+			case partition.IntrSpawn, partition.IntrSend, partition.IntrSendV,
+				partition.IntrWait, partition.IntrWaitV, partition.IntrJoin, partition.IntrElem:
+				blocked = fmt.Sprintf("callee body exchanges messages (%s)", fn.FName)
+			case "classify", "declassify", "classify_key":
+				blocked = fmt.Sprintf("callee body contains a sanctioned boundary copy (@%s)", fn.FName)
+			default:
+				if v.chunkOf[fn] != nil {
+					blocked = fmt.Sprintf("callee body calls another chunk (%s)", fn.FName)
+				}
+			}
+		case *ir.Malloc:
+			if s, ok := x.Elem.(*ir.StructType); ok && v.prog.Splits[s.Name] != nil {
+				blocked = fmt.Sprintf("callee body allocates split struct %%%s", s.Name)
+			}
+		}
+	})
+	return blocked
 }
 
 // checkSpawn re-proves one spawn-message construction: a valid target
@@ -746,13 +840,13 @@ func (v *validator) checkMessagePlan(pf *partition.PartFunc) {
 				return
 			}
 			switch callee.FName {
-			case partition.IntrSend:
+			case partition.IntrSend, partition.IntrSendV:
 				dst, dok := constArg(call, 0)
 				tag, tok := constArg(call, 1)
 				if dok && tok {
 					sends[sendRec{int(dst), int(tag)}] = append(sends[sendRec{int(dst), int(tag)}], call.InstrPos())
 				}
-			case partition.IntrWait:
+			case partition.IntrWait, partition.IntrWaitV:
 				if tag, tok := constArg(call, 0); tok {
 					waits[sendRec{myIdx, int(tag)}] = append(waits[sendRec{myIdx, int(tag)}], call.InstrPos())
 				}

@@ -179,3 +179,17 @@ func TestFig3(t *testing.T) {
 		t.Errorf("privagic error does not mention the color: %s", rep.PrivagicError)
 	}
 }
+
+// TestCrossOptGate runs the crossing-optimizer experiment at reduced
+// scale: CrossOpt itself enforces the differential match and the ≥25%
+// measured-reduction gate, so a nil error is the acceptance criterion.
+func TestCrossOptGate(t *testing.T) {
+	rep, err := CrossOpt(CrossOptConfig{Iters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fused < 1 || rep.Coalesced < 1 || rep.Merged < 1 {
+		t.Errorf("expected all three rewrites to fire, got fused=%d coalesced=%d merged=%d",
+			rep.Fused, rep.Coalesced, rep.Merged)
+	}
+}

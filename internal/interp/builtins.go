@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"privagic/internal/ir"
+	"privagic/internal/obs"
 	"privagic/internal/partition"
 	"privagic/internal/prt"
 )
@@ -76,9 +77,62 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 	case partition.IntrSend:
 		w.SendCont(int(args[0].i), int(args[1].i), args[2])
 		return val{}
+	case partition.IntrSendV:
+		// Vectored cont (crossing optimizer): one message carries the
+		// values of every coalesced transport.
+		vec := make([]any, len(args)-2)
+		for i, a := range args[2:] {
+			vec[i] = a
+		}
+		tag := int(args[1].i)
+		w.SendCont(int(args[0].i), tag, vec)
+		ip.cross.vecSends.Add(1)
+		ip.RT.Tracer.Record(obs.EvVecSend, w.Index, 0, tag, 0, int64(len(vec)))
+		return val{}
+	case partition.IntrWaitV:
+		tag := int(args[0].i)
+		p, err := w.Wait(tag)
+		if err != nil {
+			panic(runtimeErr{err})
+		}
+		ip.snapBarrier(w)
+		vec, ok := p.([]any)
+		if !ok {
+			panic(runtimeErr{fmt.Errorf("interp: waitv(%d) received a non-vector payload %T", tag, p)})
+		}
+		ip.vecMu.Lock()
+		ip.vecStash[[2]int{w.Index, tag}] = vec
+		ip.vecMu.Unlock()
+		ip.cross.vecWaits.Add(1)
+		ip.RT.Tracer.Record(obs.EvVecWait, w.Index, 0, tag, 0, int64(len(vec)))
+		if len(vec) > 0 {
+			if v, ok := vec[0].(val); ok {
+				return v
+			}
+		}
+		return val{}
+	case partition.IntrElem:
+		tag, idx := int(args[0].i), int(args[1].i)
+		ip.vecMu.Lock()
+		vec := ip.vecStash[[2]int{w.Index, tag}]
+		ip.vecMu.Unlock()
+		if idx < 0 || idx >= len(vec) {
+			panic(runtimeErr{fmt.Errorf("interp: elem(%d, %d) outside the received vector (len %d)", tag, idx, len(vec))})
+		}
+		ip.cross.elemReads.Add(1)
+		if v, ok := vec[idx].(val); ok {
+			return v
+		}
+		return val{}
 	}
 	if !fn.External {
-		// Direct call to another chunk on the same worker.
+		// Direct call to another chunk on the same worker: the normal
+		// same-color case, or the crossing optimizer's fused form (a
+		// message-free unsafe chunk inlined into its spawner's worker).
+		if ch := ip.chunkOf[fn]; ch != nil && ip.Prog.ColorIndex(ch.Color) != w.Index {
+			ip.cross.fusedCalls.Add(1)
+			ip.RT.Tracer.Record(obs.EvFusedCall, w.Index, ch.ID, 0, 0, 0)
+		}
 		return ip.runFn(w, fn, args)
 	}
 	return ip.builtin(w, fn, t, args)

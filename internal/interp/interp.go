@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"privagic/internal/ir"
 	"privagic/internal/partition"
@@ -79,6 +80,25 @@ type Interp struct {
 	boundary BoundaryConfig
 	bobs     BoundaryObserver
 	bStats   boundaryCounters
+
+	// chunkOf resolves a chunk body back to its chunk, so a direct call
+	// into a differently-colored body (the crossing optimizer's fused
+	// form) can be counted and traced.
+	chunkOf map[*ir.Function]*partition.Chunk
+	// cross counts the crossing optimizer's runtime effects (cross.*
+	// metrics); vecMu/vecStash hold the last vector received per
+	// (worker, tag) for the __pv_elem intrinsic.
+	cross    crossCounters
+	vecMu    sync.Mutex
+	vecStash map[[2]int][]any
+}
+
+// crossCounters back the cross.* metric gauges.
+type crossCounters struct {
+	vecSends   atomic.Int64
+	vecWaits   atomic.Int64
+	elemReads  atomic.Int64
+	fusedCalls atomic.Int64
 }
 
 // runtimeErr carries an execution error through panics.
@@ -95,6 +115,11 @@ func New(prog *partition.Program, machine *sgx.Machine) *Interp {
 		globals:    map[*ir.Global]uint64{},
 		layouts:    map[string]*splitLayout{},
 		ifaceIndex: map[string]int{},
+		chunkOf:    map[*ir.Function]*partition.Chunk{},
+		vecStash:   map[[2]int][]any{},
+	}
+	for _, ch := range prog.ChunkByID {
+		ip.chunkOf[ch.Fn] = ch
 	}
 	ip.RT = prt.New(machine, colors, ip.execChunk)
 	ip.computeLayouts()

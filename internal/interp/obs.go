@@ -24,4 +24,8 @@ func (ip *Interp) EnableObservability(reg *obs.Registry, tr *obs.Tracer) {
 	reg.Gauge("interp.boundary.unsafe_loads", ip.bStats.unsafeLoads.Load)
 	reg.Gauge("interp.boundary.sanitize_checks", ip.bStats.sanChecks.Load)
 	reg.Gauge("interp.boundary.violations", ip.bStats.violations.Load)
+	reg.Gauge("cross.vector_sends", ip.cross.vecSends.Load)
+	reg.Gauge("cross.vector_waits", ip.cross.vecWaits.Load)
+	reg.Gauge("cross.elem_reads", ip.cross.elemReads.Load)
+	reg.Gauge("cross.fused_calls", ip.cross.fusedCalls.Load)
 }

@@ -17,6 +17,12 @@
 //     is dropped by the supervised receive path. EnqueueRaw is the
 //     deliberate injection seam for the fault harness and is exempt.
 //
+//   - rawsleep: inside internal/cluster, internal/prt and
+//     internal/retry, non-test code must not call bare time.Sleep; a
+//     raw sleep serves out its full duration during shutdown and stalls
+//     Close. The context-aware retry.Policy.Sleep is the sanctioned
+//     primitive (its own nil-ctx fallback is the one exempt site).
+//
 //   - docmetric: the obs.Catalog literal, the registration call sites,
 //     and the tables in OBSERVABILITY.md must agree on every metric and
 //     trace-event name, in both directions (see docmetric.go).
@@ -103,6 +109,66 @@ func lintFile(fset *token.FileSet, rel string, file *ast.File) []Issue {
 	}
 	if strings.HasSuffix(dir, "internal/prt") {
 		issues = append(issues, rawsend(fset, file)...)
+	}
+	for _, d := range []string{"internal/cluster", "internal/prt", "internal/retry"} {
+		if strings.HasSuffix(dir, d) {
+			issues = append(issues, rawsleep(fset, file)...)
+			break
+		}
+	}
+	return issues
+}
+
+// rawsleep flags bare time.Sleep calls in the runtime packages whose
+// goroutines must stay cancelable: a raw sleep serves out its full
+// duration even when the owner is shutting down, stalling Close. The
+// context-aware retry.Policy.Sleep is the sanctioned primitive; its own
+// nil-context fallback (the method named Sleep) is the one exempt site,
+// mirroring rawsend's EnqueueRaw seam.
+func rawsleep(fset *token.FileSet, file *ast.File) []Issue {
+	timePkg := ""
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != "time" {
+			continue
+		}
+		timePkg = "time"
+		if imp.Name != nil {
+			timePkg = imp.Name.Name
+		}
+	}
+	if timePkg == "" || timePkg == "_" {
+		return nil
+	}
+	var issues []Issue
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Name.Name == "Sleep" {
+			// The context-aware wrapper itself: its nil-ctx branch is
+			// the one place a bare sleep is the documented semantics.
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == timePkg {
+				issues = append(issues, Issue{
+					Pos:      fset.Position(call.Pos()),
+					Analyzer: "rawsleep",
+					Msg:      "bare time.Sleep in a cancelable runtime package; use retry.Policy.Sleep(ctx, n) so shutdown never stalls on a sleeping goroutine",
+				})
+			}
+			return true
+		})
 	}
 	return issues
 }

@@ -91,8 +91,7 @@ func f(q *queue) {
 	var m Message
 	q.Enqueue(m) // non-literal: the send path stamps it
 }
-`,
-		// Outside internal/prt the Message type is someone else's.
+`,		// Outside internal/prt the Message type is someone else's.
 		"internal/other/q.go": `package other
 func f(q *queue) { q.Enqueue(Message{Kind: 1}) }
 `,
@@ -107,6 +106,56 @@ func f(q *queue) { q.Enqueue(Message{Kind: 1}) }
 	for _, i := range issues {
 		if i.Analyzer != "rawsend" || filepath.ToSlash(i.Pos.Filename) != "internal/prt/q.go" {
 			t.Errorf("unexpected issue: %v", i)
+		}
+	}
+}
+
+func TestRawsleep(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// Flagged: bare sleeps in each guarded package, aliased import too.
+		"internal/cluster/c.go": `package cluster
+import "time"
+func probe() { time.Sleep(time.Second) }
+`,
+		"internal/prt/w.go": `package prt
+import t "time"
+func spin() { t.Sleep(t.Millisecond) }
+`,
+		// Exempt: the context-aware wrapper's own fallback lives in a
+		// function named Sleep.
+		"internal/retry/r.go": `package retry
+import "time"
+func (p Policy) Sleep(d int) { time.Sleep(time.Duration(d)) }
+`,
+		// Test files and packages outside the guarded set are not linted.
+		"internal/cluster/c_test.go": `package cluster
+import "time"
+func wait() { time.Sleep(time.Second) }
+`,
+		"internal/bench/b.go": `package bench
+import "time"
+func pause() { time.Sleep(time.Second) }
+`,
+	})
+	issues, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, i := range issues {
+		if i.Analyzer != "rawsleep" {
+			t.Errorf("unexpected analyzer: %v", i)
+			continue
+		}
+		got = append(got, filepath.ToSlash(i.Pos.Filename))
+	}
+	want := []string{"internal/cluster/c.go", "internal/prt/w.go"}
+	if len(got) != len(want) {
+		t.Fatalf("rawsleep issues in %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("issue %d in %s, want %s", i, got[i], want[i])
 		}
 	}
 }

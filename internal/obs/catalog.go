@@ -155,6 +155,13 @@ var Catalog = []MetricDef{
 	{Name: "chaos.hangs", Type: "counter", Unit: "1", Subsystem: "faults", Help: "shards hung mid-run (responses stalled past client deadlines)"},
 	{Name: "chaos.respawns", Type: "counter", Unit: "1", Subsystem: "faults", Help: "killed shards respawned with a cold store and a fresh epoch"},
 
+	// crossing optimizer runtime effects (internal/passes/crossing;
+	// gauges over interpreter counters, DESIGN.md §17).
+	{Name: "cross.vector_sends", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "vectored cont messages sent (each replaces several adjacent reference-plan conts)"},
+	{Name: "cross.vector_waits", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "vectored cont messages received and stashed for element reads"},
+	{Name: "cross.elem_reads", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "element reads served from a stashed vectored cont (no message traffic)"},
+	{Name: "cross.fused_calls", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "direct calls into a fused message-free unsafe chunk executed on the spawner's worker"},
+
 	// the tracer's own accounting.
 	{Name: "obs.trace_events", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "trace events recorded since the tracer was armed"},
 	{Name: "obs.trace_dropped", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "recorded events already overwritten by ring wraparound"},

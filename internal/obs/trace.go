@@ -67,6 +67,9 @@ const (
 	EvReplTombstone
 	EvReplStampClamp
 	EvReplPurge
+	EvVecSend
+	EvVecWait
+	EvFusedCall
 	nEventKinds
 )
 
@@ -119,6 +122,9 @@ var kindNames = [nEventKinds]string{
 	EvReplTombstone:    "repl.tombstone",
 	EvReplStampClamp:   "repl.stamp_clamp",
 	EvReplPurge:        "repl.purge",
+	EvVecSend:          "cross.sendv",
+	EvVecWait:          "cross.waitv",
+	EvFusedCall:        "cross.fused_call",
 }
 
 func (k EventKind) String() string {

@@ -25,6 +25,9 @@ func (p *Program) declareIntrinsics() {
 	p.intrWait = mk(IntrWait, ir.I64)
 	p.intrJoin = mk(IntrJoin, ir.I64, ir.I64)
 	p.intrSend = mk(IntrSend, ir.Void, ir.I64, ir.I64)
+	p.intrSendV = mk(IntrSendV, ir.Void, ir.I64, ir.I64)
+	p.intrWaitV = mk(IntrWaitV, ir.I64, ir.I64)
+	p.intrElem = mk(IntrElem, ir.I64, ir.I64, ir.I64)
 }
 
 // ensureChunk returns the chunk of pf for color c, creating its shell on

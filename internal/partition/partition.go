@@ -32,6 +32,19 @@ const (
 	// payload of the completion flagged as carrying the result:
 	// __pv_join(n).
 	IntrJoin = "__pv_join"
+	// IntrSendV is the vectored form of IntrSend emitted by the crossing
+	// optimizer (internal/passes/crossing): one cont message carrying n
+	// values that the reference plan shipped as n adjacent conts.
+	// __pv_sendv(colorIdx, tag, v1, ..., vn).
+	IntrSendV = "__pv_sendv"
+	// IntrWaitV receives a vectored cont: it blocks like IntrWait,
+	// stashes the payload vector under (worker, tag) and returns element
+	// 0. The remaining elements are read with IntrElem.
+	// __pv_waitv(tag) -> v1.
+	IntrWaitV = "__pv_waitv"
+	// IntrElem reads element i of the vector most recently received by
+	// IntrWaitV for the same tag on this worker. __pv_elem(tag, i) -> vi.
+	IntrElem = "__pv_elem"
 	// IntrSend sends a cont message to a sibling chunk of the same
 	// invocation: __pv_send(colorID, value).
 	IntrSend = "__pv_send"
@@ -139,6 +152,9 @@ type Program struct {
 	intrWait  *ir.Function
 	intrJoin  *ir.Function
 	intrSend  *ir.Function
+	intrSendV *ir.Function
+	intrWaitV *ir.Function
+	intrElem  *ir.Function
 }
 
 // Intrinsic returns the runtime intrinsic declaration with the given name
@@ -153,8 +169,24 @@ func (p *Program) Intrinsic(name string) *ir.Function {
 		return p.intrJoin
 	case IntrSend:
 		return p.intrSend
+	case IntrSendV:
+		return p.intrSendV
+	case IntrWaitV:
+		return p.intrWaitV
+	case IntrElem:
+		return p.intrElem
 	}
 	return nil
+}
+
+// AllocTag hands out a fresh cont-message tag. The crossing optimizer uses
+// it when it replaces a run of adjacent transports with one vectored
+// message; keeping the allocation here preserves the invariant that every
+// tag in a chunk body is below MaxTag (the audit validator range-checks
+// against it).
+func (p *Program) AllocTag() int {
+	p.nextTag++
+	return p.nextTag
 }
 
 // Transports exposes the cross-chunk value transport plan of a partitioned

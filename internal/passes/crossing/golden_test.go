@@ -1,0 +1,123 @@
+package crossing_test
+
+// Golden-file tests for the -crossings surface: every shared example
+// program's static crossing-cost report is rendered exactly as
+// privagic-explain prints it — once for the reference partition and once
+// after the crossing optimizer, with the optimizer's rewrite/rejection
+// summary in between. Run with -update to rewrite the expectations after
+// an intentional change to the analyzer, the estimator, or the optimizer.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"privagic"
+	"privagic/internal/sources"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPrograms mirrors the audit package's five-example corpus.
+var goldenPrograms = []struct {
+	name    string
+	src     string
+	entries []string
+}{
+	{"figure6", sources.Figure6, []string{"main"}},
+	{"wallet", sources.Wallet, nil},
+	{"figure3b", sources.Figure3b, nil},
+	{"hashmap2", sources.HashmapColored2, []string{"run_ycsb"}},
+	{"memcached", sources.MemcachedCoreColored, []string{"run_ycsb"}},
+}
+
+func TestGoldenCrossings(t *testing.T) {
+	for _, p := range goldenPrograms {
+		t.Run(p.name, func(t *testing.T) {
+			got := render(p.name, p.src, p.entries)
+			path := filepath.Join("testdata", p.name+"_crossings.golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/passes/crossing -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("crossing report changed; diff against %s:\n%s", path, diff(string(want), got))
+			}
+		})
+	}
+}
+
+// render produces the deterministic -crossings view of one program in
+// relaxed mode: the reference report, the optimizer summary with every
+// rejection reason, and the optimized report.
+func render(name, src string, entries []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s — relaxed mode\n", name)
+	opts := privagic.Options{Mode: privagic.Relaxed, Entries: entries}
+
+	prog, err := privagic.Compile(name+".c", src, opts)
+	if err != nil {
+		fmt.Fprintf(&b, "compile error: %v\n", err)
+		return b.String()
+	}
+	writeReports(&b, prog)
+
+	opts.OptimizeCrossings = true
+	oprog, err := privagic.Compile(name+".c", src, opts)
+	if err != nil {
+		fmt.Fprintf(&b, "optimized compile error: %v\n", err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "optimizer: %s\n", oprog.CrossingOpt.Summary())
+	for _, rej := range oprog.CrossingOpt.Rejected {
+		fmt.Fprintf(&b, "  reject [%s] %s: %s\n", rej.Kind, rej.Where, rej.Reason)
+	}
+	writeReports(&b, oprog)
+	return b.String()
+}
+
+func writeReports(b *strings.Builder, prog *privagic.Program) {
+	reports := prog.CrossingReports(nil)
+	names := make([]string, 0, len(reports))
+	for n := range reports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b.WriteString(reports[n].Table(nil))
+	}
+}
+
+// diff renders a small line diff (enough to read in test output).
+func diff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,303 @@
+// Package crossing is the static crossing-cost analyzer and the partition
+// optimizer built on top of it (DESIGN.md §17). The analyzer side computes
+// dominator-based natural loops and per-block execution frequencies over
+// chunk bodies, then prices every message site — spawn, done, cont
+// transport, waiter cont, visible-effect barrier, split-struct allocation —
+// against the calibrated SGX cost model, producing a per-entry
+// CrossingReport of predicted crossings/op. The optimizer side (optimize.go)
+// uses the same facts to fuse message-free unsafe chunks into their
+// spawners, coalesce adjacent transports into vectored conts, and merge
+// adjacent effect barriers, with every rewrite re-proved by internal/audit.
+package crossing
+
+import (
+	"privagic/internal/ir"
+)
+
+// Loop is one natural loop: a dominator back edge's header plus every
+// block that reaches a latch without passing the header. Loops sharing a
+// header are merged.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	Latch  []*ir.Block
+	Parent *Loop
+	// Depth is the nesting depth, 1 for an outermost loop.
+	Depth int
+
+	// Trip is the estimated iteration count per loop entry. KnownTrip
+	// marks the counted-loop pattern (phi over a constant init stepped
+	// by a constant, compared against a constant bound) where Trip is
+	// exact, not a heuristic.
+	Trip      float64
+	KnownTrip bool
+	// Search marks an unknown-trip loop with an exit edge leaving from a
+	// non-header block (the while(p){ if(hit) return; p=p->next } shape):
+	// probe loops usually terminate early, so their header fall-off exit
+	// is treated as cold (Estimator.ColdExit).
+	Search bool
+}
+
+// Contains reports whether b is inside the loop body (header included).
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// LoopInfo is the per-function loop nest.
+type LoopInfo struct {
+	Loops    []*Loop
+	ByHeader map[*ir.Block]*Loop
+	// Innermost maps each block to the innermost loop containing it (nil
+	// for straight-line blocks).
+	Innermost map[*ir.Block]*Loop
+	dom       *ir.DomTree
+}
+
+// Depth returns the loop nesting depth of b (0 for straight-line code).
+func (li *LoopInfo) Depth(b *ir.Block) int {
+	if l := li.Innermost[b]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// isBackEdge reports whether src→dst closes a natural loop.
+func (li *LoopInfo) isBackEdge(src, dst *ir.Block) bool {
+	l := li.ByHeader[dst]
+	return l != nil && l.Blocks[src]
+}
+
+// AnalyzeLoops detects the natural loops of fn. The caller must have run
+// fn.ComputeCFG (chunk bodies always have; the analyzer recomputes
+// defensively before calling this).
+func AnalyzeLoops(fn *ir.Function) *LoopInfo {
+	li := &LoopInfo{
+		ByHeader:  map[*ir.Block]*Loop{},
+		Innermost: map[*ir.Block]*Loop{},
+	}
+	if len(fn.Blocks) == 0 {
+		return li
+	}
+	li.dom = ir.Dominators(fn)
+
+	// Back edges: a→h where h dominates a. Merge loops per header.
+	for _, a := range fn.Blocks {
+		for _, h := range a.Succs() {
+			if !li.dom.Dominates(h, a) {
+				continue
+			}
+			l := li.ByHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[*ir.Block]bool{h: true}}
+				li.ByHeader[h] = l
+				li.Loops = append(li.Loops, l)
+			}
+			l.Latch = append(l.Latch, a)
+			// Body: reverse-reachable from the latch without
+			// passing the header.
+			stack := []*ir.Block{a}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[b] {
+					continue
+				}
+				l.Blocks[b] = true
+				stack = append(stack, b.Preds()...)
+			}
+		}
+	}
+
+	// Nesting: parent = smallest strictly-containing loop.
+	for _, l := range li.Loops {
+		for _, m := range li.Loops {
+			if m == l || !m.Blocks[l.Header] || len(m.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if l.Parent == nil || len(m.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = m
+			}
+		}
+	}
+	for _, l := range li.Loops {
+		l.Depth = 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+	}
+	// Innermost loop per block: the containing loop with the fewest
+	// blocks wins.
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			cur := li.Innermost[b]
+			if cur == nil || len(l.Blocks) < len(cur.Blocks) {
+				li.Innermost[b] = l
+			}
+		}
+	}
+
+	for _, l := range li.Loops {
+		estimateTrip(l)
+	}
+	return li
+}
+
+// estimateTrip classifies the loop: counted (exact trip), search
+// (early-exit probe), or plain unknown. The counted pattern is the one the
+// front end emits for `for (i = C0; i < N; i = i + S)`: a header phi over
+// [C0, preheader] and [inc, latch] with inc = phi + S, compared against a
+// constant bound by the header's exiting CondBr.
+func estimateTrip(l *Loop) {
+	if n, ok := countedTrip(l); ok {
+		l.Trip = n
+		l.KnownTrip = true
+		return
+	}
+	// An exit edge leaving from a non-header block marks the search
+	// shape (early-return probe bodies branch straight to a block that
+	// never reaches the latch, e.g. a return block).
+	for b := range l.Blocks {
+		if b == l.Header {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] {
+				l.Search = true
+			}
+		}
+	}
+}
+
+// countedTrip matches the constant-bound counted loop and returns its
+// exact iteration count.
+func countedTrip(l *Loop) (float64, bool) {
+	h := l.Header
+	cb, ok := h.Terminator().(*ir.CondBr)
+	if !ok {
+		return 0, false
+	}
+	// Exactly one successor must leave the loop.
+	thenIn, elseIn := l.Blocks[cb.Then], l.Blocks[cb.Else]
+	if thenIn == elseIn {
+		return 0, false
+	}
+	cmp, ok := cb.Cond.(*ir.Cmp)
+	if !ok || cmp.Parent() != h {
+		return 0, false
+	}
+	// The front end wraps every condition for truthiness as
+	// `cmp ne (cast inner to i64), 0`; look through the wrapper to the
+	// comparison that actually mentions the induction variable.
+	for cmp.Pred == ir.CmpNe {
+		z, zok := cmp.Y.(*ir.ConstInt)
+		if !zok || z.V != 0 {
+			break
+		}
+		inner := cmp.X
+		if cast, cok := inner.(*ir.Cast); cok {
+			inner = cast.Val
+		}
+		ic, iok := inner.(*ir.Cmp)
+		if !iok || ic.Parent() != h {
+			break
+		}
+		cmp = ic
+	}
+	// Normalize to (iv, pred, bound) with the induction side on the left.
+	iv, pred, bound := cmp.X, cmp.Pred, cmp.Y
+	if _, isConst := cmp.X.(*ir.ConstInt); isConst {
+		iv, bound = cmp.Y, cmp.X
+		switch pred {
+		case ir.CmpLt:
+			pred = ir.CmpGt
+		case ir.CmpLe:
+			pred = ir.CmpGe
+		case ir.CmpGt:
+			pred = ir.CmpLt
+		case ir.CmpGe:
+			pred = ir.CmpLe
+		}
+	}
+	bc, ok := bound.(*ir.ConstInt)
+	if !ok {
+		return 0, false
+	}
+	phi, ok := iv.(*ir.Phi)
+	if !ok || phi.Parent() != h {
+		return 0, false
+	}
+	// If the loop stays on the FALSE side the predicate is inverted.
+	if !l.Blocks[cb.Then] {
+		switch pred {
+		case ir.CmpLt:
+			pred = ir.CmpGe
+		case ir.CmpLe:
+			pred = ir.CmpGt
+		case ir.CmpGt:
+			pred = ir.CmpLe
+		case ir.CmpGe:
+			pred = ir.CmpLt
+		case ir.CmpEq:
+			pred = ir.CmpNe
+		case ir.CmpNe:
+			pred = ir.CmpEq
+		}
+	}
+	var init *ir.ConstInt
+	var step int64
+	stepOK := false
+	for _, e := range phi.Edges {
+		if l.Blocks[e.Pred] {
+			// Latch value: phi + const step (either operand order).
+			bo, ok := e.Val.(*ir.BinOp)
+			if !ok || (bo.Op != ir.OpAdd && bo.Op != ir.OpSub) {
+				return 0, false
+			}
+			var c *ir.ConstInt
+			if bo.X == ir.Value(phi) {
+				c, ok = bo.Y.(*ir.ConstInt)
+			} else if bo.Y == ir.Value(phi) && bo.Op == ir.OpAdd {
+				c, ok = bo.X.(*ir.ConstInt)
+			} else {
+				return 0, false
+			}
+			if !ok {
+				return 0, false
+			}
+			step = c.V
+			if bo.Op == ir.OpSub {
+				step = -step
+			}
+			stepOK = true
+		} else if c, ok := e.Val.(*ir.ConstInt); ok {
+			init = c
+		} else {
+			return 0, false
+		}
+	}
+	if init == nil || !stepOK || step == 0 {
+		return 0, false
+	}
+	span := bc.V - init.V
+	switch pred {
+	case ir.CmpLt:
+	case ir.CmpLe:
+		span++
+	case ir.CmpGt:
+		span = -span
+	case ir.CmpGe:
+		span = -span + 1
+	case ir.CmpNe:
+		if span%step != 0 {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	if pred == ir.CmpGt || pred == ir.CmpGe {
+		step = -step
+	}
+	if step <= 0 || span <= 0 {
+		return 0, false
+	}
+	trips := (span + step - 1) / step
+	return float64(trips), true
+}

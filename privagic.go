@@ -32,6 +32,7 @@ import (
 	"privagic/internal/obs"
 	"privagic/internal/partition"
 	"privagic/internal/passes"
+	"privagic/internal/passes/crossing"
 	"privagic/internal/prt"
 	"privagic/internal/sgx"
 	"privagic/internal/typing"
@@ -69,6 +70,14 @@ type Options struct {
 	// in Program.Audit without failing, and the zero value (AuditOff)
 	// skips the pass.
 	Audit audit.Level
+	// OptimizeCrossings runs the crossing-cost-guided partition
+	// optimizer after partitioning: message-free unsafe chunks fuse into
+	// their spawners, adjacent same-consumer conts coalesce into
+	// vectored messages, and adjacent barrier intervals merge. The
+	// optimized plan is always re-validated by the strict auditor —
+	// legality bugs in the optimizer become compile errors, never silent
+	// miscompiles — independent of the Audit level requested.
+	OptimizeCrossings bool
 }
 
 // Program is a compiled, type-checked and partitioned application.
@@ -80,6 +89,9 @@ type Program struct {
 	// was AuditOff): the re-proved boundary invariants and the
 	// whole-program boundary crossing report.
 	Audit *audit.Result
+	// CrossingOpt records what the crossing optimizer did (nil when
+	// Options.OptimizeCrossings was off).
+	CrossingOpt *crossing.OptResult
 }
 
 // Compile parses MiniC source, lowers it to SSA, runs the secure type
@@ -95,11 +107,32 @@ func Compile(filename, src string, opts Options) (*Program, error) {
 	if err := an.Err(); err != nil {
 		return nil, fmt.Errorf("privagic: secure typing: %w", err)
 	}
+	return finishProgram(mod, an, opts)
+}
+
+// finishProgram runs the backend common to Compile and CompileIR:
+// partitioning, the optional crossing optimizer (always followed by a
+// strict re-validation of the rewritten plan), and the requested audit
+// level.
+func finishProgram(mod *ir.Module, an *typing.Analysis, opts Options) (*Program, error) {
 	prog, err := partition.Partition(an)
 	if err != nil {
 		return nil, fmt.Errorf("privagic: partitioning: %w", err)
 	}
 	p := &Program{Module: mod, Analysis: an, Partitioned: prog}
+	if opts.OptimizeCrossings {
+		p.CrossingOpt = crossing.Optimize(prog)
+		// Translation validation of the rewrite: the optimizer's
+		// legality proofs are never trusted on their own.
+		res := audit.Run(prog)
+		if err := res.Err(); err != nil {
+			return nil, fmt.Errorf("privagic: crossing optimizer produced an invalid plan: %w", err)
+		}
+		if opts.Audit != audit.Off {
+			p.Audit = res
+		}
+		return p, nil
+	}
 	if err := p.runAudit(opts.Audit); err != nil {
 		return nil, err
 	}
@@ -120,6 +153,18 @@ func (p *Program) runAudit(level audit.Level) error {
 	return nil
 }
 
+// CrossingReports runs the static crossing-cost analysis: per entry
+// point, every spawn/cont/barrier/split edge weighted by loop depth and
+// estimated trip count, priced against the machine's cost model (nil
+// means machine B). Compare against measured traffic via
+// crossing.MeasuredEdges over TraceEvents.
+func (p *Program) CrossingReports(m *sgx.Machine) map[string]*crossing.Report {
+	if m == nil {
+		m = sgx.MachineB()
+	}
+	return crossing.Analyze(p.Partitioned, crossing.DefaultEstimator(), m.Cost)
+}
+
 // CompileIR skips the MiniC frontend and consumes textual IR directly —
 // the analogue of feeding the compiler an LLVM bitcode file (paper
 // Figure 5). The text format is what ir.Module.String prints.
@@ -133,15 +178,7 @@ func CompileIR(name, src string, opts Options) (*Program, error) {
 	if err := an.Err(); err != nil {
 		return nil, fmt.Errorf("privagic: secure typing: %w", err)
 	}
-	prog, err := partition.Partition(an)
-	if err != nil {
-		return nil, fmt.Errorf("privagic: partitioning: %w", err)
-	}
-	p := &Program{Module: mod, Analysis: an, Partitioned: prog}
-	if err := p.runAudit(opts.Audit); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return finishProgram(mod, an, opts)
 }
 
 // EmitIR returns the program's whole-module textual IR, re-consumable by
@@ -463,6 +500,12 @@ func (i *Instance) TraceDump(n int) string { return i.tracer.Dump(n) }
 // survive ring wraparound, so they are the surface the nightly soak
 // reconciles against MetricsSnapshot.
 func (i *Instance) TraceCounts() map[string]int64 { return i.tracer.Counts() }
+
+// TraceEvents returns the tracer's resident structured events in global
+// order (nil when no tracer is armed). This is the raw feed behind
+// privagic-explain -crossings' measured column: send events regroup into
+// per-edge crossings via crossing.MeasuredEdges.
+func (i *Instance) TraceEvents() []obs.Event { return i.tracer.Events() }
 
 // MutatorOptions configures the U-memory mutator adversary (the §4
 // attacker who owns unsafe memory contents, not just the message
