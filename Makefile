@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster tier3-grayfail tier3-replication fuzz bench fmt
+.PHONY: tier1 lint audit tier2 soak tier3-soak tier3-iago tier3-obs tier3-cluster tier3-grayfail tier3-replication tier3-compile fuzz bench fmt
 
 tier1: lint
 	$(GO) build ./...
@@ -25,7 +25,7 @@ audit:
 
 tier2: tier1
 	$(GO) vet ./...
-	$(GO) test -race ./internal/prt ./internal/queue ./internal/faults ./internal/cluster ./internal/netfaults ./internal/memcached
+	$(GO) test -race ./internal/prt ./internal/queue ./internal/faults ./internal/cluster ./internal/netfaults ./internal/memcached ./internal/passes/compile
 
 # The full 1000+-schedule robustness sweep, race-free build for speed.
 soak:
@@ -83,6 +83,16 @@ tier3-grayfail:
 tier3-replication:
 	$(GO) test -count=1 -run 'TestRouter|TestHandoff|TestRing|TestStoreRangeDigest' -v -timeout 30m ./internal/cluster
 	$(GO) run ./cmd/privagic-bench -exp replication
+
+# Tier-3: the differential-oracle acceptance soak (500+ seeded schedules
+# of the compiled tier under the interpreter oracle: the recovery soak's
+# crash classes and the Iago soak's mutator classes, every run must end
+# in the exact answer or a typed error with zero divergences) plus the
+# compile experiment (>= 5x speedup on the interpreter-bound workload,
+# differential equality).
+tier3-compile:
+	$(GO) test -count=1 -run 'TestSoakDifferential' -v -timeout 30m ./internal/faults
+	$(GO) run ./cmd/privagic-bench -exp compile
 
 # 60-second coverage-guided smoke of the memcached protocol fuzzer,
 # starting from the checked-in corpus in

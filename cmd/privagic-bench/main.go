@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs|cluster|replication|grayfail|crossopt] [-quick] [-json] [-trace-out trace.json]
+//	privagic-bench [-exp all|fig3|fig8|fig9|fig10|table4|effort|supervision|recovery|iago|audit|obs|cluster|replication|grayfail|crossopt|compile] [-quick] [-json] [-trace-out trace.json]
 package main
 
 import (
@@ -20,10 +20,10 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs, cluster, replication, grayfail, crossopt")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig8, fig9, fig10, table4, effort, supervision, recovery, iago, audit, obs, cluster, replication, grayfail, crossopt, compile")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of tables (fig8/fig9/fig10)")
-	jsonOut := flag.Bool("json", false, "emit the report struct as indented JSON instead of a table (crossopt/cluster/replication)")
+	jsonOut := flag.Bool("json", false, "emit the report struct as indented JSON instead of a table (crossopt/cluster/replication/compile)")
 	traceOut := flag.String("trace-out", "", "with -exp obs: write a Chrome trace_event JSON of one instrumented run (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
@@ -185,6 +185,19 @@ func run() int {
 				return 1
 			}
 			return emit(rep)
+		case "compile":
+			cfg := bench.DefaultCompile()
+			if *quick {
+				cfg.Iters = 200_000
+				cfg.Sweeps = 2
+				cfg.DiffIters = 20_000
+			}
+			rep, err := bench.CompileBench(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return emit(rep)
 		case "grayfail":
 			cfg := bench.DefaultGrayFail()
 			if *quick {
@@ -232,7 +245,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs", "cluster", "replication", "grayfail", "crossopt"} {
+		for _, name := range []string{"fig3", "table4", "effort", "fig9", "fig10", "fig8", "supervision", "recovery", "iago", "audit", "obs", "cluster", "replication", "grayfail", "crossopt", "compile"} {
 			if rc := runOne(name); rc != 0 {
 				return rc
 			}

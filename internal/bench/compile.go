@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"privagic"
+)
+
+// The compile experiment measures what the closure-compiled execution
+// tier buys on an interpreter-bound workload: a pure-compute integer
+// loop whose locals mem2reg promotes to SSA registers, so the reference
+// interpreter spends its time in the per-instruction dispatch loop and
+// the value map — exactly the overhead the compiled tier removes by
+// fusing each instruction into a pre-resolved step closure. The same
+// workload then runs once under the differential oracle, which
+// re-executes every chunk on both engines in lockstep and hard-errors on
+// any divergence — the run that makes the speedup trustworthy.
+
+// compileSrc is the workload; the trip count arrives as the entry
+// argument so every engine executes the identical program.
+const compileSrc = `
+entry long hot(long n) {
+	long a = 1;
+	long b = 2;
+	long s = 0;
+	for (long i = 0; i < n; i++) {
+		a = a * 31 + i;
+		b = b ^ (a >> 3);
+		s = s + (a & 1023) - (b % 7);
+		if (s > 1000000) {
+			s = s - 1000000;
+		}
+	}
+	return s;
+}
+`
+
+// CompileConfig parameterizes the experiment.
+type CompileConfig struct {
+	// Iters is the workload loop trip count per call.
+	Iters int64
+	// Sweeps is the min-of-K repetition count per engine.
+	Sweeps int
+	// DiffIters is the loop trip count of the differential-oracle run
+	// (the oracle interprets and shadow-executes, so it costs more than
+	// either engine alone).
+	DiffIters int64
+}
+
+// DefaultCompile returns the full-scale setup.
+func DefaultCompile() CompileConfig {
+	return CompileConfig{Iters: 2_000_000, Sweeps: 5, DiffIters: 200_000}
+}
+
+// CompileReport holds the measured evidence.
+type CompileReport struct {
+	Config CompileConfig
+
+	// Ret is the workload result every engine must return.
+	Ret int64
+	// InterpNS/CompiledNS are the min-of-K wall times of one call, in
+	// nanoseconds.
+	InterpNS   int64
+	CompiledNS int64
+	// Speedup is InterpNS / CompiledNS.
+	Speedup float64
+	// CompileUS is the one-time unit lowering cost, in microseconds.
+	CompileUS int64
+	// CompiledDispatches counts bodies the compiled tier executed across
+	// the compiled-engine sweeps.
+	CompiledDispatches int64
+	// DiffRet is the differential run's result (must equal an
+	// interpreter run at the same trip count); Divergences must be zero.
+	DiffRet     int64
+	Divergences int64
+}
+
+// CompileBench runs the experiment. It returns an error if any engine
+// disagrees on the result, if the differential oracle reports a
+// divergence, or if the speedup misses the 5x acceptance gate.
+func CompileBench(cfg CompileConfig) (*CompileReport, error) {
+	if cfg.Iters < 1 {
+		cfg.Iters = 1
+	}
+	if cfg.Sweeps < 1 {
+		cfg.Sweeps = 1
+	}
+	if cfg.DiffIters < 1 {
+		cfg.DiffIters = cfg.Iters / 10
+		if cfg.DiffIters < 1 {
+			cfg.DiffIters = 1
+		}
+	}
+	rep := &CompileReport{Config: cfg}
+
+	type result struct {
+		ret  int64
+		best time.Duration
+		cus  int64
+		disp int64
+		divs int64
+	}
+	runEngine := func(engine privagic.Engine, iters int64, sweeps int) (*result, error) {
+		prog, err := privagic.Compile("compile.c", compileSrc, privagic.Options{
+			Mode:    privagic.Relaxed,
+			Entries: []string{"hot"},
+			Engine:  engine,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compile bench: %s compile: %w", engine, err)
+		}
+		inst := prog.Instantiate(nil)
+		defer inst.Close()
+		// Warm-up call: first-touch allocation and queue setup stay out
+		// of the measured window.
+		ret, err := inst.Call("hot", iters)
+		if err != nil {
+			return nil, fmt.Errorf("compile bench: %s run: %w", engine, err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for k := 0; k < sweeps; k++ {
+			start := time.Now()
+			r, err := inst.Call("hot", iters)
+			d := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("compile bench: %s sweep %d: %w", engine, k, err)
+			}
+			if r != ret {
+				return nil, fmt.Errorf("compile bench: %s sweep %d returned %d, first call returned %d", engine, k, r, ret)
+			}
+			if d < best {
+				best = d
+			}
+		}
+		st := inst.ExecStats()
+		return &result{
+			ret:  ret,
+			best: best,
+			cus:  st.CompileTime.Microseconds(),
+			disp: st.CompiledDispatches,
+			divs: st.OracleDivergences,
+		}, nil
+	}
+
+	interp, err := runEngine(privagic.EngineInterp, cfg.Iters, cfg.Sweeps)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := runEngine(privagic.EngineCompiled, cfg.Iters, cfg.Sweeps)
+	if err != nil {
+		return nil, err
+	}
+	if compiled.ret != interp.ret {
+		return nil, fmt.Errorf("compile bench: engines disagree: interp %d, compiled %d", interp.ret, compiled.ret)
+	}
+	if compiled.disp == 0 {
+		return nil, fmt.Errorf("compile bench: compiled engine never dispatched a compiled body")
+	}
+
+	// The differential run: both engines lockstep per chunk, hard-error
+	// on any divergence. Reduced trip count (the oracle runs everything
+	// twice), same program semantics.
+	diff, err := runEngine(privagic.EngineDifferential, cfg.DiffIters, 1)
+	if err != nil {
+		return nil, err
+	}
+	if diff.divs != 0 {
+		return nil, fmt.Errorf("compile bench: differential oracle reported %d divergence(s)", diff.divs)
+	}
+	diffRef, err := runEngine(privagic.EngineInterp, cfg.DiffIters, 1)
+	if err != nil {
+		return nil, err
+	}
+	if diff.ret != diffRef.ret {
+		return nil, fmt.Errorf("compile bench: differential run returned %d, interpreter reference %d", diff.ret, diffRef.ret)
+	}
+
+	rep.Ret = interp.ret
+	rep.InterpNS = interp.best.Nanoseconds()
+	rep.CompiledNS = compiled.best.Nanoseconds()
+	if rep.CompiledNS > 0 {
+		rep.Speedup = float64(rep.InterpNS) / float64(rep.CompiledNS)
+	}
+	rep.CompileUS = compiled.cus
+	rep.CompiledDispatches = compiled.disp
+	rep.DiffRet = diff.ret
+	rep.Divergences = diff.divs
+
+	// The acceptance gate: a compiled tier that cannot clear 5x on the
+	// workload built to be interpreter-bound has regressed.
+	if rep.Speedup < 5 {
+		return nil, fmt.Errorf("compile bench: speedup %.2fx below the 5x gate (interp %v, compiled %v)",
+			rep.Speedup, interp.best, compiled.best)
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (r *CompileReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "closure-compiled execution — pure-compute workload (%d iterations/call, min of %d)\n",
+		r.Config.Iters, r.Config.Sweeps)
+	fmt.Fprintf(&b, "  %-28s %14s\n", "", "wall/call")
+	fmt.Fprintf(&b, "  %-28s %14s\n", "interpreter", time.Duration(r.InterpNS))
+	fmt.Fprintf(&b, "  %-28s %14s\n", "compiled", time.Duration(r.CompiledNS))
+	fmt.Fprintf(&b, "  speedup: %.2fx   (unit lowering %dus, %d compiled dispatches)\n",
+		r.Speedup, r.CompileUS, r.CompiledDispatches)
+	fmt.Fprintf(&b, "  differential oracle: %d iterations, %d divergences, result %d matches the interpreter\n",
+		r.Config.DiffIters, r.Divergences, r.DiffRet)
+	return b.String()
+}

@@ -37,6 +37,14 @@ type SoakBudget struct {
 	// must see zero breaker trips and zero demotions.
 	GrayChaos   int
 	GrayControl int
+
+	// Differential soak (differential_soak_test.go): the compiled
+	// execution tier under the interpreter oracle, swept through the
+	// recovery soak's crash schedules and the Iago soak's mutator
+	// classes. Every schedule must end in the exact answer or a typed
+	// error with zero divergences.
+	DiffChaos int
+	DiffIago  int
 }
 
 // Schedules returns the build's soak schedule counts.

@@ -19,4 +19,7 @@ var soakBudget = SoakBudget{
 
 	GrayChaos:   520,
 	GrayControl: 130,
+
+	DiffChaos: 360,
+	DiffIago:  200,
 }

@@ -21,4 +21,7 @@ var soakBudget = SoakBudget{
 
 	GrayChaos:   24,
 	GrayControl: 10,
+
+	DiffChaos: 40,
+	DiffIago:  24,
 }

@@ -1,7 +1,6 @@
 package interp
 
 import (
-	"math"
 	"sync/atomic"
 
 	"privagic/internal/prt"
@@ -272,28 +271,13 @@ func (ip *Interp) sanitize(w *prt.Worker, addr uint64, n int, store bool) {
 	}
 	if !ok {
 		ip.bStats.violations.Add(1)
-		panic(runtimeErr{&prt.IagoViolation{
+		panic(runtimeErr{Err: &prt.IagoViolation{
 			Kind: "pointer", Worker: w.Index, Addr: addr,
 			Region: int(rid), Extent: extent, Len: n,
 		}})
 	}
 }
 
-// PaySum contributes a machine value's exact bits to a message's payload
-// integrity tag (prt.PayloadSummer).
-func (v val) PaySum() uint64 {
-	if v.fl {
-		return math.Float64bits(v.f) ^ 0xf10a7
-	}
-	return uint64(v.i)
-}
-
-// MutatePayload returns a copy of the value with its bits xored — the
-// mutator adversary's in-place payload corruption, shaped so the mutated
-// message still type-checks everywhere a val is expected.
-func (v val) MutatePayload(xor uint64) any {
-	if v.fl {
-		return val{f: math.Float64frombits(math.Float64bits(v.f) ^ xor), fl: true}
-	}
-	return val{i: v.i ^ int64(xor)}
-}
+// The payload-integrity hooks (PaySum, MutatePayload) moved to exec.Val
+// with the value representation itself, so messages carry identical
+// integrity tags no matter which engine produced the payload.

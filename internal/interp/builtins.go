@@ -11,28 +11,54 @@ import (
 	"privagic/internal/prt"
 )
 
-// call dispatches a call instruction: runtime intrinsics, direct chunk
-// calls, builtins (the mini-libc of §6.3 plus host I/O), and indirect calls
-// through the interface versions (§6.3).
+// call evaluates a call instruction's arguments and dispatches it.
 func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 	args := make([]val, len(t.Args))
 	for i, a := range t.Args {
 		args[i] = ip.eval(frame, a)
 	}
+	var callee val
+	if _, direct := t.Callee.(*ir.Function); !direct {
+		callee = ip.eval(frame, t.Callee)
+	}
+	return ip.dispatchCall(w, t, callee, args)
+}
+
+// dispatchCall dispatches a call instruction with its evaluated callee
+// value and arguments: runtime intrinsics, direct chunk calls, builtins
+// (the mini-libc of §6.3 plus host I/O), and indirect calls through the
+// interface versions (§6.3). Both engines land here — it is the exec.Env
+// call seam — and the differential recorder captures every operation with
+// an effect or an environment-supplied result.
+func (ip *Interp) dispatchCall(w *prt.Worker, t *ir.Call, callee val, args []val) val {
 	fn, direct := t.Callee.(*ir.Function)
 	if !direct {
 		// Indirect call: resolve the function-pointer value to an
 		// interface version, conservatively in the untrusted part.
-		idx := ip.eval(frame, t.Callee).i
+		idx := callee.I
 		if idx <= 0 || int(idx) > len(ip.ifaceTable) {
 			errf("interp: indirect call through invalid function pointer %d", idx)
 		}
-		return ip.invokeInterface(w, ip.ifaceTable[idx-1], args)
+		pf := ip.ifaceTable[idx-1]
+		if rec := recOf(w); rec != nil {
+			// The nested interface invocation manages its own spawns and
+			// joins; record it as one opaque operation (recording
+			// suspended inside) so the shadow replays its result.
+			w.Diff = nil
+			var v val
+			func() {
+				defer func() { w.Diff = rec }()
+				v = ip.invokeInterface(w, pf, args)
+			}()
+			rec.add(diffOp{kind: opInvoke, a: idx, vec: args, v: v})
+			return v
+		}
+		return ip.invokeInterface(w, pf, args)
 	}
 	switch fn.FName {
 	case partition.IntrSpawn:
-		chunkID := int(args[0].i)
-		needReply := args[1].i != 0
+		chunkID := int(args[0].I)
+		needReply := args[1].I != 0
 		payload := make([]any, 0, 8)
 		ch := ip.Prog.ChunkByID[chunkID]
 		// Rebuild the callee's argument vector: Free args are carried
@@ -48,34 +74,46 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 			}
 		}
 		w.Spawn(ip.Prog.ColorIndex(ch.Color), chunkID, payload, needReply)
+		if rec := recOf(w); rec != nil {
+			nr := int64(0)
+			if needReply {
+				nr = 1
+			}
+			rec.add(diffOp{kind: opSpawn, a: int64(chunkID), b: nr, vec: valsOf(payload)})
+		}
 		return val{}
 	case partition.IntrWait:
-		p, err := w.Wait(int(args[0].i))
+		p, err := w.Wait(int(args[0].I))
 		if err != nil {
 			// A lost cont (timeout), a crashed peer, or shutdown: abort
 			// this chunk; execChunk/Call surface the typed error.
-			panic(runtimeErr{err})
+			panic(runtimeErr{Err: err})
 		}
 		// A satisfied wait ends the barrier interval: drop the copy-in
 		// snapshot so the interval that starts now re-copies each U word
 		// (a peer's writes behind the barrier must become observable).
 		ip.snapBarrier(w)
-		if v, ok := p.(val); ok {
-			return v
+		v, _ := p.(val)
+		if rec := recOf(w); rec != nil {
+			rec.add(diffOp{kind: opWait, a: args[0].I, v: v})
 		}
-		return val{}
+		return v
 	case partition.IntrJoin:
-		p, err := w.Join(int(args[0].i))
+		p, err := w.Join(int(args[0].I))
 		if err != nil {
-			panic(runtimeErr{err})
+			panic(runtimeErr{Err: err})
 		}
 		ip.snapBarrier(w)
-		if v, ok := p.(val); ok {
-			return v
+		v, _ := p.(val)
+		if rec := recOf(w); rec != nil {
+			rec.add(diffOp{kind: opJoin, a: args[0].I, v: v})
 		}
-		return val{}
+		return v
 	case partition.IntrSend:
-		w.SendCont(int(args[0].i), int(args[1].i), args[2])
+		w.SendCont(int(args[0].I), int(args[1].I), args[2])
+		if rec := recOf(w); rec != nil {
+			rec.add(diffOp{kind: opSend, a: args[0].I, b: args[1].I, v: args[2]})
+		}
 		return val{}
 	case partition.IntrSendV:
 		// Vectored cont (crossing optimizer): one message carries the
@@ -84,46 +122,52 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 		for i, a := range args[2:] {
 			vec[i] = a
 		}
-		tag := int(args[1].i)
-		w.SendCont(int(args[0].i), tag, vec)
+		tag := int(args[1].I)
+		w.SendCont(int(args[0].I), tag, vec)
 		ip.cross.vecSends.Add(1)
 		ip.RT.Tracer.Record(obs.EvVecSend, w.Index, 0, tag, 0, int64(len(vec)))
+		if rec := recOf(w); rec != nil {
+			rec.add(diffOp{kind: opSendV, a: args[0].I, b: int64(tag), vec: valsOf(vec)})
+		}
 		return val{}
 	case partition.IntrWaitV:
-		tag := int(args[0].i)
+		tag := int(args[0].I)
 		p, err := w.Wait(tag)
 		if err != nil {
-			panic(runtimeErr{err})
+			panic(runtimeErr{Err: err})
 		}
 		ip.snapBarrier(w)
 		vec, ok := p.([]any)
 		if !ok {
-			panic(runtimeErr{fmt.Errorf("interp: waitv(%d) received a non-vector payload %T", tag, p)})
+			panic(runtimeErr{Err: fmt.Errorf("interp: waitv(%d) received a non-vector payload %T", tag, p)})
 		}
 		ip.vecMu.Lock()
 		ip.vecStash[[2]int{w.Index, tag}] = vec
 		ip.vecMu.Unlock()
 		ip.cross.vecWaits.Add(1)
 		ip.RT.Tracer.Record(obs.EvVecWait, w.Index, 0, tag, 0, int64(len(vec)))
+		var v val
 		if len(vec) > 0 {
-			if v, ok := vec[0].(val); ok {
-				return v
-			}
+			v, _ = vec[0].(val)
 		}
-		return val{}
+		if rec := recOf(w); rec != nil {
+			rec.add(diffOp{kind: opWaitV, b: int64(tag), vec: valsOf(vec), v: v})
+		}
+		return v
 	case partition.IntrElem:
-		tag, idx := int(args[0].i), int(args[1].i)
+		tag, idx := int(args[0].I), int(args[1].I)
 		ip.vecMu.Lock()
 		vec := ip.vecStash[[2]int{w.Index, tag}]
 		ip.vecMu.Unlock()
 		if idx < 0 || idx >= len(vec) {
-			panic(runtimeErr{fmt.Errorf("interp: elem(%d, %d) outside the received vector (len %d)", tag, idx, len(vec))})
+			panic(runtimeErr{Err: fmt.Errorf("interp: elem(%d, %d) outside the received vector (len %d)", tag, idx, len(vec))})
 		}
 		ip.cross.elemReads.Add(1)
-		if v, ok := vec[idx].(val); ok {
-			return v
+		v, _ := vec[idx].(val)
+		if rec := recOf(w); rec != nil {
+			rec.add(diffOp{kind: opElem, a: int64(tag), b: int64(idx), v: v})
 		}
-		return val{}
+		return v
 	}
 	if !fn.External {
 		// Direct call to another chunk on the same worker: the normal
@@ -133,9 +177,29 @@ func (ip *Interp) call(w *prt.Worker, frame map[ir.Value]val, t *ir.Call) val {
 			ip.cross.fusedCalls.Add(1)
 			ip.RT.Tracer.Record(obs.EvFusedCall, w.Index, ch.ID, 0, 0, 0)
 		}
-		return ip.runFn(w, fn, args)
+		return ip.runOn(w, fn, args)
 	}
-	return ip.builtin(w, fn, t, args)
+	v := ip.builtin(w, fn, t, args)
+	if rec := recOf(w); rec != nil {
+		// Builtins read and write memory through the byte helpers below
+		// the recording seam, so one opaque record carries the whole
+		// operation: the shadow checks the arguments (the observable
+		// outbound surface) and replays the result.
+		rec.add(diffOp{kind: opCall, name: fn.FName, vec: args, v: v})
+	}
+	return v
+}
+
+// valsOf converts a payload vector to vals for the differential trace
+// (non-val entries record as zero values).
+func valsOf(vec []any) []val {
+	out := make([]val, len(vec))
+	for i, e := range vec {
+		if v, ok := e.(val); ok {
+			out[i] = v
+		}
+	}
+	return out
 }
 
 // spawn payload note: the partitioner forwards F args in the order given by
@@ -155,12 +219,12 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		return iv(0)
 	case "puts":
 		ip.RT.Meter.ChargeSyscall(cost, w.Mode)
-		ip.printTx(w, ip.readString(w, uint64(args[0].i))+"\n")
+		ip.printTx(w, ip.readString(w, uint64(args[0].I))+"\n")
 		return iv(0)
 	case "exit":
-		panic(runtimeErr{fmt.Errorf("%w: code %d", ErrExit, args[0].i)})
+		panic(runtimeErr{Err: fmt.Errorf("%w: code %d", ErrExit, args[0].I)})
 	case "abort":
-		panic(runtimeErr{fmt.Errorf("program aborted")})
+		panic(runtimeErr{Err: fmt.Errorf("program aborted")})
 	case "reveal":
 		// Scalar declassification (§6.4): the identity function,
 		// annotated ignore by the program, whose call site moves the
@@ -171,7 +235,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		return val{}
 	case "classify_key":
 		// Scalar classification of an 8-byte key into the enclave.
-		dst, src := uint64(args[0].i), uint64(args[1].i)
+		dst, src := uint64(args[0].I), uint64(args[1].I)
 		var buf [8]byte
 		ip.loadBytes(w, src, buf[:])
 		ip.storeBytes(w, dst, buf[:])
@@ -185,7 +249,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		// encryption/attestation would sit.
 		fallthrough
 	case "memcpy", "strncpy":
-		dst, src, n := uint64(args[0].i), uint64(args[1].i), args[2].i
+		dst, src, n := uint64(args[0].I), uint64(args[1].I), args[2].I
 		buf := make([]byte, n)
 		ip.loadBytes(w, src, buf)
 		if fn.FName == "strncpy" {
@@ -202,7 +266,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		}
 		return args[0]
 	case "memset":
-		dst, c, n := uint64(args[0].i), byte(args[1].i), args[2].i
+		dst, c, n := uint64(args[0].I), byte(args[1].I), args[2].I
 		buf := make([]byte, n)
 		for i := range buf {
 			buf[i] = c
@@ -210,12 +274,12 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		ip.storeBytes(w, dst, buf)
 		return args[0]
 	case "strlen":
-		return iv(int64(len(ip.readString(w, uint64(args[0].i)))))
+		return iv(int64(len(ip.readString(w, uint64(args[0].I)))))
 	case "strcmp", "strncmp":
-		a := ip.readString(w, uint64(args[0].i))
-		b := ip.readString(w, uint64(args[1].i))
+		a := ip.readString(w, uint64(args[0].I))
+		b := ip.readString(w, uint64(args[1].I))
 		if fn.FName == "strncmp" {
-			n := int(args[2].i)
+			n := int(args[2].I)
 			if len(a) > n {
 				a = a[:n]
 			}
@@ -226,7 +290,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		return iv(int64(strings.Compare(a, b)))
 	case "hash64":
 		// FNV-1a, the classic in-enclave hash helper.
-		p, n := uint64(args[0].i), args[1].i
+		p, n := uint64(args[0].I), args[1].I
 		buf := make([]byte, n)
 		ip.loadBytes(w, p, buf)
 		var h uint64 = 14695981039346656037
@@ -236,7 +300,7 @@ func (ip *Interp) builtin(w *prt.Worker, fn *ir.Function, t *ir.Call, args []val
 		}
 		return iv(int64(h))
 	case "thread_create":
-		idx := args[0].i
+		idx := args[0].I
 		if idx <= 0 || int(idx) > len(ip.ifaceTable) {
 			errf("interp: thread_create with invalid function pointer %d", idx)
 		}
@@ -292,7 +356,7 @@ func (ip *Interp) readString(w *prt.Worker, addr uint64) string {
 
 // format implements the printf subset the examples use.
 func (ip *Interp) format(w *prt.Worker, args []val) string {
-	f := ip.readString(w, uint64(args[0].i))
+	f := ip.readString(w, uint64(args[0].I))
 	var b strings.Builder
 	ai := 1
 	next := func() val {
@@ -319,17 +383,17 @@ func (ip *Interp) format(w *prt.Worker, args []val) string {
 		}
 		switch f[i] {
 		case 'd', 'i', 'u':
-			b.WriteString(strconv.FormatInt(next().i, 10))
+			b.WriteString(strconv.FormatInt(next().I, 10))
 		case 'x':
-			b.WriteString(strconv.FormatInt(next().i, 16))
+			b.WriteString(strconv.FormatInt(next().I, 16))
 		case 'c':
-			b.WriteByte(byte(next().i))
+			b.WriteByte(byte(next().I))
 		case 's':
-			b.WriteString(ip.readString(w, uint64(next().i)))
+			b.WriteString(ip.readString(w, uint64(next().I)))
 		case 'f', 'g', 'e':
 			b.WriteString(strconv.FormatFloat(toF(next()), 'g', -1, 64))
 		case 'p':
-			fmt.Fprintf(&b, "%#x", uint64(next().i))
+			fmt.Fprintf(&b, "%#x", uint64(next().I))
 		case '%':
 			b.WriteByte('%')
 		default:

@@ -151,7 +151,7 @@ func (ip *Interp) loadBytes(w *prt.Worker, addr uint64, buf []byte) {
 	}
 	if !ip.snapLoad(w, addr, buf) {
 		if err := ip.RT.Space.CheckedLoad(w.Mode, addr, buf); err != nil {
-			panic(runtimeErr{err})
+			panic(runtimeErr{Err: err})
 		}
 	}
 	if tx := txOf(w); tx != nil {
@@ -195,12 +195,12 @@ func (ip *Interp) storeBytes(w *prt.Worker, addr uint64, data []byte) {
 			// Fast path: no observer installed, store directly (the
 			// closure below would otherwise escape on every store).
 			if err := ip.RT.Space.CheckedStore(w.Mode, addr, data); err != nil {
-				panic(runtimeErr{err})
+				panic(runtimeErr{Err: err})
 			}
 		} else {
 			ip.guardedBackingStore(addr, len(data), func() {
 				if err := ip.RT.Space.CheckedStore(w.Mode, addr, data); err != nil {
-					panic(runtimeErr{err})
+					panic(runtimeErr{Err: err})
 				}
 			})
 		}
@@ -215,7 +215,7 @@ func (ip *Interp) storeBytes(w *prt.Worker, addr uint64, data []byte) {
 	}
 	rid, _ := sgx.DecodePtr(addr)
 	if !sgx.CanAccess(w.Mode, rid) {
-		panic(runtimeErr{&sgx.AccessError{Mode: w.Mode, Target: rid, Addr: addr}})
+		panic(runtimeErr{Err: &sgx.AccessError{Mode: w.Mode, Target: rid, Addr: addr}})
 	}
 	if ip.RT.Space.Region(rid) == nil {
 		errf("interp: store to unmapped region %d", rid)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"privagic/internal/exec"
+
 	"privagic/internal/ir"
 	"privagic/internal/partition"
 	"privagic/internal/prt"
@@ -40,9 +42,9 @@ func (ip *Interp) execChunk(w *prt.Worker, chunkID int, args []any) (result any)
 		}
 		re, ok := r.(runtimeErr)
 		if !ok {
-			re = runtimeErr{fmt.Errorf("interp: chunk %d panicked: %v", chunkID, r)}
+			re = runtimeErr{Err: fmt.Errorf("interp: chunk %d panicked: %v", chunkID, r)}
 		}
-		ip.recordErr(re.err)
+		ip.recordErr(re.Err)
 		// A recorded program error completes the chunk (recovery does not
 		// replay program bugs), so its effects commit like any other
 		// completion — matching the recovery-off behavior.
@@ -59,12 +61,44 @@ func (ip *Interp) execChunk(w *prt.Worker, chunkID int, args []any) (result any)
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(runtimeErr); ok {
-				panic(runtimeErr{fmt.Errorf("in chunk %s: %w", ch.Fn.FName, re.err)})
+				panic(runtimeErr{Err: fmt.Errorf("in chunk %s: %w", ch.Fn.FName, re.Err)})
 			}
 			panic(r)
 		}
 	}()
-	return ip.runFn(w, ch.Fn, vargs)
+	return ip.runChunkBody(w, ch, vargs)
+}
+
+// runChunkBody runs a chunk body on the worker's selected engine: the
+// interpreter (the reference), the compiled tier, or both under the
+// differential oracle. Chunks the compiler skipped (empty bodies) fall
+// back to the interpreter on every engine.
+func (ip *Interp) runChunkBody(w *prt.Worker, ch *partition.Chunk, args []val) val {
+	switch w.Engine {
+	case prt.EngineCompiled:
+		if cf := ip.compiledFn(ch.Fn); cf != nil {
+			ip.es.compiledRuns.Add(1)
+			return ip.runCompiled(cf, w, args, &liveEnv{ip})
+		}
+		return ip.runFn(w, ch.Fn, args)
+	case prt.EngineDifferential:
+		return ip.runDifferential(w, ch, args)
+	default:
+		return ip.runFn(w, ch.Fn, args)
+	}
+}
+
+// runOn runs a directly-called function body on the worker's engine (the
+// differential tier interprets here: its live pass is the interpreter,
+// and the recorder captures the callee's operations inline).
+func (ip *Interp) runOn(w *prt.Worker, fn *ir.Function, args []val) val {
+	if w.Engine == prt.EngineCompiled {
+		if cf := ip.compiledFn(fn); cf != nil {
+			ip.es.compiledRuns.Add(1)
+			return ip.runCompiled(cf, w, args, &liveEnv{ip})
+		}
+	}
+	return ip.runFn(w, fn, args)
 }
 
 // runFn interprets one function (a chunk or a helper) with the worker's
@@ -124,7 +158,7 @@ func (ip *Interp) runFn(w *prt.Worker, fn *ir.Function, args []val) val {
 			case *ir.CondBr:
 				c := ip.eval(frame, t.Cond)
 				prev = blk
-				if c.i != 0 {
+				if c.I != 0 {
 					blk = t.Then
 				} else {
 					blk = t.Else
@@ -167,29 +201,27 @@ func (ip *Interp) eval(frame map[ir.Value]val, v ir.Value) val {
 func (ip *Interp) step(w *prt.Worker, fn *ir.Function, frame map[ir.Value]val, in ir.Instr) {
 	switch t := in.(type) {
 	case *ir.Alloca:
-		region := ip.regionOfColor(resolveAllocColor(t.Color))
-		size := t.Elem.Size()
-		if ly := ip.layoutOf(t.Elem); ly != nil {
-			size = ly.size
-		}
-		off := ip.RT.Space.Region(region).Alloc(size)
-		frame[t] = iv(int64(sgx.EncodePtr(region, off)))
+		frame[t] = ip.doAlloca(w, t)
 
 	case *ir.Malloc:
-		frame[t] = ip.doMalloc(w, frame, t)
+		count := int64(1)
+		if t.Count != nil {
+			count = ip.eval(frame, t.Count).I
+		}
+		frame[t] = ip.doMalloc(w, t, count)
 
 	case *ir.Free:
 		// The bump allocator does not reclaim; free is a no-op.
 
 	case *ir.Load:
-		addr := uint64(ip.eval(frame, t.Ptr).i)
+		addr := uint64(ip.eval(frame, t.Ptr).I)
 		if addr == 0 {
 			errf("interp: nil dereference: %q in @%s", t.String(), fn.FName)
 		}
 		frame[t] = ip.memLoad(w, addr, t.Type())
 
 	case *ir.Store:
-		addr := uint64(ip.eval(frame, t.Ptr).i)
+		addr := uint64(ip.eval(frame, t.Ptr).I)
 		if addr == 0 {
 			errf("interp: nil dereference: %q in @%s", t.String(), fn.FName)
 		}
@@ -205,11 +237,11 @@ func (ip *Interp) step(w *prt.Worker, fn *ir.Function, frame map[ir.Value]val, i
 		frame[t] = castVal(ip.eval(frame, t.Val), t.Type())
 
 	case *ir.FieldAddr:
-		frame[t] = ip.fieldAddr(w, frame, t)
+		frame[t] = ip.fieldAddrAt(w, t, uint64(ip.eval(frame, t.X).I))
 
 	case *ir.IndexAddr:
-		base := ip.eval(frame, t.X).i
-		idx := ip.eval(frame, t.Index).i
+		base := ip.eval(frame, t.X).I
+		idx := ip.eval(frame, t.Index).I
 		elem := t.Type().(ir.PointerType).Elem
 		size := elem.Size()
 		if ly := ip.layoutOf(elem); ly != nil {
@@ -238,19 +270,39 @@ func resolveAllocColor(c ir.Color) ir.Color {
 	return ir.U
 }
 
-// doMalloc allocates heap memory. Multi-color structures get the §7.2
-// treatment: the body goes to unsafe memory and every colored field is
-// allocated out-of-line in its enclave, with the pointer written into the
-// body's slot. Each out-of-line allocation is a runtime service call into
-// the enclave (one message each way).
-func (ip *Interp) doMalloc(w *prt.Worker, frame map[ir.Value]val, t *ir.Malloc) val {
-	count := int64(1)
-	if t.Count != nil {
-		count = ip.eval(frame, t.Count).i
-		if count < 1 {
-			count = 1
-		}
+// doAlloca services a stack allocation in the worker's region, recording
+// the resulting address when the differential oracle is live.
+func (ip *Interp) doAlloca(w *prt.Worker, t *ir.Alloca) val {
+	region := ip.regionOfColor(resolveAllocColor(t.Color))
+	size := t.Elem.Size()
+	if ly := ip.layoutOf(t.Elem); ly != nil {
+		size = ly.size
 	}
+	off := ip.RT.Space.Region(region).Alloc(size)
+	v := iv(int64(sgx.EncodePtr(region, off)))
+	if rec := recOf(w); rec != nil {
+		rec.add(diffOp{kind: opAlloca, v: v})
+	}
+	return v
+}
+
+// doMalloc allocates heap memory (count elements). Multi-color structures
+// get the §7.2 treatment: the body goes to unsafe memory and every colored
+// field is allocated out-of-line in its enclave, with the pointer written
+// into the body's slot. Each out-of-line allocation is a runtime service
+// call into the enclave (one message each way).
+func (ip *Interp) doMalloc(w *prt.Worker, t *ir.Malloc, count int64) val {
+	if count < 1 {
+		count = 1
+	}
+	v := ip.mallocRaw(w, t, count)
+	if rec := recOf(w); rec != nil {
+		rec.add(diffOp{kind: opMalloc, a: count, v: v})
+	}
+	return v
+}
+
+func (ip *Interp) mallocRaw(w *prt.Worker, t *ir.Malloc, count int64) val {
 	// The whole allocation runs as one journaled service call: the bump
 	// allocator is runtime state outside the effect transaction, so a
 	// replayed chunk must reuse the crashed attempt's addresses (peers may
@@ -302,10 +354,10 @@ func sortedFieldColors(sp *partition.SplitStruct) []fieldColor {
 	return out
 }
 
-// fieldAddr computes a field address, following the §7.2 indirection for
-// colored fields of split structures (s->f becomes *(s->ind) style).
-func (ip *Interp) fieldAddr(w *prt.Worker, frame map[ir.Value]val, t *ir.FieldAddr) val {
-	base := uint64(ip.eval(frame, t.X).i)
+// fieldAddrAt computes a field address, following the §7.2 indirection
+// for colored fields of split structures (s->f becomes *(s->ind) style).
+// Both engines call it with the evaluated base pointer.
+func (ip *Interp) fieldAddrAt(w *prt.Worker, t *ir.FieldAddr, base uint64) val {
 	st := t.Struct()
 	if ly := ip.layouts[st.Name]; ly != nil {
 		off := ly.offsets[t.Index]
@@ -336,11 +388,16 @@ func (ip *Interp) memLoad(w *prt.Worker, addr uint64, typ ir.Type) val {
 	if ip.OnAccess != nil {
 		ip.OnAccess(addr, size, false, w.Mode)
 	}
-	if ft, ok := typ.(ir.FloatType); ok {
-		_ = ft
-		return fv(math.Float64frombits(uint64(getInt(buf[:8]))))
+	var v val
+	if _, ok := typ.(ir.FloatType); ok {
+		v = fv(math.Float64frombits(uint64(getInt(buf[:8]))))
+	} else {
+		v = iv(getInt(buf[:size]))
 	}
-	return iv(getInt(buf[:size]))
+	if rec := recOf(w); rec != nil {
+		rec.add(diffOp{kind: opLoad, a: int64(addr), v: v})
+	}
+	return v
 }
 
 // memStore performs a mode-checked store.
@@ -354,138 +411,28 @@ func (ip *Interp) memStore(w *prt.Worker, addr uint64, v val, typ ir.Type) {
 	}
 	var buf [8]byte
 	if _, ok := typ.(ir.FloatType); ok {
-		putInt(buf[:8], int64(math.Float64bits(v.f)))
+		putInt(buf[:8], int64(math.Float64bits(v.F)))
 		size = 8
 	} else {
-		putInt(buf[:size], v.i)
+		putInt(buf[:size], v.I)
 	}
 	ip.storeBytes(w, addr, buf[:size])
 	if ip.OnAccess != nil {
 		ip.OnAccess(addr, size, true, w.Mode)
 	}
+	if rec := recOf(w); rec != nil {
+		rec.add(diffOp{kind: opStore, a: int64(addr), v: v})
+	}
 }
 
-func (ip *Interp) binop(t *ir.BinOp, x, y val) val {
-	if x.fl || y.fl {
-		a, b := toF(x), toF(y)
-		switch t.Op {
-		case ir.OpAdd:
-			return fv(a + b)
-		case ir.OpSub:
-			return fv(a - b)
-		case ir.OpMul:
-			return fv(a * b)
-		case ir.OpDiv:
-			return fv(a / b)
-		}
-		errf("interp: float %s unsupported", t.Op)
-	}
-	a, b := x.i, y.i
-	switch t.Op {
-	case ir.OpAdd:
-		return iv(a + b)
-	case ir.OpSub:
-		return iv(a - b)
-	case ir.OpMul:
-		return iv(a * b)
-	case ir.OpDiv:
-		if b == 0 {
-			errf("interp: integer division by zero")
-		}
-		return iv(a / b)
-	case ir.OpRem:
-		if b == 0 {
-			errf("interp: integer remainder by zero")
-		}
-		return iv(a % b)
-	case ir.OpAnd:
-		return iv(a & b)
-	case ir.OpOr:
-		return iv(a | b)
-	case ir.OpXor:
-		return iv(a ^ b)
-	case ir.OpShl:
-		return iv(a << uint64(b&63))
-	case ir.OpShr:
-		return iv(a >> uint64(b&63))
-	}
-	errf("interp: unknown binop %v", t.Op)
-	return val{}
-}
+// binop, cmp, and castVal delegate to the shared exec semantics — one
+// implementation serves both engines, so an operator bug cannot hide as
+// a cross-engine divergence.
+func (ip *Interp) binop(t *ir.BinOp, x, y val) val { return exec.BinOp(t.Op, x, y) }
 
-func (ip *Interp) cmp(t *ir.Cmp, x, y val) val {
-	var r bool
-	if x.fl || y.fl {
-		a, b := toF(x), toF(y)
-		switch t.Pred {
-		case ir.CmpEq:
-			r = a == b
-		case ir.CmpNe:
-			r = a != b
-		case ir.CmpLt:
-			r = a < b
-		case ir.CmpLe:
-			r = a <= b
-		case ir.CmpGt:
-			r = a > b
-		case ir.CmpGe:
-			r = a >= b
-		}
-	} else {
-		a, b := x.i, y.i
-		switch t.Pred {
-		case ir.CmpEq:
-			r = a == b
-		case ir.CmpNe:
-			r = a != b
-		case ir.CmpLt:
-			r = a < b
-		case ir.CmpLe:
-			r = a <= b
-		case ir.CmpGt:
-			r = a > b
-		case ir.CmpGe:
-			r = a >= b
-		}
-	}
-	if r {
-		return iv(1)
-	}
-	return iv(0)
-}
+func (ip *Interp) cmp(t *ir.Cmp, x, y val) val { return exec.Cmp(t.Pred, x, y) }
 
-func toF(v val) float64 {
-	if v.fl {
-		return v.f
-	}
-	return float64(v.i)
-}
+func toF(v val) float64 { return exec.ToF(v) }
 
 // castVal converts a value to a target type.
-func castVal(v val, to ir.Type) val {
-	switch tt := to.(type) {
-	case ir.IntType:
-		x := v.i
-		if v.fl {
-			x = int64(v.f)
-		}
-		switch tt.Bits {
-		case 1:
-			return iv(x & 1)
-		case 8:
-			return iv(int64(int8(x)))
-		case 32:
-			return iv(int64(int32(x)))
-		default:
-			return iv(x)
-		}
-	case ir.FloatType:
-		if v.fl {
-			return v
-		}
-		return fv(float64(v.i))
-	default:
-		// Pointer and function casts preserve the word.
-		return iv(v.i)
-	}
-}
+func castVal(v val, to ir.Type) val { return exec.Cast(v, to) }

@@ -16,21 +16,21 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"privagic/internal/exec"
 	"privagic/internal/ir"
 	"privagic/internal/partition"
+	"privagic/internal/passes/compile"
 	"privagic/internal/prt"
 	"privagic/internal/sgx"
 )
 
-// val is one machine value: an integer (or encoded pointer) or a float.
-type val struct {
-	i  int64
-	f  float64
-	fl bool
-}
+// val is one machine value — the exec.Val shared with the compiled
+// tier, so payloads, metrics, and the differential oracle see the same
+// representation regardless of which engine produced a value.
+type val = exec.Val
 
-func iv(x int64) val   { return val{i: x} }
-func fv(x float64) val { return val{f: x, fl: true} }
+func iv(x int64) val   { return val{I: x} }
+func fv(x float64) val { return val{F: x, Fl: true} }
 
 // splitLayout is the rewritten memory layout of a multi-color structure
 // (§7.2): colored fields become 8-byte slots holding pointers to
@@ -91,6 +91,19 @@ type Interp struct {
 	cross    crossCounters
 	vecMu    sync.Mutex
 	vecStash map[[2]int][]any
+
+	// unit is the closure-compiled form of the program's chunk bodies,
+	// built by SetEngine for the compiled and differential tiers (nil
+	// while the engine is interp); es backs the exec.* metric gauges.
+	unit *compile.Unit
+	es   execCounters
+}
+
+// execCounters back the exec.* metric gauges (engine selection).
+type execCounters struct {
+	compileUS    atomic.Int64
+	compiledRuns atomic.Int64
+	divergences  atomic.Int64
 }
 
 // crossCounters back the cross.* metric gauges.
@@ -101,8 +114,9 @@ type crossCounters struct {
 	fusedCalls atomic.Int64
 }
 
-// runtimeErr carries an execution error through panics.
-type runtimeErr struct{ err error }
+// runtimeErr carries an execution error through panics; it is the
+// exec.RuntimeErr both engines panic with.
+type runtimeErr = exec.RuntimeErr
 
 // New prepares an interpreter for the program on the given machine.
 func New(prog *partition.Program, machine *sgx.Machine) *Interp {
@@ -319,7 +333,7 @@ func (ip *Interp) Call(entry string, args ...int64) (ret int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(runtimeErr); ok {
-				err = re.err
+				err = re.Err
 				// A worker-recorded error is the root cause of whatever
 				// the main goroutine then tripped over (a chunk that
 				// aborts mid-protocol starves the join into a timeout):
@@ -330,7 +344,7 @@ func (ip *Interp) Call(entry string, args ...int64) (ret int64, err error) {
 				// through the join to both. Taking the stash also keeps
 				// it from leaking into a later Call.
 				if aerr := ip.takeErr(); aerr != nil {
-					err = errors.Join(aerr, re.err)
+					err = errors.Join(aerr, re.Err)
 				}
 				return
 			}
@@ -348,9 +362,9 @@ func (ip *Interp) Call(entry string, args ...int64) (ret int64, err error) {
 	main.AdvanceEpoch()
 	v := ip.invokeInterface(main.Normal(), pf, vargs)
 	if aerr := ip.takeErr(); aerr != nil {
-		return v.i, aerr
+		return v.I, aerr
 	}
-	return v.i, nil
+	return v.I, nil
 }
 
 // invokeInterface runs the interface version of a partitioned function from
@@ -383,7 +397,7 @@ func (ip *Interp) invokeInterface(w *prt.Worker, pf *partition.PartFunc, args []
 		}
 	}
 	if uChunk := pf.Chunks[ir.U]; uChunk != nil && len(uChunk.Fn.Blocks) > 0 {
-		r := ip.runFn(w, uChunk.Fn, args)
+		r := ip.runChunkBody(w, uChunk, args)
 		if uInSet {
 			result = r
 			haveResult = true
@@ -397,7 +411,7 @@ func (ip *Interp) invokeInterface(w *prt.Worker, pf *partition.PartFunc, args []
 		if err != nil {
 			// Shutdown or a timed-out completion: further completions
 			// of this invocation will not arrive either; bail out.
-			panic(runtimeErr{err})
+			panic(runtimeErr{Err: err})
 		}
 		if msg.Err != nil {
 			// Poisoned completion: the spawned chunk aborted. Record it
@@ -442,7 +456,7 @@ func floatBits(f float64) uint64 { return math.Float64bits(f) }
 
 // errf panics with a runtime error (recovered in Call).
 func errf(format string, args ...any) {
-	panic(runtimeErr{fmt.Errorf(format, args...)})
+	panic(runtimeErr{Err: fmt.Errorf(format, args...)})
 }
 
 // ErrExit is returned when the program calls exit(n).

@@ -28,4 +28,7 @@ func (ip *Interp) EnableObservability(reg *obs.Registry, tr *obs.Tracer) {
 	reg.Gauge("cross.vector_waits", ip.cross.vecWaits.Load)
 	reg.Gauge("cross.elem_reads", ip.cross.elemReads.Load)
 	reg.Gauge("cross.fused_calls", ip.cross.fusedCalls.Load)
+	reg.Gauge("exec.compile_us", ip.es.compileUS.Load)
+	reg.Gauge("exec.compiled_dispatches", ip.es.compiledRuns.Load)
+	reg.Gauge("exec.oracle_divergences", ip.es.divergences.Load)
 }

@@ -162,6 +162,11 @@ var Catalog = []MetricDef{
 	{Name: "cross.elem_reads", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "element reads served from a stashed vectored cont (no message traffic)"},
 	{Name: "cross.fused_calls", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "direct calls into a fused message-free unsafe chunk executed on the spawner's worker"},
 
+	// execution engine (gauges over execCounters in internal/interp/interp.go).
+	{Name: "exec.compile_us", Type: "gauge", Unit: "us", Subsystem: "interp", Help: "wall time SetEngine spent lowering the unit to closure-compiled steps"},
+	{Name: "exec.compiled_dispatches", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "chunk and helper bodies executed on the compiled tier"},
+	{Name: "exec.oracle_divergences", Type: "gauge", Unit: "1", Subsystem: "interp", Help: "differential-oracle failures (any nonzero value is a compiler bug caught in the act)"},
+
 	// the tracer's own accounting.
 	{Name: "obs.trace_events", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "trace events recorded since the tracer was armed"},
 	{Name: "obs.trace_dropped", Type: "gauge", Unit: "1", Subsystem: "obs", Help: "recorded events already overwritten by ring wraparound"},

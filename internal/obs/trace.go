@@ -70,6 +70,7 @@ const (
 	EvVecSend
 	EvVecWait
 	EvFusedCall
+	EvDivergence
 	nEventKinds
 )
 
@@ -125,6 +126,7 @@ var kindNames = [nEventKinds]string{
 	EvVecSend:          "cross.sendv",
 	EvVecWait:          "cross.waitv",
 	EvFusedCall:        "cross.fused_call",
+	EvDivergence:       "exec.divergence",
 }
 
 func (k EventKind) String() string {

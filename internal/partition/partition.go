@@ -179,6 +179,23 @@ func (p *Program) Intrinsic(name string) *ir.Function {
 	return nil
 }
 
+// CompileSet returns every chunk body the closure compiler should lower:
+// each runnable (non-empty) chunk function, deduplicated. Direct-call
+// targets are themselves same-color chunk bodies, so lowering the chunk
+// set covers every function the runtime can execute.
+func (p *Program) CompileSet() []*ir.Function {
+	seen := make(map[*ir.Function]bool, len(p.ChunkByID))
+	out := make([]*ir.Function, 0, len(p.ChunkByID))
+	for _, ch := range p.ChunkByID {
+		if ch.Fn == nil || len(ch.Fn.Blocks) == 0 || seen[ch.Fn] {
+			continue
+		}
+		seen[ch.Fn] = true
+		out = append(out, ch.Fn)
+	}
+	return out
+}
+
 // AllocTag hands out a fresh cont-message tag. The crossing optimizer uses
 // it when it replaces a run of adjacent transports with one vectored
 // message; keeping the allocation here preserves the invariant that every

@@ -30,6 +30,7 @@ func (t *Thread) RestartWorker(idx int) int {
 		Thread:  t,
 		Index:   idx,
 		Mode:    old.Mode,
+		Engine:  old.Engine,
 		q:       rt.newWorkerQueue(),
 		stopped: make(chan struct{}),
 	}

@@ -127,6 +127,36 @@ type Interceptor interface {
 // interceptorBox wraps the interface for atomic.Pointer storage.
 type interceptorBox struct{ ic Interceptor }
 
+// Engine selects the chunk execution tier workers run their bodies on.
+// The runtime itself is engine-agnostic — the value is plumbed to each
+// Worker at creation (and across restarts) so the embedder's ChunkExec
+// callback can pick the tier per worker; see internal/interp.
+type Engine uint8
+
+const (
+	// EngineInterp runs chunk bodies on the reference interpreter.
+	EngineInterp Engine = iota
+	// EngineCompiled runs chunk bodies as closure-compiled step arrays
+	// (internal/passes/compile).
+	EngineCompiled
+	// EngineDifferential runs the interpreter live, then replays the
+	// compiled tier against the recorded trace and hard-errors on any
+	// divergence (the differential oracle, DESIGN.md §18).
+	EngineDifferential
+)
+
+// String names the engine for diagnostics.
+func (e Engine) String() string {
+	switch e {
+	case EngineCompiled:
+		return "compiled"
+	case EngineDifferential:
+		return "differential"
+	default:
+		return "interp"
+	}
+}
+
 // Runtime owns the enclaves and cost accounting of one partitioned
 // application execution.
 type Runtime struct {
@@ -162,6 +192,12 @@ type Runtime struct {
 	// (zero = off, the surface-the-error behavior). Set it before
 	// creating threads; see retry.go and journal.go.
 	Recovery RecoveryPolicy
+
+	// Engine is the execution tier copied to every worker created after
+	// it is set (SetEngine on the interpreter sets it before the first
+	// thread exists). Restarted workers inherit their predecessor's
+	// engine, so a mid-run restart cannot silently change tiers.
+	Engine Engine
 
 	// Tracer, when set, records a structured event per runtime decision
 	// (admit-gate rejects, spawns, waits, replays, restarts — see
@@ -271,6 +307,16 @@ type Worker struct {
 	// goroutine.
 	Snap any
 
+	// Engine is the execution tier this worker runs chunk bodies on,
+	// copied from Runtime.Engine at creation (and from the predecessor
+	// on restart).
+	Engine Engine
+
+	// Diff is a third embedder-owned scratch slot: the differential
+	// oracle parks its live-run trace recorder here while a chunk is
+	// being recorded. Touched only on the worker's own goroutine.
+	Diff any
+
 	// block publishes what the worker is blocked on, for the watchdog
 	// and for timeout diagnostics.
 	block atomic.Pointer[blockInfo]
@@ -350,6 +396,7 @@ func (rt *Runtime) NewThread() *Thread {
 			Thread:  t,
 			Index:   i,
 			Mode:    rt.RegionOf(i),
+			Engine:  rt.Engine,
 			q:       rt.newWorkerQueue(),
 			stopped: make(chan struct{}),
 		}
